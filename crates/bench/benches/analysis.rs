@@ -1,0 +1,57 @@
+//! Criterion benches for the analytical model — the quantitative backing
+//! for the paper's claim that prediction has "negligible analytical
+//! overhead" (a few milliseconds here vs the minutes of counter-replay
+//! profiling measured in Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proof_core::{AnalyzeRepr, OptimizedRepr};
+use proof_ir::DType;
+use proof_models::ModelId;
+use std::hint::black_box;
+
+fn bench_analyze_repr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyze_repr");
+    for (name, model, batch) in [
+        ("resnet50_bs128", ModelId::ResNet50, 128),
+        ("vit_base_bs128", ModelId::ViTBase, 128),
+        ("swin_small_bs128", ModelId::SwinSmall, 128),
+        ("sd_unet_bs4", ModelId::StableDiffusionUnet, 4),
+    ] {
+        let graph = model.build(batch);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            b.iter(|| {
+                let a = AnalyzeRepr::new(black_box(graph), DType::F16);
+                black_box(a.total())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_build");
+    for (name, model) in [
+        ("resnet50", ModelId::ResNet50),
+        ("swin_small", ModelId::SwinSmall),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(model.build(black_box(8)))));
+    }
+    g.finish();
+}
+
+fn bench_fused_cost(c: &mut Criterion) {
+    let graph = ModelId::ResNet50.build(128);
+    c.bench_function("optimized_repr_total_cost/resnet50_bs128", |b| {
+        b.iter(|| {
+            let repr = OptimizedRepr::new(AnalyzeRepr::new(black_box(&graph), DType::F16));
+            black_box(repr.total_cost())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyze_repr, bench_model_build, bench_fused_cost
+}
+criterion_main!(benches);

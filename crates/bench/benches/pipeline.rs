@@ -1,0 +1,82 @@
+//! Criterion benches over the full PRoof pipeline stages: backend fusion,
+//! compilation, layer mapping, end-to-end profiling (predicted and
+//! measured) and SVG rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proof_core::{map_layers, profile_model, render_roofline_svg, AnalyzeRepr, MetricMode, OptimizedRepr, SvgOptions};
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{compile, fusion, BackendFlavor, SessionConfig};
+use std::hint::black_box;
+
+fn bench_fusion(c: &mut Criterion) {
+    let g = ModelId::SwinSmall.build(8);
+    c.bench_function("fusion/swin_small_trt_policy", |b| {
+        b.iter(|| black_box(fusion::fuse(black_box(&g), &fusion::FusionPolicy::trt())))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let g = ModelId::ResNet50.build(8);
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    c.bench_function("compile/resnet50_a100", |b| {
+        b.iter(|| black_box(compile(black_box(&g), BackendFlavor::TrtLike, &platform, &cfg).unwrap()))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let g = ModelId::ViTTiny.build(8);
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let compiled = compile(&g, BackendFlavor::TrtLike, &platform, &cfg).unwrap();
+    let profile = compiled.builtin_profile();
+    c.bench_function("mapping/vit_tiny_trt_with_myelin", |b| {
+        b.iter(|| {
+            let repr = OptimizedRepr::new(AnalyzeRepr::new(&g, DType::F16));
+            black_box(map_layers(repr, black_box(&profile), BackendFlavor::TrtLike))
+        })
+    });
+}
+
+fn bench_full_profile(c: &mut Criterion) {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let g = ModelId::ResNet50.build(8);
+    c.bench_function("profile/resnet50_predicted", |b| {
+        b.iter(|| {
+            black_box(
+                profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("profile/resnet50_measured", |b| {
+        b.iter(|| {
+            black_box(
+                profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_svg(c: &mut Criterion) {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let g = ModelId::SwinTiny.build(8);
+    let report =
+        profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
+    let chart = report.layerwise_chart("bench");
+    c.bench_function("svg_render/swin_tiny_layerwise", |b| {
+        b.iter(|| black_box(render_roofline_svg(black_box(&chart), &SvgOptions::default())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_fusion, bench_compile, bench_mapping, bench_full_profile, bench_svg
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Extension experiment: energy per inference across the Table 7 power
+//! profiles (J/image = power × latency / batch) — the quantity an edge
+//! deployment actually minimizes under a battery budget. Shows that the
+//! paper's latency-optimal 612/2133 MHz point is also near energy-optimal,
+//! while the stock TPC-gated "15W" profile wastes energy.
+
+use proof_bench::save_artifact;
+use proof_core::{profile_model, MetricMode};
+use proof_hw::{ClockConfig, JetsonPowerProfile, OrinNx, PlatformId};
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+
+fn main() {
+    let orin = OrinNx::new();
+    let batch = 128u64;
+    let g = ModelId::EfficientNetV2T.build(batch);
+    let cc = |gpu, mem| ClockConfig::new(gpu, mem).with_tpc_mask(240);
+    let profiles: Vec<(String, ClockConfig)> = vec![
+        ("stock MAXN".into(), JetsonPowerProfile::MaxN.clocks()),
+        ("stock 15W (TPC-gated)".into(), JetsonPowerProfile::Stock15W.clocks()),
+        ("stock 25W".into(), JetsonPowerProfile::Stock25W.clocks()),
+        ("918/2133".into(), cc(918, 2133)),
+        ("612/3199".into(), cc(612, 3199)),
+        ("optimal 612/2133".into(), cc(612, 2133)),
+        ("510/2133".into(), cc(510, 2133)),
+        ("306/665".into(), cc(306, 665)),
+    ];
+    println!("Energy per inference: EfficientNetV2-T (fp16, bs={batch}) on Orin NX\n");
+    println!(
+        "{:<24} {:>9} {:>8} {:>12} {:>12}",
+        "Profile", "lat(ms)", "P(W)", "img/s", "mJ/image"
+    );
+    let mut csv = String::from("profile,gpu_mhz,mem_mhz,latency_ms,power_w,images_per_s,mj_per_image\n");
+    let mut best: Option<(String, f64)> = None;
+    for (label, clocks) in &profiles {
+        let platform = PlatformId::OrinNx.spec().with_clocks(*clocks);
+        let r = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .expect("profile");
+        let power = orin.power.power_w(clocks, r.util_gpu, r.util_mem);
+        let mj_per_img = power * (r.total_latency_ms / 1e3) / batch as f64 * 1e3;
+        println!(
+            "{:<24} {:>9.1} {:>8.1} {:>12.0} {:>12.2}",
+            label,
+            r.total_latency_ms,
+            power,
+            r.throughput_per_s(),
+            mj_per_img
+        );
+        csv.push_str(&format!(
+            "{label},{},{},{:.1},{:.2},{:.0},{:.3}\n",
+            clocks.gpu_mhz,
+            clocks.mem_mhz,
+            r.total_latency_ms,
+            power,
+            r.throughput_per_s(),
+            mj_per_img
+        ));
+        if best.as_ref().is_none_or(|(_, b)| mj_per_img < *b) {
+            best = Some((label.clone(), mj_per_img));
+        }
+    }
+    let (best_label, best_mj) = best.unwrap();
+    println!("\nenergy-optimal profile: {best_label} ({best_mj:.2} mJ/image)");
+    save_artifact("energy_profiles.csv", &csv);
+}

@@ -1,0 +1,118 @@
+//! Regenerates paper **Figure 4**: end-to-end roofline analysis of the
+//! model zoo on all seven platforms (each model = one point per platform
+//! chart, numbered by its Table 3 index).
+//!
+//! Per the paper: Transformer/diffusion models are skipped on edge/CPU
+//! platforms; each platform uses its preferred batch size and dtype; the
+//! SD UNet runs one UNet iteration at a 128×128 latent with batch 4; NPU
+//! compile failures are reported (most models fail there, §4.3).
+
+use proof_bench::save_artifact;
+use proof_core::{profile_model, render_roofline_svg, MetricMode, RooflineCeiling, RooflineChart, RooflinePoint, SvgOptions};
+use proof_core::roofline::LayerCategory;
+use proof_hw::{Platform, PlatformId};
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use rayon::prelude::*;
+
+fn batch_for(model: ModelId, platform: &Platform) -> u64 {
+    if model == ModelId::StableDiffusionUnet {
+        4 // paper footnote 5
+    } else {
+        platform.preferred_batch()
+    }
+}
+
+fn runs_on(model: ModelId, id: PlatformId) -> bool {
+    match id {
+        PlatformId::A100 | PlatformId::Rtx4090 => true,
+        // "all models except Transformer and diffusion models on the edge
+        // platform" — and the same exclusion applies to CPUs in Figure 4
+        _ => model.runs_on_edge(),
+    }
+}
+
+fn main() {
+    let mut csv = String::from(
+        "platform,model_index,model,batch,dtype,latency_ms,gflops,gbs,intensity,status\n",
+    );
+    for id in PlatformId::ALL {
+        let platform = id.spec();
+        let flavor = BackendFlavor::for_platform(&platform);
+        let dtype = platform.preferred_dtype();
+        println!(
+            "\n=== {} [{}] {} ===",
+            platform.name,
+            flavor.name(),
+            dtype
+        );
+        let results: Vec<(u32, String, Option<(f64, f64, f64, f64, u64)>)> = ModelId::ALL
+            .par_iter()
+            .filter(|&&m| runs_on(m, id))
+            .map(|&m| {
+                let batch = batch_for(m, &platform);
+                let g = m.build(batch);
+                let cfg = SessionConfig::new(dtype);
+                match profile_model(&g, &platform, flavor, &cfg, MetricMode::Predicted) {
+                    Ok(r) => (
+                        m.table3().index,
+                        m.table3().name.to_string(),
+                        Some((
+                            r.total_latency_ms,
+                            r.achieved_gflops(),
+                            r.achieved_bw_gbs(),
+                            r.intensity(),
+                            batch,
+                        )),
+                    ),
+                    Err(_) => (m.table3().index, m.table3().name.to_string(), None),
+                }
+            })
+            .collect();
+        let mut results = results;
+        results.sort_by_key(|r| r.0);
+
+        let mut chart = RooflineChart::new(
+            format!("End-to-end roofline: {} ({dtype})", platform.name),
+            RooflineCeiling::theoretical(&platform, dtype),
+        );
+        for (idx, name, r) in &results {
+            match r {
+                Some((lat, gflops, gbs, ai, batch)) => {
+                    println!(
+                        "  #{idx:<2} {name:<20} bs={batch:<4} {lat:>9.3} ms  {gflops:>10.1} GFLOP/s  {gbs:>8.1} GB/s  AI {ai:>7.2}"
+                    );
+                    csv.push_str(&format!(
+                        "{},{},{},{},{},{:.3},{:.1},{:.1},{:.3},ok\n",
+                        platform.name, idx, name, batch, dtype, lat, gflops, gbs, ai
+                    ));
+                    chart.points.push(RooflinePoint {
+                        label: format!("{idx}"),
+                        category: LayerCategory::Other,
+                        flops: (*gflops * *lat * 1e6) as u64,
+                        bytes: (*gbs * *lat * 1e6) as u64,
+                        latency_us: *lat * 1e3,
+                        latency_share: 0.0,
+                    });
+                }
+                None => {
+                    println!("  #{idx:<2} {name:<20} FAILED to compile (unsupported)");
+                    csv.push_str(&format!(
+                        "{},{},{},,,,,,,compile_failed\n",
+                        platform.name, idx, name
+                    ));
+                }
+            }
+        }
+        chart.finalize();
+        let svg = render_roofline_svg(
+            &chart,
+            &SvgOptions {
+                label_points: true,
+                ..SvgOptions::default()
+            },
+        );
+        save_artifact(&format!("fig4_{:?}.svg", id).to_lowercase(), &svg);
+    }
+    save_artifact("fig4_end_to_end.csv", &csv);
+}

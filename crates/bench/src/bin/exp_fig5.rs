@@ -1,0 +1,58 @@
+//! Regenerates paper **Figure 5**: layer-wise roofline analysis of
+//! ResNet-50, ViT tiny, EfficientNet B4 and EfficientNetV2-T on the A100
+//! (fp16, batch 128). Prints each model's end-to-end TFLOP/s — the paper's
+//! §4.4 comparison is EfficientNet B4 ≈ 17.2 TFLOP/s vs EfficientNetV2-T ≈
+//! 37.6 TFLOP/s, the depth-wise-convolution story.
+
+use proof_bench::save_artifact;
+use proof_core::report::chart_to_csv;
+use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
+use proof_core::roofline::LayerCategory;
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+
+fn main() {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let subjects = [
+        ("a", ModelId::ResNet50),
+        ("b", ModelId::ViTTiny),
+        ("c", ModelId::EfficientNetB4),
+        ("d", ModelId::EfficientNetV2T),
+    ];
+    println!("Figure 5: layer-wise rooflines on A100 (fp16, bs=128)\n");
+    for (panel, model) in subjects {
+        let g = model.build(128);
+        let report = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
+            .expect("profile");
+        let chart = report.layerwise_chart(&format!(
+            "({panel}) {} on A100 (fp16, bs=128)",
+            model.table3().name
+        ));
+        // dominant category by latency (the paper's narrative hook)
+        let mut by_cat: std::collections::HashMap<LayerCategory, f64> = Default::default();
+        for l in &report.layers {
+            *by_cat.entry(l.category).or_default() += l.latency_us;
+        }
+        let dominant = by_cat
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, t)| format!("{} ({:.1}%)", c.label(), 100.0 * t / (report.total_latency_ms * 1e3)))
+            .unwrap_or_default();
+        println!(
+            "({panel}) {:<18} {:>8.3} ms | {:>7.3} TFLOP/s | {:>7.1} GB/s | {} layers | busiest: {}",
+            model.table3().name,
+            report.total_latency_ms,
+            report.achieved_gflops() / 1e3,
+            report.achieved_bw_gbs(),
+            report.layers.len(),
+            dominant
+        );
+        let slug = model.slug().replace('.', "_");
+        save_artifact(&format!("fig5{panel}_{slug}.svg"), &render_roofline_svg(&chart, &SvgOptions::default()));
+        save_artifact(&format!("fig5{panel}_{slug}.csv"), &chart_to_csv(&chart));
+    }
+    println!("\npaper reference: (c) EfficientNet B4 17.242 TFLOP/s, (d) EfficientNetV2-T 37.586 TFLOP/s");
+}

@@ -1,0 +1,81 @@
+//! Extension experiment: int8 vs fp16 on the datacenter GPUs (the paper's
+//! Figure 4 runs "a data type that fully utilizes the hardware" per
+//! platform and footnote 5 notes the SD UNet fails int8 conversion —
+//! reproduced here). Shows who actually benefits from int8's doubled peak:
+//! compute-bound models gain, bandwidth-bound ones gain less.
+
+use proof_bench::save_artifact;
+use proof_core::{profile_model, MetricMode};
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use rayon::prelude::*;
+
+fn main() {
+    let platform = PlatformId::A100.spec();
+    println!("int8 vs fp16 on A100 (TensorRT-like, bs=128; SD at bs=4)\n");
+    println!(
+        "{:<20} | {:>10} {:>10} | {:>10} {:>10} | {:>8}",
+        "Model", "fp16 (ms)", "TFLOP/s", "int8 (ms)", "TOP/s", "speedup"
+    );
+    let mut csv = String::from("model,fp16_ms,fp16_tflops,int8_ms,int8_tops,speedup\n");
+    let rows: Vec<(u32, String)> = ModelId::ALL
+        .par_iter()
+        .map(|&m| {
+            let batch = if m == ModelId::StableDiffusionUnet { 4 } else { 128 };
+            let g = m.build(batch);
+            let run = |d: DType| {
+                profile_model(
+                    &g,
+                    &platform,
+                    BackendFlavor::TrtLike,
+                    &SessionConfig::new(d),
+                    MetricMode::Predicted,
+                )
+            };
+            let fp16 = run(DType::F16).expect("fp16 always converts");
+            let line = match run(DType::I8) {
+                Ok(int8) => format!(
+                    "{:<20} | {:>10.3} {:>10.1} | {:>10.3} {:>10.1} | {:>7.2}x",
+                    m.table3().name,
+                    fp16.total_latency_ms,
+                    fp16.achieved_gflops() / 1e3,
+                    int8.total_latency_ms,
+                    int8.achieved_gflops() / 1e3,
+                    fp16.total_latency_ms / int8.total_latency_ms,
+                ),
+                Err(e) => format!(
+                    "{:<20} | {:>10.3} {:>10.1} | int8 conversion FAILED ({e})",
+                    m.table3().name,
+                    fp16.total_latency_ms,
+                    fp16.achieved_gflops() / 1e3,
+                ),
+            };
+            (m.table3().index, line)
+        })
+        .collect();
+    let mut rows = rows;
+    rows.sort_by_key(|r| r.0);
+    for (_, line) in &rows {
+        println!("{line}");
+    }
+    for &m in &ModelId::ALL {
+        let batch = if m == ModelId::StableDiffusionUnet { 4 } else { 128 };
+        let g = m.build(batch);
+        let fp16 = profile_model(&g, &platform, BackendFlavor::TrtLike, &SessionConfig::new(DType::F16), MetricMode::Predicted).unwrap();
+        match profile_model(&g, &platform, BackendFlavor::TrtLike, &SessionConfig::new(DType::I8), MetricMode::Predicted) {
+            Ok(i8r) => csv.push_str(&format!(
+                "{},{:.3},{:.1},{:.3},{:.1},{:.3}\n",
+                m.slug(),
+                fp16.total_latency_ms,
+                fp16.achieved_gflops() / 1e3,
+                i8r.total_latency_ms,
+                i8r.achieved_gflops() / 1e3,
+                fp16.total_latency_ms / i8r.total_latency_ms
+            )),
+            Err(_) => csv.push_str(&format!("{},{:.3},{:.1},,,conversion_failed\n", m.slug(), fp16.total_latency_ms, fp16.achieved_gflops() / 1e3)),
+        }
+    }
+    save_artifact("int8_sweep.csv", &csv);
+}

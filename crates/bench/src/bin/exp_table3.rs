@@ -1,0 +1,66 @@
+//! Regenerates paper **Table 3**: the model inventory — ONNX node count,
+//! parameter count, and theoretical GFLOP at batch size 1, from PRoof's
+//! analytical model.
+
+use proof_bench::{fmt_pct, pct_diff, save_artifact};
+use proof_core::AnalyzeRepr;
+use proof_ir::DType;
+use proof_models::ModelId;
+use rayon::prelude::*;
+
+fn main() {
+    println!("Table 3: models for evaluation (analytical model, bs=1)\n");
+    println!(
+        "{:>2} {:<20} {:<6} {:>6} {:>9} {:>10} | {:>6} {:>9} {:>10} {:>9}",
+        "#", "Model", "Type", "Nodes", "Params(M)", "GFLOP", "pNodes", "pParams", "pGFLOP", "dGFLOP"
+    );
+
+    let rows: Vec<(u32, String)> = ModelId::ALL
+        .par_iter()
+        .map(|&m| {
+            let t3 = m.table3();
+            let g = m.build(1);
+            let analysis = AnalyzeRepr::new(&g, DType::F32);
+            let gflop = analysis.gflops();
+            let params_m = g.param_count() as f64 / 1e6;
+            let line = format!(
+                "{:>2} {:<20} {:<6} {:>6} {:>9.1} {:>10.3} | {:>6} {:>9.1} {:>10.3} {:>9}",
+                t3.index,
+                t3.name,
+                t3.kind,
+                g.node_count(),
+                params_m,
+                gflop,
+                t3.paper_nodes,
+                t3.paper_params_m,
+                t3.paper_gflop,
+                fmt_pct(pct_diff(gflop, t3.paper_gflop)),
+            );
+            (t3.index, line)
+        })
+        .collect();
+
+    let mut rows = rows;
+    rows.sort_by_key(|r| r.0);
+    let mut csv = String::from("index,model,nodes,params_m,gflop,paper_nodes,paper_params_m,paper_gflop\n");
+    for (_, line) in &rows {
+        println!("{line}");
+    }
+    for &m in &ModelId::ALL {
+        let t3 = m.table3();
+        let g = m.build(1);
+        let a = AnalyzeRepr::new(&g, DType::F32);
+        csv.push_str(&format!(
+            "{},{},{},{:.3},{:.3},{},{},{}\n",
+            t3.index,
+            t3.name,
+            g.node_count(),
+            g.param_count() as f64 / 1e6,
+            a.gflops(),
+            t3.paper_nodes,
+            t3.paper_params_m,
+            t3.paper_gflop
+        ));
+    }
+    save_artifact("table3.csv", &csv);
+}

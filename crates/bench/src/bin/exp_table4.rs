@@ -1,0 +1,96 @@
+//! Regenerates paper **Table 4**: accuracy of the analytical FLOP/memory
+//! prediction against the (simulated) Nsight Compute measurement, on the
+//! five representative models — NVIDIA A100, fp16, batch 128 (batch 4 for
+//! the huge SD-free subset stays as in the paper).
+
+use proof_bench::{fmt_pct, pct_diff, save_artifact};
+use proof_core::{profile_model, MetricMode};
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use rayon::prelude::*;
+
+struct PaperRow {
+    model: ModelId,
+    /// Paper latency (ms) — shown for reference in table4.csv consumers.
+    #[allow(dead_code)]
+    latency_ms: f64,
+    gflop: (f64, f64),  // analytical, ncu
+    mem_mb: (f64, f64), // analytical, ncu
+    /// Paper profiling time (s).
+    #[allow(dead_code)]
+    prof_s: f64,
+}
+
+fn paper_rows() -> Vec<PaperRow> {
+    vec![
+        PaperRow { model: ModelId::EfficientNetV2S, latency_ms: 16.644, gflop: (771.794, 962.575), mem_mb: (11669.419, 11820.696), prof_s: 1327.0 },
+        PaperRow { model: ModelId::MobileNetV2x10, latency_ms: 3.894, gflop: (79.452, 104.492), mem_mb: (3521.010, 3474.114), prof_s: 343.0 },
+        PaperRow { model: ModelId::ResNet50, latency_ms: 8.918, gflop: (1050.435, 1072.227), mem_mb: (7052.921, 7150.855), prof_s: 395.0 },
+        PaperRow { model: ModelId::SwinSmall, latency_ms: 43.935, gflop: (2268.528, 2414.215), mem_mb: (28897.395, 31431.407), prof_s: 1930.0 },
+        PaperRow { model: ModelId::ViTTiny, latency_ms: 5.308, gflop: (327.382, 298.195), mem_mb: (4059.092, 3826.516), prof_s: 483.0 },
+    ]
+}
+
+fn main() {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    println!("Table 4: analytical model vs simulated NCU (A100, fp16, bs=128)\n");
+    println!(
+        "{:<18} {:>8} {:>6} | {:>10} {:>12} | {:>10} {:>12} {:>9} | {:>9} {:>8} | paper diffs",
+        "Model", "lat(ms)", "nodes", "GFLOP", "Mem(MB)", "ncuGFLOP", "ncuMem(MB)", "prof(s)", "dFLOP", "dMem"
+    );
+
+    let rows: Vec<String> = paper_rows()
+        .par_iter()
+        .map(|row| {
+            let g = row.model.build(128);
+            let pred = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
+                .expect("predicted profile");
+            let meas = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured)
+                .expect("measured profile");
+            let (pg, pm) = (pred.total_flops as f64 / 1e9, pred.total_memory_bytes as f64 / 1e6);
+            let (mg, mm) = (meas.total_flops as f64 / 1e9, meas.total_memory_bytes as f64 / 1e6);
+            format!(
+                "{:<18} {:>8.3} {:>6} | {:>10.1} {:>12.1} | {:>10.1} {:>12.1} {:>9.0} | {:>9} {:>8} | paper {} / {}",
+                row.model.table3().name,
+                pred.total_latency_ms,
+                g.node_count(),
+                pg,
+                pm,
+                mg,
+                mm,
+                meas.metric_collection_s,
+                fmt_pct(pct_diff(pg, mg)),
+                fmt_pct(pct_diff(pm, mm)),
+                fmt_pct(pct_diff(row.gflop.0, row.gflop.1)),
+                fmt_pct(pct_diff(row.mem_mb.0, row.mem_mb.1)),
+            )
+        })
+        .collect();
+
+    let mut csv = String::from("model,latency_ms,pred_gflop,pred_mem_mb,ncu_gflop,ncu_mem_mb,prof_time_s,flop_diff_pct,mem_diff_pct\n");
+    for line in &rows {
+        println!("{line}");
+    }
+    for row in paper_rows() {
+        let g = row.model.build(128);
+        let pred = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
+        let meas = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.2},{:.2}\n",
+            row.model.slug(),
+            pred.total_latency_ms,
+            pred.total_flops as f64 / 1e9,
+            pred.total_memory_bytes as f64 / 1e6,
+            meas.total_flops as f64 / 1e9,
+            meas.total_memory_bytes as f64 / 1e6,
+            meas.metric_collection_s,
+            pct_diff(pred.total_flops as f64, meas.total_flops as f64),
+            pct_diff(pred.total_memory_bytes as f64, meas.total_memory_bytes as f64),
+        ));
+    }
+    save_artifact("table4.csv", &csv);
+    println!("\n(negative dFLOP = analytical below measured Hardware FLOP, as in the paper)");
+}

@@ -1,0 +1,131 @@
+//! Regenerates the ShuffleNetV2 case study (paper §4.5): **Table 5**
+//! (original vs modified model at batch 1/128/2048) and **Figure 6** (the
+//! two layer-wise rooflines at batch 2048, prediction mode).
+//!
+//! ImageNet accuracies are echoed from the paper (68.9 % → 70.1 %): training
+//! is out of scope here; every performance column is reproduced.
+
+use proof_bench::save_artifact;
+use proof_core::report::chart_to_csv;
+use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
+use proof_core::roofline::LayerCategory;
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+
+struct Row {
+    batch: u64,
+    gflop: f64,
+    latency_ms: f64,
+    throughput: f64,
+    gflops: f64,
+    gbs: f64,
+}
+
+fn measure(model: ModelId, batch: u64) -> Row {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let g = model.build(batch);
+    let r = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
+        .expect("profile");
+    Row {
+        batch,
+        gflop: r.total_flops as f64 / 1e9,
+        latency_ms: r.total_latency_ms,
+        throughput: r.throughput_per_s(),
+        gflops: r.achieved_gflops(),
+        gbs: r.achieved_bw_gbs(),
+    }
+}
+
+fn main() {
+    println!("Table 5: original vs modified ShuffleNetV2 x1.0 on A100 (fp16)\n");
+    println!(
+        "{:<9} {:>9} {:>8} {:>6} {:>9} {:>9} {:>12} {:>11} {:>9} {:>8}",
+        "Model", "Params(M)", "Top-1(%)", "bs", "GFLOP", "lat(ms)", "thr(img/s)", "GFLOP/s", "GB/s", "speedup"
+    );
+    let mut table: Vec<(&str, f64, f64, Vec<Row>)> = Vec::new();
+    for (label, model, acc) in [
+        ("Original", ModelId::ShuffleNetV2x10, 68.9),
+        ("Modified", ModelId::ShuffleNetV2x10Mod, 70.1),
+    ] {
+        let params_m = model.build(1).param_count() as f64 / 1e6;
+        let rows: Vec<Row> = [1u64, 128, 2048].iter().map(|&b| measure(model, b)).collect();
+        table.push((label, params_m, acc, rows));
+    }
+    let mut csv = String::from("model,batch,gflop,latency_ms,throughput,gflops,gbs,speedup\n");
+    for i in 0..table.len() {
+        let (label, params, acc, rows) = &table[i];
+        for (j, r) in rows.iter().enumerate() {
+            let speedup = if i == 1 {
+                let orig = &table[0].3[j];
+                format!("{:.2}x", orig.latency_ms / r.latency_ms)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "{:<9} {:>9.3} {:>8.1} {:>6} {:>9.3} {:>9.3} {:>12.0} {:>11.1} {:>9.1} {:>8}",
+                if j == 0 { label } else { "" },
+                if j == 0 { *params } else { f64::NAN },
+                if j == 0 { *acc } else { f64::NAN },
+                r.batch,
+                r.gflop,
+                r.latency_ms,
+                r.throughput,
+                r.gflops,
+                r.gbs,
+                speedup
+            );
+            csv.push_str(&format!(
+                "{label},{},{:.3},{:.3},{:.0},{:.1},{:.1},{speedup}\n",
+                r.batch, r.gflop, r.latency_ms, r.throughput, r.gflops, r.gbs
+            ));
+        }
+    }
+    save_artifact("table5.csv", &csv);
+
+    // paper headline: +64.45% throughput at bs=2048 (30.1 ms vs 49.5 ms)
+    let orig = &table[0].3[2];
+    let modi = &table[1].3[2];
+    println!(
+        "\nbs=2048 throughput gain: {:+.2}% (paper: +64.45%) | latency {:.1} ms vs {:.1} ms (paper: 30.1 vs 49.5)",
+        100.0 * (modi.throughput / orig.throughput - 1.0),
+        modi.latency_ms,
+        orig.latency_ms
+    );
+
+    // Figure 6: layer-wise rooflines at bs=2048 (prediction mode, as in the
+    // paper), plus the share of time in transpose/data-copy layers
+    for (panel, model) in [("a", ModelId::ShuffleNetV2x10), ("b", ModelId::ShuffleNetV2x10Mod)] {
+        let g = model.build(2048);
+        let platform = PlatformId::A100.spec();
+        let r = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap();
+        let shuffle_share: f64 = r
+            .layers
+            .iter()
+            .filter(|l| matches!(l.category, LayerCategory::Transpose | LayerCategory::DataCopy))
+            .map(|l| l.latency_us)
+            .sum::<f64>()
+            / (r.total_latency_ms * 1e3);
+        println!(
+            "fig6({panel}) {}: transpose+copy layers = {:.1}% of latency",
+            model.slug(),
+            100.0 * shuffle_share
+        );
+        let chart = r.layerwise_chart(&format!(
+            "({panel}) {} on A100 (fp16, bs=2048)",
+            model.table3().name
+        ));
+        let slug = model.slug().replace('.', "_");
+        save_artifact(&format!("fig6{panel}_{slug}.svg"), &render_roofline_svg(&chart, &SvgOptions::default()));
+        save_artifact(&format!("fig6{panel}_{slug}.csv"), &chart_to_csv(&chart));
+    }
+}

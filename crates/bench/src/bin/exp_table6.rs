@@ -1,0 +1,51 @@
+//! Regenerates paper **Table 6**: achieved roofline peaks (via the pseudo
+//! MatMul+memcpy model on the TensorRT-like backend) and power at five
+//! GPU/memory clock pairs on the Jetson Orin NX.
+
+use proof_bench::save_artifact;
+use proof_core::measure_achieved_peak;
+use proof_hw::{ClockConfig, OrinNx, PlatformId};
+use proof_ir::DType;
+use proof_runtime::BackendFlavor;
+
+fn main() {
+    let orin = OrinNx::new();
+    let rows = [
+        (1, 918u32, 3199u32, 13.620, 87.879, 23.6),
+        (2, 918, 2133, 13.601, 62.031, 21.3),
+        (3, 510, 3199, 7.433, 54.002, 15.7),
+        (4, 510, 2133, 7.426, 53.017, 13.6),
+        (5, 510, 665, 7.359, 15.177, 11.5),
+    ];
+    println!("Table 6: achieved roofline peak and power vs clocks (Orin NX, fp16)\n");
+    println!(
+        "{:>2} {:>9} {:>9} | {:>9} {:>10} {:>8} | paper: {:>8} {:>9} {:>7}",
+        "#", "GPU(MHz)", "EMC(MHz)", "TFLOP/s", "BW(GB/s)", "Power(W)", "TFLOP/s", "BW(GB/s)", "P(W)"
+    );
+    let mut csv =
+        String::from("row,gpu_mhz,mem_mhz,tflops,bw_gbs,power_w,paper_tflops,paper_bw,paper_power\n");
+    for (i, gpu, mem, p_tf, p_bw, p_w) in rows {
+        let clocks = ClockConfig::new(gpu, mem);
+        let platform = PlatformId::OrinNx.spec().with_clocks(clocks);
+        let peak = measure_achieved_peak(&platform, BackendFlavor::TrtLike, DType::F16)
+            .expect("peak measurement");
+        // the peak test saturates both compute and memory phases
+        let power = orin.power.power_w(&clocks, 1.0, 1.0);
+        println!(
+            "{i:>2} {gpu:>9} {mem:>9} | {:>9.3} {:>10.3} {:>8.1} | paper: {:>8.3} {:>9.3} {:>7.1}",
+            peak.gflops / 1e3,
+            peak.bw_gbs,
+            power,
+            p_tf,
+            p_bw,
+            p_w
+        );
+        csv.push_str(&format!(
+            "{i},{gpu},{mem},{:.3},{:.3},{:.2},{p_tf},{p_bw},{p_w}\n",
+            peak.gflops / 1e3,
+            peak.bw_gbs,
+            power
+        ));
+    }
+    save_artifact("table6.csv", &csv);
+}

@@ -1,0 +1,116 @@
+//! Regenerates paper **Table 7** and **Figure 8**: EfficientNetV2-T (fp16,
+//! batch 128) on the Jetson Orin NX under ten power profiles, plus the
+//! §4.6 procedure — pick the memory clock from the layer-wise roofline,
+//! then binary-search the GPU clock under the 15 W budget.
+
+use proof_bench::save_artifact;
+use proof_core::report::chart_to_csv;
+use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
+use proof_hw::{ClockConfig, JetsonPowerProfile, OrinNx, PlatformId};
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+
+fn run(clocks: ClockConfig) -> (f64, f64, f64) {
+    let platform = PlatformId::OrinNx.spec().with_clocks(clocks);
+    let g = ModelId::EfficientNetV2T.build(128);
+    let r = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::TrtLike,
+        &SessionConfig::new(DType::F16),
+        MetricMode::Predicted,
+    )
+    .expect("profile");
+    (r.total_latency_ms, r.util_gpu, r.util_mem)
+}
+
+fn main() {
+    let orin = OrinNx::new();
+    let cc = |gpu, mem| ClockConfig::new(gpu, mem).with_cpus(Some(729), None).with_tpc_mask(240);
+    // (profile label, #, clocks, paper latency ms, paper power W)
+    let rows: Vec<(&str, u32, ClockConfig, f64, f64)> = vec![
+        ("stock \"MAXN\"", 1, JetsonPowerProfile::MaxN.clocks(), 211.4, 23.2),
+        ("stock \"15W\"*", 2, JetsonPowerProfile::Stock15W.clocks(), 514.5, 13.6),
+        ("stock \"25W\"", 3, JetsonPowerProfile::Stock25W.clocks(), 462.1, 14.2),
+        ("comparison", 4, cc(918, 3199), 211.3, 22.5),
+        ("comparison", 5, cc(918, 2133), 232.7, 19.2),
+        ("comparison", 6, cc(918, 665), 568.0, 12.4),
+        ("comparison", 7, cc(612, 3199), 317.5, 16.6),
+        ("comparison", 8, cc(612, 665), 584.6, 10.9),
+        ("comparison", 9, cc(510, 3199), 378.1, 15.1),
+        ("optimal (ours)", 10, cc(612, 2133), 320.1, 14.7),
+    ];
+
+    println!("Table 7: EfficientNetV2-T (fp16, bs=128) under power profiles (Orin NX)\n");
+    println!(
+        "{:<15} {:>2} {:>9} {:>5} {:>5} {:>5} | {:>9} {:>8} | paper: {:>8} {:>6}",
+        "Profile", "#", "CPU", "GPU", "EMC", "TPC", "lat(ms)", "P(W)", "lat(ms)", "P(W)"
+    );
+    let mut csv = String::from("row,profile,gpu_mhz,mem_mhz,tpcs,latency_ms,power_w,paper_latency_ms,paper_power_w\n");
+    for (label, i, clocks, p_lat, p_w) in &rows {
+        let (lat, ug, um) = run(*clocks);
+        let power = orin.power.power_w(clocks, ug, um);
+        let cpu = clocks
+            .cpu_mhz
+            .iter()
+            .map(|c| c.map(|v| v.to_string()).unwrap_or_else(|| "off".into()))
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{label:<15} {i:>2} {cpu:>9} {:>5} {:>5} {:>5} | {lat:>9.1} {power:>8.1} | paper: {p_lat:>8.1} {p_w:>6.1}",
+            clocks.gpu_mhz,
+            clocks.mem_mhz,
+            clocks.enabled_tpcs(4)
+        );
+        csv.push_str(&format!(
+            "{i},{label},{},{},{},{lat:.1},{power:.2},{p_lat},{p_w}\n",
+            clocks.gpu_mhz,
+            clocks.mem_mhz,
+            clocks.enabled_tpcs(4)
+        ));
+    }
+    save_artifact("table7.csv", &csv);
+
+    // ---- the §4.6 selection procedure ----
+    // Figure 8: layer-wise roofline at max clocks with the two candidate
+    // memory-clock bandwidth lines overlaid
+    let maxn = PlatformId::OrinNx.spec().with_clocks(cc(918, 3199));
+    let g = ModelId::EfficientNetV2T.build(128);
+    let report = profile_model(
+        &g,
+        &maxn,
+        BackendFlavor::TrtLike,
+        &SessionConfig::new(DType::F16),
+        MetricMode::Predicted,
+    )
+    .unwrap();
+    let bw_2133 = maxn.with_clocks(cc(918, 2133)).achievable_bw() / 1e9;
+    let bw_665 = maxn.with_clocks(cc(918, 665)).achievable_bw() / 1e9;
+    let mut chart = report.layerwise_chart("EfficientNetV2-T on Orin NX (fp16, bs=128)");
+    chart.ceiling = chart
+        .ceiling
+        .with_extra_bw("EMC 2133", bw_2133)
+        .with_extra_bw("EMC 665", bw_665);
+    // how many layers each memory downclock would slow (above the new line)
+    for (label, bw) in [("2133 MHz", bw_2133), ("665 MHz", bw_665)] {
+        let affected = chart
+            .points
+            .iter()
+            .filter(|p| p.achieved_gflops() > bw * p.intensity())
+            .count();
+        println!(
+            "fig8: lowering EMC to {label} affects {affected}/{} layers",
+            chart.points.len()
+        );
+    }
+    save_artifact("fig8_effnetv2t_orin.svg", &render_roofline_svg(&chart, &SvgOptions::default()));
+    save_artifact("fig8_effnetv2t_orin.csv", &chart_to_csv(&chart));
+
+    // binary search the GPU clock under 15 W at EMC 2133 (paper finds 612)
+    let found = orin.search_gpu_clock_under_budget(2133, 15.0, |clocks| {
+        let (_, ug, um) = run(clocks);
+        (ug, um)
+    });
+    println!("\n15 W budget search at EMC 2133: GPU clock = {:?} MHz (paper: 612)", found);
+}

@@ -1,0 +1,351 @@
+//! `proof` — the PRoof command-line interface (paper Figure 1's CLI entry).
+//!
+//! ```text
+//! proof list
+//! proof inspect --model resnet-50 [--batch 1] [--dot out.dot] [--json out.json]
+//! proof profile --model resnet-50 --platform a100 [--backend trt]
+//!               [--batch 128] [--precision fp16] [--mode predicted|measured]
+//!               [--top 15] [--svg chart.svg] [--csv chart.csv] [--json report.json] [--html report.html]
+//! proof profile --model-file model.json ...   (PRoof JSON model format)
+//! proof peak --platform orin-nx [--precision fp16]
+//! proof memory --model resnet-50 --batch 64 [--precision fp16] [--budget-gb 16]
+//! proof headroom --model resnet-50 --platform a100 [--batch N] [--top N]
+//! ```
+
+use proof_core::report::{chart_to_csv, profile_summary};
+use proof_core::{measure_achieved_peak, profile_model, render_roofline_svg, MetricMode, SvgOptions};
+use proof_hw::{Platform, PlatformId};
+use proof_ir::{DType, Graph};
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--top N] [--svg FILE] [--csv FILE] [--json FILE] [--html FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n\nmodels: {}\nplatforms: {}",
+        ModelId::ALL.map(|m| m.slug()).join(", "),
+        PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
+    );
+    std::process::exit(2)
+}
+
+/// Parse `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument: {}", args[i]);
+            usage();
+        };
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--{key} needs a value");
+            usage();
+        };
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn parse_precision(s: &str) -> DType {
+    match s {
+        "fp32" => DType::F32,
+        "fp16" => DType::F16,
+        "int8" => DType::I8,
+        other => {
+            eprintln!("unknown precision {other} (fp32|fp16|int8)");
+            usage();
+        }
+    }
+}
+
+fn load_model(flags: &HashMap<String, String>, batch: u64) -> Graph {
+    if let Some(path) = flags.get("model-file") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        return Graph::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("invalid model file {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let slug = flags.get("model").map(String::as_str).unwrap_or_else(|| usage());
+    let model = ModelId::parse(slug).unwrap_or_else(|| {
+        eprintln!("unknown model {slug}");
+        usage();
+    });
+    model.build(batch)
+}
+
+fn load_platform(flags: &HashMap<String, String>) -> Platform {
+    let id = flags.get("platform").map(String::as_str).unwrap_or_else(|| usage());
+    match PlatformId::parse(id) {
+        Some(p) => p.spec(),
+        None => {
+            eprintln!("unknown platform {id}");
+            usage();
+        }
+    }
+}
+
+fn cmd_list() {
+    println!("models:");
+    for m in ModelId::ALL {
+        let t = m.table3();
+        println!(
+            "  {:<22} #{:<2} {:<6} {:>6.1} M params, {:>9.3} GFLOP (paper Table 3)",
+            m.slug(),
+            t.index,
+            t.kind,
+            t.paper_params_m,
+            t.paper_gflop
+        );
+    }
+    println!("\nplatforms:");
+    for p in PlatformId::ALL {
+        let spec = p.spec();
+        println!(
+            "  {:<14} {:<32} peak {:>8.1} TFLOP/s ({}), {:>7.1} GB/s",
+            format!("{p:?}").to_lowercase(),
+            spec.name,
+            spec.peak_flops(spec.preferred_dtype(), true) / 1e12,
+            spec.preferred_dtype(),
+            spec.theoretical_bw() / 1e9,
+        );
+    }
+}
+
+fn cmd_inspect(flags: HashMap<String, String>) {
+    let batch: u64 = flags.get("batch").map(|v| v.parse().expect("batch")).unwrap_or(1);
+    let g = load_model(&flags, batch);
+    let analysis = proof_core::AnalyzeRepr::new(&g, DType::F32);
+    println!(
+        "{}: {} nodes, {:.3} M params, {:.3} GFLOP, {:.2} MB traffic (unfused, fp32, bs={batch})",
+        g.name,
+        g.node_count(),
+        g.param_count() as f64 / 1e6,
+        analysis.gflops(),
+        analysis.total().memory_bytes() as f64 / 1e6
+    );
+    let mut hist: Vec<_> = g.op_histogram().into_iter().collect();
+    hist.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.name().cmp(b.0.name())));
+    for (op, count) in hist {
+        println!("  {count:>5} × {op}");
+    }
+    if let Some(path) = flags.get("dot") {
+        std::fs::write(path, proof_ir::dot::to_dot(&g)).expect("write dot");
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, g.to_json()).expect("write json");
+        println!("wrote {path}");
+    }
+}
+
+fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
+    let platform = load_platform(&flags);
+    let batch: u64 = flags
+        .get("batch")
+        .map(|v| v.parse().expect("batch"))
+        .unwrap_or_else(|| platform.preferred_batch());
+    let g = load_model(&flags, batch);
+    let flavor = flags
+        .get("backend")
+        .map(|s| BackendFlavor::parse(s).unwrap_or_else(|| usage()))
+        .unwrap_or_else(|| BackendFlavor::for_platform(&platform));
+    let precision = flags
+        .get("precision")
+        .map(|s| parse_precision(s))
+        .unwrap_or_else(|| platform.preferred_dtype());
+    let mode = match flags.get("mode").map(String::as_str) {
+        None | Some("predicted") => MetricMode::Predicted,
+        Some("measured") => MetricMode::Measured,
+        Some(other) => {
+            eprintln!("unknown mode {other}");
+            usage();
+        }
+    };
+    let cfg = SessionConfig::new(precision);
+    let report = match profile_model(&g, &platform, flavor, &cfg, mode) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("profiling failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top: usize = flags.get("top").map(|v| v.parse().expect("top")).unwrap_or(15);
+    println!("{}", profile_summary(&report, top));
+    let chart = report.layerwise_chart(&format!(
+        "{} on {} ({}, bs={batch})",
+        report.model, report.platform, report.precision
+    ));
+    if let Some(path) = flags.get("svg") {
+        std::fs::write(path, render_roofline_svg(&chart, &SvgOptions::default()))
+            .expect("write svg");
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, chart_to_csv(&chart)).expect("write csv");
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, report.to_json()).expect("write json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("html") {
+        std::fs::write(path, proof_core::html_report(&[&report])).expect("write html");
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_memory(flags: HashMap<String, String>) {
+    let batch: u64 = flags.get("batch").map(|v| v.parse().expect("batch")).unwrap_or(1);
+    let precision = flags
+        .get("precision")
+        .map(|s| parse_precision(s))
+        .unwrap_or(DType::F16);
+    let g = load_model(&flags, batch);
+    let plan = proof_core::plan_memory(&g, precision);
+    println!(
+        "{} (bs={batch}, {precision}): weights {:.1} MB + peak activations {:.1} MB = {:.1} MB peak working set (at node {})",
+        g.name,
+        plan.weight_bytes as f64 / 1e6,
+        plan.peak_activation_bytes as f64 / 1e6,
+        plan.peak_bytes() as f64 / 1e6,
+        plan.peak_node
+    );
+    if let Some(gb) = flags.get("budget-gb") {
+        let budget = (gb.parse::<f64>().expect("budget-gb") * 1e9) as u64;
+        let slug = flags.get("model").map(String::as_str).unwrap_or_default();
+        if let Some(model) = ModelId::parse(slug) {
+            match proof_core::max_batch_within(budget, precision, 65536, |b| model.build(b)) {
+                Some(best) => println!("largest batch within {gb} GB: {best}"),
+                None => println!("does not fit {gb} GB at any batch size"),
+            }
+        }
+    }
+}
+
+fn cmd_headroom(flags: HashMap<String, String>) {
+    let platform = load_platform(&flags);
+    let batch: u64 = flags
+        .get("batch")
+        .map(|v| v.parse().expect("batch"))
+        .unwrap_or_else(|| platform.preferred_batch());
+    let g = load_model(&flags, batch);
+    let cfg = SessionConfig::new(platform.preferred_dtype());
+    let report = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::for_platform(&platform),
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .expect("profile");
+    let hr = proof_core::analyze_headroom(&report);
+    println!(
+        "{} on {}: {:.3} ms actual vs {:.3} ms roofline lower bound -> {:.2}x potential speedup\n",
+        g.name,
+        platform.name,
+        hr.actual_ms,
+        hr.ideal_ms,
+        hr.potential_speedup()
+    );
+    let top: usize = flags.get("top").map(|v| v.parse().expect("top")).unwrap_or(10);
+    println!("layers losing the most time vs their roofline bound:");
+    for l in hr.worst_layers(top) {
+        println!(
+            "  {:>9.1} us lost  {:>6.1}x from bound  [{}] {} ({})",
+            l.actual_us - l.ideal_us,
+            l.slowdown,
+            if l.memory_bound { "mem" } else { "cmp" },
+            l.name,
+            l.category.label()
+        );
+    }
+}
+
+fn cmd_peak(flags: HashMap<String, String>) {
+    let platform = load_platform(&flags);
+    let precision = flags
+        .get("precision")
+        .map(|s| parse_precision(s))
+        .unwrap_or_else(|| platform.preferred_dtype());
+    let flavor = BackendFlavor::for_platform(&platform);
+    let peak = measure_achieved_peak(&platform, flavor, precision).expect("peak");
+    println!(
+        "{} @ GPU {} MHz / mem {} MHz ({precision}):",
+        platform.name, platform.clocks.gpu_mhz, platform.clocks.mem_mhz
+    );
+    println!(
+        "  achieved peak: {:.3} TFLOP/s (theoretical {:.3})",
+        peak.gflops / 1e3,
+        platform.peak_flops(precision, true) / 1e12
+    );
+    println!(
+        "  achieved bandwidth: {:.1} GB/s (theoretical {:.1})",
+        peak.bw_gbs,
+        platform.theoretical_bw() / 1e9
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("inspect") => cmd_inspect(parse_flags(&args[1..])),
+        Some("profile") => return cmd_profile(parse_flags(&args[1..])),
+        Some("peak") => cmd_peak(parse_flags(&args[1..])),
+        Some("memory") => cmd_memory(parse_flags(&args[1..])),
+        Some("headroom") => cmd_headroom(parse_flags(&args[1..])),
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_collects_pairs() {
+        let f = parse_flags(&args(&["--model", "resnet-50", "--batch", "8"]));
+        assert_eq!(f["model"], "resnet-50");
+        assert_eq!(f["batch"], "8");
+    }
+
+    #[test]
+    fn precision_parser_accepts_the_three_precisions() {
+        assert_eq!(parse_precision("fp32"), DType::F32);
+        assert_eq!(parse_precision("fp16"), DType::F16);
+        assert_eq!(parse_precision("int8"), DType::I8);
+    }
+
+    #[test]
+    fn model_loading_by_slug_and_by_file() {
+        let f = parse_flags(&args(&["--model", "mobilenetv2-0.5", "--batch", "2"]));
+        let g = load_model(&f, 2);
+        assert_eq!(g.batch_size(), 2);
+        // through a JSON model file
+        let path = std::env::temp_dir().join("proof_cli_test_model.json");
+        std::fs::write(&path, g.to_json()).unwrap();
+        let f2 = parse_flags(&args(&["--model-file", path.to_str().unwrap()]));
+        let g2 = load_model(&f2, 2);
+        assert_eq!(g, g2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn platform_loading_accepts_aliases() {
+        let f = parse_flags(&args(&["--platform", "orin-nx"]));
+        assert_eq!(load_platform(&f).id, PlatformId::OrinNx);
+    }
+}

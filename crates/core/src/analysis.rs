@@ -1,0 +1,146 @@
+//! The *Analyze Representation* (paper §3.2.2): the model plus one operator
+//! define per node, with predicted FLOP/memory for each.
+
+use crate::cost::{op_cost_with, CostEstimate, CostOptions, FlopTable};
+use proof_ir::{DType, Graph, NodeId, OpCategory};
+use std::collections::BTreeMap;
+
+/// PRoof's internal representation of the (unoptimized) model: every ONNX
+/// node paired with its predicted cost at a given execution precision.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRepr<'g> {
+    graph: &'g Graph,
+    precision: DType,
+    table: FlopTable,
+    costs: Vec<CostEstimate>,
+}
+
+impl<'g> AnalyzeRepr<'g> {
+    /// Analyze `graph` as executed at `precision` (the runtime session's
+    /// compute dtype — fp16/int8 models halve/quarter traffic, not FLOP).
+    pub fn new(graph: &'g Graph, precision: DType) -> Self {
+        Self::with_table(graph, precision, FlopTable::default())
+    }
+
+    pub fn with_table(graph: &'g Graph, precision: DType, table: FlopTable) -> Self {
+        Self::with_config(graph, precision, table, CostOptions::default())
+    }
+
+    /// Full-control constructor (rule toggles are used by the ablations).
+    pub fn with_config(
+        graph: &'g Graph,
+        precision: DType,
+        table: FlopTable,
+        opts: CostOptions,
+    ) -> Self {
+        let costs = (0..graph.nodes.len() as NodeId)
+            .map(|id| op_cost_with(graph, id, precision, &table, opts))
+            .collect();
+        AnalyzeRepr {
+            graph,
+            precision,
+            table,
+            costs,
+        }
+    }
+
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    pub fn precision(&self) -> DType {
+        self.precision
+    }
+
+    pub fn flop_table(&self) -> &FlopTable {
+        &self.table
+    }
+
+    /// Predicted cost of one node.
+    pub fn node_cost(&self, id: NodeId) -> &CostEstimate {
+        &self.costs[id as usize]
+    }
+
+    /// Whole-model totals (end-to-end FLOP and Eq.-1 memory).
+    pub fn total(&self) -> CostEstimate {
+        self.costs.iter().copied().sum()
+    }
+
+    /// Model GFLOP — the Table 3 inventory number.
+    pub fn gflops(&self) -> f64 {
+        self.total().flops as f64 / 1e9
+    }
+
+    /// FLOP/memory broken down by operator category (drives the summary
+    /// breakdowns in the data viewer).
+    pub fn per_category(&self) -> BTreeMap<&'static str, CostEstimate> {
+        let mut m: BTreeMap<&'static str, CostEstimate> = BTreeMap::new();
+        for (i, n) in self.graph.nodes.iter().enumerate() {
+            m.entry(category_name(n.op.category()))
+                .or_default()
+                .accumulate(&self.costs[i]);
+        }
+        m
+    }
+}
+
+pub(crate) fn category_name(c: OpCategory) -> &'static str {
+    match c {
+        OpCategory::Contraction => "contraction",
+        OpCategory::Normalization => "normalization",
+        OpCategory::Elementwise => "elementwise",
+        OpCategory::Reduction => "reduction",
+        OpCategory::Pooling => "pooling",
+        OpCategory::DataMovement => "data-movement",
+        OpCategory::Metadata => "metadata",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_ir::GraphBuilder;
+
+    fn conv_relu_graph(batch: u64) -> Graph {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[batch, 3, 32, 32], DType::F32);
+        let c = b.conv("conv", x, 16, 3, 1, 1, 1, true);
+        let r = b.relu("relu", c);
+        b.output(r);
+        b.finish()
+    }
+
+    #[test]
+    fn totals_are_node_sums() {
+        let g = conv_relu_graph(1);
+        let a = AnalyzeRepr::new(&g, DType::F32);
+        let total = a.total();
+        let manual = *a.node_cost(0) + *a.node_cost(1);
+        assert_eq!(total, manual);
+        assert!(total.flops > 0);
+        assert!(a.gflops() > 0.0);
+    }
+
+    #[test]
+    fn eq1_batch_linearity_of_model_totals() {
+        let g1 = conv_relu_graph(1);
+        let g8 = conv_relu_graph(8);
+        let a1 = AnalyzeRepr::new(&g1, DType::F32).total();
+        let a8 = AnalyzeRepr::new(&g8, DType::F32).total();
+        assert_eq!(a8.flops, 8 * a1.flops);
+        assert_eq!(a8.input_bytes, 8 * a1.input_bytes);
+        assert_eq!(a8.output_bytes, 8 * a1.output_bytes);
+        assert_eq!(a8.weight_bytes, a1.weight_bytes);
+    }
+
+    #[test]
+    fn per_category_partitions_totals() {
+        let g = conv_relu_graph(2);
+        let a = AnalyzeRepr::new(&g, DType::F16);
+        let cats = a.per_category();
+        let sum: CostEstimate = cats.values().copied().sum();
+        assert_eq!(sum, a.total());
+        assert!(cats.contains_key("contraction"));
+        assert!(cats.contains_key("elementwise"));
+    }
+}

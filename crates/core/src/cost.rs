@@ -1,0 +1,539 @@
+//! Operator defines: per-operator FLOP and memory-traffic prediction rules
+//! (the paper's §3.2.1).
+//!
+//! FLOP counts are **Model FLOP** — "only the calculations required to
+//! accomplish the model inference" (§4.2) — as opposed to the Hardware FLOP
+//! a counter profiler reports. Memory traffic follows Eq. 1 with the paper's
+//! special rules: strided convolutions read only the touched fraction of
+//! their input, `Shape`/`Reshape`-like ops move nothing, and gathers read
+//! only the indexed rows.
+
+use proof_ir::{DType, Graph, Node, NodeId, OpKind, TensorKind};
+use serde::{Deserialize, Serialize};
+
+/// FLOP cost of one scalar application of each basic operation.
+///
+/// The paper: basic computations are mapped "to the theoretical number of
+/// FLOP according to the underlying device characteristics" — a MAC is 2
+/// FLOP; transcendentals vary per device but their share is small, so a
+/// single representative table suffices (and is swappable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlopTable {
+    pub mac: u64,
+    pub add: u64,
+    pub mul: u64,
+    pub cmp: u64,
+    pub div: u64,
+    pub sqrt: u64,
+    pub exp: u64,
+    pub log: u64,
+    pub erf: u64,
+    pub tanh: u64,
+    pub pow: u64,
+}
+
+impl Default for FlopTable {
+    fn default() -> Self {
+        FlopTable {
+            mac: 2,
+            add: 1,
+            mul: 1,
+            cmp: 1,
+            div: 4,
+            sqrt: 4,
+            exp: 8,
+            log: 8,
+            erf: 8,
+            tanh: 12,
+            pow: 8,
+        }
+    }
+}
+
+impl FlopTable {
+    fn sigmoid(&self) -> u64 {
+        // 1 / (1 + e^-x)
+        self.exp + self.add + self.div
+    }
+}
+
+/// Predicted cost of one operator (or fused group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Model FLOP (integer OP for quantized models; the paper's footnote 1).
+    pub flops: u64,
+    /// Activation bytes read from DRAM.
+    pub input_bytes: u64,
+    /// Parameter bytes read from DRAM (counted once — weights don't scale
+    /// with batch, which is exactly Eq. 1's `Σ params` term).
+    pub weight_bytes: u64,
+    /// Bytes written to DRAM.
+    pub output_bytes: u64,
+}
+
+impl CostEstimate {
+    /// Total DRAM traffic (Eq. 1's `Memory`).
+    pub fn memory_bytes(&self) -> u64 {
+        self.input_bytes + self.weight_bytes + self.output_bytes
+    }
+
+    /// Arithmetic intensity in FLOP/byte; 0 when no traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let m = self.memory_bytes();
+        if m == 0 {
+            0.0
+        } else {
+            self.flops as f64 / m as f64
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn accumulate(&mut self, other: &CostEstimate) {
+        self.flops += other.flops;
+        self.input_bytes += other.input_bytes;
+        self.weight_bytes += other.weight_bytes;
+        self.output_bytes += other.output_bytes;
+    }
+}
+
+impl std::ops::Add for CostEstimate {
+    type Output = CostEstimate;
+    fn add(mut self, rhs: CostEstimate) -> CostEstimate {
+        self.accumulate(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for CostEstimate {
+    fn sum<I: Iterator<Item = CostEstimate>>(iter: I) -> CostEstimate {
+        iter.fold(CostEstimate::default(), |a, b| a + b)
+    }
+}
+
+fn bytes_of(g: &Graph, id: proof_ir::TensorId, precision: DType) -> u64 {
+    g.tensor(id).size_bytes_at(precision)
+}
+
+/// Default memory rule: read every input, write every output, at the
+/// execution precision; weights are attributed to `weight_bytes`.
+fn default_memory(g: &Graph, node: &Node, precision: DType) -> CostEstimate {
+    let mut c = CostEstimate::default();
+    for &i in &node.inputs {
+        let b = bytes_of(g, i, precision);
+        if g.tensor(i).kind == TensorKind::Weight {
+            c.weight_bytes += b;
+        } else {
+            c.input_bytes += b;
+        }
+    }
+    for &o in &node.outputs {
+        c.output_bytes += bytes_of(g, o, precision);
+    }
+    c
+}
+
+/// Toggles for the memory-rule ablations (everything on by default; the
+/// `exp_ablation` harness quantifies what each rule buys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostOptions {
+    /// Strided convolutions read only the touched input fraction (§3.2.1).
+    pub strided_conv_rule: bool,
+    /// Gather/Slice read only the indexed rows / kept range.
+    pub sparse_read_rule: bool,
+}
+
+impl Default for CostOptions {
+    fn default() -> Self {
+        CostOptions {
+            strided_conv_rule: true,
+            sparse_read_rule: true,
+        }
+    }
+}
+
+/// Predict the cost of one node (the *operator define* dispatch).
+pub fn op_cost(g: &Graph, node_id: NodeId, precision: DType, t: &FlopTable) -> CostEstimate {
+    op_cost_with(g, node_id, precision, t, CostOptions::default())
+}
+
+/// [`op_cost`] with explicit rule toggles.
+pub fn op_cost_with(
+    g: &Graph,
+    node_id: NodeId,
+    precision: DType,
+    t: &FlopTable,
+    opts: CostOptions,
+) -> CostEstimate {
+    let node = g.node(node_id);
+    let out_numel: u64 = node.outputs.iter().map(|&o| g.tensor(o).numel()).sum();
+    let in_numel: u64 = node
+        .inputs
+        .iter()
+        .filter(|&&i| g.tensor(i).kind != TensorKind::Weight)
+        .map(|&i| g.tensor(i).numel())
+        .sum();
+
+    // -- no-ops: zero everything (paper: Shape/Reshape move no content) --
+    if node.op.is_noop_at_inference() {
+        return CostEstimate::default();
+    }
+
+    let mut c = default_memory(g, node, precision);
+    use OpKind::*;
+    c.flops = match node.op {
+        Conv => {
+            let w = g.tensor(node.inputs[1]);
+            let k_elems: u64 = w.shape.dims()[1..].iter().product(); // Cin/g × kh × kw
+            let mut f = out_numel * k_elems * t.mac;
+            if node.inputs.len() > 2 {
+                f += out_numel * t.add; // bias
+            }
+            // strided-conv input-read correction: with stride > kernel not
+            // all input pixels are touched (paper §3.2.1)
+            let kernel = node.attrs.ints("kernel_shape").unwrap_or(&[1, 1]).to_vec();
+            let strides = node.attrs.ints("strides").unwrap_or(&[1, 1]).to_vec();
+            let mut frac = 1.0f64;
+            for (k, s) in kernel.iter().zip(&strides) {
+                frac *= (*k as f64 / *s as f64).min(1.0);
+            }
+            if frac < 1.0 && opts.strided_conv_rule {
+                c.input_bytes = (c.input_bytes as f64 * frac).round() as u64;
+            }
+            f
+        }
+        Gemm => {
+            let a = &g.tensor(node.inputs[0]).shape;
+            let k = if node.attrs.int_or("transA", 0) != 0 {
+                a.dims()[0]
+            } else {
+                a.dims()[1]
+            };
+            let mut f = out_numel * k * t.mac;
+            if node.inputs.len() > 2 {
+                f += out_numel * t.add;
+            }
+            f
+        }
+        MatMul => {
+            let k = *g.tensor(node.inputs[0]).shape.dims().last().unwrap_or(&1);
+            out_numel * k * t.mac
+        }
+        BatchNormalization => out_numel * t.mac, // folded scale+shift
+        LayerNormalization | GroupNormalization => {
+            // mean + variance accumulation, then (x-μ)·inv_std·γ+β
+            out_numel * (2 * t.add + t.sub_cost() + 2 * t.mul + t.add)
+                + row_count(g, node) * (t.div + t.sqrt)
+        }
+        Relu | Abs | Neg => out_numel * t.cmp,
+        LeakyRelu => out_numel * (t.cmp + t.mul),
+        Clip => out_numel * 2 * t.cmp,
+        Sigmoid => out_numel * t.sigmoid(),
+        HardSigmoid => out_numel * (t.mul + t.add + 2 * t.cmp),
+        HardSwish => out_numel * (t.mul + t.add + 2 * t.cmp + t.mul),
+        Tanh => out_numel * t.tanh,
+        Erf => out_numel * t.erf,
+        Exp => out_numel * t.exp,
+        Log => out_numel * t.log,
+        Sqrt => out_numel * t.sqrt,
+        Reciprocal => out_numel * t.div,
+        Gelu => out_numel * (t.div + t.erf + t.add + 2 * t.mul),
+        Softplus => out_numel * (t.exp + t.add + t.log),
+        Add | Sub => out_numel * t.add,
+        Mul => out_numel * t.mul,
+        Div => out_numel * t.div,
+        Pow => out_numel * t.pow,
+        Min | Max | Equal | Greater | Less | Where => out_numel * t.cmp,
+        Softmax => out_numel * (2 * t.cmp + t.add + t.exp + t.div),
+        ReduceMean => in_numel * t.add + out_numel * t.div,
+        ReduceSum => in_numel * t.add,
+        ReduceMax | ArgMax => in_numel * t.cmp,
+        MaxPool => out_numel * window_elems(node) * t.cmp,
+        AveragePool => out_numel * (window_elems(node) * t.add + t.div),
+        GlobalAveragePool => in_numel * t.add + out_numel * t.div,
+        // pure data movement: 0 Model FLOP (format conversion work is
+        // implementation overhead, i.e. Hardware FLOP)
+        Transpose | Concat | Split | Slice | Gather | Expand | Tile | Pad | Resize | Cast => 0,
+        // no-ops handled above
+        Reshape | Flatten | Squeeze | Unsqueeze | Identity | Dropout | Shape | Constant
+        | ConstantOfShape | Range => 0,
+    };
+
+    // -- memory special cases --
+    if !opts.sparse_read_rule {
+        return c;
+    }
+    match node.op {
+        // read only the gathered rows, plus the (integer) index tensor
+        Gather => {
+            let idx = g.tensor(node.inputs[1]);
+            c.input_bytes = idx.size_bytes(); // indices keep native width
+            let gathered: u64 = node.outputs.iter().map(|&o| bytes_of(g, o, precision)).sum();
+            if g.tensor(node.inputs[0]).kind == TensorKind::Weight {
+                c.weight_bytes = gathered;
+            } else {
+                c.input_bytes += gathered;
+            }
+        }
+        // read only the kept slice
+        Slice => {
+            c.input_bytes = node.outputs.iter().map(|&o| bytes_of(g, o, precision)).sum();
+        }
+        // nearest-neighbour upsampling reads each source pixel once
+        Resize | Expand | Tile => {
+            // default already reads the (smaller) input once — keep it
+        }
+        _ => {}
+    }
+    c
+}
+
+impl FlopTable {
+    fn sub_cost(&self) -> u64 {
+        self.add
+    }
+}
+
+/// Bytes `node` reads from one specific input tensor, honouring the same
+/// special rules as [`op_cost`] (strided-conv partial reads, gather/slice
+/// sparse reads). Used for fused-group boundary costing so `_FusedOp`
+/// memory stays consistent with per-node predictions.
+pub fn input_read_bytes(
+    g: &Graph,
+    node_id: NodeId,
+    tensor: proof_ir::TensorId,
+    precision: DType,
+    opts: CostOptions,
+) -> u64 {
+    let node = g.node(node_id);
+    let full = bytes_of(g, tensor, precision);
+    if node.op.is_noop_at_inference() {
+        return 0;
+    }
+    match node.op {
+        OpKind::Conv if Some(&tensor) == node.inputs.first() && opts.strided_conv_rule => {
+            let kernel = node.attrs.ints("kernel_shape").unwrap_or(&[1, 1]).to_vec();
+            let strides = node.attrs.ints("strides").unwrap_or(&[1, 1]).to_vec();
+            let mut frac = 1.0f64;
+            for (k, s) in kernel.iter().zip(&strides) {
+                frac *= (*k as f64 / *s as f64).min(1.0);
+            }
+            (full as f64 * frac).round() as u64
+        }
+        OpKind::Slice if opts.sparse_read_rule => node
+            .outputs
+            .iter()
+            .map(|&o| bytes_of(g, o, precision))
+            .sum(),
+        OpKind::Gather if opts.sparse_read_rule => {
+            if Some(&tensor) == node.inputs.get(1) {
+                g.tensor(tensor).size_bytes() // indices at native width
+            } else {
+                node.outputs.iter().map(|&o| bytes_of(g, o, precision)).sum()
+            }
+        }
+        _ => full,
+    }
+}
+
+/// Number of reduced rows for row-wise norm ops (per-row sqrt/div).
+fn row_count(g: &Graph, node: &Node) -> u64 {
+    let s = &g.tensor(node.inputs[0]).shape;
+    match s.dims().last() {
+        Some(&last) if last > 0 => s.numel() / last,
+        _ => 0,
+    }
+}
+
+/// Window element count for pooling ops.
+fn window_elems(node: &Node) -> u64 {
+    node.attrs
+        .ints("kernel_shape")
+        .map(|k| k.iter().map(|&x| x as u64).product())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_ir::{DType, GraphBuilder};
+
+    fn table() -> FlopTable {
+        FlopTable::default()
+    }
+
+    #[test]
+    fn conv_flops_match_textbook_formula() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 3, 224, 224], DType::F32);
+        let y = b.conv("c", x, 64, 7, 2, 3, 1, false);
+        b.output(y);
+        let g = b.finish();
+        let c = op_cost(&g, 0, DType::F32, &table());
+        // 2 × N·M·Ho·Wo × Cin·k²  = 2 × 1·64·112·112 × 3·49
+        assert_eq!(c.flops, 2 * 64 * 112 * 112 * 3 * 49);
+        // memory: input + weight + output at fp32
+        assert_eq!(c.input_bytes, 3 * 224 * 224 * 4);
+        assert_eq!(c.weight_bytes, 64 * 3 * 7 * 7 * 4);
+        assert_eq!(c.output_bytes, 64 * 112 * 112 * 4);
+    }
+
+    #[test]
+    fn depthwise_conv_flops_scale_with_groups() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 32, 56, 56], DType::F32);
+        let y = b.conv("dw", x, 32, 3, 1, 1, 32, false);
+        b.output(y);
+        let g = b.finish();
+        let c = op_cost(&g, 0, DType::F32, &table());
+        // per-output MACs = (Cin/g)·k² = 9
+        assert_eq!(c.flops, 2 * 32 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn strided_pointwise_conv_reads_quarter_of_input() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 16, 32, 32], DType::F32);
+        let y = b.conv("pw", x, 32, 1, 2, 0, 1, false);
+        b.output(y);
+        let g = b.finish();
+        let c = op_cost(&g, 0, DType::F32, &table());
+        // k=1, s=2: only 1/4 of input pixels are touched
+        assert_eq!(c.input_bytes, 16 * 32 * 32 * 4 / 4);
+    }
+
+    #[test]
+    fn matmul_and_gemm_flops() {
+        let mut b = GraphBuilder::new("t");
+        let a = b.input("a", &[8, 197, 192], DType::F32);
+        let w = b.weight("w", &[192, 576]);
+        let y = b.matmul("mm", a, w);
+        let x2 = b.input("x2", &[128, 2048], DType::F32);
+        let z = b.linear("fc", x2, 1000, true);
+        b.output(y);
+        b.output(z);
+        let g = b.finish();
+        let mm = op_cost(&g, 0, DType::F32, &table());
+        assert_eq!(mm.flops, 2 * 8 * 197 * 192 * 576);
+        assert_eq!(mm.weight_bytes, 192 * 576 * 4);
+        let gemm = op_cost(&g, 1, DType::F32, &table());
+        assert_eq!(gemm.flops, 2 * 128 * 2048 * 1000 + 128 * 1000);
+    }
+
+    #[test]
+    fn precision_halves_float_traffic_but_not_flops() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[4, 64], DType::F32);
+        let y = b.relu("r", x);
+        b.output(y);
+        let g = b.finish();
+        let c32 = op_cost(&g, 0, DType::F32, &table());
+        let c16 = op_cost(&g, 0, DType::F16, &table());
+        assert_eq!(c16.flops, c32.flops);
+        assert_eq!(c16.input_bytes * 2, c32.input_bytes);
+        assert_eq!(c16.output_bytes * 2, c32.output_bytes);
+    }
+
+    #[test]
+    fn reshape_and_shape_are_free() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[4, 64], DType::F32);
+        let r = b.reshape("rs", x, &[8, 32]);
+        let s = b.push("sh", OpKind::Shape, proof_ir::Attributes::new(), &[r]);
+        b.output(s);
+        let g = b.finish();
+        for id in 0..2 {
+            let c = op_cost(&g, id, DType::F32, &table());
+            assert_eq!(c, CostEstimate::default(), "node {id}");
+        }
+    }
+
+    #[test]
+    fn transpose_moves_bytes_without_flops() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[2, 58, 2, 784], DType::F32);
+        let y = b.transpose("tr", x, &[0, 2, 1, 3]);
+        b.output(y);
+        let g = b.finish();
+        let c = op_cost(&g, 0, DType::F32, &table());
+        assert_eq!(c.flops, 0);
+        assert_eq!(c.input_bytes, 2 * 58 * 2 * 784 * 4);
+        assert_eq!(c.output_bytes, c.input_bytes);
+    }
+
+    #[test]
+    fn gather_reads_only_indexed_rows() {
+        let mut b = GraphBuilder::new("t");
+        let table_w = b.weight_typed("emb", &[30522, 768], DType::F32);
+        let idx = b.input("ids", &[4, 128], DType::I64);
+        let y = b.gather("g", table_w, idx, 0);
+        b.output(y);
+        let g = b.finish();
+        let c = op_cost(&g, 0, DType::F32, &table());
+        // far less than the 30522×768 table
+        assert_eq!(c.weight_bytes, 4 * 128 * 768 * 4);
+        assert_eq!(c.input_bytes, 4 * 128 * 8); // i64 indices
+    }
+
+    #[test]
+    fn softmax_flops_are_per_element_constants() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[8, 12, 197, 197], DType::F32);
+        let y = b.softmax("sm", x, -1);
+        b.output(y);
+        let g = b.finish();
+        let t = table();
+        let c = op_cost(&g, 0, DType::F32, &t);
+        let n = 8 * 12 * 197 * 197;
+        assert_eq!(c.flops, n * (2 * t.cmp + t.add + t.exp + t.div));
+    }
+
+    #[test]
+    fn pooling_costs() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 64, 112, 112], DType::F32);
+        let y = b.maxpool("mp", x, 3, 2, 1);
+        let z = b.global_avg_pool("gap", y);
+        b.output(z);
+        let g = b.finish();
+        let mp = op_cost(&g, 0, DType::F32, &table());
+        assert_eq!(mp.flops, 64 * 56 * 56 * 9);
+        let gap = op_cost(&g, 1, DType::F32, &table());
+        assert_eq!(gap.flops, 64 * 56 * 56 + 64 * 4);
+    }
+
+    #[test]
+    fn batch_scaling_is_linear_for_activations_constant_for_weights() {
+        // Eq. 1: Memory = Σ params + batch × (Σ in + Σ out)
+        let build = |batch: u64| {
+            let mut b = GraphBuilder::new("t");
+            let x = b.input("x", &[batch, 3, 32, 32], DType::F32);
+            let y = b.conv("c", x, 8, 3, 1, 1, 1, true);
+            b.output(y);
+            b.finish()
+        };
+        let g1 = build(1);
+        let g4 = build(4);
+        let c1 = op_cost(&g1, 0, DType::F32, &table());
+        let c4 = op_cost(&g4, 0, DType::F32, &table());
+        assert_eq!(c4.input_bytes, 4 * c1.input_bytes);
+        assert_eq!(c4.output_bytes, 4 * c1.output_bytes);
+        assert_eq!(c4.weight_bytes, c1.weight_bytes);
+        assert_eq!(c4.flops, 4 * c1.flops);
+    }
+
+    #[test]
+    fn arithmetic_intensity_and_sum() {
+        let a = CostEstimate {
+            flops: 100,
+            input_bytes: 10,
+            weight_bytes: 5,
+            output_bytes: 10,
+        };
+        assert!((a.arithmetic_intensity() - 4.0).abs() < 1e-12);
+        let s: CostEstimate = vec![a, a].into_iter().sum();
+        assert_eq!(s.flops, 200);
+        assert_eq!(s.memory_bytes(), 50);
+    }
+
+    use proof_ir::OpKind;
+}

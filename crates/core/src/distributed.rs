@@ -1,0 +1,329 @@
+//! Pipeline-parallel profiling — the paper's stated future work ("we aim to
+//! investigate the adaptation of PRoof to distributed environments", §5),
+//! implemented for the inference-pipeline case:
+//!
+//! - partition the model into contiguous stages, one per device,
+//! - profile each stage on its device with the normal PRoof pipeline,
+//! - charge inter-stage activation transfers over an interconnect model,
+//! - report per-stage rooflines, the single-sample pipeline latency, and
+//!   the steady-state throughput (bounded by the slowest stage).
+//!
+//! Partitioning balances predicted per-node work, then improves the cut
+//! points by local search on the simulated stage latencies.
+
+use crate::analysis::AnalyzeRepr;
+use crate::profile::{profile_model, MetricMode, ProfileReport};
+use proof_hw::Platform;
+use proof_ir::subgraph::{boundary_out_bytes, extract_subgraph};
+use proof_ir::{Graph, NodeId};
+use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
+use serde::Serialize;
+
+/// Interconnect between pipeline stages.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Interconnect {
+    /// Sustained bandwidth, GB/s (PCIe 4.0 x16 ≈ 24, NVLink 3 ≈ 250).
+    pub bandwidth_gbs: f64,
+    /// Per-transfer latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl Interconnect {
+    pub fn pcie4() -> Self {
+        Interconnect {
+            bandwidth_gbs: 24.0,
+            latency_us: 10.0,
+        }
+    }
+
+    pub fn nvlink() -> Self {
+        Interconnect {
+            bandwidth_gbs: 250.0,
+            latency_us: 4.0,
+        }
+    }
+
+    fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.latency_us / 1e3 + bytes as f64 / (self.bandwidth_gbs * 1e9) * 1e3
+    }
+}
+
+/// One profiled pipeline stage.
+#[derive(Debug, Serialize)]
+pub struct StageReport {
+    pub device: String,
+    pub first_node: String,
+    pub last_node: String,
+    pub node_count: usize,
+    pub report: ProfileReport,
+    /// Bytes shipped to the next stage (0 for the last).
+    pub egress_bytes: u64,
+    /// Transfer time to the next stage, ms.
+    pub transfer_ms: f64,
+}
+
+/// The full pipeline profile.
+#[derive(Debug, Serialize)]
+pub struct PipelineReport {
+    pub stages: Vec<StageReport>,
+    /// One-sample latency: Σ stage latency + Σ transfers.
+    pub single_sample_ms: f64,
+    /// Steady-state bottleneck interval (max stage+its transfer), ms.
+    pub bottleneck_ms: f64,
+    /// Steady-state throughput, inferences/s.
+    pub throughput_per_s: f64,
+}
+
+impl PipelineReport {
+    /// Speedup over running the whole model on stage 0's device.
+    pub fn speedup_over(&self, single_device_ms: f64) -> f64 {
+        single_device_ms / self.bottleneck_ms
+    }
+}
+
+/// Cut `[0, n)` into `k` contiguous spans with balanced weights.
+fn balanced_cuts(weights: &[f64], k: usize) -> Vec<usize> {
+    let total: f64 = weights.iter().sum();
+    let mut cuts = Vec::with_capacity(k - 1);
+    let mut acc = 0.0;
+    let mut next = total / k as f64;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= next && cuts.len() < k - 1 && i + 1 < weights.len() {
+            cuts.push(i + 1);
+            next += total / k as f64;
+        }
+    }
+    while cuts.len() < k - 1 {
+        cuts.push(weights.len().saturating_sub(1).max(1));
+    }
+    cuts
+}
+
+fn spans(cuts: &[usize], n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0;
+    for &c in cuts {
+        out.push((start, c));
+        start = c;
+    }
+    out.push((start, n));
+    out
+}
+
+/// Profile a model pipelined over `devices` (one contiguous stage each).
+pub fn profile_pipeline(
+    g: &Graph,
+    devices: &[Platform],
+    flavor: BackendFlavor,
+    cfg: &SessionConfig,
+    link: Interconnect,
+) -> Result<PipelineReport, BackendError> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let n = g.nodes.len();
+    let k = devices.len().min(n);
+
+    // balance weight: predicted per-node latency proxy (flops + traffic)
+    let analysis = AnalyzeRepr::new(g, cfg.precision);
+    let weights: Vec<f64> = (0..n as NodeId)
+        .map(|id| {
+            let c = analysis.node_cost(id);
+            c.flops as f64 / 1e9 + c.memory_bytes() as f64 / 1e8
+        })
+        .collect();
+    let mut cuts = balanced_cuts(&weights, k);
+
+    // evaluate a cut vector: max stage latency (the steady-state bound)
+    let eval = |cuts: &[usize]| -> Result<f64, BackendError> {
+        let mut worst = 0.0f64;
+        for (d, &(lo, hi)) in spans(cuts, n).iter().enumerate() {
+            let members: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
+            let stage = extract_subgraph(g, &members, &format!("{}-stage{d}", g.name))
+                .map_err(|e| BackendError::ConversionFailure(e.to_string()))?;
+            let r = profile_model(&stage, &devices[d], flavor, cfg, MetricMode::Predicted)?;
+            let egress = boundary_out_bytes(g, &members, cfg.precision);
+            let t = r.total_latency_ms + if d + 1 < k { link.transfer_ms(egress) } else { 0.0 };
+            worst = worst.max(t);
+        }
+        Ok(worst)
+    };
+
+    // local search: nudge each cut ±step while it improves
+    let mut best = eval(&cuts)?;
+    for step in [32usize, 8, 2, 1] {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..cuts.len() {
+                for dir in [-1isize, 1] {
+                    let mut cand = cuts.clone();
+                    let moved = cand[i] as isize + dir * step as isize;
+                    let lo = if i == 0 { 1 } else { cand[i - 1] + 1 };
+                    let hi = if i + 1 < cand.len() { cand[i + 1] - 1 } else { n - 1 };
+                    if moved < lo as isize || moved > hi as isize {
+                        continue;
+                    }
+                    cand[i] = moved as usize;
+                    let score = eval(&cand)?;
+                    if score < best {
+                        best = score;
+                        cuts = cand;
+                        improved = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // final assembly
+    let mut stages = Vec::with_capacity(k);
+    let mut single_sample_ms = 0.0;
+    let mut bottleneck_ms = 0.0f64;
+    for (d, &(lo, hi)) in spans(&cuts, n).iter().enumerate() {
+        let members: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
+        let stage_graph = extract_subgraph(g, &members, &format!("{}-stage{d}", g.name))
+            .map_err(|e| BackendError::ConversionFailure(e.to_string()))?;
+        let report = profile_model(&stage_graph, &devices[d], flavor, cfg, MetricMode::Predicted)?;
+        let egress = if d + 1 < k {
+            boundary_out_bytes(g, &members, cfg.precision)
+        } else {
+            0
+        };
+        let transfer_ms = if d + 1 < k { link.transfer_ms(egress) } else { 0.0 };
+        single_sample_ms += report.total_latency_ms + transfer_ms;
+        bottleneck_ms = bottleneck_ms.max(report.total_latency_ms + transfer_ms);
+        stages.push(StageReport {
+            device: devices[d].name.clone(),
+            first_node: g.node(lo as NodeId).name.clone(),
+            last_node: g.node((hi - 1) as NodeId).name.clone(),
+            node_count: hi - lo,
+            report,
+            egress_bytes: egress,
+            transfer_ms,
+        });
+    }
+    Ok(PipelineReport {
+        stages,
+        single_sample_ms,
+        bottleneck_ms,
+        throughput_per_s: g.batch_size() as f64 / (bottleneck_ms / 1e3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+
+    fn cfg() -> SessionConfig {
+        SessionConfig::new(DType::F16)
+    }
+
+    #[test]
+    fn balanced_cuts_partition_the_range() {
+        let w = vec![1.0; 100];
+        let cuts = balanced_cuts(&w, 4);
+        assert_eq!(cuts.len(), 3);
+        let sp = spans(&cuts, 100);
+        assert_eq!(sp.first().unwrap().0, 0);
+        assert_eq!(sp.last().unwrap().1, 100);
+        for win in sp.windows(2) {
+            assert_eq!(win[0].1, win[1].0);
+        }
+        // roughly equal quarters
+        for (lo, hi) in sp {
+            assert!((hi - lo) >= 20 && (hi - lo) <= 30);
+        }
+    }
+
+    #[test]
+    fn two_a100_pipeline_beats_the_bottleneck_of_one() {
+        let g = ModelId::ResNet50.build(64);
+        let dev = PlatformId::A100.spec();
+        let single =
+            profile_model(&g, &dev, BackendFlavor::TrtLike, &cfg(), MetricMode::Predicted)
+                .unwrap()
+                .total_latency_ms;
+        let pipe = profile_pipeline(
+            &g,
+            &[dev.clone(), dev.clone()],
+            BackendFlavor::TrtLike,
+            &cfg(),
+            Interconnect::nvlink(),
+        )
+        .unwrap();
+        assert_eq!(pipe.stages.len(), 2);
+        // steady-state interval below single-device latency (pipelining wins)
+        assert!(pipe.bottleneck_ms < single, "{} vs {single}", pipe.bottleneck_ms);
+        assert!(pipe.speedup_over(single) > 1.3);
+        // single-sample latency pays the transfers on top
+        assert!(pipe.single_sample_ms >= pipe.bottleneck_ms);
+        // stage flops sum to the model's flops
+        let sum: u64 = pipe.stages.iter().map(|s| s.report.total_flops).sum();
+        let whole = profile_model(&g, &dev, BackendFlavor::TrtLike, &cfg(), MetricMode::Predicted)
+            .unwrap()
+            .total_flops;
+        let ratio = sum as f64 / whole as f64;
+        assert!((0.95..1.1).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn slow_interconnect_hurts_throughput() {
+        let g = ModelId::ResNet50.build(64);
+        let dev = PlatformId::A100.spec();
+        let fast = profile_pipeline(
+            &g,
+            &[dev.clone(), dev.clone()],
+            BackendFlavor::TrtLike,
+            &cfg(),
+            Interconnect::nvlink(),
+        )
+        .unwrap();
+        let slow = profile_pipeline(
+            &g,
+            &[dev.clone(), dev.clone()],
+            BackendFlavor::TrtLike,
+            &cfg(),
+            Interconnect {
+                bandwidth_gbs: 1.0,
+                latency_us: 100.0,
+            },
+        )
+        .unwrap();
+        assert!(slow.throughput_per_s < fast.throughput_per_s);
+    }
+
+    #[test]
+    fn heterogeneous_pipeline_assigns_stages_in_order() {
+        let g = ModelId::MobileNetV2x10.build(16);
+        let pipe = profile_pipeline(
+            &g,
+            &[PlatformId::A100.spec(), PlatformId::Rtx4090.spec()],
+            BackendFlavor::TrtLike,
+            &cfg(),
+            Interconnect::pcie4(),
+        )
+        .unwrap();
+        assert_eq!(pipe.stages[0].device, PlatformId::A100.spec().name);
+        assert_eq!(pipe.stages[1].device, PlatformId::Rtx4090.spec().name);
+        assert!(pipe.stages[0].egress_bytes > 0);
+        assert_eq!(pipe.stages[1].egress_bytes, 0);
+    }
+
+    #[test]
+    fn single_device_pipeline_degenerates_gracefully() {
+        let g = ModelId::ShuffleNetV2x05.build(4);
+        let dev = PlatformId::A100.spec();
+        let pipe =
+            profile_pipeline(&g, &[dev.clone()], BackendFlavor::TrtLike, &cfg(), Interconnect::pcie4())
+                .unwrap();
+        assert_eq!(pipe.stages.len(), 1);
+        assert_eq!(pipe.stages[0].transfer_ms, 0.0);
+        let single = profile_model(&g, &dev, BackendFlavor::TrtLike, &cfg(), MetricMode::Predicted)
+            .unwrap()
+            .total_latency_ms;
+        assert!((pipe.bottleneck_ms - single).abs() / single < 0.05);
+    }
+}

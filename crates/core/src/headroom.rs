@@ -1,0 +1,155 @@
+//! Lower-bound latency analysis (a Benanza-style view on top of PRoof's
+//! data): for every backend layer, the roofline gives an *ideal* latency —
+//! `max(FLOP / peak, bytes / achievable BW)` — that a perfectly-tuned
+//! kernel could not beat. Comparing actual layer latency against it
+//! quantifies per-layer headroom and ranks where kernel tuning (or model
+//! redesign) can still pay.
+
+use crate::profile::ProfileReport;
+use crate::roofline::LayerCategory;
+use serde::Serialize;
+
+/// Headroom of one backend layer.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerHeadroom {
+    pub name: String,
+    pub category: LayerCategory,
+    pub actual_us: f64,
+    /// Roofline-ideal latency, µs.
+    pub ideal_us: f64,
+    /// `actual / ideal` (≥ 1; large = far from the roofline).
+    pub slowdown: f64,
+    /// Whether the ideal time is memory-bound.
+    pub memory_bound: bool,
+}
+
+/// Whole-model lower-bound summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct HeadroomReport {
+    pub layers: Vec<LayerHeadroom>,
+    pub actual_ms: f64,
+    /// Sum of per-layer ideals: the model's roofline lower bound.
+    pub ideal_ms: f64,
+}
+
+impl HeadroomReport {
+    /// Overall attainable speedup if every kernel hit its roofline.
+    pub fn potential_speedup(&self) -> f64 {
+        if self.ideal_ms <= 0.0 {
+            1.0
+        } else {
+            self.actual_ms / self.ideal_ms
+        }
+    }
+
+    /// The `n` layers losing the most absolute time vs their bound.
+    pub fn worst_layers(&self, n: usize) -> Vec<&LayerHeadroom> {
+        let mut v: Vec<&LayerHeadroom> = self.layers.iter().collect();
+        v.sort_by(|a, b| {
+            (b.actual_us - b.ideal_us).total_cmp(&(a.actual_us - a.ideal_us))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+/// Compute the headroom analysis from a profile report.
+pub fn analyze_headroom(report: &ProfileReport) -> HeadroomReport {
+    let peak_gflops = report.ceiling.peak_gflops;
+    let bw_gbs = report.ceiling.mem_bw_gbs;
+    let mut layers = Vec::with_capacity(report.layers.len());
+    let mut ideal_total_us = 0.0;
+    for l in &report.layers {
+        let compute_us = l.flops as f64 / (peak_gflops * 1e9) * 1e6;
+        let memory_us = l.memory_bytes as f64 / (bw_gbs * 1e9) * 1e6;
+        let ideal_us = compute_us.max(memory_us);
+        ideal_total_us += ideal_us;
+        layers.push(LayerHeadroom {
+            name: l.name.clone(),
+            category: l.category,
+            actual_us: l.latency_us,
+            ideal_us,
+            slowdown: if ideal_us > 0.0 {
+                l.latency_us / ideal_us
+            } else {
+                f64::INFINITY
+            },
+            memory_bound: memory_us >= compute_us,
+        });
+    }
+    HeadroomReport {
+        layers,
+        actual_ms: report.total_latency_ms,
+        ideal_ms: ideal_total_us / 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_model, MetricMode};
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+    use proof_runtime::{BackendFlavor, SessionConfig};
+
+    fn report(model: ModelId) -> ProfileReport {
+        profile_model(
+            &model.build(32),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ideal_never_exceeds_actual() {
+        let hr = analyze_headroom(&report(ModelId::ResNet50));
+        for l in &hr.layers {
+            assert!(
+                l.actual_us >= l.ideal_us * 0.999,
+                "{}: {} < {}",
+                l.name,
+                l.actual_us,
+                l.ideal_us
+            );
+        }
+        assert!(hr.potential_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn depthwise_heavy_models_show_more_headroom() {
+        let dense = analyze_headroom(&report(ModelId::ResNet50));
+        let dw = analyze_headroom(&report(ModelId::MobileNetV2x10));
+        assert!(
+            dw.potential_speedup() > dense.potential_speedup(),
+            "{} vs {}",
+            dw.potential_speedup(),
+            dense.potential_speedup()
+        );
+    }
+
+    #[test]
+    fn worst_layers_are_sorted_by_absolute_loss() {
+        let hr = analyze_headroom(&report(ModelId::ShuffleNetV2x10));
+        let w = hr.worst_layers(5);
+        assert_eq!(w.len(), 5);
+        for pair in w.windows(2) {
+            assert!(
+                pair[0].actual_us - pair[0].ideal_us >= pair[1].actual_us - pair[1].ideal_us
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_flag_matches_the_ridge() {
+        let r = report(ModelId::ShuffleNetV2x10);
+        let hr = analyze_headroom(&r);
+        for (l, h) in r.layers.iter().zip(&hr.layers) {
+            let memory_bound_by_intensity = l.intensity() < r.ceiling.ridge_intensity();
+            assert_eq!(h.memory_bound, memory_bound_by_intensity, "{}", l.name);
+        }
+    }
+}

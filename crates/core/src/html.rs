@@ -1,0 +1,161 @@
+//! Single-page HTML data viewer: the paper's "user-friendly visualization
+//! of the profiled results" — embeds the roofline SVG, the end-to-end
+//! summary, and a sortable per-layer table (a table view always ships with
+//! a chart, so no value is gated behind color perception).
+
+use crate::profile::ProfileReport;
+use crate::viewer::{render_roofline_svg, SvgOptions};
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a complete standalone HTML report for one or more profiles.
+pub fn html_report(reports: &[&ProfileReport]) -> String {
+    let mut h = String::with_capacity(64 * 1024);
+    h.push_str(
+        r#"<!doctype html><html><head><meta charset="utf-8"><title>PRoof report</title>
+<style>
+ body { font-family: system-ui, sans-serif; background:#fcfcfb; color:#0b0b0b; margin:2rem auto; max-width:980px; }
+ h1 { font-size:1.3rem; } h2 { font-size:1.05rem; margin-top:2.2rem; }
+ table { border-collapse:collapse; width:100%; font-size:0.82rem; }
+ th, td { text-align:right; padding:3px 8px; border-bottom:1px solid #e7e6e2; }
+ th { color:#52514e; font-weight:600; cursor:pointer; position:sticky; top:0; background:#fcfcfb; }
+ td:first-child, th:first-child { text-align:left; max-width:340px; overflow:hidden; text-overflow:ellipsis; white-space:nowrap; }
+ .summary { color:#52514e; margin:0.3rem 0 1rem; }
+ .reorder { color:#52514e; font-style:italic; }
+</style>
+<script>
+function sortTable(tbl, col) {
+  const rows = Array.from(tbl.tBodies[0].rows);
+  const dir = tbl.dataset.dir === 'asc' ? -1 : 1;
+  tbl.dataset.dir = dir === 1 ? 'asc' : 'desc';
+  rows.sort((a, b) => {
+    const x = a.cells[col].dataset.v ?? a.cells[col].textContent;
+    const y = b.cells[col].dataset.v ?? b.cells[col].textContent;
+    const nx = parseFloat(x), ny = parseFloat(y);
+    if (!isNaN(nx) && !isNaN(ny)) return dir * (ny - nx);
+    return dir * String(x).localeCompare(String(y));
+  });
+  rows.forEach(r => tbl.tBodies[0].appendChild(r));
+}
+</script></head><body>
+<h1>PRoof profiling report</h1>
+"#,
+    );
+    for (i, r) in reports.iter().enumerate() {
+        let chart = r.layerwise_chart(&format!(
+            "{} on {} ({}, bs={})",
+            r.model, r.platform, r.precision, r.batch
+        ));
+        let _ = write!(
+            h,
+            "<h2>{} on {} [{}]</h2>\n<p class='summary'>{} bs={} ({:?}) — {:.3} ms | {:.3} GFLOP | \
+             {:.2} MB | {:.1} GFLOP/s | {:.1} GB/s | AI {:.2} | metric collection {:.2} s</p>\n",
+            esc(&r.model),
+            esc(&r.platform),
+            r.backend,
+            r.precision,
+            r.batch,
+            r.mode,
+            r.total_latency_ms,
+            r.total_flops as f64 / 1e9,
+            r.total_memory_bytes as f64 / 1e6,
+            r.achieved_gflops(),
+            r.achieved_bw_gbs(),
+            r.intensity(),
+            r.metric_collection_s,
+        );
+        h.push_str(&render_roofline_svg(&chart, &SvgOptions::default()));
+        let _ = write!(
+            h,
+            "<table id='t{i}' data-dir='desc'><thead><tr>{}</tr></thead><tbody>\n",
+            ["backend layer", "category", "latency (µs)", "share %", "GFLOP", "mem (MB)", "GFLOP/s", "GB/s", "AI"]
+                .iter()
+                .enumerate()
+                .map(|(c, name)| format!("<th onclick=\"sortTable(document.getElementById('t{i}'),{c})\">{name}</th>"))
+                .collect::<String>()
+        );
+        let total_us = (r.total_latency_ms * 1e3).max(1e-12);
+        for l in &r.layers {
+            let cls = if l.is_reorder { " class='reorder'" } else { "" };
+            let _ = write!(
+                h,
+                "<tr{cls}><td title='{}'>{}</td><td>{}</td><td data-v='{:.3}'>{:.1}</td><td data-v='{:.5}'>{:.2}</td>\
+                 <td data-v='{}'>{:.3}</td><td data-v='{}'>{:.2}</td><td data-v='{:.3}'>{:.1}</td>\
+                 <td data-v='{:.3}'>{:.1}</td><td data-v='{:.4}'>{:.2}</td></tr>\n",
+                esc(&l.original_nodes.join(", ")),
+                esc(&l.name),
+                l.category.label(),
+                l.latency_us,
+                l.latency_us,
+                100.0 * l.latency_us / total_us,
+                100.0 * l.latency_us / total_us,
+                l.flops,
+                l.flops as f64 / 1e9,
+                l.memory_bytes,
+                l.memory_bytes as f64 / 1e6,
+                l.achieved_gflops(),
+                l.achieved_gflops(),
+                l.achieved_bw_gbs(),
+                l.achieved_bw_gbs(),
+                l.intensity(),
+                l.intensity(),
+            );
+        }
+        h.push_str("</tbody></table>\n");
+    }
+    h.push_str("</body></html>\n");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_model, MetricMode};
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+    use proof_runtime::{BackendFlavor, SessionConfig};
+
+    fn report() -> ProfileReport {
+        profile_model(
+            &ModelId::MobileNetV2x05.build(4),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn html_embeds_svg_and_one_row_per_layer() {
+        let r = report();
+        let html = html_report(&[&r]);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<svg"));
+        let rows = html.matches("<tr>").count() + html.matches("<tr class='reorder'>").count();
+        assert_eq!(rows, r.layers.len() + 1); // + header row
+        assert!(html.contains("sortTable"));
+        assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn multiple_reports_stack_sections() {
+        let r = report();
+        let html = html_report(&[&r, &r]);
+        assert_eq!(html.matches("<h2>").count(), 2);
+        assert_eq!(html.matches("<svg").count(), 2);
+    }
+
+    #[test]
+    fn escapes_markup_in_names() {
+        let mut r = report();
+        r.model = "evil<script>".into();
+        let html = html_report(&[&r]);
+        assert!(!html.contains("evil<script>"));
+        assert!(html.contains("evil&lt;script&gt;"));
+    }
+}

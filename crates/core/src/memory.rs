@@ -1,0 +1,186 @@
+//! Activation-memory planning: liveness analysis over the execution order
+//! gives the peak DRAM working set (weights + simultaneously-live
+//! activations) — the number that decides whether a (model, batch,
+//! precision) combination fits a device at all, complementing the
+//! bandwidth-oriented roofline view.
+
+use proof_ir::{DType, Graph, NodeId, TensorId, TensorKind};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Result of the memory plan.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemoryPlan {
+    /// Resident parameter bytes (constant for the whole run).
+    pub weight_bytes: u64,
+    /// Peak bytes of simultaneously-live activations.
+    pub peak_activation_bytes: u64,
+    /// Node at which the activation peak occurs.
+    pub peak_node: String,
+    /// Live activation bytes after each node executes (execution order).
+    pub timeline: Vec<u64>,
+}
+
+impl MemoryPlan {
+    /// Total peak working set.
+    pub fn peak_bytes(&self) -> u64 {
+        self.weight_bytes + self.peak_activation_bytes
+    }
+}
+
+/// Compute the memory plan for a graph executed in node order at
+/// `precision`. Graph inputs are live from the start; graph outputs stay
+/// live to the end; every other activation dies after its last consumer.
+pub fn plan_memory(g: &Graph, precision: DType) -> MemoryPlan {
+    let bytes = |t: TensorId| g.tensor(t).size_bytes_at(precision);
+    let weight_bytes: u64 = g
+        .tensors
+        .iter()
+        .filter(|t| t.kind == TensorKind::Weight)
+        .map(|t| t.size_bytes_at(precision))
+        .sum();
+
+    // last consumer per tensor (graph outputs never die)
+    let mut last_use: HashMap<TensorId, NodeId> = HashMap::new();
+    for (id, n) in g.iter_nodes() {
+        for &t in &n.inputs {
+            if g.tensor(t).kind != TensorKind::Weight {
+                last_use.insert(t, id);
+            }
+        }
+    }
+    for &out in &g.outputs {
+        last_use.insert(out, u32::MAX);
+    }
+
+    let mut live: u64 = g.inputs.iter().map(|&t| bytes(t)).sum();
+    let (mut peak, mut peak_node) = (live, "(inputs)".to_string());
+    let mut timeline = Vec::with_capacity(g.nodes.len());
+    for (id, n) in g.iter_nodes() {
+        for &t in &n.outputs {
+            live += bytes(t);
+        }
+        if live > peak {
+            peak = live;
+            peak_node = n.name.clone();
+        }
+        // free tensors whose last consumer just ran
+        for &t in &n.inputs {
+            if g.tensor(t).kind == TensorKind::Weight {
+                continue;
+            }
+            if last_use.get(&t) == Some(&id) {
+                live = live.saturating_sub(bytes(t));
+            }
+        }
+        timeline.push(live);
+    }
+    MemoryPlan {
+        weight_bytes,
+        peak_activation_bytes: peak,
+        peak_node,
+        timeline,
+    }
+}
+
+/// Largest batch size whose peak working set fits `budget_bytes`, found by
+/// binary search over `build` (activations scale ~linearly with batch,
+/// weights don't — Eq. 1 again).
+pub fn max_batch_within(
+    budget_bytes: u64,
+    precision: DType,
+    max_batch: u64,
+    build: impl Fn(u64) -> Graph,
+) -> Option<u64> {
+    let fits = |b: u64| plan_memory(&build(b), precision).peak_bytes() <= budget_bytes;
+    if !fits(1) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1u64, max_batch);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_ir::GraphBuilder;
+    use proof_models::ModelId;
+
+    #[test]
+    fn chain_frees_intermediates() {
+        let mut b = GraphBuilder::new("chain");
+        let x = b.input("x", &[1, 1024], DType::F32); // 4 KiB
+        let a = b.relu("a", x);
+        let c = b.relu("b", a);
+        let d = b.relu("c", c);
+        b.output(d);
+        let g = b.finish();
+        let plan = plan_memory(&g, DType::F32);
+        // at any point at most two 4 KiB tensors are live
+        assert_eq!(plan.peak_activation_bytes, 2 * 4096);
+        assert_eq!(plan.weight_bytes, 0);
+        // after the last node only the output remains
+        assert_eq!(*plan.timeline.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn residual_keeps_skip_alive() {
+        let mut b = GraphBuilder::new("res");
+        let x = b.input("x", &[1, 1024], DType::F32);
+        let a = b.relu("a", x);
+        let c = b.relu("b", a);
+        let s = b.add("add", a, c); // `a` must stay live across `b`
+        b.output(s);
+        let g = b.finish();
+        let plan = plan_memory(&g, DType::F32);
+        assert!(plan.peak_activation_bytes >= 3 * 4096);
+    }
+
+    #[test]
+    fn fp16_halves_activation_peak() {
+        let g = ModelId::ResNet50.build(8);
+        let p32 = plan_memory(&g, DType::F32);
+        let p16 = plan_memory(&g, DType::F16);
+        let ratio = p32.peak_activation_bytes as f64 / p16.peak_activation_bytes as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn resnet50_peak_is_early_and_plausible() {
+        let g = ModelId::ResNet50.build(1);
+        let plan = plan_memory(&g, DType::F32);
+        // weights ≈ 102 MB fp32; activations peak in the high-res stem
+        assert!((plan.weight_bytes as f64 / 1e6 - 102.0).abs() < 5.0);
+        let act_mb = plan.peak_activation_bytes as f64 / 1e6;
+        assert!((3.0..40.0).contains(&act_mb), "{act_mb} MB");
+        assert!(plan.peak_node.contains("conv1") || plan.peak_node.contains("layer1"));
+    }
+
+    #[test]
+    fn max_batch_search_brackets_the_budget() {
+        let budget = 2u64 << 30; // 2 GiB
+        let best = max_batch_within(budget, DType::F16, 4096, |b| ModelId::ResNet50.build(b))
+            .expect("batch 1 fits");
+        assert!(best >= 1);
+        let fits = plan_memory(&ModelId::ResNet50.build(best), DType::F16).peak_bytes();
+        assert!(fits <= budget);
+        let over = plan_memory(&ModelId::ResNet50.build(best + 1), DType::F16).peak_bytes();
+        assert!(over > budget);
+    }
+
+    #[test]
+    fn tiny_budget_fits_nothing() {
+        assert_eq!(
+            max_batch_within(1 << 20, DType::F16, 16, |b| ModelId::ResNet50.build(b)),
+            None
+        );
+    }
+}

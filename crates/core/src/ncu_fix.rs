@@ -1,0 +1,96 @@
+//! PRoof's correction for the counter profiler's Tensor-Core FLOP bug
+//! (paper §4.2).
+//!
+//! NCU computes Tensor-Core FLOP as `HMMA instructions × 512`, which is only
+//! correct for Volta's `HMMA.884.F32.F32`. PRoof instead takes the **raw
+//! instruction counters** and multiplies by the architecture- and
+//! dtype-correct FLOP-per-instruction (from Tensor-Core reverse-engineering
+//! work the paper cites), leaving non-Tensor-Core FLOP untouched.
+
+use proof_counters::KernelMetrics;
+use proof_hw::GpuArch;
+use proof_ir::DType;
+use proof_runtime::lower::mma_flops_per_instr;
+
+/// Corrected FLOP count for one kernel's metrics.
+pub fn corrected_kernel_flops(m: &KernelMetrics, arch: GpuArch, precision: DType) -> u64 {
+    if !m.tensor_core {
+        return m.reported_flops;
+    }
+    let per_instr = mma_flops_per_instr(arch, precision);
+    if per_instr == 0 {
+        return m.reported_flops;
+    }
+    m.mma_instrs * per_instr
+}
+
+/// Corrected FLOPs for an aggregated layer `(reported, mma_instrs)` pair.
+pub fn corrected_layer_flops(
+    reported_flops: u64,
+    mma_instrs: u64,
+    arch: GpuArch,
+    precision: DType,
+) -> u64 {
+    let per_instr = mma_flops_per_instr(arch, precision);
+    if mma_instrs == 0 || per_instr == 0 {
+        return reported_flops;
+    }
+    // strip the buggy TC contribution, substitute the corrected one
+    let buggy_tc = mma_instrs * proof_counters::NCU_ASSUMED_FLOPS_PER_MMA;
+    reported_flops.saturating_sub(buggy_tc) + mma_instrs * per_instr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tc: bool, reported: u64, mma: u64) -> KernelMetrics {
+        KernelMetrics {
+            kernel_name: "k".into(),
+            layer_index: 0,
+            reported_flops: reported,
+            mma_instrs: mma,
+            tensor_core: tc,
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            latency_us: 1.0,
+        }
+    }
+
+    #[test]
+    fn volta_needs_no_correction() {
+        let m = metrics(true, 512_000, 1000);
+        assert_eq!(corrected_kernel_flops(&m, GpuArch::Volta, DType::F16), 512_000);
+    }
+
+    #[test]
+    fn ampere_fp16_is_8x() {
+        let m = metrics(true, 512_000, 1000);
+        assert_eq!(
+            corrected_kernel_flops(&m, GpuArch::Ampere, DType::F16),
+            4_096_000
+        );
+    }
+
+    #[test]
+    fn ampere_int8_is_16x() {
+        let m = metrics(true, 512_000, 1000);
+        assert_eq!(
+            corrected_kernel_flops(&m, GpuArch::Ampere, DType::I8),
+            8_192_000
+        );
+    }
+
+    #[test]
+    fn non_tc_kernels_pass_through() {
+        let m = metrics(false, 777, 0);
+        assert_eq!(corrected_kernel_flops(&m, GpuArch::Ampere, DType::F16), 777);
+    }
+
+    #[test]
+    fn layer_aggregate_mixes_tc_and_vector_flops() {
+        // layer = TC kernel (1000 instrs, reported 512k) + 100k vector flops
+        let corrected = corrected_layer_flops(612_000, 1000, GpuArch::Ampere, DType::F16);
+        assert_eq!(corrected, 100_000 + 4_096_000);
+    }
+}

@@ -1,0 +1,121 @@
+//! Achieved-roofline-peak measurement (paper Table 6): PRoof assembles "a
+//! pseudo ONNX model including a series of MatMul and memory copy operators
+//! of different sizes", runs it through the backend, and takes the best
+//! per-layer achieved FLOP/s and bandwidth as the *achieved* ceilings.
+
+use crate::profile::{profile_model, MetricMode};
+use proof_hw::Platform;
+use proof_ir::{DType, Graph, GraphBuilder};
+use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
+use serde::Serialize;
+
+/// Measured achievable ceilings.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AchievedPeak {
+    pub gflops: f64,
+    pub bw_gbs: f64,
+}
+
+/// Build the pseudo benchmark model: square MatMuls of growing size (peak
+/// compute) and large elementwise copies (peak bandwidth).
+pub fn pseudo_peak_model(matmul_sizes: &[u64], copy_mib: &[u64]) -> Graph {
+    let mut b = GraphBuilder::new("proof-peak-pseudo");
+    for (i, &n) in matmul_sizes.iter().enumerate() {
+        let x = b.input(&format!("mm_in_{i}"), &[n, n], DType::F32);
+        let w = b.weight(&format!("mm_w_{i}"), &[n, n]);
+        let y = b.matmul(&format!("peak_matmul_{i}"), x, w);
+        b.output(y);
+    }
+    for (i, &mib) in copy_mib.iter().enumerate() {
+        let elems = mib * 1024 * 1024 / 4;
+        let x = b.input(&format!("copy_in_{i}"), &[elems], DType::F32);
+        let y = b.relu(&format!("peak_copy_{i}"), x);
+        b.output(y);
+    }
+    b.finish()
+}
+
+/// Default sizes: scaled so every platform (Raspberry Pi included) gets at
+/// least one chip-filling matmul and copy.
+pub fn default_pseudo_model() -> Graph {
+    pseudo_peak_model(&[1024, 2048, 4096, 8192], &[16, 64, 256])
+}
+
+/// Measure the achieved roofline peaks of a platform under a backend.
+pub fn measure_achieved_peak(
+    platform: &Platform,
+    flavor: BackendFlavor,
+    precision: DType,
+) -> Result<AchievedPeak, BackendError> {
+    let g = default_pseudo_model();
+    let cfg = SessionConfig::new(precision);
+    let report = profile_model(&g, platform, flavor, &cfg, MetricMode::Predicted)?;
+    let mut best_gflops = 0.0f64;
+    let mut best_bw = 0.0f64;
+    for l in &report.layers {
+        if l.name.contains("matmul") {
+            best_gflops = best_gflops.max(l.achieved_gflops());
+        } else {
+            best_bw = best_bw.max(l.achieved_bw_gbs());
+        }
+    }
+    Ok(AchievedPeak {
+        gflops: best_gflops,
+        bw_gbs: best_bw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_hw::{ClockConfig, PlatformId};
+
+    #[test]
+    fn pseudo_model_builds_and_validates() {
+        let g = default_pseudo_model();
+        g.validate().unwrap();
+        assert!(g.node_count() >= 7);
+    }
+
+    #[test]
+    fn achieved_peaks_are_below_theoretical_but_close() {
+        let p = PlatformId::A100.spec();
+        let peak = measure_achieved_peak(&p, BackendFlavor::TrtLike, DType::F16).unwrap();
+        let theo_gflops = p.peak_flops(DType::F16, true) / 1e9;
+        let theo_bw = p.theoretical_bw() / 1e9;
+        assert!(peak.gflops < theo_gflops);
+        assert!(peak.gflops > 0.6 * theo_gflops, "{} of {}", peak.gflops, theo_gflops);
+        assert!(peak.bw_gbs < theo_bw);
+        assert!(peak.bw_gbs > 0.5 * theo_bw);
+    }
+
+    #[test]
+    fn orin_peaks_scale_with_clocks_like_table6() {
+        let orin = PlatformId::OrinNx.spec();
+        let hi = measure_achieved_peak(&orin, BackendFlavor::TrtLike, DType::F16).unwrap();
+        let lo_gpu = measure_achieved_peak(
+            &orin.with_clocks(ClockConfig::new(510, 3199)),
+            BackendFlavor::TrtLike,
+            DType::F16,
+        )
+        .unwrap();
+        // GPU clock down → FLOP/s down proportionally, bandwidth ~unchanged
+        assert!((lo_gpu.gflops / hi.gflops - 510.0 / 918.0).abs() < 0.05);
+        assert!((lo_gpu.bw_gbs / hi.bw_gbs - 1.0).abs() < 0.05);
+        let lo_mem = measure_achieved_peak(
+            &orin.with_clocks(ClockConfig::new(918, 2133)),
+            BackendFlavor::TrtLike,
+            DType::F16,
+        )
+        .unwrap();
+        assert!((lo_mem.bw_gbs / hi.bw_gbs - 2133.0 / 3199.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rpi_peak_respects_the_axi_cap() {
+        let rpi = PlatformId::RaspberryPi4.spec();
+        let peak = measure_achieved_peak(&rpi, BackendFlavor::OrtLike, DType::F32).unwrap();
+        assert!(peak.bw_gbs < 5.5);
+        assert!(peak.gflops < 48.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The top-level PRoof workflow (paper Figure 1): compile on a backend,
+//! collect latencies from its built-in profiler, map backend layers to the
+//! model, obtain FLOP/memory per layer (analytically predicted or measured
+//! via the counter profiler + correction), and assemble the end-to-end and
+//! layer-wise rooflines.
+
+use crate::analysis::AnalyzeRepr;
+use crate::mapping::map_layers;
+use crate::ncu_fix::corrected_layer_flops;
+use crate::roofline::{categorize, LayerCategory, RooflineCeiling, RooflineChart, RooflinePoint};
+use crate::OptimizedRepr;
+use proof_counters::profile_with_counters;
+use proof_hw::Platform;
+use proof_ir::Graph;
+use proof_runtime::{compile, BackendError, BackendFlavor, SessionConfig};
+use serde::Serialize;
+
+/// Where FLOP/memory numbers come from (the paper's two modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MetricMode {
+    /// PRoof's analytical model — platform-independent, negligible overhead.
+    Predicted,
+    /// The vendor counter profiler (simulated NCU) + PRoof's TC correction.
+    Measured,
+}
+
+/// One profiled + mapped backend layer with its metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerReport {
+    pub name: String,
+    pub category: LayerCategory,
+    pub latency_us: f64,
+    pub flops: u64,
+    pub memory_bytes: u64,
+    pub is_reorder: bool,
+    /// Names of the original model nodes this backend layer executes.
+    pub original_nodes: Vec<String>,
+}
+
+impl LayerReport {
+    pub fn achieved_gflops(&self) -> f64 {
+        self.flops as f64 / (self.latency_us * 1e-6).max(1e-12) / 1e9
+    }
+
+    pub fn achieved_bw_gbs(&self) -> f64 {
+        self.memory_bytes as f64 / (self.latency_us * 1e-6).max(1e-12) / 1e9
+    }
+
+    pub fn intensity(&self) -> f64 {
+        if self.memory_bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.memory_bytes as f64
+        }
+    }
+}
+
+/// The complete profiling result for one (model, platform, backend, config).
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    pub model: String,
+    pub platform: String,
+    pub backend: &'static str,
+    pub precision: String,
+    pub batch: u64,
+    pub mode: MetricMode,
+    pub layers: Vec<LayerReport>,
+    pub ceiling: RooflineCeiling,
+    pub total_latency_ms: f64,
+    pub total_flops: u64,
+    pub total_memory_bytes: u64,
+    /// Extra wall-clock spent collecting metrics (Table 4 "Prof. time"):
+    /// counter-replay time in Measured mode, analysis time in Predicted.
+    pub metric_collection_s: f64,
+    /// Time-averaged GPU/memory busy fractions (drives the power model).
+    pub util_gpu: f64,
+    pub util_mem: f64,
+    /// Backend layers the mapping could not resolve (diagnostic; 0 expected).
+    pub unresolved_layers: usize,
+}
+
+impl ProfileReport {
+    pub fn achieved_gflops(&self) -> f64 {
+        self.total_flops as f64 / (self.total_latency_ms * 1e-3).max(1e-12) / 1e9
+    }
+
+    pub fn achieved_bw_gbs(&self) -> f64 {
+        self.total_memory_bytes as f64 / (self.total_latency_ms * 1e-3).max(1e-12) / 1e9
+    }
+
+    pub fn intensity(&self) -> f64 {
+        if self.total_memory_bytes == 0 {
+            0.0
+        } else {
+            self.total_flops as f64 / self.total_memory_bytes as f64
+        }
+    }
+
+    /// Throughput in inferences (images/sequences) per second.
+    pub fn throughput_per_s(&self) -> f64 {
+        self.batch as f64 / (self.total_latency_ms * 1e-3).max(1e-12)
+    }
+
+    /// The end-to-end roofline point (one marker in the paper's Figure 4).
+    pub fn end_to_end_point(&self, label: &str) -> RooflinePoint {
+        RooflinePoint {
+            label: label.to_string(),
+            category: LayerCategory::Other,
+            flops: self.total_flops,
+            bytes: self.total_memory_bytes,
+            latency_us: self.total_latency_ms * 1e3,
+            latency_share: 1.0,
+        }
+    }
+
+    /// The layer-wise roofline chart (the paper's Figures 5/6/8).
+    pub fn layerwise_chart(&self, title: &str) -> RooflineChart {
+        let mut chart = RooflineChart::new(title, self.ceiling.clone());
+        for l in &self.layers {
+            if l.latency_us <= 0.0 {
+                continue;
+            }
+            chart.points.push(RooflinePoint {
+                label: l.name.clone(),
+                category: l.category,
+                flops: l.flops,
+                bytes: l.memory_bytes,
+                latency_us: l.latency_us,
+                latency_share: 0.0,
+            });
+        }
+        chart.finalize();
+        chart
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization")
+    }
+}
+
+/// Run the full PRoof workflow on one configuration.
+pub fn profile_model(
+    g: &Graph,
+    platform: &Platform,
+    flavor: BackendFlavor,
+    cfg: &SessionConfig,
+    mode: MetricMode,
+) -> Result<ProfileReport, BackendError> {
+    let analysis_start = std::time::Instant::now();
+    let compiled = compile(g, flavor, platform, cfg)?;
+    let profile = compiled.builtin_profile();
+
+    let analysis = AnalyzeRepr::new(g, cfg.precision);
+    let mapping = map_layers(OptimizedRepr::new(analysis), &profile, flavor);
+    let analysis_s = analysis_start.elapsed().as_secs_f64();
+
+    // measured mode: counter metrics aggregated per backend layer + TC fix
+    let (measured, overhead_s) = match mode {
+        MetricMode::Measured => {
+            let ncu = profile_with_counters(&compiled, cfg.seed);
+            let overhead = ncu.profiling_overhead_s;
+            (Some(ncu.per_layer()), overhead)
+        }
+        MetricMode::Predicted => (None, analysis_s),
+    };
+    // indices of profiled (non-empty) layers in the compiled plan, in
+    // profile order — the Nsight-trace correlation key
+    let profiled_indices: Vec<usize> = compiled
+        .layers
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.kernels.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut layers = Vec::with_capacity(mapping.layers.len());
+    let mut reorder_seen = 0usize;
+    for (i, ml) in mapping.layers.iter().enumerate() {
+        let (flops, bytes) = match (&measured, ml.group) {
+            (Some(per_layer), _) => {
+                let (reported, mma, bytes) = per_layer
+                    .get(&profiled_indices[i])
+                    .copied()
+                    .unwrap_or_default();
+                (
+                    corrected_layer_flops(reported, mma, platform.arch, cfg.precision),
+                    bytes,
+                )
+            }
+            (None, Some(gid)) => {
+                let c = mapping.repr.group_cost(gid);
+                (c.flops, c.memory_bytes())
+            }
+            (None, None) => {
+                let c = mapping.repr.reorder_layers()[reorder_seen].cost;
+                (c.flops, c.memory_bytes())
+            }
+        };
+        if ml.is_reorder {
+            reorder_seen += 1;
+        }
+        let (category, original_nodes) = match ml.group {
+            Some(gid) => {
+                let members = &mapping.repr.group(gid).members;
+                (
+                    categorize(g, members),
+                    members.iter().map(|&m| g.node(m).name.clone()).collect(),
+                )
+            }
+            None => (LayerCategory::DataCopy, Vec::new()),
+        };
+        layers.push(LayerReport {
+            name: ml.backend_name.clone(),
+            category,
+            latency_us: ml.avg_latency_us,
+            flops,
+            memory_bytes: bytes,
+            is_reorder: ml.is_reorder,
+            original_nodes,
+        });
+    }
+
+    let total_latency_ms = layers.iter().map(|l| l.latency_us).sum::<f64>() / 1e3;
+    let total_flops = layers.iter().map(|l| l.flops).sum();
+    let total_memory_bytes = layers.iter().map(|l| l.memory_bytes).sum();
+    let util = compiled.utilization();
+
+    Ok(ProfileReport {
+        model: g.name.clone(),
+        platform: platform.name.clone(),
+        backend: flavor.name(),
+        precision: cfg.precision.short_name().to_string(),
+        batch: g.batch_size(),
+        mode,
+        layers,
+        ceiling: RooflineCeiling::theoretical(platform, cfg.precision),
+        total_latency_ms,
+        total_flops,
+        total_memory_bytes,
+        metric_collection_s: overhead_s,
+        util_gpu: util.gpu,
+        util_mem: util.mem,
+        unresolved_layers: mapping.unresolved.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+
+    fn run(mode: MetricMode) -> ProfileReport {
+        let g = ModelId::ResNet50.build(8);
+        profile_model(
+            &g,
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            mode,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn predicted_profile_is_complete_and_consistent() {
+        let r = run(MetricMode::Predicted);
+        assert_eq!(r.unresolved_layers, 0);
+        assert!(r.total_latency_ms > 0.0);
+        assert!(r.total_flops > 0);
+        let layer_sum: u64 = r.layers.iter().map(|l| l.flops).sum();
+        assert_eq!(layer_sum, r.total_flops);
+        // ResNet-50 at bs=8 ≈ 8 × 8.2 GFLOP
+        let gflop = r.total_flops as f64 / 1e9;
+        assert!((gflop - 8.0 * 8.2).abs() < 8.0, "{gflop}");
+    }
+
+    #[test]
+    fn measured_mode_applies_tc_correction_and_charges_overhead() {
+        let p = run(MetricMode::Predicted);
+        let m = run(MetricMode::Measured);
+        // corrected measured FLOP within 2× of model FLOP (hardware > model)
+        let ratio = m.total_flops as f64 / p.total_flops as f64;
+        assert!(ratio > 0.8 && ratio < 1.6, "ratio {ratio}");
+        // counter profiling costs minutes; analysis costs (sub)seconds
+        assert!(m.metric_collection_s > 60.0);
+        assert!(p.metric_collection_s < 5.0);
+    }
+
+    #[test]
+    fn end_to_end_point_sits_under_the_roofline() {
+        let r = run(MetricMode::Predicted);
+        let pt = r.end_to_end_point("resnet50");
+        let attainable = r.ceiling.attainable_gflops(pt.intensity());
+        assert!(pt.achieved_gflops() <= attainable * 1.05,
+            "{} > {}", pt.achieved_gflops(), attainable);
+        assert!(pt.achieved_gflops() > 0.0);
+    }
+
+    #[test]
+    fn layerwise_chart_has_normalized_shares_and_categories() {
+        let r = run(MetricMode::Predicted);
+        let chart = r.layerwise_chart("ResNet-50 on A100");
+        let share_sum: f64 = chart.points.iter().map(|p| p.latency_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        assert!(chart
+            .points
+            .iter()
+            .any(|p| p.category == LayerCategory::OtherConv));
+    }
+
+    #[test]
+    fn json_roundtrips_structurally() {
+        let r = run(MetricMode::Predicted);
+        let j = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["model"], "resnet50");
+        assert!(v["layers"].as_array().unwrap().len() > 10);
+    }
+}

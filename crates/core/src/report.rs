@@ -1,0 +1,242 @@
+//! Text/CSV reporting: the non-graphical half of the PRoof data viewer.
+
+use crate::profile::ProfileReport;
+use crate::roofline::RooflineChart;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{c:>w$} | ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&format!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-readable per-layer summary: top-N layers by latency plus totals —
+/// the textual view of a layer-wise roofline.
+pub fn profile_summary(report: &ProfileReport, top_n: usize) -> String {
+    let mut t = TextTable::new(&[
+        "backend layer",
+        "category",
+        "latency (us)",
+        "share",
+        "GFLOP",
+        "mem (MB)",
+        "GFLOP/s",
+        "GB/s",
+        "AI",
+    ]);
+    let total_us = report.total_latency_ms * 1e3;
+    let mut order: Vec<usize> = (0..report.layers.len()).collect();
+    order.sort_by(|&a, &b| {
+        report.layers[b]
+            .latency_us
+            .total_cmp(&report.layers[a].latency_us)
+    });
+    for &i in order.iter().take(top_n) {
+        let l = &report.layers[i];
+        let name = if l.name.len() > 44 {
+            format!("{}...", &l.name[..41])
+        } else {
+            l.name.clone()
+        };
+        t.row(vec![
+            name,
+            l.category.label().to_string(),
+            format!("{:.1}", l.latency_us),
+            format!("{:.1}%", 100.0 * l.latency_us / total_us.max(1e-12)),
+            format!("{:.3}", l.flops as f64 / 1e9),
+            format!("{:.2}", l.memory_bytes as f64 / 1e6),
+            format!("{:.1}", l.achieved_gflops()),
+            format!("{:.1}", l.achieved_bw_gbs()),
+            format!("{:.2}", l.intensity()),
+        ]);
+    }
+    format!(
+        "{} on {} [{}] {} bs={} ({:?})\n\
+         end-to-end: {:.3} ms | {:.3} GFLOP | {:.2} MB | {:.1} GFLOP/s | {:.1} GB/s | AI {:.2}\n\
+         metric collection: {:.2} s | unresolved layers: {}\n\n{}",
+        report.model,
+        report.platform,
+        report.backend,
+        report.precision,
+        report.batch,
+        report.mode,
+        report.total_latency_ms,
+        report.total_flops as f64 / 1e9,
+        report.total_memory_bytes as f64 / 1e6,
+        report.achieved_gflops(),
+        report.achieved_bw_gbs(),
+        report.intensity(),
+        report.metric_collection_s,
+        report.unresolved_layers,
+        t.render()
+    )
+}
+
+/// Side-by-side comparison of several profiles (precision sweeps, backend
+/// comparisons, platform shoot-outs) as one table.
+pub fn compare_summary(reports: &[&ProfileReport]) -> String {
+    let mut t = TextTable::new(&[
+        "model",
+        "platform",
+        "backend",
+        "prec",
+        "bs",
+        "latency (ms)",
+        "thr (/s)",
+        "GFLOP/s",
+        "GB/s",
+        "AI",
+        "layers",
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.model.clone(),
+            r.platform.clone(),
+            r.backend.to_string(),
+            r.precision.clone(),
+            r.batch.to_string(),
+            format!("{:.3}", r.total_latency_ms),
+            format!("{:.0}", r.throughput_per_s()),
+            format!("{:.1}", r.achieved_gflops()),
+            format!("{:.1}", r.achieved_bw_gbs()),
+            format!("{:.2}", r.intensity()),
+            r.layers.len().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// CSV export of a roofline chart (the data-viewer's table view).
+pub fn chart_to_csv(chart: &RooflineChart) -> String {
+    let mut out = String::from(
+        "label,category,flops,bytes,latency_us,latency_share,intensity,achieved_gflops,achieved_gbs\n",
+    );
+    for p in &chart.points {
+        out.push_str(&format!(
+            "{:?},{},{},{},{:.3},{:.6},{:.6},{:.3},{:.3}\n",
+            p.label,
+            p.category.label(),
+            p.flops,
+            p.bytes,
+            p.latency_us,
+            p.latency_share,
+            p.intensity(),
+            p.achieved_gflops(),
+            p.achieved_bw_gbs()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_model, MetricMode};
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+    use proof_runtime::{BackendFlavor, SessionConfig};
+
+    fn report() -> ProfileReport {
+        profile_model(
+            &ModelId::ResNet50.build(4),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_alignment_and_separator() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn summary_contains_totals_and_top_layers() {
+        let r = report();
+        let s = profile_summary(&r, 10);
+        assert!(s.contains("resnet50 on NVIDIA A100"));
+        assert!(s.contains("end-to-end:"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn compare_summary_has_one_row_per_report() {
+        let r = report();
+        let s = compare_summary(&[&r, &r, &r]);
+        assert_eq!(s.lines().count(), 2 + 3); // header + separator + rows
+        assert!(s.contains("resnet50"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_point_plus_header() {
+        let r = report();
+        let chart = r.layerwise_chart("t");
+        let csv = chart_to_csv(&chart);
+        assert_eq!(csv.lines().count(), chart.points.len() + 1);
+        assert!(csv.starts_with("label,category"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Roofline assembly: ceilings, points, and layer categorization
+//! (the colour coding of the paper's Figures 5, 6 and 8).
+
+use proof_hw::Platform;
+use proof_ir::{DType, Graph, NodeId, OpKind};
+use serde::Serialize;
+
+/// Layer categories used for roofline colouring. The order is fixed — it is
+/// also the categorical colour-slot order in the SVG viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum LayerCategory {
+    Transpose,
+    DataCopy,
+    DepthwiseConv,
+    MatMul,
+    NormReduce,
+    OtherConv,
+    PointwiseConv,
+    Other,
+}
+
+impl LayerCategory {
+    pub const ALL: [LayerCategory; 8] = [
+        LayerCategory::Transpose,
+        LayerCategory::DataCopy,
+        LayerCategory::DepthwiseConv,
+        LayerCategory::MatMul,
+        LayerCategory::NormReduce,
+        LayerCategory::OtherConv,
+        LayerCategory::PointwiseConv,
+        LayerCategory::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            LayerCategory::Transpose => "transpose",
+            LayerCategory::DataCopy => "data copy",
+            LayerCategory::DepthwiseConv => "depth-wise conv",
+            LayerCategory::MatMul => "matmul",
+            LayerCategory::NormReduce => "norm / reduce",
+            LayerCategory::OtherConv => "conv",
+            LayerCategory::PointwiseConv => "point-wise conv",
+            LayerCategory::Other => "other",
+        }
+    }
+}
+
+/// Categorize a backend layer by its member nodes (most significant op wins).
+pub fn categorize(g: &Graph, members: &[NodeId]) -> LayerCategory {
+    let mut cat = LayerCategory::Other;
+    let mut rank = 0u8;
+    for &m in members {
+        let node = g.node(m);
+        let (c, r) = match node.op {
+            OpKind::Conv => {
+                let groups = node.attrs.int_or("group", 1);
+                let k = node
+                    .attrs
+                    .ints("kernel_shape")
+                    .map(|ks| ks.iter().product::<i64>())
+                    .unwrap_or(1);
+                if groups > 4 {
+                    (LayerCategory::DepthwiseConv, 10)
+                } else if k == 1 {
+                    (LayerCategory::PointwiseConv, 9)
+                } else {
+                    (LayerCategory::OtherConv, 9)
+                }
+            }
+            OpKind::MatMul | OpKind::Gemm => (LayerCategory::MatMul, 8),
+            OpKind::Transpose => (LayerCategory::Transpose, 6),
+            OpKind::Concat | OpKind::Split | OpKind::Slice | OpKind::Gather | OpKind::Pad
+            | OpKind::Resize | OpKind::Expand | OpKind::Tile => (LayerCategory::DataCopy, 5),
+            OpKind::BatchNormalization
+            | OpKind::LayerNormalization
+            | OpKind::GroupNormalization
+            | OpKind::Softmax
+            | OpKind::ReduceMean
+            | OpKind::ReduceSum
+            | OpKind::ReduceMax => (LayerCategory::NormReduce, 4),
+            op if op.is_elementwise() => (LayerCategory::Other, 1),
+            _ => (LayerCategory::Other, 0),
+        };
+        if r > rank {
+            rank = r;
+            cat = c;
+        }
+    }
+    cat
+}
+
+/// The chart ceilings: compute peak and memory bandwidth(s).
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflineCeiling {
+    /// Peak performance line (GFLOP/s).
+    pub peak_gflops: f64,
+    /// Main memory-bandwidth diagonal (GB/s).
+    pub mem_bw_gbs: f64,
+    /// Extra bandwidth diagonals (label, GB/s) — Figure 8's what-if lines.
+    pub extra_bw_lines: Vec<(String, f64)>,
+}
+
+impl RooflineCeiling {
+    /// Theoretical ceilings of a platform at `precision`.
+    pub fn theoretical(platform: &Platform, precision: DType) -> Self {
+        RooflineCeiling {
+            peak_gflops: platform.peak_flops(precision, true) / 1e9,
+            mem_bw_gbs: platform.achievable_bw() / 1e9,
+            extra_bw_lines: Vec::new(),
+        }
+    }
+
+    pub fn with_extra_bw(mut self, label: &str, gbs: f64) -> Self {
+        self.extra_bw_lines.push((label.to_string(), gbs));
+        self
+    }
+
+    /// The ridge point: intensity where compute and memory rooflines meet.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops / self.mem_bw_gbs
+    }
+
+    /// Attainable GFLOP/s at a given arithmetic intensity.
+    pub fn attainable_gflops(&self, intensity: f64) -> f64 {
+        (self.mem_bw_gbs * intensity).min(self.peak_gflops)
+    }
+}
+
+/// One point on a roofline chart (a layer, or a whole model end-to-end).
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflinePoint {
+    pub label: String,
+    pub category: LayerCategory,
+    pub flops: u64,
+    pub bytes: u64,
+    pub latency_us: f64,
+    /// Fraction of the run this point accounts for (opacity channel).
+    pub latency_share: f64,
+}
+
+impl RooflinePoint {
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.latency_us <= 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / (self.latency_us * 1e-6) / 1e9
+        }
+    }
+
+    pub fn achieved_bw_gbs(&self) -> f64 {
+        if self.latency_us <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / (self.latency_us * 1e-6) / 1e9
+        }
+    }
+
+    /// Whether the point sits under the memory slope (memory-bound region).
+    pub fn memory_bound(&self, ceiling: &RooflineCeiling) -> bool {
+        self.intensity() < ceiling.ridge_intensity()
+    }
+}
+
+/// A complete roofline chart: ceilings + points.
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflineChart {
+    pub title: String,
+    pub ceiling: RooflineCeiling,
+    pub points: Vec<RooflinePoint>,
+}
+
+impl RooflineChart {
+    pub fn new(title: impl Into<String>, ceiling: RooflineCeiling) -> Self {
+        RooflineChart {
+            title: title.into(),
+            ceiling,
+            points: Vec::new(),
+        }
+    }
+
+    /// Normalize latency shares (call after pushing all points).
+    pub fn finalize(&mut self) {
+        let total: f64 = self.points.iter().map(|p| p.latency_us).sum();
+        if total > 0.0 {
+            for p in &mut self.points {
+                p.latency_share = p.latency_us / total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_hw::PlatformId;
+    use proof_ir::GraphBuilder;
+
+    #[test]
+    fn ridge_and_attainable() {
+        let c = RooflineCeiling {
+            peak_gflops: 1000.0,
+            mem_bw_gbs: 100.0,
+            extra_bw_lines: vec![],
+        };
+        assert!((c.ridge_intensity() - 10.0).abs() < 1e-12);
+        assert!((c.attainable_gflops(5.0) - 500.0).abs() < 1e-12);
+        assert!((c.attainable_gflops(50.0) - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theoretical_ceiling_from_platform() {
+        let p = PlatformId::A100.spec();
+        let c = RooflineCeiling::theoretical(&p, DType::F16);
+        assert!((c.peak_gflops - 312e3).abs() < 5e3);
+        assert!(c.mem_bw_gbs > 1000.0 && c.mem_bw_gbs < 1555.0);
+    }
+
+    #[test]
+    fn point_metrics() {
+        let p = RooflinePoint {
+            label: "l".into(),
+            category: LayerCategory::MatMul,
+            flops: 2_000_000_000,
+            bytes: 100_000_000,
+            latency_us: 1000.0,
+            latency_share: 0.0,
+        };
+        assert!((p.intensity() - 20.0).abs() < 1e-9);
+        assert!((p.achieved_gflops() - 2000.0).abs() < 1e-6);
+        assert!((p.achieved_bw_gbs() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn categorize_prefers_most_significant_member() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 8, 8, 8], DType::F32);
+        let c = b.conv("pw", x, 8, 1, 1, 0, 1, false);
+        let r = b.relu("relu", c);
+        let dw = b.conv("dw", r, 8, 3, 1, 1, 8, false);
+        b.output(dw);
+        let g = b.finish();
+        assert_eq!(categorize(&g, &[0, 1]), LayerCategory::PointwiseConv);
+        assert_eq!(categorize(&g, &[2]), LayerCategory::DepthwiseConv);
+        assert_eq!(categorize(&g, &[0, 1, 2]), LayerCategory::DepthwiseConv);
+    }
+
+    #[test]
+    fn finalize_normalizes_shares() {
+        let ceiling = RooflineCeiling {
+            peak_gflops: 1.0,
+            mem_bw_gbs: 1.0,
+            extra_bw_lines: vec![],
+        };
+        let mut chart = RooflineChart::new("t", ceiling);
+        for (i, lat) in [1.0, 3.0].iter().enumerate() {
+            chart.points.push(RooflinePoint {
+                label: format!("p{i}"),
+                category: LayerCategory::Other,
+                flops: 1,
+                bytes: 1,
+                latency_us: *lat,
+                latency_share: 0.0,
+            });
+        }
+        chart.finalize();
+        assert!((chart.points[0].latency_share - 0.25).abs() < 1e-12);
+        assert!((chart.points[1].latency_share - 0.75).abs() < 1e-12);
+    }
+}

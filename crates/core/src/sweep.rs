@@ -1,0 +1,144 @@
+//! Batch-size sweeps: latency/throughput curves across batch sizes, used to
+//! find "the batch size [that] reached maximum throughput" (how the paper
+//! picked bs=2048 for Table 5) and the latency knee for latency-sensitive
+//! deployment.
+
+use crate::profile::{profile_model, MetricMode};
+use proof_hw::Platform;
+use proof_ir::Graph;
+use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
+use serde::Serialize;
+
+/// One batch-size measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    pub batch: u64,
+    pub latency_ms: f64,
+    pub throughput_per_s: f64,
+    pub achieved_gflops: f64,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchSweep {
+    pub model: String,
+    pub platform: String,
+    pub points: Vec<SweepPoint>,
+}
+
+impl BatchSweep {
+    /// The point with the highest throughput.
+    pub fn max_throughput(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| a.throughput_per_s.total_cmp(&b.throughput_per_s))
+            .expect("non-empty sweep")
+    }
+
+    /// The smallest batch reaching `fraction` of the peak throughput — the
+    /// knee of the curve (beyond it, batching only buys latency).
+    pub fn knee(&self, fraction: f64) -> &SweepPoint {
+        let target = self.max_throughput().throughput_per_s * fraction;
+        self.points
+            .iter()
+            .find(|p| p.throughput_per_s >= target)
+            .unwrap_or_else(|| self.max_throughput())
+    }
+
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("batch,latency_ms,throughput_per_s,achieved_gflops\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.4},{:.1},{:.1}\n",
+                p.batch, p.latency_ms, p.throughput_per_s, p.achieved_gflops
+            ));
+        }
+        out
+    }
+}
+
+/// Sweep `batches` (ascending), building the model per batch via `build`.
+pub fn sweep_batches(
+    build: impl Fn(u64) -> Graph + Sync,
+    platform: &Platform,
+    flavor: BackendFlavor,
+    cfg: &SessionConfig,
+    batches: &[u64],
+) -> Result<BatchSweep, BackendError> {
+    use rayon::prelude::*;
+    let points: Result<Vec<SweepPoint>, BackendError> = batches
+        .par_iter()
+        .map(|&batch| {
+            let g = build(batch);
+            let r = profile_model(&g, platform, flavor, cfg, MetricMode::Predicted)?;
+            Ok(SweepPoint {
+                batch,
+                latency_ms: r.total_latency_ms,
+                throughput_per_s: r.throughput_per_s(),
+                achieved_gflops: r.achieved_gflops(),
+            })
+        })
+        .collect();
+    let g1 = build(batches.first().copied().unwrap_or(1));
+    Ok(BatchSweep {
+        model: g1.name.clone(),
+        platform: platform.name.clone(),
+        points: points?,
+    })
+}
+
+/// The default power-of-two sweep grid up to `max`.
+pub fn pow2_grid(max: u64) -> Vec<u64> {
+    let mut v = vec![1u64];
+    while *v.last().unwrap() < max {
+        v.push((v.last().unwrap() * 2).min(max));
+    }
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+
+    fn sweep(model: ModelId, max: u64) -> BatchSweep {
+        sweep_batches(
+            |b| model.build(b),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            &pow2_grid(max),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pow2_grid_is_sorted_dedup_capped() {
+        assert_eq!(pow2_grid(8), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_grid(12), vec![1, 2, 4, 8, 12]);
+        assert_eq!(pow2_grid(1), vec![1]);
+    }
+
+    #[test]
+    fn throughput_rises_then_saturates() {
+        let s = sweep(ModelId::ShuffleNetV2x10, 512);
+        // monotone-ish early growth
+        assert!(s.points[3].throughput_per_s > 2.0 * s.points[0].throughput_per_s);
+        // latency is monotone in batch
+        for w in s.points.windows(2) {
+            assert!(w[1].latency_ms >= w[0].latency_ms * 0.99);
+        }
+        // knee at 90% comes at or before the max-throughput batch
+        assert!(s.knee(0.9).batch <= s.max_throughput().batch);
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let s = sweep(ModelId::MobileNetV2x05, 8);
+        let csv = s.to_csv();
+        assert_eq!(csv.lines().count(), s.points.len() + 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! SVG roofline charts — the graphical half of the PRoof data viewer.
+//!
+//! Rendering follows a validated design system: a fixed categorical colour
+//! order (CVD-checked, worst adjacent ΔE 24.2 on the light surface), ≥8 px
+//! markers with a 2 px surface ring, hairline solid gridlines, text in ink
+//! tokens (never the series colour), a legend whenever ≥2 categories are
+//! present, and native `<title>` tooltips per mark. Opacity encodes each
+//! layer's latency share, exactly like the paper's Figures 5/6/8; a CSV
+//! table view ships alongside every chart (see [`crate::report`]).
+
+use crate::roofline::{LayerCategory, RooflineChart};
+use std::fmt::Write as _;
+
+const SURFACE: &str = "#fcfcfb";
+const INK_PRIMARY: &str = "#0b0b0b";
+const INK_SECONDARY: &str = "#52514e";
+const GRID: &str = "#e7e6e2";
+const CEILING: &str = "#7a786f";
+
+/// Fixed categorical slots (validated order — do not re-order).
+fn category_color(c: LayerCategory) -> &'static str {
+    match c {
+        LayerCategory::Transpose => "#2a78d6",     // blue
+        LayerCategory::DataCopy => "#1baf7a",      // aqua
+        LayerCategory::DepthwiseConv => "#eda100", // yellow
+        LayerCategory::MatMul => "#008300",        // green
+        LayerCategory::NormReduce => "#4a3aa7",    // violet
+        LayerCategory::OtherConv => "#e34948",     // red
+        LayerCategory::PointwiseConv => "#e87ba4", // magenta
+        LayerCategory::Other => "#eb6834",         // orange
+    }
+}
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    pub width: u32,
+    pub height: u32,
+    /// Direct-label every point (end-to-end charts label model indices;
+    /// layer-wise charts leave identity to hover + legend).
+    pub label_points: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 860,
+            height: 560,
+            label_points: false,
+        }
+    }
+}
+
+fn nice_log_bounds(vals: impl Iterator<Item = f64>, pad: f64) -> (f64, f64) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in vals.filter(|v| v.is_finite() && *v > 0.0) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.1, 10.0);
+    }
+    ((lo / pad).log10().floor(), (hi * pad).log10().ceil())
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn fmt_si(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}P", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}T", v / 1e3)
+    } else if v >= 1.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render a roofline chart (log-log) to a standalone SVG document.
+pub fn render_roofline_svg(chart: &RooflineChart, opts: &SvgOptions) -> String {
+    let (w, h) = (opts.width as f64, opts.height as f64);
+    let (ml, mr, mt, mb) = (74.0, 190.0, 46.0, 56.0);
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+
+    let ceil = &chart.ceiling;
+    let (x0, x1) = nice_log_bounds(
+        chart
+            .points
+            .iter()
+            .map(|p| p.intensity())
+            .chain([ceil.ridge_intensity()]),
+        3.0,
+    );
+    let (y0, y1) = nice_log_bounds(
+        chart
+            .points
+            .iter()
+            .map(|p| p.achieved_gflops())
+            .chain([ceil.peak_gflops]),
+        2.0,
+    );
+    // clamp into the plot area: zero-FLOP layers (pure data movement)
+    // pin to the bottom edge instead of escaping the chart at log(0)
+    let sx = move |v: f64| {
+        (ml + (v.max(1e-12).log10() - x0) / (x1 - x0).max(1e-9) * pw).clamp(ml, ml + pw)
+    };
+    let sy = move |v: f64| {
+        (mt + ph - (v.max(1e-12).log10() - y0) / (y1 - y0).max(1e-9) * ph).clamp(mt, mt + ph)
+    };
+
+    let mut s = String::with_capacity(16 * 1024);
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">
+<rect width="{w}" height="{h}" fill="{SURFACE}"/>
+<text x="{ml}" y="26" font-size="15" font-weight="600" fill="{INK_PRIMARY}">{}</text>
+"#,
+        esc(&chart.title)
+    );
+
+    // decade gridlines + tick labels (hairline, solid, recessive)
+    for d in (x0 as i64)..=(x1 as i64) {
+        let x = sx(10f64.powi(d as i32));
+        let _ = write!(
+            s,
+            "<line x1='{x:.1}' y1='{mt}' x2='{x:.1}' y2='{:.1}' stroke='{GRID}' stroke-width='1'/>\n\
+             <text x='{x:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}' text-anchor='middle'>1e{d}</text>\n",
+            mt + ph,
+            mt + ph + 16.0
+        );
+    }
+    for d in (y0 as i64)..=(y1 as i64) {
+        let y = sy(10f64.powi(d as i32));
+        let _ = write!(
+            s,
+            "<line x1='{ml}' y1='{y:.1}' x2='{:.1}' y2='{y:.1}' stroke='{GRID}' stroke-width='1'/>\n\
+             <text x='{:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}' text-anchor='end'>1e{d}</text>\n",
+            ml + pw,
+            ml - 6.0,
+            y + 4.0
+        );
+    }
+    // axis titles
+    let _ = write!(
+        s,
+        "<text x='{:.1}' y='{:.1}' font-size='12' fill='{INK_PRIMARY}' text-anchor='middle'>Arithmetic intensity (FLOP/byte)</text>\n\
+         <text x='16' y='{:.1}' font-size='12' fill='{INK_PRIMARY}' text-anchor='middle' transform='rotate(-90 16 {:.1})'>Performance (GFLOP/s)</text>\n",
+        ml + pw / 2.0,
+        mt + ph + 40.0,
+        mt + ph / 2.0,
+        mt + ph / 2.0
+    );
+
+    // rooflines: memory diagonal(s) up to the ridge, then the flat peak
+    let draw_bw = |s: &mut String, bw_gbs: f64, color: &str, label: &str| {
+        let ridge_x = ceil.peak_gflops / bw_gbs;
+        let start_i = 10f64.powf(x0);
+        let (a, b) = (
+            (sx(start_i), sy(bw_gbs * start_i)),
+            (sx(ridge_x.min(10f64.powf(x1))), sy((bw_gbs * ridge_x).min(ceil.peak_gflops))),
+        );
+        let _ = write!(
+            s,
+            "<line x1='{:.1}' y1='{:.1}' x2='{:.1}' y2='{:.1}' stroke='{color}' stroke-width='2'/>\n",
+            a.0, a.1, b.0, b.1
+        );
+        // direct label midway along the diagonal
+        let mid_i = (start_i * ridge_x).sqrt();
+        let _ = write!(
+            s,
+            "<text x='{:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}'>{}</text>\n",
+            sx(mid_i) + 6.0,
+            sy(bw_gbs * mid_i) - 6.0,
+            esc(label)
+        );
+    };
+    draw_bw(
+        &mut s,
+        ceil.mem_bw_gbs,
+        CEILING,
+        &format!("{:.1} GB/s", ceil.mem_bw_gbs),
+    );
+    for (i, (label, bw)) in ceil.extra_bw_lines.iter().enumerate() {
+        let color = ["#eda100", "#e34948", "#4a3aa7"][i % 3];
+        draw_bw(&mut s, *bw, color, &format!("{label} ({bw:.1} GB/s)"));
+    }
+    let peak_y = sy(ceil.peak_gflops);
+    let _ = write!(
+        s,
+        "<line x1='{:.1}' y1='{peak_y:.1}' x2='{:.1}' y2='{peak_y:.1}' stroke='{CEILING}' stroke-width='2'/>\n\
+         <text x='{:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}' text-anchor='end'>{} FLOP/s peak</text>\n",
+        sx(ceil.ridge_intensity()),
+        ml + pw,
+        ml + pw,
+        peak_y - 8.0,
+        fmt_si(ceil.peak_gflops * 1e9 / 1e9)
+    );
+
+    // points: ≥8px markers, 2px surface ring, opacity = latency share
+    let max_share = chart
+        .points
+        .iter()
+        .map(|p| p.latency_share)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for p in &chart.points {
+        let (x, y) = (sx(p.intensity()), sy(p.achieved_gflops()));
+        let opacity = 0.25 + 0.75 * (p.latency_share / max_share);
+        let _ = write!(
+            s,
+            "<circle cx='{x:.1}' cy='{y:.1}' r='5' fill='{}' fill-opacity='{opacity:.3}' stroke='{SURFACE}' stroke-width='2'>\
+             <title>{}\nAI {:.2} FLOP/B | {:.1} GFLOP/s | {:.1} GB/s | {:.1} us ({:.1}%)</title></circle>\n",
+            category_color(p.category),
+            esc(&p.label),
+            p.intensity(),
+            p.achieved_gflops(),
+            p.achieved_bw_gbs(),
+            p.latency_us,
+            100.0 * p.latency_share
+        );
+        if opts.label_points {
+            let _ = write!(
+                s,
+                "<text x='{:.1}' y='{:.1}' font-size='10' fill='{INK_SECONDARY}'>{}</text>\n",
+                x + 7.0,
+                y + 3.0,
+                esc(&p.label)
+            );
+        }
+    }
+
+    // legend (only categories present; identity never by colour alone)
+    let mut present: Vec<LayerCategory> = LayerCategory::ALL
+        .into_iter()
+        .filter(|c| chart.points.iter().any(|p| p.category == *c))
+        .collect();
+    if present.len() >= 2 {
+        let lx = ml + pw + 18.0;
+        let _ = write!(
+            s,
+            "<text x='{lx:.1}' y='{:.1}' font-size='11' font-weight='600' fill='{INK_PRIMARY}'>Layer type</text>\n",
+            mt + 6.0
+        );
+        for (i, c) in present.drain(..).enumerate() {
+            let y = mt + 24.0 + i as f64 * 18.0;
+            let _ = write!(
+                s,
+                "<circle cx='{:.1}' cy='{:.1}' r='5' fill='{}' stroke='{SURFACE}' stroke-width='2'/>\n\
+                 <text x='{:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}'>{}</text>\n",
+                lx + 5.0,
+                y - 4.0,
+                category_color(c),
+                lx + 16.0,
+                y,
+                c.label()
+            );
+        }
+        let _ = write!(
+            s,
+            "<text x='{lx:.1}' y='{:.1}' font-size='10' fill='{INK_SECONDARY}'>opacity = latency share</text>\n",
+            mt + 36.0 + 8.0 * 18.0
+        );
+    }
+
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_model, MetricMode};
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+    use proof_runtime::{BackendFlavor, SessionConfig};
+
+    fn chart() -> RooflineChart {
+        profile_model(
+            &ModelId::ResNet50.build(4),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+        .layerwise_chart("ResNet-50 on A100 (fp16)")
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = render_roofline_svg(&chart(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // one circle per point + legend swatches
+        let c = chart();
+        let circles = svg.matches("<circle").count();
+        assert!(circles >= c.points.len());
+        assert!(svg.contains("Arithmetic intensity"));
+        assert!(svg.contains("FLOP/s peak"));
+        assert!(svg.contains("Layer type")); // legend present
+        assert!(svg.contains("<title>")); // hover tooltips
+    }
+
+    #[test]
+    fn opacity_encodes_latency_share() {
+        let svg = render_roofline_svg(&chart(), &SvgOptions::default());
+        let opacities: Vec<f64> = svg
+            .match_indices("fill-opacity='")
+            .filter_map(|(i, pat)| {
+                let rest = &svg[i + pat.len()..];
+                rest.split('\'').next()?.parse().ok()
+            })
+            .collect();
+        let max = opacities.iter().copied().fold(0.0f64, f64::max);
+        let min = opacities.iter().copied().fold(1.0f64, f64::min);
+        assert!((max - 1.0).abs() < 1e-9, "dominant layer at full opacity");
+        assert!(min < 0.8 * max, "minor layers visibly lighter: {min} vs {max}");
+    }
+
+    #[test]
+    fn extra_bandwidth_lines_are_drawn_with_labels() {
+        let mut c = chart();
+        c.ceiling = c.ceiling.clone().with_extra_bw("EMC 2133", 62.0);
+        let svg = render_roofline_svg(&c, &SvgOptions::default());
+        assert!(svg.contains("EMC 2133"));
+    }
+
+    #[test]
+    fn escapes_hostile_labels() {
+        let mut c = chart();
+        c.points[0].label = "a <b> & \"c\"".into();
+        let svg = render_roofline_svg(&c, &SvgOptions::default());
+        assert!(!svg.contains("<b>"));
+        assert!(svg.contains("&lt;b&gt;"));
+    }
+}

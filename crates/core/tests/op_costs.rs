@@ -1,0 +1,322 @@
+//! Exhaustive operator-define coverage: one hand-computed FLOP/memory check
+//! per operator kind the analytical model supports (the §3.2.1 rules, op by
+//! op). Each case builds a minimal single-op graph and compares against the
+//! closed-form expectation.
+
+use proof_core::{op_cost, CostEstimate, FlopTable};
+use proof_ir::{attrs, AttrValue, Attributes, DType, Graph, GraphBuilder, OpKind, TensorId};
+
+const T: FlopTable = FlopTable {
+    mac: 2,
+    add: 1,
+    mul: 1,
+    cmp: 1,
+    div: 4,
+    sqrt: 4,
+    exp: 8,
+    log: 8,
+    erf: 8,
+    tanh: 12,
+    pow: 8,
+};
+
+/// Build a single-op graph over f32 inputs of the given shapes.
+fn single_op(op: OpKind, attrs: Attributes, shapes: &[&[u64]]) -> (Graph, CostEstimate) {
+    let mut b = GraphBuilder::new("op");
+    let ins: Vec<TensorId> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, dims)| b.input(&format!("in{i}"), dims, DType::F32))
+        .collect();
+    let outs = b.push_multi("node", op, attrs, &ins);
+    for o in outs {
+        b.output(o);
+    }
+    let g = b.finish();
+    let c = op_cost(&g, 0, DType::F32, &T);
+    (g, c)
+}
+
+fn fb(elems: u64) -> u64 {
+    elems * 4 // f32 bytes
+}
+
+#[test]
+fn unary_elementwise_flop_weights() {
+    // (op, flops-per-element under table T)
+    let cases: &[(OpKind, u64)] = &[
+        (OpKind::Relu, T.cmp),
+        (OpKind::Abs, T.cmp),
+        (OpKind::Neg, T.cmp),
+        (OpKind::LeakyRelu, T.cmp + T.mul),
+        (OpKind::Clip, 2 * T.cmp),
+        (OpKind::Sigmoid, T.exp + T.add + T.div),
+        (OpKind::HardSigmoid, T.mul + T.add + 2 * T.cmp),
+        (OpKind::HardSwish, T.mul + T.add + 2 * T.cmp + T.mul),
+        (OpKind::Tanh, T.tanh),
+        (OpKind::Erf, T.erf),
+        (OpKind::Exp, T.exp),
+        (OpKind::Log, T.log),
+        (OpKind::Sqrt, T.sqrt),
+        (OpKind::Reciprocal, T.div),
+        (OpKind::Gelu, T.div + T.erf + T.add + 2 * T.mul),
+        (OpKind::Softplus, T.exp + T.add + T.log),
+    ];
+    for &(op, per_elem) in cases {
+        let (_, c) = single_op(op, Attributes::new(), &[&[2, 100]]);
+        assert_eq!(c.flops, 200 * per_elem, "{op}");
+        assert_eq!(c.input_bytes, fb(200), "{op}");
+        assert_eq!(c.output_bytes, fb(200), "{op}");
+        assert_eq!(c.weight_bytes, 0, "{op}");
+    }
+}
+
+#[test]
+fn binary_elementwise_flop_weights() {
+    let cases: &[(OpKind, u64)] = &[
+        (OpKind::Add, T.add),
+        (OpKind::Sub, T.add),
+        (OpKind::Mul, T.mul),
+        (OpKind::Div, T.div),
+        (OpKind::Pow, T.pow),
+        (OpKind::Min, T.cmp),
+        (OpKind::Max, T.cmp),
+        (OpKind::Equal, T.cmp),
+        (OpKind::Greater, T.cmp),
+        (OpKind::Less, T.cmp),
+    ];
+    for &(op, per_elem) in cases {
+        let (_, c) = single_op(op, Attributes::new(), &[&[4, 25], &[4, 25]]);
+        assert_eq!(c.flops, 100 * per_elem, "{op}");
+        assert_eq!(c.input_bytes, 2 * fb(100), "{op}");
+        // comparisons emit bool (1 B/elem); arithmetic keeps f32
+        let expect_out = if matches!(op, OpKind::Equal | OpKind::Greater | OpKind::Less) {
+            100
+        } else {
+            fb(100)
+        };
+        assert_eq!(c.output_bytes, expect_out, "{op}");
+    }
+}
+
+#[test]
+fn where_reads_all_three_operands() {
+    let mut b = GraphBuilder::new("w");
+    let cond = b.input("cond", &[10], DType::Bool);
+    let x = b.input("x", &[10], DType::F32);
+    let y = b.input("y", &[10], DType::F32);
+    let o = b.push("node", OpKind::Where, Attributes::new(), &[cond, x, y]);
+    b.output(o);
+    let g = b.finish();
+    let c = op_cost(&g, 0, DType::F32, &T);
+    assert_eq!(c.flops, 10 * T.cmp);
+    assert_eq!(c.input_bytes, 10 /* bool */ + 2 * fb(10));
+}
+
+#[test]
+fn softmax_and_reductions() {
+    let (_, sm) = single_op(OpKind::Softmax, attrs! {"axis" => int (-1)}, &[&[8, 32]]);
+    assert_eq!(sm.flops, 256 * (2 * T.cmp + T.add + T.exp + T.div));
+
+    let (_, mean) = single_op(
+        OpKind::ReduceMean,
+        attrs! {"axes" => ints[-1]},
+        &[&[8, 32]],
+    );
+    assert_eq!(mean.flops, 256 * T.add + 8 * T.div);
+    assert_eq!(mean.output_bytes, fb(8));
+
+    let (_, sum) = single_op(OpKind::ReduceSum, attrs! {"axes" => ints[0]}, &[&[8, 32]]);
+    assert_eq!(sum.flops, 256 * T.add);
+
+    let (_, maxr) = single_op(OpKind::ReduceMax, attrs! {"axes" => ints[0]}, &[&[8, 32]]);
+    assert_eq!(maxr.flops, 256 * T.cmp);
+
+    let (_, am) = single_op(OpKind::ArgMax, attrs! {"axis" => int 1}, &[&[8, 32]]);
+    assert_eq!(am.flops, 256 * T.cmp);
+    assert_eq!(am.output_bytes, 8 * 8, "argmax emits i64 indices");
+}
+
+#[test]
+fn pooling_rules() {
+    let pool_attrs = attrs! {"kernel_shape" => ints[2, 2], "strides" => ints[2, 2]};
+    let (_, mp) = single_op(OpKind::MaxPool, pool_attrs.clone(), &[&[1, 4, 8, 8]]);
+    // out 4×4×4 elements × k²=4 compares
+    assert_eq!(mp.flops, 64 * 4 * T.cmp);
+    let (_, ap) = single_op(OpKind::AveragePool, pool_attrs, &[&[1, 4, 8, 8]]);
+    assert_eq!(ap.flops, 64 * (4 * T.add + T.div));
+    let (_, gap) = single_op(OpKind::GlobalAveragePool, Attributes::new(), &[&[1, 4, 8, 8]]);
+    assert_eq!(gap.flops, 256 * T.add + 4 * T.div);
+    assert_eq!(gap.output_bytes, fb(4));
+}
+
+#[test]
+fn normalization_rules() {
+    let mut b = GraphBuilder::new("n");
+    let x = b.input("x", &[2, 8, 4, 4], DType::F32);
+    let y = b.bn("bn", x);
+    b.output(y);
+    let g = b.finish();
+    let c = op_cost(&g, 0, DType::F32, &T);
+    // folded scale+shift: one MAC per element
+    assert_eq!(c.flops, 256 * T.mac);
+    assert_eq!(c.weight_bytes, 4 * fb(8));
+
+    let mut b = GraphBuilder::new("ln");
+    let x = b.input("x", &[4, 16], DType::F32);
+    let y = b.layer_norm_fused("ln", x);
+    b.output(y);
+    let g = b.finish();
+    let c = op_cost(&g, 0, DType::F32, &T);
+    assert!(c.flops > 64 * 4, "several flops per element");
+    assert_eq!(c.weight_bytes, 2 * fb(16));
+}
+
+#[test]
+fn data_movement_is_zero_flop_full_traffic() {
+    let cases: Vec<(OpKind, Attributes, Vec<u64>)> = vec![
+        (OpKind::Transpose, attrs! {"perm" => ints[1, 0]}, vec![6, 4]),
+        (OpKind::Concat, attrs! {"axis" => int 0}, vec![6, 4]),
+        (OpKind::Pad, attrs! {"pads" => ints[1, 1, 1, 1]}, vec![6, 4]),
+        (OpKind::Cast, Attributes::new().with_dtype("to", DType::F16), vec![6, 4]),
+        (
+            OpKind::Tile,
+            attrs! {"repeats" => ints[2, 2]},
+            vec![6, 4],
+        ),
+        (
+            OpKind::Expand,
+            attrs! {"shape" => ints[3, 6, 4]},
+            vec![6, 4],
+        ),
+    ];
+    for (op, a, dims) in cases {
+        let (_, c) = single_op(op, a, &[&dims]);
+        assert_eq!(c.flops, 0, "{op}");
+        assert!(c.input_bytes > 0, "{op}");
+        assert!(c.output_bytes > 0, "{op}");
+    }
+}
+
+#[test]
+fn slice_reads_only_the_kept_range() {
+    let (_, c) = single_op(
+        OpKind::Slice,
+        attrs! {"starts" => ints[0], "ends" => ints[2], "axes" => ints[0]},
+        &[&[10, 4]],
+    );
+    assert_eq!(c.input_bytes, fb(8), "2 of 10 rows read");
+    assert_eq!(c.output_bytes, fb(8));
+    assert_eq!(c.flops, 0);
+}
+
+#[test]
+fn resize_reads_source_once_writes_scaled_output() {
+    let (_, c) = single_op(
+        OpKind::Resize,
+        Attributes::new()
+            .with("scales", AttrValue::Floats(vec![1.0, 1.0, 2.0, 2.0]))
+            .with_str("mode", "nearest"),
+        &[&[1, 2, 4, 4]],
+    );
+    assert_eq!(c.input_bytes, fb(32));
+    assert_eq!(c.output_bytes, fb(128));
+}
+
+#[test]
+fn metadata_ops_cost_nothing() {
+    for (op, a) in [
+        (OpKind::Reshape, attrs! {"shape" => ints[4, 6]}),
+        (OpKind::Flatten, attrs! {"axis" => int 1}),
+        (OpKind::Squeeze, Attributes::new()),
+        (OpKind::Identity, Attributes::new()),
+        (OpKind::Dropout, Attributes::new()),
+        (OpKind::Shape, Attributes::new()),
+    ] {
+        let dims: &[u64] = if op == OpKind::Squeeze { &[1, 6, 4] } else { &[6, 4] };
+        let (_, c) = single_op(op, a, &[dims]);
+        assert_eq!(c, CostEstimate::default(), "{op}");
+    }
+}
+
+#[test]
+fn unsqueeze_is_free_too() {
+    let (_, c) = single_op(OpKind::Unsqueeze, attrs! {"axes" => ints[0]}, &[&[6, 4]]);
+    assert_eq!(c, CostEstimate::default());
+}
+
+#[test]
+fn split_moves_everything_once() {
+    let (_, c) = single_op(
+        OpKind::Split,
+        attrs! {"axis" => int 0, "num_outputs" => int 2},
+        &[&[8, 4]],
+    );
+    assert_eq!(c.flops, 0);
+    assert_eq!(c.input_bytes, fb(32));
+    assert_eq!(c.output_bytes, fb(32));
+}
+
+#[test]
+fn gemm_variants() {
+    // A[4,8] × Bᵀ[16,8] + bias[16]
+    let mut b = GraphBuilder::new("g");
+    let x = b.input("x", &[4, 8], DType::F32);
+    let y = b.linear("fc", x, 16, true);
+    b.output(y);
+    let g = b.finish();
+    let c = op_cost(&g, 0, DType::F32, &T);
+    assert_eq!(c.flops, 4 * 16 * 8 * T.mac + 4 * 16 * T.add);
+    assert_eq!(c.weight_bytes, fb(16 * 8 + 16));
+}
+
+#[test]
+fn grouped_conv_spectrum() {
+    // same tensor, groups ∈ {1, 2, 8}: flops scale as 1/groups
+    let mut flops = Vec::new();
+    for groups in [1u64, 2, 8] {
+        let mut b = GraphBuilder::new("c");
+        let x = b.input("x", &[1, 8, 10, 10], DType::F32);
+        let y = b.conv("conv", x, 8, 3, 1, 1, groups, false);
+        b.output(y);
+        let g = b.finish();
+        flops.push(op_cost(&g, 0, DType::F32, &T).flops);
+    }
+    assert_eq!(flops[0], 2 * flops[1]);
+    assert_eq!(flops[1], 4 * flops[2]);
+}
+
+#[test]
+fn constants_and_range_are_free() {
+    let mut b = GraphBuilder::new("k");
+    let c1 = b.push(
+        "const",
+        OpKind::Constant,
+        attrs! {"shape" => ints[4]},
+        &[],
+    );
+    let r = b.push(
+        "range",
+        OpKind::Range,
+        attrs! {"length" => int 7},
+        &[],
+    );
+    let _ = (c1, r);
+    let sink = b.push("cast", OpKind::Cast, Attributes::new().with_dtype("to", DType::F32), &[r]);
+    b.output(sink);
+    b.output(c1);
+    let g = b.finish();
+    assert_eq!(op_cost(&g, 0, DType::F32, &T), CostEstimate::default());
+    assert_eq!(op_cost(&g, 1, DType::F32, &T), CostEstimate::default());
+}
+
+#[test]
+fn precision_scaling_table() {
+    // bytes per element across execution precisions, flops invariant
+    let (g, _) = single_op(OpKind::Relu, Attributes::new(), &[&[100]]);
+    for (d, bytes) in [(DType::F32, 4u64), (DType::F16, 2), (DType::I8, 1)] {
+        let c = op_cost(&g, 0, d, &T);
+        assert_eq!(c.input_bytes, 100 * bytes, "{d}");
+        assert_eq!(c.flops, 100 * T.cmp, "{d}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # proof-counters — simulated hardware-counter profiler
+//!
+//! A stand-in for NVIDIA Nsight Compute (and, by extension, any vendor
+//! counter tool): given a compiled plan it reports per-kernel FLOP and DRAM
+//! traffic **as the counters see them**, including:
+//!
+//! - the Tensor-Core FLOP-counting bug the paper reported to NVIDIA
+//!   (§4.2): NCU multiplies the HMMA/IMMA instruction count by a fixed 512
+//!   FLOP/instruction, which is only correct for Volta's `HMMA.884` — on
+//!   Ampere each `HMMA.16816` performs 4096 FLOP, so reported Tensor-Core
+//!   FLOP are ~8× too low. The raw instruction counters are also exposed so
+//!   PRoof can apply its architecture-aware correction,
+//! - kernel-replay profiling overhead: counters are multiplexed, so every
+//!   kernel re-executes once per counter set plus a fixed replay setup cost
+//!   — the hundreds-to-thousands of seconds in the paper's Table 4
+//!   "Prof. time" column,
+//! - small measurement noise on DRAM counters (seeded, reproducible).
+
+pub mod ncu;
+
+pub use ncu::{profile_with_counters, KernelMetrics, NcuReport, NCU_ASSUMED_FLOPS_PER_MMA};

@@ -1,0 +1,89 @@
+//! Clock configuration (the `nvpmodel`-style knobs of the Jetson case study).
+
+use serde::{Deserialize, Serialize};
+
+/// Clock settings for one platform.
+///
+/// `cpu_mhz` models the two Jetson CPU clusters (`None` = cluster off), and
+/// `tpc_pg_mask` models the undocumented GPU TPC power-gating mask the paper
+/// found in the stock "15W" profile (Table 7): each **set** bit gates one TPC
+/// off, scanning from the MSB of an 8-bit mask; `240 = 0b1111_0000` leaves
+/// all 4 TPCs of an Orin NX enabled, `252 = 0b1111_1100` leaves only 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    pub gpu_mhz: u32,
+    pub mem_mhz: u32,
+    /// CPU cluster clocks; `None` = powered off.
+    pub cpu_mhz: [Option<u32>; 2],
+    /// TPC power-gating mask (0 = platform default, everything on).
+    pub tpc_pg_mask: u8,
+}
+
+impl ClockConfig {
+    /// GPU + memory clocks, CPU clusters at a nominal 729 MHz / off-second.
+    pub fn new(gpu_mhz: u32, mem_mhz: u32) -> Self {
+        ClockConfig {
+            gpu_mhz,
+            mem_mhz,
+            cpu_mhz: [Some(729), None],
+            tpc_pg_mask: 0,
+        }
+    }
+
+    pub fn with_cpus(mut self, c0: Option<u32>, c1: Option<u32>) -> Self {
+        self.cpu_mhz = [c0, c1];
+        self
+    }
+
+    pub fn with_tpc_mask(mut self, mask: u8) -> Self {
+        self.tpc_pg_mask = mask;
+        self
+    }
+
+    /// Number of TPCs left enabled by the mask, out of `total` (mask 0 means
+    /// "no gating configured": all enabled).
+    pub fn enabled_tpcs(&self, total: u32) -> u32 {
+        if self.tpc_pg_mask == 0 {
+            return total;
+        }
+        let gated = u32::from(self.tpc_pg_mask.count_ones());
+        // The mask is 8 bits wide regardless of the physical TPC count; bits
+        // above the physical count gate nothing.
+        let baseline = 8u32.saturating_sub(total);
+        // Clamp to 1: a fully-gated GPU cannot execute, and the model treats
+        // the mask as a throttle, not an off switch.
+        total.saturating_sub(gated.saturating_sub(baseline)).max(1)
+    }
+
+    /// Number of active CPU clusters.
+    pub fn active_cpu_clusters(&self) -> u32 {
+        self.cpu_mhz.iter().filter(|c| c.is_some()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_semantics_match_paper_values() {
+        // Orin NX: 4 TPCs. Mask 240 (4 bits set, all in the slack above the
+        // physical count) leaves all 4 on; mask 252 (6 bits set) gates 2.
+        let full = ClockConfig::new(918, 3199).with_tpc_mask(240);
+        assert_eq!(full.enabled_tpcs(4), 4);
+        let gated = ClockConfig::new(612, 3199).with_tpc_mask(252);
+        assert_eq!(gated.enabled_tpcs(4), 2);
+        // mask 0 = unconfigured = everything on
+        assert_eq!(ClockConfig::new(918, 3199).enabled_tpcs(4), 4);
+        // pathological all-ones mask cannot underflow
+        assert_eq!(ClockConfig::new(918, 3199).with_tpc_mask(255).enabled_tpcs(4), 1);
+    }
+
+    #[test]
+    fn cpu_cluster_accounting() {
+        let c = ClockConfig::new(918, 3199).with_cpus(Some(729), Some(729));
+        assert_eq!(c.active_cpu_clusters(), 2);
+        let c = ClockConfig::new(918, 3199).with_cpus(Some(729), None);
+        assert_eq!(c.active_cpu_clusters(), 1);
+    }
+}

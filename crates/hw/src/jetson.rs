@@ -1,0 +1,176 @@
+//! Jetson Orin NX clock/power management (`nvpmodel` stand-in).
+//!
+//! Exposes the clock steps and the stock power profiles of the paper's
+//! Table 7, so the hardware-tuning case study (§4.6) can sweep and search
+//! exactly the same configuration space.
+
+use crate::clock::ClockConfig;
+use crate::platform::{Platform, PlatformId};
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Stock and custom Orin NX power profiles (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JetsonPowerProfile {
+    /// `MAXN`: both CPU clusters at 729, GPU 918, EMC 3199, mask 240.
+    MaxN,
+    /// Stock `"15W"`: one cluster, GPU 612, EMC 3199, mask 252 — the
+    /// undocumented TPC gating the paper found to be inefficient.
+    Stock15W,
+    /// Stock `"25W"`: both clusters, GPU 408, EMC 3199, mask 240.
+    Stock25W,
+    /// Any explicit clock configuration.
+    Custom(ClockConfig),
+}
+
+impl JetsonPowerProfile {
+    pub fn clocks(self) -> ClockConfig {
+        match self {
+            JetsonPowerProfile::MaxN => ClockConfig::new(918, 3199)
+                .with_cpus(Some(729), Some(729))
+                .with_tpc_mask(240),
+            JetsonPowerProfile::Stock15W => ClockConfig::new(612, 3199)
+                .with_cpus(Some(729), None)
+                .with_tpc_mask(252),
+            JetsonPowerProfile::Stock25W => ClockConfig::new(408, 3199)
+                .with_cpus(Some(729), Some(729))
+                .with_tpc_mask(240),
+            JetsonPowerProfile::Custom(c) => c,
+        }
+    }
+
+    pub fn label(self) -> String {
+        match self {
+            JetsonPowerProfile::MaxN => "stock \"MAXN\"".into(),
+            JetsonPowerProfile::Stock15W => "stock \"15W\"".into(),
+            JetsonPowerProfile::Stock25W => "stock \"25W\"".into(),
+            JetsonPowerProfile::Custom(c) => {
+                format!("custom GPU {} / EMC {}", c.gpu_mhz, c.mem_mhz)
+            }
+        }
+    }
+}
+
+/// The Orin NX with its tunable clocks and power model.
+#[derive(Debug, Clone)]
+pub struct OrinNx {
+    pub power: PowerModel,
+}
+
+impl OrinNx {
+    /// Selectable GPU clock steps (MHz).
+    pub const GPU_CLOCKS_MHZ: [u32; 7] = [306, 408, 510, 612, 714, 816, 918];
+    /// Selectable memory (EMC) clock steps (MHz). The paper skips 204 MHz
+    /// ("not useful"); it is listed for completeness.
+    pub const MEM_CLOCKS_MHZ: [u32; 4] = [204, 665, 2133, 3199];
+
+    pub fn new() -> Self {
+        OrinNx {
+            power: PowerModel::orin_nx(),
+        }
+    }
+
+    /// The platform descriptor under a given profile.
+    pub fn platform(&self, profile: JetsonPowerProfile) -> Platform {
+        PlatformId::OrinNx.spec().with_clocks(profile.clocks())
+    }
+
+    /// Snap an arbitrary GPU MHz request to the nearest selectable step at
+    /// or below it (as `nvpmodel` clock capping does).
+    pub fn floor_gpu_clock(&self, mhz: u32) -> u32 {
+        Self::GPU_CLOCKS_MHZ
+            .iter()
+            .copied()
+            .filter(|&c| c <= mhz)
+            .max()
+            .unwrap_or(Self::GPU_CLOCKS_MHZ[0])
+    }
+
+    /// Highest GPU clock whose predicted workload power stays within
+    /// `budget_w`, by binary search over the clock steps (the paper's §4.6
+    /// procedure: pick a memory clock, then "a simple binary search for the
+    /// GPU clock just below the power budget").
+    ///
+    /// `measure` runs the workload at a candidate clock config and returns
+    /// `(util_gpu, util_mem)` so power can be evaluated.
+    pub fn search_gpu_clock_under_budget(
+        &self,
+        mem_mhz: u32,
+        budget_w: f64,
+        mut measure: impl FnMut(ClockConfig) -> (f64, f64),
+    ) -> Option<u32> {
+        let steps = Self::GPU_CLOCKS_MHZ;
+        let (mut lo, mut hi) = (0usize, steps.len()); // [lo, hi): feasible prefix search
+        let mut best = None;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let clocks = ClockConfig::new(steps[mid], mem_mhz);
+            let (ug, um) = measure(clocks);
+            if self.power.power_w(&clocks, ug, um) <= budget_w {
+                best = Some(steps[mid]);
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        best
+    }
+}
+
+impl Default for OrinNx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_profiles_match_table7() {
+        let maxn = JetsonPowerProfile::MaxN.clocks();
+        assert_eq!((maxn.gpu_mhz, maxn.mem_mhz), (918, 3199));
+        assert_eq!(maxn.active_cpu_clusters(), 2);
+        let s15 = JetsonPowerProfile::Stock15W.clocks();
+        assert_eq!((s15.gpu_mhz, s15.mem_mhz, s15.tpc_pg_mask), (612, 3199, 252));
+        assert_eq!(s15.enabled_tpcs(4), 2);
+        let s25 = JetsonPowerProfile::Stock25W.clocks();
+        assert_eq!(s25.gpu_mhz, 408);
+    }
+
+    #[test]
+    fn floor_gpu_clock_snaps_down() {
+        let o = OrinNx::new();
+        assert_eq!(o.floor_gpu_clock(918), 918);
+        assert_eq!(o.floor_gpu_clock(700), 612);
+        assert_eq!(o.floor_gpu_clock(100), 306);
+    }
+
+    #[test]
+    fn budget_search_finds_612_at_15w_2133() {
+        // With a near-fully-utilized workload (the paper's EffNetV2-T is
+        // compute-heavy), 612 MHz should be the highest step under 15 W at
+        // EMC 2133 — the paper's optimum (Table 7 row 10: 14.7 W).
+        let o = OrinNx::new();
+        let got = o.search_gpu_clock_under_budget(2133, 15.0, |_| (0.92, 0.75));
+        assert_eq!(got, Some(612));
+    }
+
+    #[test]
+    fn budget_search_handles_infeasible_budget() {
+        let o = OrinNx::new();
+        assert_eq!(o.search_gpu_clock_under_budget(3199, 1.0, |_| (1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn platform_under_profile_has_reduced_peak() {
+        let o = OrinNx::new();
+        let maxn = o.platform(JetsonPowerProfile::MaxN);
+        let s15 = o.platform(JetsonPowerProfile::Stock15W);
+        // 612/918 clock ratio × 2/4 TPCs
+        let ratio = s15.peak_flops(proof_ir::DType::F16, true)
+            / maxn.peak_flops(proof_ir::DType::F16, true);
+        assert!((ratio - (612.0 / 918.0) * 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # proof-hw — analytical machine models
+//!
+//! Stand-ins for the seven physical evaluation platforms of the paper's
+//! Table 2. Each [`Platform`] describes:
+//!
+//! - compute: execution-unit count, matrix-engine (Tensor-Core / NPU MAC
+//!   array) and vector (CUDA-core / SIMD) FLOP-per-cycle rates per dtype,
+//! - memory: bus bytes-per-cycle, clock, practical caps (e.g. the Raspberry
+//!   Pi 4's ~5.5 GB/s AXI limit the paper calls out), streaming efficiency,
+//! - overheads: kernel-launch latency and minimum kernel duration,
+//! - clocking: configurable GPU/memory clocks (for the Jetson Orin NX
+//!   hardware-tuning case study, Tables 6–7) including the undocumented
+//!   `TPC_PG_MASK` unit-gating knob,
+//! - power: a calibrated utilization-dependent power model
+//!   ([`power::PowerModel`]) for the edge-power experiments.
+//!
+//! The runtime simulator (`proof-runtime`) consumes these descriptors to
+//! derive kernel latencies; PRoof itself (`proof-core`) consumes them for
+//! roofline ceilings.
+
+pub mod clock;
+pub mod jetson;
+pub mod platform;
+pub mod power;
+
+pub use clock::ClockConfig;
+pub use jetson::{JetsonPowerProfile, OrinNx};
+pub use platform::{ComputeSpec, GpuArch, HwFamily, MemorySpec, Platform, PlatformId, Scenario};
+pub use power::PowerModel;

@@ -1,0 +1,513 @@
+//! Platform descriptors for the seven evaluation platforms (paper Table 2).
+
+use crate::clock::ClockConfig;
+use proof_ir::DType;
+use serde::{Deserialize, Serialize};
+
+/// Deployment scenario, as categorized by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    DataCenter,
+    Desktop,
+    Edge,
+    Mobile,
+}
+
+/// Hardware family; drives which backend flavours apply and which kernel
+/// efficiency table the runtime simulator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HwFamily {
+    NvidiaGpu,
+    NvidiaJetson,
+    X86Cpu,
+    ArmCpu,
+    IntelNpu,
+}
+
+/// GPU microarchitecture — used by the simulated Nsight Compute and PRoof's
+/// Tensor-Core FLOP correction (paper §4.2: NCU assumes 512 FLOP per HMMA,
+/// which is only right for Volta's `HMMA.884.F32.F32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuArch {
+    Volta,
+    Turing,
+    Ampere,
+    Ada,
+    /// Not an NVIDIA GPU (no HMMA semantics).
+    NonNvidia,
+}
+
+/// Compute throughput per execution unit (SM / CPU core / NPU tile), in
+/// FLOP (or integer OP) per cycle. A rate of 0 means the path is absent and
+/// falls back to the vector path (or fp32 for missing vector dtypes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSpec {
+    /// Execution unit count (SMs, cores, NPU neural-compute engines).
+    pub units: u32,
+    /// Matrix-engine (Tensor Core / AMX / NPU MAC array) FLOP/cycle/unit.
+    pub matrix_fp16: f64,
+    pub matrix_int8: f64,
+    /// Vector/SIMD FLOP/cycle/unit.
+    pub vector_fp32: f64,
+    pub vector_fp16: f64,
+    pub vector_int8: f64,
+}
+
+impl ComputeSpec {
+    /// FLOP/cycle/unit for `dtype`, on the matrix engine when `matrix` is
+    /// set (falling back to the vector path when no matrix engine exists).
+    pub fn flops_per_cycle(&self, dtype: DType, matrix: bool) -> f64 {
+        let (m, v) = match dtype {
+            DType::F16 | DType::BF16 => (self.matrix_fp16, self.vector_fp16),
+            DType::I8 | DType::U8 => (self.matrix_int8, self.vector_int8),
+            _ => (0.0, self.vector_fp32),
+        };
+        let v = if v > 0.0 { v } else { self.vector_fp32 };
+        if matrix && m > 0.0 {
+            m
+        } else {
+            v
+        }
+    }
+
+    /// Whether a matrix engine exists for `dtype`.
+    pub fn has_matrix_engine(&self, dtype: DType) -> bool {
+        match dtype {
+            DType::F16 | DType::BF16 => self.matrix_fp16 > 0.0,
+            DType::I8 | DType::U8 => self.matrix_int8 > 0.0,
+            _ => false,
+        }
+    }
+}
+
+/// DRAM subsystem description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Bus width in bytes transferred per memory-clock cycle.
+    pub bytes_per_cycle: f64,
+    /// Hard cap below the pin bandwidth, if an internal bus limits it
+    /// (Raspberry Pi 4B's BCM2711 AXI: ~5.5 GB/s, per the paper).
+    pub bus_cap_gbs: Option<f64>,
+    /// Fraction of theoretical bandwidth a well-tuned streaming kernel
+    /// reaches (the "achieved" roofline of Table 6).
+    pub streaming_efficiency: f64,
+}
+
+/// A full platform descriptor with its current clock configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    pub id: PlatformId,
+    pub name: String,
+    pub scenario: Scenario,
+    pub family: HwFamily,
+    pub arch: GpuArch,
+    pub compute: ComputeSpec,
+    pub memory: MemorySpec,
+    /// Current clocks (defaults to the platform maximums).
+    pub clocks: ClockConfig,
+    /// Per-kernel launch/dispatch overhead, microseconds.
+    pub kernel_launch_us: f64,
+    /// Smallest achievable kernel duration, microseconds.
+    pub min_kernel_us: f64,
+    /// On-chip SRAM per unit (KiB) — scratch for fusion legality heuristics.
+    pub sram_kb_per_unit: u32,
+    /// TPC (unit-pair) count for power-gating masks; 0 = not maskable.
+    pub tpc_count: u32,
+}
+
+impl Platform {
+    /// Fraction of units enabled under the current `TPC_PG_MASK`.
+    pub fn enabled_unit_fraction(&self) -> f64 {
+        if self.tpc_count == 0 {
+            return 1.0;
+        }
+        let enabled = self.clocks.enabled_tpcs(self.tpc_count);
+        enabled as f64 / self.tpc_count as f64
+    }
+
+    /// Theoretical peak FLOP/s for `dtype` at current clocks.
+    /// `matrix` selects the Tensor-Core/MAC-array path where available.
+    pub fn peak_flops(&self, dtype: DType, matrix: bool) -> f64 {
+        self.compute.flops_per_cycle(dtype, matrix)
+            * self.compute.units as f64
+            * self.enabled_unit_fraction()
+            * self.clocks.gpu_mhz as f64
+            * 1e6
+    }
+
+    /// Theoretical DRAM bandwidth (bytes/s) at current clocks.
+    pub fn theoretical_bw(&self) -> f64 {
+        let pin = self.memory.bytes_per_cycle * self.clocks.mem_mhz as f64 * 1e6;
+        match self.memory.bus_cap_gbs {
+            Some(cap) => pin.min(cap * 1e9),
+            None => pin,
+        }
+    }
+
+    /// Achievable streaming bandwidth (bytes/s) — the memory roofline.
+    pub fn achievable_bw(&self) -> f64 {
+        self.theoretical_bw() * self.memory.streaming_efficiency
+    }
+
+    /// Return a copy reclocked to `clocks`.
+    pub fn with_clocks(&self, clocks: ClockConfig) -> Platform {
+        let mut p = self.clone();
+        p.clocks = clocks;
+        p
+    }
+
+    /// The dtype the paper's evaluation uses on this platform
+    /// ("a batch size and data type that is reasonable and fully utilizes
+    /// the hardware").
+    pub fn preferred_dtype(&self) -> DType {
+        match self.family {
+            HwFamily::NvidiaGpu | HwFamily::NvidiaJetson | HwFamily::IntelNpu => DType::F16,
+            HwFamily::X86Cpu | HwFamily::ArmCpu => DType::F32,
+        }
+    }
+
+    /// The batch size the paper's evaluation uses on this platform.
+    pub fn preferred_batch(&self) -> u64 {
+        match self.scenario {
+            Scenario::DataCenter | Scenario::Desktop => 128,
+            Scenario::Edge => 16,
+            Scenario::Mobile => 1,
+        }
+    }
+}
+
+/// The seven platforms of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformId {
+    A100,
+    Rtx4090,
+    Xeon6330,
+    XavierNx,
+    OrinNx,
+    RaspberryPi4,
+    Npu3720,
+}
+
+impl PlatformId {
+    pub const ALL: [PlatformId; 7] = [
+        PlatformId::A100,
+        PlatformId::Rtx4090,
+        PlatformId::Xeon6330,
+        PlatformId::XavierNx,
+        PlatformId::OrinNx,
+        PlatformId::RaspberryPi4,
+        PlatformId::Npu3720,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::A100 => "NVIDIA A100 PCIE-40GB",
+            PlatformId::Rtx4090 => "NVIDIA RTX 4090",
+            PlatformId::Xeon6330 => "Intel Xeon Gold 6330",
+            PlatformId::XavierNx => "NVIDIA Jetson Xavier NX",
+            PlatformId::OrinNx => "NVIDIA Jetson Orin NX 16GB",
+            PlatformId::RaspberryPi4 => "Raspberry Pi 4B",
+            PlatformId::Npu3720 => "NPU 3720 (Intel Core Ultra 185H)",
+        }
+    }
+
+    /// Parse a CLI-friendly identifier (`"a100"`, `"orin-nx"`, ...).
+    pub fn parse(s: &str) -> Option<PlatformId> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "a100" => Some(PlatformId::A100),
+            "rtx4090" | "4090" => Some(PlatformId::Rtx4090),
+            "xeon6330" | "xeon" => Some(PlatformId::Xeon6330),
+            "xaviernx" | "xavier" => Some(PlatformId::XavierNx),
+            "orinnx" | "orin" => Some(PlatformId::OrinNx),
+            "raspberrypi4" | "rpi4" | "rpi" => Some(PlatformId::RaspberryPi4),
+            "npu3720" | "npu" => Some(PlatformId::Npu3720),
+            _ => None,
+        }
+    }
+
+    /// Build the platform descriptor at stock maximum clocks.
+    pub fn spec(self) -> Platform {
+        match self {
+            // 108 SMs @ 1410 MHz; 312 TFLOP/s fp16 TC, 624 TOPS int8,
+            // 19.5 TFLOP/s fp32 CUDA cores; 1555 GB/s HBM2 @ 1215 MHz.
+            PlatformId::A100 => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::DataCenter,
+                family: HwFamily::NvidiaGpu,
+                arch: GpuArch::Ampere,
+                compute: ComputeSpec {
+                    units: 108,
+                    matrix_fp16: 2048.0,
+                    matrix_int8: 4096.0,
+                    vector_fp32: 128.0,
+                    vector_fp16: 256.0,
+                    vector_int8: 256.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 1280.0,
+                    bus_cap_gbs: None,
+                    streaming_efficiency: 0.88,
+                },
+                clocks: ClockConfig::new(1410, 1215),
+                kernel_launch_us: 4.0,
+                min_kernel_us: 2.0,
+                sram_kb_per_unit: 192,
+                tpc_count: 0,
+            },
+            // 128 SMs @ 2520 MHz; ~330 TFLOP/s fp16 TC, 82.6 TFLOP/s fp32;
+            // 1008 GB/s GDDR6X.
+            PlatformId::Rtx4090 => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::Desktop,
+                family: HwFamily::NvidiaGpu,
+                arch: GpuArch::Ada,
+                compute: ComputeSpec {
+                    units: 128,
+                    matrix_fp16: 1024.0,
+                    matrix_int8: 2048.0,
+                    vector_fp32: 256.0,
+                    vector_fp16: 256.0,
+                    vector_int8: 256.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 96.0,
+                    bus_cap_gbs: None,
+                    streaming_efficiency: 0.88,
+                },
+                clocks: ClockConfig::new(2520, 10500),
+                kernel_launch_us: 3.5,
+                min_kernel_us: 2.0,
+                sram_kb_per_unit: 128,
+                tpc_count: 0,
+            },
+            // 28 cores @ ~2.0 GHz all-core AVX-512 (2×FMA): 3.58 TFLOP/s
+            // fp32; VNNI int8; 8-channel DDR4-2933: 188 GB/s.
+            PlatformId::Xeon6330 => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::DataCenter,
+                family: HwFamily::X86Cpu,
+                arch: GpuArch::NonNvidia,
+                compute: ComputeSpec {
+                    units: 28,
+                    matrix_fp16: 0.0,
+                    matrix_int8: 0.0,
+                    vector_fp32: 64.0,
+                    vector_fp16: 0.0,
+                    vector_int8: 256.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 64.0,
+                    bus_cap_gbs: None,
+                    streaming_efficiency: 0.80,
+                },
+                clocks: ClockConfig::new(2000, 2933),
+                kernel_launch_us: 1.5,
+                min_kernel_us: 1.0,
+                sram_kb_per_unit: 1280,
+                tpc_count: 0,
+            },
+            // Volta iGPU: 6 SMs (48 TCs) @ 1100 MHz: ~6.8 TFLOP/s fp16;
+            // LPDDR4x 51.2 GB/s.
+            PlatformId::XavierNx => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::Edge,
+                family: HwFamily::NvidiaJetson,
+                arch: GpuArch::Volta,
+                compute: ComputeSpec {
+                    units: 6,
+                    matrix_fp16: 1024.0,
+                    matrix_int8: 2048.0,
+                    vector_fp32: 128.0,
+                    vector_fp16: 256.0,
+                    vector_int8: 256.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 32.0,
+                    bus_cap_gbs: None,
+                    streaming_efficiency: 0.85,
+                },
+                clocks: ClockConfig::new(1100, 1600),
+                kernel_launch_us: 10.0,
+                min_kernel_us: 5.0,
+                sram_kb_per_unit: 128,
+                tpc_count: 0,
+            },
+            // Ampere iGPU: 8 SMs @ 918 MHz: 15.0 TFLOP/s fp16 theoretical
+            // (Table 6 achieves 13.6); LPDDR5 @ 3199 MHz: 102.4 GB/s
+            // theoretical (Table 6 achieves 87.9). 4 TPCs, maskable.
+            PlatformId::OrinNx => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::Edge,
+                family: HwFamily::NvidiaJetson,
+                arch: GpuArch::Ampere,
+                compute: ComputeSpec {
+                    units: 8,
+                    matrix_fp16: 2048.0,
+                    matrix_int8: 4096.0,
+                    vector_fp32: 128.0,
+                    vector_fp16: 256.0,
+                    vector_int8: 256.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 32.0,
+                    bus_cap_gbs: None,
+                    streaming_efficiency: 0.86,
+                },
+                clocks: ClockConfig::new(918, 3199),
+                kernel_launch_us: 8.0,
+                min_kernel_us: 4.0,
+                sram_kb_per_unit: 192,
+                tpc_count: 4,
+            },
+            // 4× Cortex-A72 @ 1.5 GHz NEON: ~48 GFLOP/s fp32; BCM2711 AXI
+            // caps DRAM at ~5.5 GB/s (paper §4.3).
+            PlatformId::RaspberryPi4 => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::Edge,
+                family: HwFamily::ArmCpu,
+                arch: GpuArch::NonNvidia,
+                compute: ComputeSpec {
+                    units: 4,
+                    matrix_fp16: 0.0,
+                    matrix_int8: 0.0,
+                    vector_fp32: 8.0,
+                    vector_fp16: 0.0,
+                    vector_int8: 32.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 8.0,
+                    bus_cap_gbs: Some(5.5),
+                    streaming_efficiency: 0.95,
+                },
+                clocks: ClockConfig::new(1500, 1600),
+                kernel_launch_us: 3.0,
+                min_kernel_us: 2.0,
+                sram_kb_per_unit: 512,
+                tpc_count: 0,
+            },
+            // Intel AI Boost (NPU 3720): 2048 fp16 MACs/cycle @ 1.4 GHz =
+            // 5.7 TFLOP/s fp16 / 11.5 TOPS int8 (paper §4.3); shared
+            // LPDDR5 at ~64 GB/s effective for the NPU.
+            PlatformId::Npu3720 => Platform {
+                id: self,
+                name: self.name().into(),
+                scenario: Scenario::Mobile,
+                family: HwFamily::IntelNpu,
+                arch: GpuArch::NonNvidia,
+                compute: ComputeSpec {
+                    units: 2,
+                    matrix_fp16: 2048.0,
+                    matrix_int8: 4096.0,
+                    vector_fp32: 64.0,
+                    vector_fp16: 128.0,
+                    vector_int8: 128.0,
+                },
+                memory: MemorySpec {
+                    bytes_per_cycle: 64.0,
+                    bus_cap_gbs: None,
+                    streaming_efficiency: 0.80,
+                },
+                clocks: ClockConfig::new(1400, 1000),
+                kernel_launch_us: 20.0,
+                min_kernel_us: 10.0,
+                sram_kb_per_unit: 2048,
+                tpc_count: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_peaks_match_datasheet() {
+        let p = PlatformId::A100.spec();
+        let fp16 = p.peak_flops(DType::F16, true);
+        assert!((fp16 / 1e12 - 312.0).abs() < 5.0, "fp16 TC peak {fp16}");
+        let int8 = p.peak_flops(DType::I8, true);
+        assert!((int8 / 1e12 - 624.0).abs() < 10.0);
+        let fp32 = p.peak_flops(DType::F32, false);
+        assert!((fp32 / 1e12 - 19.5).abs() < 0.5);
+        let bw = p.theoretical_bw();
+        assert!((bw / 1e9 - 1555.0).abs() < 5.0, "bw {bw}");
+    }
+
+    #[test]
+    fn orin_nx_matches_table6_theoreticals() {
+        let p = PlatformId::OrinNx.spec();
+        // 918 MHz × 8 SMs × 2048 = 15.04 TFLOP/s
+        assert!((p.peak_flops(DType::F16, true) / 1e12 - 15.04).abs() < 0.1);
+        // 3199 MHz × 32 B = 102.4 GB/s
+        assert!((p.theoretical_bw() / 1e9 - 102.4).abs() < 0.5);
+        // reclocking scales linearly
+        let lo = p.with_clocks(ClockConfig::new(510, 2133));
+        assert!((lo.peak_flops(DType::F16, true) / p.peak_flops(DType::F16, true) - 510.0 / 918.0).abs() < 1e-9);
+        assert!((lo.theoretical_bw() / p.theoretical_bw() - 2133.0 / 3199.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn npu_matches_paper_quoted_peaks() {
+        let p = PlatformId::Npu3720.spec();
+        // paper: 5.7 TFLOP/s fp16 or 11.5 TOPS int8 (2048 fp16 MACs @ 1.4 GHz)
+        assert!((p.peak_flops(DType::F16, true) / 1e12 - 5.73).abs() < 0.1);
+        assert!((p.peak_flops(DType::I8, true) / 1e12 - 11.47).abs() < 0.2);
+    }
+
+    #[test]
+    fn rpi4_bandwidth_is_axi_capped() {
+        let p = PlatformId::RaspberryPi4.spec();
+        assert!((p.theoretical_bw() / 1e9 - 5.5).abs() < 1e-9);
+        assert!(p.theoretical_bw() < p.memory.bytes_per_cycle * 1600e6);
+    }
+
+    #[test]
+    fn cpu_has_no_matrix_engine_and_falls_back() {
+        let p = PlatformId::Xeon6330.spec();
+        assert!(!p.compute.has_matrix_engine(DType::F16));
+        // fp16 matrix request falls back to fp32 vector rate
+        assert_eq!(
+            p.peak_flops(DType::F16, true),
+            p.peak_flops(DType::F32, false)
+        );
+        // int8 VNNI is 4× fp32
+        assert_eq!(p.peak_flops(DType::I8, true), 4.0 * p.peak_flops(DType::F32, false));
+    }
+
+    #[test]
+    fn tpc_mask_scales_units() {
+        let p = PlatformId::OrinNx.spec();
+        let full = p.peak_flops(DType::F16, true);
+        let mut c = p.clocks;
+        c.tpc_pg_mask = 252; // 2 of 4 TPCs enabled
+        let half = p.with_clocks(c).peak_flops(DType::F16, true);
+        assert!((half / full - 0.5).abs() < 1e-9, "{half} vs {full}");
+    }
+
+    #[test]
+    fn all_platforms_build_and_have_positive_specs() {
+        for id in PlatformId::ALL {
+            let p = id.spec();
+            assert!(p.peak_flops(p.preferred_dtype(), true) > 0.0, "{:?}", id);
+            assert!(p.achievable_bw() > 0.0);
+            assert!(p.achievable_bw() <= p.theoretical_bw());
+            assert!(p.kernel_launch_us > 0.0);
+            assert_eq!(PlatformId::parse(&format!("{:?}", id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn preferred_config_varies_by_scenario() {
+        assert_eq!(PlatformId::A100.spec().preferred_batch(), 128);
+        assert_eq!(PlatformId::Npu3720.spec().preferred_batch(), 1);
+        assert_eq!(PlatformId::Xeon6330.spec().preferred_dtype(), DType::F32);
+        assert_eq!(PlatformId::A100.spec().preferred_dtype(), DType::F16);
+    }
+}

@@ -1,0 +1,155 @@
+//! Utilization-dependent SoC power model (Jetson Orin NX).
+//!
+//! Calibrated against the paper's Table 6 (roofline-peak test at five clock
+//! pairs) using the standard `P ∝ f·V² ≈ f²` dynamic-power approximation:
+//!
+//! | clocks (GPU/EMC MHz) | paper (W) | this model, full util (W) |
+//! |---|---|---|
+//! | 918 / 3199 | 23.6 | ≈23.7 |
+//! | 918 / 2133 | 21.3 | ≈21.2 |
+//! | 510 / 3199 | 15.7 | ≈15.8 |
+//! | 510 / 2133 | 13.6 | ≈13.3 |
+//! | 510 /  665 | 11.5 | ≈11.4 |
+//!
+//! Workload power (Table 7) additionally depends on the GPU/memory busy
+//! fractions, which the runtime simulator reports per profiled run.
+
+use crate::clock::ClockConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-platform power coefficients. Only edge platforms (with a power budget
+/// to tune against) carry one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Always-on SoC power (W): rails, IO, idle DRAM refresh.
+    pub soc_idle_w: f64,
+    /// Per active CPU cluster at 729 MHz (W); scales linearly with clock.
+    pub cpu_cluster_w: f64,
+    /// GPU dynamic coefficient: `P_gpu_max = k × f_ghz²` (W).
+    pub gpu_k: f64,
+    /// Memory-controller dynamic coefficient: `P_mem_max = k × f_ghz²` (W).
+    pub mem_k: f64,
+    /// Fraction of GPU dynamic power burned even when idle but clocked.
+    pub gpu_idle_frac: f64,
+    /// Fraction of memory dynamic power burned even when idle but clocked.
+    pub mem_idle_frac: f64,
+    /// Physical TPC count for gating-aware scaling (0 = not gateable).
+    pub tpc_count: u32,
+}
+
+impl PowerModel {
+    /// The Jetson Orin NX model calibrated above.
+    pub fn orin_nx() -> Self {
+        PowerModel {
+            soc_idle_w: 6.7,
+            cpu_cluster_w: 1.0,
+            gpu_k: 13.56,
+            mem_k: 0.45,
+            gpu_idle_frac: 0.18,
+            mem_idle_frac: 0.10,
+            tpc_count: 4,
+        }
+    }
+
+    /// Maximum (fully-utilized) GPU power at these clocks, accounting for
+    /// gated TPCs (gated units burn no dynamic power).
+    pub fn gpu_max_w(&self, clocks: &ClockConfig) -> f64 {
+        let f = clocks.gpu_mhz as f64 / 1000.0;
+        let frac = if self.tpc_count == 0 {
+            1.0
+        } else {
+            clocks.enabled_tpcs(self.tpc_count) as f64 / self.tpc_count as f64
+        };
+        self.gpu_k * f * f * frac
+    }
+
+    /// Maximum memory-subsystem power at these clocks.
+    pub fn mem_max_w(&self, clocks: &ClockConfig) -> f64 {
+        let f = clocks.mem_mhz as f64 / 1000.0;
+        self.mem_k * f * f
+    }
+
+    /// Total SoC power for a workload with the given busy fractions
+    /// (`util_gpu`, `util_mem` ∈ [0, 1], time-averaged over the run).
+    pub fn power_w(&self, clocks: &ClockConfig, util_gpu: f64, util_mem: f64) -> f64 {
+        let ug = util_gpu.clamp(0.0, 1.0);
+        let um = util_mem.clamp(0.0, 1.0);
+        let cpu: f64 = clocks
+            .cpu_mhz
+            .iter()
+            .flatten()
+            .map(|&f| self.cpu_cluster_w * f as f64 / 729.0)
+            .sum();
+        self.soc_idle_w
+            + cpu
+            + self.gpu_max_w(clocks) * (self.gpu_idle_frac + (1.0 - self.gpu_idle_frac) * ug)
+            + self.mem_max_w(clocks) * (self.mem_idle_frac + (1.0 - self.mem_idle_frac) * um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clocks(gpu: u32, mem: u32) -> ClockConfig {
+        ClockConfig::new(gpu, mem) // one CPU cluster at 729 MHz
+    }
+
+    #[test]
+    fn table6_calibration_within_half_watt() {
+        let m = PowerModel::orin_nx();
+        let rows = [
+            (918, 3199, 23.6),
+            (918, 2133, 21.3),
+            (510, 3199, 15.7),
+            (510, 2133, 13.6),
+            (510, 665, 11.5),
+        ];
+        for (g, e, paper) in rows {
+            let p = m.power_w(&clocks(g, e), 1.0, 1.0);
+            assert!(
+                (p - paper).abs() < 0.5,
+                "({g},{e}): model {p:.1} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_clocks_and_utilization() {
+        let m = PowerModel::orin_nx();
+        let lo = m.power_w(&clocks(510, 2133), 0.5, 0.5);
+        assert!(m.power_w(&clocks(918, 2133), 0.5, 0.5) > lo);
+        assert!(m.power_w(&clocks(510, 3199), 0.5, 0.5) > lo);
+        assert!(m.power_w(&clocks(510, 2133), 0.9, 0.5) > lo);
+        assert!(m.power_w(&clocks(510, 2133), 0.5, 0.9) > lo);
+    }
+
+    #[test]
+    fn gating_tpcs_saves_gpu_power() {
+        let m = PowerModel::orin_nx();
+        let full = m.gpu_max_w(&clocks(612, 3199).with_tpc_mask(240));
+        let half = m.gpu_max_w(&clocks(612, 3199).with_tpc_mask(252));
+        assert!((half / full - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_cpu_cluster_costs_about_a_watt() {
+        let m = PowerModel::orin_nx();
+        let one = m.power_w(&clocks(918, 3199), 1.0, 1.0);
+        let two = m.power_w(
+            &ClockConfig::new(918, 3199).with_cpus(Some(729), Some(729)),
+            1.0,
+            1.0,
+        );
+        assert!((two - one - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = PowerModel::orin_nx();
+        assert_eq!(
+            m.power_w(&clocks(918, 3199), 2.0, -1.0),
+            m.power_w(&clocks(918, 3199), 1.0, 0.0)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the machine models: clock scaling linearity, power
+//! monotonicity, and TPC-mask sanity across the whole platform set.
+
+use proof_hw::{ClockConfig, Platform, PlatformId, PowerModel};
+use proof_ir::DType;
+use proptest::prelude::*;
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    prop::sample::select(PlatformId::ALL.to_vec()).prop_map(|id| id.spec())
+}
+
+proptest! {
+    /// Peak FLOP/s is linear in the GPU clock for every platform and dtype.
+    #[test]
+    fn peak_scales_linearly_with_gpu_clock(p in any_platform(), f in 100u32..3000) {
+        for dtype in [DType::F32, DType::F16, DType::I8] {
+            let base = p.peak_flops(dtype, true);
+            let scaled = p
+                .with_clocks(ClockConfig::new(f, p.clocks.mem_mhz))
+                .peak_flops(dtype, true);
+            let expect = base * f as f64 / p.clocks.gpu_mhz as f64;
+            prop_assert!((scaled - expect).abs() < 1e-3 * expect.max(1.0));
+        }
+    }
+
+    /// Bandwidth is monotone in the memory clock and respects any bus cap.
+    #[test]
+    fn bandwidth_monotone_and_capped(p in any_platform(), f1 in 100u32..4000, f2 in 100u32..4000) {
+        let (lo, hi) = (f1.min(f2), f1.max(f2));
+        let bw_lo = p.with_clocks(ClockConfig::new(p.clocks.gpu_mhz, lo)).theoretical_bw();
+        let bw_hi = p.with_clocks(ClockConfig::new(p.clocks.gpu_mhz, hi)).theoretical_bw();
+        prop_assert!(bw_lo <= bw_hi + 1e-9);
+        if let Some(cap) = p.memory.bus_cap_gbs {
+            prop_assert!(bw_hi <= cap * 1e9 + 1e-6);
+        }
+        prop_assert!(p.achievable_bw() <= p.theoretical_bw());
+    }
+
+    /// Power is monotone in clocks and utilization, and always positive.
+    #[test]
+    fn power_monotonicity(
+        g1 in 306u32..=918, g2 in 306u32..=918,
+        m1 in 665u32..=3199, m2 in 665u32..=3199,
+        ug in 0.0f64..=1.0, um in 0.0f64..=1.0,
+    ) {
+        let power = PowerModel::orin_nx();
+        let (glo, ghi) = (g1.min(g2), g1.max(g2));
+        let (mlo, mhi) = (m1.min(m2), m1.max(m2));
+        let p_lo = power.power_w(&ClockConfig::new(glo, mlo), ug, um);
+        let p_hi = power.power_w(&ClockConfig::new(ghi, mhi), ug, um);
+        prop_assert!(p_lo > 0.0);
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        // more utilization never reduces power
+        let busier = power.power_w(&ClockConfig::new(glo, mlo), 1.0, 1.0);
+        prop_assert!(p_lo <= busier + 1e-9);
+    }
+
+    /// Any 8-bit TPC mask leaves between 1 and `total` units enabled.
+    #[test]
+    fn tpc_mask_bounds(mask in any::<u8>(), total in 1u32..=8) {
+        let c = ClockConfig::new(918, 3199).with_tpc_mask(mask);
+        let enabled = c.enabled_tpcs(total);
+        prop_assert!(enabled >= 1);
+        prop_assert!(enabled <= total);
+    }
+}

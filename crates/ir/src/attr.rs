@@ -1,0 +1,195 @@
+//! Operator attributes (the ONNX `AttributeProto` equivalent).
+
+use crate::dtype::DType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    Int(i64),
+    Ints(Vec<i64>),
+    Float(f64),
+    Floats(Vec<f64>),
+    Str(String),
+    DType(DType),
+}
+
+/// An ordered attribute map. `BTreeMap` keeps serialization deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Attributes(pub BTreeMap<String, AttrValue>);
+
+impl Attributes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert, builder-style.
+    pub fn with(mut self, key: &str, value: AttrValue) -> Self {
+        self.0.insert(key.to_string(), value);
+        self
+    }
+
+    pub fn with_int(self, key: &str, v: i64) -> Self {
+        self.with(key, AttrValue::Int(v))
+    }
+
+    pub fn with_ints(self, key: &str, v: &[i64]) -> Self {
+        self.with(key, AttrValue::Ints(v.to_vec()))
+    }
+
+    pub fn with_float(self, key: &str, v: f64) -> Self {
+        self.with(key, AttrValue::Float(v))
+    }
+
+    pub fn with_str(self, key: &str, v: &str) -> Self {
+        self.with(key, AttrValue::Str(v.to_string()))
+    }
+
+    pub fn with_dtype(self, key: &str, v: DType) -> Self {
+        self.with(key, AttrValue::DType(v))
+    }
+
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.0.get(key)
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    /// Integer attribute; also accepts a float that is integral.
+    pub fn int(&self, key: &str) -> Option<i64> {
+        match self.0.get(key)? {
+            AttrValue::Int(v) => Some(*v),
+            AttrValue::Float(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn int_or(&self, key: &str, default: i64) -> i64 {
+        self.int(key).unwrap_or(default)
+    }
+
+    pub fn ints(&self, key: &str) -> Option<&[i64]> {
+        match self.0.get(key)? {
+            AttrValue::Ints(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn float(&self, key: &str) -> Option<f64> {
+        match self.0.get(key)? {
+            AttrValue::Float(v) => Some(*v),
+            AttrValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn float_or(&self, key: &str, default: f64) -> f64 {
+        self.float(key).unwrap_or(default)
+    }
+
+    pub fn floats(&self, key: &str) -> Option<&[f64]> {
+        match self.0.get(key)? {
+            AttrValue::Floats(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.0.get(key)? {
+            AttrValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn dtype(&self, key: &str) -> Option<DType> {
+        match self.0.get(key)? {
+            AttrValue::DType(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Shorthand to build an [`Attributes`] map:
+/// `attrs! { "kernel_shape" => ints[3, 3], "group" => int 32 }`.
+#[macro_export]
+macro_rules! attrs {
+    () => { $crate::attr::Attributes::new() };
+    ($($key:literal => $kind:ident $v:tt),+ $(,)?) => {{
+        let a = $crate::attr::Attributes::new();
+        $(let a = $crate::attrs!(@one a, $key, $kind $v);)+
+        a
+    }};
+    (@one $a:expr, $key:literal, int $v:expr) => { $a.with_int($key, $v) };
+    (@one $a:expr, $key:literal, ints $v:expr) => { $a.with_ints($key, &$v) };
+    (@one $a:expr, $key:literal, float $v:expr) => { $a.with_float($key, $v) };
+    (@one $a:expr, $key:literal, str $v:expr) => { $a.with_str($key, $v) };
+    (@one $a:expr, $key:literal, dtype $v:expr) => { $a.with_dtype($key, $v) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_getters() {
+        let a = Attributes::new()
+            .with_int("axis", -1)
+            .with_ints("pads", &[1, 1, 1, 1])
+            .with_float("epsilon", 1e-5)
+            .with_str("mode", "nearest")
+            .with_dtype("to", DType::F16);
+        assert_eq!(a.int("axis"), Some(-1));
+        assert_eq!(a.ints("pads"), Some(&[1i64, 1, 1, 1][..]));
+        assert_eq!(a.float("epsilon"), Some(1e-5));
+        assert_eq!(a.str("mode"), Some("nearest"));
+        assert_eq!(a.dtype("to"), Some(DType::F16));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn defaults_and_missing_keys() {
+        let a = Attributes::new();
+        assert_eq!(a.int("missing"), None);
+        assert_eq!(a.int_or("group", 1), 1);
+        assert_eq!(a.float_or("alpha", 0.2), 0.2);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn wrong_type_returns_none() {
+        let a = Attributes::new().with_str("axis", "nope");
+        assert_eq!(a.int("axis"), None);
+        assert_eq!(a.ints("axis"), None);
+    }
+
+    #[test]
+    fn int_accepts_integral_float() {
+        let a = Attributes::new().with_float("k", 3.0);
+        assert_eq!(a.int("k"), Some(3));
+        let b = Attributes::new().with_float("k", 3.5);
+        assert_eq!(b.int("k"), None);
+    }
+
+    #[test]
+    fn attrs_macro() {
+        let a = attrs! {
+            "kernel_shape" => ints[3, 3],
+            "group" => int 32,
+            "mode" => str "linear",
+        };
+        assert_eq!(a.ints("kernel_shape"), Some(&[3i64, 3][..]));
+        assert_eq!(a.int("group"), Some(32));
+        assert_eq!(a.str("mode"), Some("linear"));
+    }
+}

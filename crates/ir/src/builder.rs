@@ -1,0 +1,557 @@
+//! Eager graph builder with inline shape inference.
+//!
+//! Mid-level helpers (`conv`, `linear`, `layer_norm_decomposed`, `gelu`, ...)
+//! emit exactly the node patterns PyTorch's ONNX exporter emits, so that the
+//! model zoo's node counts are comparable to the paper's Table 3.
+
+use crate::{
+    infer_shapes, AttrValue, Attributes, DType, Graph, Node, OpKind, Shape, TensorId, TensorInfo,
+    TensorKind,
+};
+use std::collections::HashSet;
+
+/// Builds a [`Graph`] node by node, running shape inference eagerly so every
+/// tensor has a concrete shape, and enforcing unique node/tensor names.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    tensors: Vec<TensorInfo>,
+    nodes: Vec<Node>,
+    inputs: Vec<TensorId>,
+    outputs: Vec<TensorId>,
+    used_names: HashSet<String>,
+}
+
+impl GraphBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            tensors: Vec::new(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            used_names: HashSet::new(),
+        }
+    }
+
+    fn unique(&mut self, base: &str) -> String {
+        if self.used_names.insert(base.to_string()) {
+            return base.to_string();
+        }
+        for i in 1.. {
+            let cand = format!("{base}_{i}");
+            if self.used_names.insert(cand.clone()) {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+
+    fn add_tensor(&mut self, name: &str, shape: Shape, dtype: DType, kind: TensorKind) -> TensorId {
+        let name = self.unique(name);
+        let id = self.tensors.len() as TensorId;
+        self.tensors.push(TensorInfo::new(name, shape, dtype, kind));
+        id
+    }
+
+    /// Declare a graph input.
+    pub fn input(&mut self, name: &str, dims: &[u64], dtype: DType) -> TensorId {
+        let id = self.add_tensor(name, Shape::new(dims), dtype, TensorKind::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declare an f32 weight (ONNX initializer).
+    pub fn weight(&mut self, name: &str, dims: &[u64]) -> TensorId {
+        self.add_tensor(name, Shape::new(dims), DType::F32, TensorKind::Weight)
+    }
+
+    /// Declare a weight with an explicit dtype (e.g. `I64` index tables).
+    pub fn weight_typed(&mut self, name: &str, dims: &[u64], dtype: DType) -> TensorId {
+        self.add_tensor(name, Shape::new(dims), dtype, TensorKind::Weight)
+    }
+
+    /// A scalar f32 initializer (for broadcast constants like `sqrt(2)`).
+    pub fn scalar(&mut self, name: &str) -> TensorId {
+        self.add_tensor(name, Shape::scalar(), DType::F32, TensorKind::Weight)
+    }
+
+    /// Mark a tensor as a graph output.
+    pub fn output(&mut self, id: TensorId) {
+        self.tensors[id as usize].kind = TensorKind::Output;
+        self.outputs.push(id);
+    }
+
+    /// Append a node, inferring its single output shape.
+    ///
+    /// # Panics
+    /// On shape-inference failure (model construction is programmer error).
+    pub fn push(&mut self, name: &str, op: OpKind, attrs: Attributes, inputs: &[TensorId]) -> TensorId {
+        self.push_multi(name, op, attrs, inputs)[0]
+    }
+
+    /// Append a (possibly multi-output) node, returning all output ids.
+    pub fn push_multi(
+        &mut self,
+        name: &str,
+        op: OpKind,
+        attrs: Attributes,
+        inputs: &[TensorId],
+    ) -> Vec<TensorId> {
+        match self.try_push(name, op, attrs, inputs) {
+            Ok(outs) => outs,
+            Err(e) => panic!("while building node {name} ({op}) in graph {}: {e}", self.name),
+        }
+    }
+
+    /// Fallible node append.
+    pub fn try_push(
+        &mut self,
+        name: &str,
+        op: OpKind,
+        attrs: Attributes,
+        inputs: &[TensorId],
+    ) -> Result<Vec<TensorId>, crate::ShapeError> {
+        let in_meta: Vec<(Shape, DType)> = inputs
+            .iter()
+            .map(|&id| {
+                let t = &self.tensors[id as usize];
+                (t.shape.clone(), t.dtype)
+            })
+            .collect();
+        let outs = infer_shapes(op, &attrs, &in_meta)?;
+        let node_name = self.unique(name);
+        let mut out_ids = Vec::with_capacity(outs.len());
+        for (i, (shape, dtype)) in outs.into_iter().enumerate() {
+            let tname = if i == 0 {
+                format!("{node_name}:0")
+            } else {
+                format!("{node_name}:{i}")
+            };
+            out_ids.push(self.add_tensor(&tname, shape, dtype, TensorKind::Activation));
+        }
+        self.nodes.push(Node::new(
+            node_name,
+            op,
+            attrs,
+            inputs.to_vec(),
+            out_ids.clone(),
+        ));
+        Ok(out_ids)
+    }
+
+    /// Shape of a tensor built so far.
+    pub fn shape(&self, id: TensorId) -> &Shape {
+        &self.tensors[id as usize].shape
+    }
+
+    /// Channel dim (axis 1) of a tensor built so far.
+    pub fn channels(&self, id: TensorId) -> u64 {
+        self.shape(id).0[1]
+    }
+
+    /// Finish: returns the validated graph.
+    ///
+    /// # Panics
+    /// If validation fails (builder invariants should make this impossible).
+    pub fn finish(self) -> Graph {
+        let g = Graph {
+            name: self.name,
+            tensors: self.tensors,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        };
+        if let Err(e) = g.validate() {
+            panic!("builder produced invalid graph {}: {e}", g.name);
+        }
+        g
+    }
+
+    // ------------------------------------------------------------------
+    // Mid-level helpers (PyTorch-ONNX-export-shaped patterns)
+    // ------------------------------------------------------------------
+
+    /// 2-D convolution with square kernel; creates weight (and bias) tensors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        out_channels: u64,
+        kernel: u64,
+        stride: u64,
+        pad: u64,
+        groups: u64,
+        bias: bool,
+    ) -> TensorId {
+        self.conv2(
+            name,
+            x,
+            out_channels,
+            (kernel, kernel),
+            (stride, stride),
+            [pad; 4],
+            groups,
+            bias,
+        )
+    }
+
+    /// 2-D convolution, rectangular form. `pads` is `[top, left, bottom, right]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        out_channels: u64,
+        kernel: (u64, u64),
+        stride: (u64, u64),
+        pads: [u64; 4],
+        groups: u64,
+        bias: bool,
+    ) -> TensorId {
+        let cin = self.channels(x);
+        assert_eq!(cin % groups, 0, "conv {name}: cin {cin} % groups {groups}");
+        let w = self.weight(
+            &format!("{name}.weight"),
+            &[out_channels, cin / groups, kernel.0, kernel.1],
+        );
+        let mut ins = vec![x, w];
+        if bias {
+            ins.push(self.weight(&format!("{name}.bias"), &[out_channels]));
+        }
+        let attrs = Attributes::new()
+            .with_ints("kernel_shape", &[kernel.0 as i64, kernel.1 as i64])
+            .with_ints("strides", &[stride.0 as i64, stride.1 as i64])
+            .with_ints(
+                "pads",
+                &[pads[0] as i64, pads[1] as i64, pads[2] as i64, pads[3] as i64],
+            )
+            .with_int("group", groups as i64);
+        self.push(name, OpKind::Conv, attrs, &ins)
+    }
+
+    /// Inference-mode BatchNorm; creates scale/bias/mean/var weights.
+    pub fn bn(&mut self, name: &str, x: TensorId) -> TensorId {
+        let c = self.channels(x);
+        let scale = self.weight(&format!("{name}.weight"), &[c]);
+        let bias = self.weight(&format!("{name}.bias"), &[c]);
+        let mean = self.weight(&format!("{name}.running_mean"), &[c]);
+        let var = self.weight(&format!("{name}.running_var"), &[c]);
+        self.push(
+            name,
+            OpKind::BatchNormalization,
+            Attributes::new().with_float("epsilon", 1e-5),
+            &[x, scale, bias, mean, var],
+        )
+    }
+
+    pub fn relu(&mut self, name: &str, x: TensorId) -> TensorId {
+        self.push(name, OpKind::Relu, Attributes::new(), &[x])
+    }
+
+    /// ReLU6 as exported: a Clip node.
+    pub fn relu6(&mut self, name: &str, x: TensorId) -> TensorId {
+        self.push(
+            name,
+            OpKind::Clip,
+            Attributes::new().with_float("min", 0.0).with_float("max", 6.0),
+            &[x],
+        )
+    }
+
+    pub fn sigmoid(&mut self, name: &str, x: TensorId) -> TensorId {
+        self.push(name, OpKind::Sigmoid, Attributes::new(), &[x])
+    }
+
+    /// SiLU/Swish as exported by PyTorch: `Sigmoid` + `Mul` (2 nodes).
+    pub fn silu(&mut self, name: &str, x: TensorId) -> TensorId {
+        let s = self.sigmoid(&format!("{name}/Sigmoid"), x);
+        self.push(&format!("{name}/Mul"), OpKind::Mul, Attributes::new(), &[x, s])
+    }
+
+    pub fn hardswish(&mut self, name: &str, x: TensorId) -> TensorId {
+        self.push(name, OpKind::HardSwish, Attributes::new(), &[x])
+    }
+
+    /// GELU as exported by PyTorch (erf formulation, 5 nodes):
+    /// `Div → Erf → Add → Mul → Mul`.
+    pub fn gelu(&mut self, name: &str, x: TensorId) -> TensorId {
+        let sqrt2 = self.scalar(&format!("{name}/sqrt2"));
+        let one = self.scalar(&format!("{name}/one"));
+        let half = self.scalar(&format!("{name}/half"));
+        let d = self.push(&format!("{name}/Div"), OpKind::Div, Attributes::new(), &[x, sqrt2]);
+        let e = self.push(&format!("{name}/Erf"), OpKind::Erf, Attributes::new(), &[d]);
+        let a = self.push(&format!("{name}/Add"), OpKind::Add, Attributes::new(), &[e, one]);
+        let m = self.push(&format!("{name}/Mul"), OpKind::Mul, Attributes::new(), &[x, a]);
+        self.push(&format!("{name}/Mul_1"), OpKind::Mul, Attributes::new(), &[m, half])
+    }
+
+    /// LayerNorm over the last axis, decomposed as PyTorch exports it with
+    /// opset < 17 (9 nodes): `ReduceMean → Sub → Pow → ReduceMean → Add →
+    /// Sqrt → Div → Mul → Add`.
+    pub fn layer_norm_decomposed(&mut self, name: &str, x: TensorId) -> TensorId {
+        let last = *self.shape(x).dims().last().expect("LN input rank >= 1");
+        let scale = self.weight(&format!("{name}.weight"), &[last]);
+        let bias = self.weight(&format!("{name}.bias"), &[last]);
+        let two = self.scalar(&format!("{name}/two"));
+        let eps = self.scalar(&format!("{name}/eps"));
+        let axes = Attributes::new().with_ints("axes", &[-1]);
+        let mean = self.push(&format!("{name}/ReduceMean"), OpKind::ReduceMean, axes.clone(), &[x]);
+        let sub = self.push(&format!("{name}/Sub"), OpKind::Sub, Attributes::new(), &[x, mean]);
+        let sq = self.push(&format!("{name}/Pow"), OpKind::Pow, Attributes::new(), &[sub, two]);
+        let var = self.push(&format!("{name}/ReduceMean_1"), OpKind::ReduceMean, axes, &[sq]);
+        let ve = self.push(&format!("{name}/Add"), OpKind::Add, Attributes::new(), &[var, eps]);
+        let std = self.push(&format!("{name}/Sqrt"), OpKind::Sqrt, Attributes::new(), &[ve]);
+        let nrm = self.push(&format!("{name}/Div"), OpKind::Div, Attributes::new(), &[sub, std]);
+        let sc = self.push(&format!("{name}/Mul"), OpKind::Mul, Attributes::new(), &[nrm, scale]);
+        self.push(&format!("{name}/Add_1"), OpKind::Add, Attributes::new(), &[sc, bias])
+    }
+
+    /// Fused single-node LayerNormalization (opset >= 17 export).
+    pub fn layer_norm_fused(&mut self, name: &str, x: TensorId) -> TensorId {
+        let last = *self.shape(x).dims().last().expect("LN input rank >= 1");
+        let scale = self.weight(&format!("{name}.weight"), &[last]);
+        let bias = self.weight(&format!("{name}.bias"), &[last]);
+        self.push(
+            name,
+            OpKind::LayerNormalization,
+            Attributes::new().with_int("axis", -1).with_float("epsilon", 1e-5),
+            &[x, scale, bias],
+        )
+    }
+
+    /// GroupNorm (used by the Stable Diffusion UNet).
+    pub fn group_norm(&mut self, name: &str, x: TensorId, groups: u64) -> TensorId {
+        let c = self.channels(x);
+        let scale = self.weight(&format!("{name}.weight"), &[c]);
+        let bias = self.weight(&format!("{name}.bias"), &[c]);
+        self.push(
+            name,
+            OpKind::GroupNormalization,
+            Attributes::new()
+                .with_int("num_groups", groups as i64)
+                .with_float("epsilon", 1e-5),
+            &[x, scale, bias],
+        )
+    }
+
+    /// `nn.Linear` as exported: `Gemm` (transB) on 2-D inputs, `MatMul`+`Add`
+    /// on higher-rank inputs.
+    pub fn linear(&mut self, name: &str, x: TensorId, out_features: u64, bias: bool) -> TensorId {
+        let in_features = *self.shape(x).dims().last().expect("linear input rank >= 1");
+        if self.shape(x).rank() == 2 {
+            let w = self.weight(&format!("{name}.weight"), &[out_features, in_features]);
+            let mut ins = vec![x, w];
+            if bias {
+                ins.push(self.weight(&format!("{name}.bias"), &[out_features]));
+            }
+            self.push(name, OpKind::Gemm, Attributes::new().with_int("transB", 1), &ins)
+        } else {
+            let w = self.weight(&format!("{name}.weight"), &[in_features, out_features]);
+            let y = self.push(&format!("{name}/MatMul"), OpKind::MatMul, Attributes::new(), &[x, w]);
+            if bias {
+                let b = self.weight(&format!("{name}.bias"), &[out_features]);
+                self.push(&format!("{name}/Add"), OpKind::Add, Attributes::new(), &[y, b])
+            } else {
+                y
+            }
+        }
+    }
+
+    pub fn matmul(&mut self, name: &str, a: TensorId, b: TensorId) -> TensorId {
+        self.push(name, OpKind::MatMul, Attributes::new(), &[a, b])
+    }
+
+    pub fn add(&mut self, name: &str, a: TensorId, b: TensorId) -> TensorId {
+        self.push(name, OpKind::Add, Attributes::new(), &[a, b])
+    }
+
+    pub fn mul(&mut self, name: &str, a: TensorId, b: TensorId) -> TensorId {
+        self.push(name, OpKind::Mul, Attributes::new(), &[a, b])
+    }
+
+    pub fn softmax(&mut self, name: &str, x: TensorId, axis: i64) -> TensorId {
+        self.push(name, OpKind::Softmax, Attributes::new().with_int("axis", axis), &[x])
+    }
+
+    pub fn transpose(&mut self, name: &str, x: TensorId, perm: &[i64]) -> TensorId {
+        self.push(name, OpKind::Transpose, Attributes::new().with_ints("perm", perm), &[x])
+    }
+
+    pub fn reshape(&mut self, name: &str, x: TensorId, shape: &[i64]) -> TensorId {
+        self.push(name, OpKind::Reshape, Attributes::new().with_ints("shape", shape), &[x])
+    }
+
+    pub fn flatten(&mut self, name: &str, x: TensorId, axis: i64) -> TensorId {
+        self.push(name, OpKind::Flatten, Attributes::new().with_int("axis", axis), &[x])
+    }
+
+    pub fn concat(&mut self, name: &str, xs: &[TensorId], axis: i64) -> TensorId {
+        self.push(name, OpKind::Concat, Attributes::new().with_int("axis", axis), xs)
+    }
+
+    pub fn split2(&mut self, name: &str, x: TensorId, axis: i64) -> (TensorId, TensorId) {
+        let outs = self.push_multi(
+            name,
+            OpKind::Split,
+            Attributes::new().with_int("axis", axis).with_int("num_outputs", 2),
+            &[x],
+        );
+        (outs[0], outs[1])
+    }
+
+    pub fn maxpool(&mut self, name: &str, x: TensorId, kernel: u64, stride: u64, pad: u64) -> TensorId {
+        self.push(
+            name,
+            OpKind::MaxPool,
+            Attributes::new()
+                .with_ints("kernel_shape", &[kernel as i64, kernel as i64])
+                .with_ints("strides", &[stride as i64, stride as i64])
+                .with_ints("pads", &[pad as i64; 4]),
+            &[x],
+        )
+    }
+
+    pub fn avgpool(&mut self, name: &str, x: TensorId, kernel: u64, stride: u64, pad: u64) -> TensorId {
+        self.push(
+            name,
+            OpKind::AveragePool,
+            Attributes::new()
+                .with_ints("kernel_shape", &[kernel as i64, kernel as i64])
+                .with_ints("strides", &[stride as i64, stride as i64])
+                .with_ints("pads", &[pad as i64; 4]),
+            &[x],
+        )
+    }
+
+    pub fn global_avg_pool(&mut self, name: &str, x: TensorId) -> TensorId {
+        self.push(name, OpKind::GlobalAveragePool, Attributes::new(), &[x])
+    }
+
+    pub fn gather(&mut self, name: &str, data: TensorId, indices: TensorId, axis: i64) -> TensorId {
+        self.push(name, OpKind::Gather, Attributes::new().with_int("axis", axis), &[data, indices])
+    }
+
+    pub fn slice(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        starts: &[i64],
+        ends: &[i64],
+        axes: &[i64],
+    ) -> TensorId {
+        self.push(
+            name,
+            OpKind::Slice,
+            Attributes::new()
+                .with_ints("starts", starts)
+                .with_ints("ends", ends)
+                .with_ints("axes", axes),
+            &[x],
+        )
+    }
+
+    pub fn resize2x(&mut self, name: &str, x: TensorId) -> TensorId {
+        let r = self.shape(x).rank();
+        let mut scales = vec![1.0f64; r];
+        scales[r - 1] = 2.0;
+        scales[r - 2] = 2.0;
+        self.push(
+            name,
+            OpKind::Resize,
+            Attributes::new()
+                .with("scales", AttrValue::Floats(scales))
+                .with_str("mode", "nearest"),
+            &[x],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_helper_creates_weights_and_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[2, 3, 32, 32], DType::F32);
+        let y = b.conv("c", x, 8, 3, 2, 1, 1, true);
+        assert_eq!(b.shape(y), &Shape::new(&[2, 8, 16, 16]));
+        b.output(y);
+        let g = b.finish();
+        assert_eq!(g.param_count(), 8 * 3 * 3 * 3 + 8);
+    }
+
+    #[test]
+    fn silu_emits_two_nodes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 4], DType::F32);
+        let y = b.silu("act", x);
+        b.output(y);
+        let g = b.finish();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.nodes[0].op, OpKind::Sigmoid);
+        assert_eq!(g.nodes[1].op, OpKind::Mul);
+    }
+
+    #[test]
+    fn gelu_emits_five_nodes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 4], DType::F32);
+        let y = b.gelu("act", x);
+        b.output(y);
+        let g = b.finish();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.tensor(y).shape, Shape::new(&[1, 4]));
+    }
+
+    #[test]
+    fn layer_norm_decomposed_is_nine_nodes_shape_preserving() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[4, 197, 192], DType::F32);
+        let y = b.layer_norm_decomposed("ln", x);
+        b.output(y);
+        let g = b.finish();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.tensor(y).shape, Shape::new(&[4, 197, 192]));
+    }
+
+    #[test]
+    fn linear_uses_gemm_for_2d_and_matmul_for_3d() {
+        let mut b = GraphBuilder::new("t");
+        let x2 = b.input("x2", &[8, 64], DType::F32);
+        let y2 = b.linear("fc2", x2, 10, true);
+        let x3 = b.input("x3", &[2, 5, 64], DType::F32);
+        let y3 = b.linear("fc3", x3, 10, true);
+        b.output(y2);
+        b.output(y3);
+        let g = b.finish();
+        assert_eq!(g.nodes[0].op, OpKind::Gemm);
+        assert_eq!(g.nodes[1].op, OpKind::MatMul);
+        assert_eq!(g.nodes[2].op, OpKind::Add);
+        assert_eq!(g.tensor(y3).shape, Shape::new(&[2, 5, 10]));
+    }
+
+    #[test]
+    fn name_collisions_are_auto_suffixed() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[1, 4], DType::F32);
+        let a = b.relu("r", x);
+        let c = b.relu("r", a);
+        b.output(c);
+        let g = b.finish();
+        assert_eq!(g.nodes[0].name, "r");
+        assert_eq!(g.nodes[1].name, "r_1");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "while building node bad")]
+    fn push_panics_with_context_on_bad_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[2, 3], DType::F32);
+        let y = b.input("y", &[4, 5], DType::F32);
+        b.push("bad", OpKind::MatMul, Attributes::new(), &[x, y]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Element data types.
+
+use serde::{Deserialize, Serialize};
+
+/// Tensor element type.
+///
+/// `F32` is the export default (models are built in f32, like PyTorch→ONNX
+/// export); the execution precision (fp16/int8) is a property of the runtime
+/// session, mirroring how TensorRT/OpenVINO convert precision at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    F32,
+    F16,
+    BF16,
+    I8,
+    U8,
+    I32,
+    I64,
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 | DType::BF16 => 2,
+            DType::I8 | DType::U8 | DType::Bool => 1,
+            DType::I64 => 8,
+        }
+    }
+
+    /// True for floating-point types.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F16 | DType::BF16)
+    }
+
+    /// True for integer types (including bool).
+    pub const fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// Short lower-case name (`"fp16"`, `"int8"`, ...), as used in reports.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            DType::F32 => "fp32",
+            DType::F16 => "fp16",
+            DType::BF16 => "bf16",
+            DType::I8 => "int8",
+            DType::U8 => "uint8",
+            DType::I32 => "int32",
+            DType::I64 => "int64",
+            DType::Bool => "bool",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_ieee_widths() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn float_int_partition() {
+        for d in [
+            DType::F32,
+            DType::F16,
+            DType::BF16,
+            DType::I8,
+            DType::U8,
+            DType::I32,
+            DType::I64,
+            DType::Bool,
+        ] {
+            assert_ne!(d.is_float(), d.is_int(), "{d} must be exactly one");
+        }
+    }
+
+    #[test]
+    fn display_uses_short_names() {
+        assert_eq!(DType::F16.to_string(), "fp16");
+        assert_eq!(DType::I8.to_string(), "int8");
+    }
+}

@@ -1,0 +1,76 @@
+//! Graph nodes (ONNX `NodeProto` equivalent).
+
+use crate::{Attributes, OpKind, TensorId};
+use serde::{Deserialize, Serialize};
+
+/// One operator instance in a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Unique, human-readable node name (e.g. `"layer1.0.conv1"`). Backend
+    /// profilers key fusion hints off these names, so uniqueness matters.
+    pub name: String,
+    pub op: OpKind,
+    pub attrs: Attributes,
+    /// Ordered input tensors (data inputs first, then weights, per ONNX).
+    pub inputs: Vec<TensorId>,
+    /// Ordered output tensors.
+    pub outputs: Vec<TensorId>,
+}
+
+impl Node {
+    pub fn new(
+        name: impl Into<String>,
+        op: OpKind,
+        attrs: Attributes,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+    ) -> Self {
+        Node {
+            name: name.into(),
+            op,
+            attrs,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// The single output of a single-output node.
+    ///
+    /// # Panics
+    /// If the node has more than one output.
+    pub fn output(&self) -> TensorId {
+        assert_eq!(
+            self.outputs.len(),
+            1,
+            "node {} ({}) has {} outputs",
+            self.name,
+            self.op,
+            self.outputs.len()
+        );
+        self.outputs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_output_accessor() {
+        let n = Node::new("relu0", OpKind::Relu, Attributes::new(), vec![0], vec![1]);
+        assert_eq!(n.output(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 outputs")]
+    fn output_panics_on_multi_output() {
+        let n = Node::new(
+            "split0",
+            OpKind::Split,
+            Attributes::new(),
+            vec![0],
+            vec![1, 2],
+        );
+        let _ = n.output();
+    }
+}

@@ -1,0 +1,317 @@
+//! Operator kinds and coarse operator categories.
+
+use serde::{Deserialize, Serialize};
+
+/// The operator set. Names and semantics follow ONNX opset 13–17 unless noted.
+///
+/// Deviations from ONNX (all motivated by the static-control-flow observation
+/// the paper relies on): `Reshape`, `Expand`, `Slice`, `Pad` and `Resize`
+/// carry their shape arguments as attributes instead of tensor inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    // ---- convolution / linear algebra ----
+    Conv,
+    Gemm,
+    MatMul,
+    // ---- normalization ----
+    BatchNormalization,
+    LayerNormalization,
+    GroupNormalization,
+    // ---- activations / unary elementwise ----
+    Relu,
+    LeakyRelu,
+    Clip,
+    Sigmoid,
+    HardSigmoid,
+    HardSwish,
+    Tanh,
+    Erf,
+    Exp,
+    Log,
+    Sqrt,
+    Reciprocal,
+    Neg,
+    Abs,
+    Gelu,
+    Softplus,
+    // ---- binary / ternary elementwise ----
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Min,
+    Max,
+    Equal,
+    Greater,
+    Less,
+    Where,
+    // ---- reductions / softmax ----
+    Softmax,
+    ReduceMean,
+    ReduceSum,
+    ReduceMax,
+    ArgMax,
+    // ---- pooling ----
+    MaxPool,
+    AveragePool,
+    GlobalAveragePool,
+    // ---- data movement / shape manipulation ----
+    Transpose,
+    Reshape,
+    Flatten,
+    Squeeze,
+    Unsqueeze,
+    Concat,
+    Split,
+    Slice,
+    Gather,
+    Expand,
+    Tile,
+    Pad,
+    Resize,
+    Cast,
+    Identity,
+    Dropout,
+    // ---- metadata / constants ----
+    Shape,
+    Constant,
+    ConstantOfShape,
+    Range,
+}
+
+/// Coarse operator categories used by cost models, fusion rules and the
+/// layer-wise roofline colour coding of the paper's Figures 5, 6 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Dense tensor contraction: Conv/Gemm/MatMul.
+    Contraction,
+    /// Normalization layers.
+    Normalization,
+    /// Pointwise math (activations, binary arithmetic, comparisons).
+    Elementwise,
+    /// Reductions and softmax.
+    Reduction,
+    /// Pooling.
+    Pooling,
+    /// Physical data movement (transpose, concat, pad, resize, ...).
+    DataMovement,
+    /// Pure metadata: never touches tensor payloads (Shape, Reshape, ...).
+    Metadata,
+}
+
+impl OpKind {
+    /// The coarse category of this op.
+    pub fn category(self) -> OpCategory {
+        use OpKind::*;
+        match self {
+            Conv | Gemm | MatMul => OpCategory::Contraction,
+            BatchNormalization | LayerNormalization | GroupNormalization => {
+                OpCategory::Normalization
+            }
+            Relu | LeakyRelu | Clip | Sigmoid | HardSigmoid | HardSwish | Tanh | Erf | Exp
+            | Log | Sqrt | Reciprocal | Neg | Abs | Gelu | Softplus | Add | Sub | Mul | Div
+            | Pow | Min | Max | Equal | Greater | Less | Where => OpCategory::Elementwise,
+            Softmax | ReduceMean | ReduceSum | ReduceMax | ArgMax => OpCategory::Reduction,
+            MaxPool | AveragePool | GlobalAveragePool => OpCategory::Pooling,
+            Transpose | Concat | Split | Slice | Gather | Expand | Tile | Pad | Resize | Cast => {
+                OpCategory::DataMovement
+            }
+            Reshape | Flatten | Squeeze | Unsqueeze | Identity | Dropout | Shape | Constant
+            | ConstantOfShape | Range => OpCategory::Metadata,
+        }
+    }
+
+    /// Ops that perform no work at inference time and are eliminated by every
+    /// real runtime (views, aliases, inference-mode no-ops).
+    pub fn is_noop_at_inference(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            Reshape
+                | Flatten
+                | Squeeze
+                | Unsqueeze
+                | Identity
+                | Dropout
+                | Shape
+                | Constant
+                | ConstantOfShape
+                | Range
+        )
+    }
+
+    /// Unary elementwise ops (one data input), the classic activation-fusion
+    /// candidates.
+    pub fn is_unary_elementwise(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            Relu | LeakyRelu
+                | Clip
+                | Sigmoid
+                | HardSigmoid
+                | HardSwish
+                | Tanh
+                | Erf
+                | Exp
+                | Log
+                | Sqrt
+                | Reciprocal
+                | Neg
+                | Abs
+                | Gelu
+                | Softplus
+                | Cast
+        )
+    }
+
+    /// Binary/ternary elementwise ops.
+    pub fn is_binary_elementwise(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            Add | Sub | Mul | Div | Pow | Min | Max | Equal | Greater | Less | Where
+        )
+    }
+
+    /// Any elementwise op (unary or binary/ternary).
+    pub fn is_elementwise(self) -> bool {
+        self.is_unary_elementwise() || self.is_binary_elementwise()
+    }
+
+    /// Number of outputs this op produces (`Split` is the only variadic one;
+    /// its count comes from node wiring).
+    pub fn fixed_output_count(self) -> Option<usize> {
+        match self {
+            OpKind::Split => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Canonical ONNX-style name.
+    pub fn name(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Conv => "Conv",
+            Gemm => "Gemm",
+            MatMul => "MatMul",
+            BatchNormalization => "BatchNormalization",
+            LayerNormalization => "LayerNormalization",
+            GroupNormalization => "GroupNormalization",
+            Relu => "Relu",
+            LeakyRelu => "LeakyRelu",
+            Clip => "Clip",
+            Sigmoid => "Sigmoid",
+            HardSigmoid => "HardSigmoid",
+            HardSwish => "HardSwish",
+            Tanh => "Tanh",
+            Erf => "Erf",
+            Exp => "Exp",
+            Log => "Log",
+            Sqrt => "Sqrt",
+            Reciprocal => "Reciprocal",
+            Neg => "Neg",
+            Abs => "Abs",
+            Gelu => "Gelu",
+            Softplus => "Softplus",
+            Add => "Add",
+            Sub => "Sub",
+            Mul => "Mul",
+            Div => "Div",
+            Pow => "Pow",
+            Min => "Min",
+            Max => "Max",
+            Equal => "Equal",
+            Greater => "Greater",
+            Less => "Less",
+            Where => "Where",
+            Softmax => "Softmax",
+            ReduceMean => "ReduceMean",
+            ReduceSum => "ReduceSum",
+            ReduceMax => "ReduceMax",
+            ArgMax => "ArgMax",
+            MaxPool => "MaxPool",
+            AveragePool => "AveragePool",
+            GlobalAveragePool => "GlobalAveragePool",
+            Transpose => "Transpose",
+            Reshape => "Reshape",
+            Flatten => "Flatten",
+            Squeeze => "Squeeze",
+            Unsqueeze => "Unsqueeze",
+            Concat => "Concat",
+            Split => "Split",
+            Slice => "Slice",
+            Gather => "Gather",
+            Expand => "Expand",
+            Tile => "Tile",
+            Pad => "Pad",
+            Resize => "Resize",
+            Cast => "Cast",
+            Identity => "Identity",
+            Dropout => "Dropout",
+            Shape => "Shape",
+            Constant => "Constant",
+            ConstantOfShape => "ConstantOfShape",
+            Range => "Range",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_consistent() {
+        assert_eq!(OpKind::Conv.category(), OpCategory::Contraction);
+        assert_eq!(OpKind::Transpose.category(), OpCategory::DataMovement);
+        assert_eq!(OpKind::Reshape.category(), OpCategory::Metadata);
+        assert_eq!(OpKind::Softmax.category(), OpCategory::Reduction);
+    }
+
+    #[test]
+    fn noops_are_metadata() {
+        for op in [
+            OpKind::Reshape,
+            OpKind::Flatten,
+            OpKind::Squeeze,
+            OpKind::Unsqueeze,
+            OpKind::Identity,
+            OpKind::Dropout,
+            OpKind::Shape,
+            OpKind::Constant,
+        ] {
+            assert!(op.is_noop_at_inference(), "{op}");
+            assert_eq!(op.category(), OpCategory::Metadata, "{op}");
+        }
+        assert!(!OpKind::Transpose.is_noop_at_inference());
+        assert!(!OpKind::Conv.is_noop_at_inference());
+    }
+
+    #[test]
+    fn elementwise_partitions() {
+        assert!(OpKind::Relu.is_unary_elementwise());
+        assert!(OpKind::Add.is_binary_elementwise());
+        assert!(!OpKind::Add.is_unary_elementwise());
+        assert!(OpKind::Where.is_elementwise());
+        assert!(!OpKind::MatMul.is_elementwise());
+    }
+
+    #[test]
+    fn split_is_the_only_variadic_output() {
+        assert_eq!(OpKind::Split.fixed_output_count(), None);
+        assert_eq!(OpKind::Conv.fixed_output_count(), Some(1));
+    }
+
+    #[test]
+    fn names_roundtrip_display() {
+        assert_eq!(OpKind::GlobalAveragePool.to_string(), "GlobalAveragePool");
+    }
+}

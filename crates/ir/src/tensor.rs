@@ -1,0 +1,94 @@
+//! Tensor metadata.
+
+use crate::{DType, Shape};
+use serde::{Deserialize, Serialize};
+
+/// What role a tensor plays in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// A graph input (fed per inference, scales with batch).
+    Input,
+    /// A graph output.
+    Output,
+    /// An intermediate activation produced by a node.
+    Activation,
+    /// A trained parameter (ONNX initializer), resident in DRAM once.
+    Weight,
+}
+
+/// Metadata for one tensor: PRoof never materializes payloads — all analysis
+/// is shape/type-driven, per the paper's analytical model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorInfo {
+    pub name: String,
+    pub shape: Shape,
+    pub dtype: DType,
+    pub kind: TensorKind,
+}
+
+impl TensorInfo {
+    pub fn new(name: impl Into<String>, shape: Shape, dtype: DType, kind: TensorKind) -> Self {
+        TensorInfo {
+            name: name.into(),
+            shape,
+            dtype,
+            kind,
+        }
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> u64 {
+        self.shape.numel()
+    }
+
+    /// Size in bytes at the tensor's stored dtype.
+    pub fn size_bytes(&self) -> u64 {
+        self.numel() * self.dtype.size_bytes()
+    }
+
+    /// Size in bytes if floats are stored at `precision` instead (integer
+    /// tensors keep their native width — index tensors do not shrink when a
+    /// runtime converts the model to fp16/int8).
+    pub fn size_bytes_at(&self, precision: DType) -> u64 {
+        let elem = if self.dtype.is_float() {
+            precision.size_bytes()
+        } else {
+            self.dtype.size_bytes()
+        };
+        self.numel() * elem
+    }
+
+    pub fn is_weight(&self) -> bool {
+        self.kind == TensorKind::Weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(kind: TensorKind) -> TensorInfo {
+        TensorInfo::new("t", Shape::new(&[2, 3]), DType::F32, kind)
+    }
+
+    #[test]
+    fn sizes() {
+        let x = t(TensorKind::Activation);
+        assert_eq!(x.numel(), 6);
+        assert_eq!(x.size_bytes(), 24);
+        assert_eq!(x.size_bytes_at(DType::F16), 12);
+        assert_eq!(x.size_bytes_at(DType::I8), 6);
+    }
+
+    #[test]
+    fn int_tensors_keep_native_width_under_precision_override() {
+        let idx = TensorInfo::new("idx", Shape::new(&[10]), DType::I64, TensorKind::Weight);
+        assert_eq!(idx.size_bytes_at(DType::F16), 80);
+    }
+
+    #[test]
+    fn weight_flag() {
+        assert!(t(TensorKind::Weight).is_weight());
+        assert!(!t(TensorKind::Activation).is_weight());
+    }
+}

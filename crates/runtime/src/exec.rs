@@ -1,0 +1,232 @@
+//! Kernel latency simulation: a roofline-governed model with kernel-class
+//! efficiency factors and wave-quantization (occupancy) effects.
+//!
+//! `latency = max(flops / (peak·η_c·occ), bytes / (bw·η_m·occ), t_min) + t_launch`
+//!
+//! Efficiencies are per kernel class and hardware family, calibrated so the
+//! paper's qualitative results hold: dense Tensor-Core convolutions reach
+//! 70–85 % of peak, depthwise convolutions crawl on the vector units,
+//! transposes reach well under half of streaming bandwidth.
+
+use crate::lower::{Kernel, KernelClass};
+use proof_hw::{HwFamily, Platform};
+use proof_ir::DType;
+
+/// Time breakdown of one kernel (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    pub latency_us: f64,
+    pub compute_us: f64,
+    pub memory_us: f64,
+}
+
+/// Busy fractions over a whole run (drives the Jetson power model).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization {
+    pub gpu: f64,
+    pub mem: f64,
+}
+
+/// Peak fraction the class reaches on the compute units.
+fn compute_eff(class: KernelClass, family: HwFamily) -> f64 {
+    use KernelClass::*;
+    let gpu_like = matches!(family, HwFamily::NvidiaGpu | HwFamily::NvidiaJetson);
+    match (class, family) {
+        (DenseConv, HwFamily::IntelNpu) | (Gemm, HwFamily::IntelNpu) => 0.32,
+        (AttentionFused, HwFamily::IntelNpu) => 0.2,
+        // Jetson iGPU conv kernels are much further from peak than the
+        // datacenter library builds (the paper's Orin EffNetV2-T run is
+        // GPU-clock-bound at ~40 % of peak); big GEMMs still do well,
+        // which is why Table 6's pseudo-model peak test reaches ~90 %
+        (DenseConv, HwFamily::NvidiaJetson) => 0.40,
+        (DepthwiseConv, HwFamily::NvidiaJetson) => 0.26,
+        (AttentionFused, HwFamily::NvidiaJetson) => 0.50,
+        (DenseConv, _) if gpu_like => 0.72,
+        (Gemm, _) if gpu_like => 0.84,
+        (AttentionFused, _) => 0.60,
+        (DenseConv, _) => 0.62,
+        (Gemm, _) => 0.78,
+        (DepthwiseConv, _) => 0.45,
+        (Pooling, _) | (Reduction, _) => 0.30,
+        _ => 0.50,
+    }
+}
+
+/// Fraction of achievable streaming bandwidth the class reaches.
+fn mem_eff(class: KernelClass, family: HwFamily) -> f64 {
+    use KernelClass::*;
+    let base = match class {
+        DenseConv | DepthwiseConv | Gemm => 0.85,
+        AttentionFused => 0.80,
+        Normalization => 0.70,
+        Elementwise => 0.90,
+        Reduction => 0.62,
+        Pooling => 0.72,
+        Transpose => 0.40,
+        DataCopy => 0.76,
+        Reorder => 0.72,
+    };
+    match family {
+        HwFamily::IntelNpu => base * 0.7,
+        _ => base,
+    }
+}
+
+/// Wave-quantization/occupancy factor: small kernels cannot fill the chip.
+/// Parallelism comes from whichever is larger: output elements or the
+/// streamed bytes (reductions write few elements but read a lot).
+fn occupancy(k: &Kernel, platform: &Platform) -> f64 {
+    let work = (k.out_elems).max(k.cost.dram_bytes() / 4) as f64;
+    // one "wave" ≈ units × a few thousand elements in flight
+    let wave = platform.compute.units as f64 * 8192.0;
+    let waves = work / wave;
+    (waves / (waves + 0.35)).clamp(0.02, 1.0)
+}
+
+/// Deterministic base timing of one kernel at `precision` on `platform`.
+pub fn kernel_timing(k: &Kernel, platform: &Platform, precision: DType) -> KernelTiming {
+    let occ = occupancy(k, platform);
+    let matrix = k.cost.tensor_core && k.class.uses_matrix_engine();
+    let peak = platform.peak_flops(precision, matrix)
+        * compute_eff(k.class, platform.family)
+        * occ;
+    let bw = platform.achievable_bw() * mem_eff(k.class, platform.family) * occ;
+    let compute_us = if k.cost.hw_flops == 0 || peak <= 0.0 {
+        0.0
+    } else {
+        k.cost.hw_flops as f64 / peak * 1e6
+    };
+    let memory_us = if bw <= 0.0 {
+        0.0
+    } else {
+        k.cost.dram_bytes() as f64 / bw * 1e6
+    };
+    let latency_us = compute_us
+        .max(memory_us)
+        .max(platform.min_kernel_us)
+        + platform.kernel_launch_us;
+    KernelTiming {
+        latency_us,
+        compute_us,
+        memory_us,
+    }
+}
+
+/// Aggregate utilization over kernels (time-weighted busy fractions).
+pub fn aggregate_utilization(timings: &[KernelTiming]) -> Utilization {
+    let total: f64 = timings.iter().map(|t| t.latency_us).sum();
+    if total <= 0.0 {
+        return Utilization::default();
+    }
+    Utilization {
+        gpu: timings.iter().map(|t| t.compute_us.min(t.latency_us)).sum::<f64>() / total,
+        mem: timings.iter().map(|t| t.memory_us.min(t.latency_us)).sum::<f64>() / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::KernelCost;
+    use proof_hw::PlatformId;
+
+    fn kernel(class: KernelClass, flops: u64, bytes: u64, out_elems: u64, tc: bool) -> Kernel {
+        Kernel {
+            name: "k".into(),
+            class,
+            cost: KernelCost {
+                hw_flops: flops,
+                dram_read_bytes: bytes / 2,
+                dram_write_bytes: bytes - bytes / 2,
+                tensor_core: tc,
+                mma_instrs: 0,
+            },
+            out_elems,
+        }
+    }
+
+    #[test]
+    fn big_gemm_approaches_peak() {
+        let p = PlatformId::A100.spec();
+        // 1 TFLOP of gemm work, tiny traffic, chip-filling
+        let k = kernel(KernelClass::Gemm, 1_000_000_000_000, 1 << 20, 1 << 26, true);
+        let t = kernel_timing(&k, &p, DType::F16);
+        let achieved = 1e12 / (t.latency_us / 1e6);
+        let peak = p.peak_flops(DType::F16, true);
+        assert!(achieved / peak > 0.7, "achieved {:.1}% of peak", 100.0 * achieved / peak);
+        assert!(achieved / peak < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_copy_is_limited_by_bandwidth() {
+        let p = PlatformId::A100.spec();
+        let bytes = 1u64 << 30;
+        let k = kernel(KernelClass::DataCopy, 0, bytes, 1 << 27, false);
+        let t = kernel_timing(&k, &p, DType::F16);
+        assert!(t.compute_us == 0.0);
+        let achieved_bw = bytes as f64 / (t.latency_us / 1e6);
+        assert!(achieved_bw < p.achievable_bw());
+        assert!(achieved_bw > 0.5 * p.achievable_bw());
+    }
+
+    #[test]
+    fn transpose_achieves_less_bandwidth_than_copy() {
+        let p = PlatformId::A100.spec();
+        let co = kernel(KernelClass::DataCopy, 0, 1 << 28, 1 << 26, false);
+        let tr = kernel(KernelClass::Transpose, 0, 1 << 28, 1 << 26, false);
+        assert!(
+            kernel_timing(&tr, &p, DType::F16).latency_us
+                > kernel_timing(&co, &p, DType::F16).latency_us
+        );
+    }
+
+    #[test]
+    fn tiny_kernels_hit_the_floor_plus_launch() {
+        let p = PlatformId::A100.spec();
+        let k = kernel(KernelClass::Elementwise, 100, 128, 32, false);
+        let t = kernel_timing(&k, &p, DType::F16);
+        assert!((t.latency_us - (p.min_kernel_us + p.kernel_launch_us)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depthwise_conv_runs_far_from_tensor_core_peak() {
+        let p = PlatformId::A100.spec();
+        let flops = 10_000_000_000u64;
+        let dense = kernel(KernelClass::DenseConv, flops, 1 << 20, 1 << 26, true);
+        let dw = kernel(KernelClass::DepthwiseConv, flops, 1 << 20, 1 << 26, false);
+        let td = kernel_timing(&dense, &p, DType::F16);
+        let tw = kernel_timing(&dw, &p, DType::F16);
+        assert!(tw.latency_us > 5.0 * td.latency_us, "{} vs {}", tw.latency_us, td.latency_us);
+    }
+
+    #[test]
+    fn occupancy_penalizes_small_work() {
+        let p = PlatformId::A100.spec();
+        let big = kernel(KernelClass::Gemm, 1 << 34, 1 << 22, 1 << 26, true);
+        let small = kernel(KernelClass::Gemm, 1 << 34, 1 << 22, 1 << 12, true);
+        assert!(
+            kernel_timing(&small, &p, DType::F16).latency_us
+                > kernel_timing(&big, &p, DType::F16).latency_us
+        );
+    }
+
+    #[test]
+    fn utilization_is_time_weighted_and_bounded() {
+        let t = vec![
+            KernelTiming {
+                latency_us: 10.0,
+                compute_us: 10.0,
+                memory_us: 2.0,
+            },
+            KernelTiming {
+                latency_us: 10.0,
+                compute_us: 1.0,
+                memory_us: 10.0,
+            },
+        ];
+        let u = aggregate_utilization(&t);
+        assert!((u.gpu - 0.55).abs() < 1e-9);
+        assert!((u.mem - 0.6).abs() < 1e-9);
+        assert!(u.gpu <= 1.0 && u.mem <= 1.0);
+    }
+}

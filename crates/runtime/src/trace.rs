@@ -1,0 +1,133 @@
+//! Chrome-trace export: serialize the simulated kernel timeline in the
+//! `chrome://tracing` / Perfetto JSON format — the timeline view a real
+//! deployment would get from Nsight Systems.
+
+use crate::backend::CompiledModel;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize the execution timeline as Chrome-trace JSON. Two rows: backend
+/// layers (tid 1) and the kernels inside them (tid 2); durations come from
+/// the deterministic base latencies.
+pub fn chrome_trace(model: &CompiledModel) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let pid = 1;
+    let mut t_us = 0.0f64;
+    let mut first = true;
+    for layer in &model.layers {
+        if layer.kernels.is_empty() {
+            continue;
+        }
+        let mut push = |s: &mut String, name: &str, cat: &str, tid: u32, ts: f64, dur: f64, args: String| {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{{args}}}}}",
+                esc(name)
+            );
+        };
+        push(
+            &mut out,
+            &layer.name,
+            "backend_layer",
+            1,
+            t_us,
+            layer.base_latency_us,
+            format!(
+                "\"compute_us\":{:.3},\"memory_us\":{:.3},\"reorder\":{}",
+                layer.timing.compute_us, layer.timing.memory_us, layer.is_reorder
+            ),
+        );
+        let per_kernel = layer.base_latency_us / layer.kernels.len() as f64;
+        let mut kt = t_us;
+        for k in &layer.kernels {
+            push(
+                &mut out,
+                &k.name,
+                "kernel",
+                2,
+                kt,
+                per_kernel,
+                format!(
+                    "\"class\":\"{:?}\",\"hw_flops\":{},\"dram_bytes\":{},\"tensor_core\":{}",
+                    k.class,
+                    k.cost.hw_flops,
+                    k.cost.dram_bytes(),
+                    k.cost.tensor_core
+                ),
+            );
+            kt += per_kernel;
+        }
+        t_us += layer.base_latency_us;
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, BackendFlavor, SessionConfig};
+    use proof_hw::PlatformId;
+    use proof_ir::DType;
+    use proof_models::ModelId;
+
+    fn compiled() -> CompiledModel {
+        compile(
+            &ModelId::MobileNetV2x05.build(2),
+            BackendFlavor::TrtLike,
+            &PlatformId::A100.spec(),
+            &SessionConfig::new(DType::F16),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_events() {
+        let m = compiled();
+        let trace = chrome_trace(&m);
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = v["traceEvents"].as_array().unwrap();
+        let layers = m.layers.iter().filter(|l| !l.kernels.is_empty()).count();
+        let kernels: usize = m.layers.iter().map(|l| l.kernels.len()).sum();
+        assert_eq!(events.len(), layers + kernels);
+        // events are complete ("X") slices with increasing timestamps per tid
+        let mut last_ts = -1.0;
+        for e in events.iter().filter(|e| e["tid"] == 1) {
+            let ts = e["ts"].as_f64().unwrap();
+            assert!(ts >= last_ts);
+            last_ts = ts;
+            assert_eq!(e["ph"], "X");
+        }
+    }
+
+    #[test]
+    fn total_layer_duration_matches_base_latency() {
+        let m = compiled();
+        let trace = chrome_trace(&m);
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let sum: f64 = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["tid"] == 1)
+            .map(|e| e["dur"].as_f64().unwrap())
+            .sum();
+        // durations are serialized at 3 decimals; allow the rounding budget
+        assert!((sum - m.base_latency_us()).abs() < 0.001 * m.layers.len() as f64);
+    }
+
+    #[test]
+    fn kernel_names_are_escaped() {
+        let m = compiled();
+        let trace = chrome_trace(&m);
+        serde_json::from_str::<serde_json::Value>(&trace).unwrap();
+        assert!(trace.contains("tensor_core"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Profile one model under all three backend flavours and show what each
+//! runtime's profiler reveals, how PRoof's per-backend mapping strategies
+//! recover the layer↔node correspondence anyway, and how fusion
+//! aggressiveness changes the backend-layer count and latency.
+//!
+//! ```sh
+//! cargo run --release --example compare_backends
+//! ```
+
+use proof::core::{map_layers, AnalyzeRepr, OptimizedRepr};
+use proof::hw::PlatformId;
+use proof::ir::DType;
+use proof::models::ModelId;
+use proof::runtime::{compile, BackendFlavor, LayerHint, SessionConfig};
+
+fn main() {
+    let g = ModelId::ViTTiny.build(8);
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    println!(
+        "model: {} ({} nodes)\nplatform: {}\n",
+        g.name,
+        g.node_count(),
+        platform.name
+    );
+
+    for flavor in [BackendFlavor::TrtLike, BackendFlavor::OrtLike, BackendFlavor::OvLike] {
+        let compiled = compile(&g, flavor, &platform, &cfg).expect("compile");
+        let profile = compiled.builtin_profile();
+
+        // what kind of hints does this runtime's profiler give?
+        let mut opaque = 0;
+        let mut named = 0;
+        let mut primary_only = 0;
+        let mut reorder = 0;
+        for l in &profile {
+            match l.hint {
+                LayerHint::OpaqueIo { .. } => opaque += 1,
+                LayerHint::NodeNames(_) | LayerHint::FusedNameString(_) => named += 1,
+                LayerHint::PrimaryOp { .. } => primary_only += 1,
+                LayerHint::Reorder { .. } => reorder += 1,
+            }
+        }
+
+        // PRoof's mapping reconstructs membership from whatever is given
+        let mapping = map_layers(
+            OptimizedRepr::new(AnalyzeRepr::new(&g, cfg.precision)),
+            &profile,
+            flavor,
+        );
+        println!(
+            "{:<9} {:>4} backend layers ({} named / {} opaque / {} primary-only / {} reorder) \
+             -> mapping coverage {:>5.1}%, {:>7.3} ms end-to-end",
+            flavor.name(),
+            profile.len(),
+            named,
+            opaque,
+            primary_only,
+            reorder,
+            100.0 * mapping.coverage(),
+            compiled.end_to_end_latency_ms(),
+        );
+        if let Some(example) = profile.iter().find(|l| matches!(l.hint, LayerHint::OpaqueIo { .. })) {
+            let gid = mapping
+                .layers
+                .iter()
+                .find(|m| m.backend_name == example.name)
+                .and_then(|m| m.group)
+                .expect("opaque layer mapped");
+            println!(
+                "          e.g. opaque {:?} resolved to {} original nodes via get_subgraph_ops_by_io",
+                example.name,
+                mapping.repr.group(gid).members.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's future-work direction (§5: "adaptation of PRoof to
+//! distributed environments") implemented for pipeline-parallel inference:
+//! partition the SD UNet across two GPUs, compare NVLink vs PCIe
+//! interconnects, and inspect the per-stage rooflines.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_parallel
+//! ```
+
+use proof::core::{profile_model, profile_pipeline, Interconnect, MetricMode};
+use proof::hw::PlatformId;
+use proof::ir::DType;
+use proof::models::ModelId;
+use proof::runtime::{BackendFlavor, SessionConfig};
+
+fn main() {
+    let g = ModelId::StableDiffusionUnet.build(4);
+    let a100 = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+
+    let single = profile_model(&g, &a100, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
+        .expect("single-device profile");
+    println!(
+        "single A100: {:.1} ms/step ({:.1} TFLOP/s)\n",
+        single.total_latency_ms,
+        single.achieved_gflops() / 1e3
+    );
+
+    for (name, link) in [("NVLink", Interconnect::nvlink()), ("PCIe 4.0", Interconnect::pcie4())] {
+        let pipe = profile_pipeline(
+            &g,
+            &[a100.clone(), a100.clone()],
+            BackendFlavor::TrtLike,
+            &cfg,
+            link,
+        )
+        .expect("pipeline profile");
+        println!("2x A100 over {name}:");
+        for (i, s) in pipe.stages.iter().enumerate() {
+            println!(
+                "  stage {i} [{} .. {}] ({} nodes): {:.1} ms, {:.1} TFLOP/s, egress {:.1} MB (+{:.2} ms)",
+                s.first_node,
+                s.last_node,
+                s.node_count,
+                s.report.total_latency_ms,
+                s.report.achieved_gflops() / 1e3,
+                s.egress_bytes as f64 / 1e6,
+                s.transfer_ms
+            );
+        }
+        println!(
+            "  steady-state: {:.1} ms/interval -> {:.2}x throughput vs one device; first sample {:.1} ms\n",
+            pipe.bottleneck_ms,
+            pipe.speedup_over(single.total_latency_ms),
+            pipe.single_sample_ms
+        );
+        assert!(pipe.speedup_over(single.total_latency_ms) > 1.0);
+    }
+}

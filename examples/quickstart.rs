@@ -1,0 +1,63 @@
+//! Quickstart: build a small custom model with the graph builder, profile
+//! it on a simulated A100 under the TensorRT-like backend, and render a
+//! layer-wise roofline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use proof::core::report::profile_summary;
+use proof::core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
+use proof::hw::PlatformId;
+use proof::ir::{DType, GraphBuilder};
+use proof::runtime::{BackendFlavor, SessionConfig};
+
+fn main() {
+    // 1. Describe a model (or load one with `Graph::from_json`).
+    let mut b = GraphBuilder::new("quickstart-cnn");
+    let x = b.input("input", &[32, 3, 64, 64], DType::F32);
+    let mut y = b.conv("stem", x, 32, 3, 2, 1, 1, true);
+    y = b.relu("stem_relu", y);
+    for i in 0..4 {
+        let c = b.channels(y);
+        let branch = b.conv(&format!("block{i}.conv1"), y, c, 3, 1, 1, 1, true);
+        let branch = b.relu(&format!("block{i}.relu1"), branch);
+        let branch = b.conv(&format!("block{i}.conv2"), branch, c, 3, 1, 1, 1, true);
+        let sum = b.add(&format!("block{i}.add"), y, branch);
+        y = b.relu(&format!("block{i}.relu2"), sum);
+    }
+    y = b.global_avg_pool("gap", y);
+    y = b.flatten("flatten", y, 1);
+    y = b.linear("head", y, 10, true);
+    b.output(y);
+    let graph = b.finish();
+
+    // 2. Pick a platform and profile (predicted mode: no counter tooling
+    //    needed — the paper's portable path).
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let report = profile_model(
+        &graph,
+        &platform,
+        BackendFlavor::TrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .expect("profiling");
+
+    // 3. Read the results: per-backend-layer latency, FLOP, traffic, and
+    //    which original nodes each backend layer executes.
+    println!("{}", profile_summary(&report, 10));
+    for layer in report.layers.iter().take(3) {
+        println!("{} <= {:?}", layer.name, layer.original_nodes);
+    }
+
+    // 4. Render the layer-wise roofline chart.
+    let chart = report.layerwise_chart("quickstart-cnn on A100 (fp16)");
+    std::fs::write(
+        "quickstart_roofline.svg",
+        render_roofline_svg(&chart, &SvgOptions::default()),
+    )
+    .expect("write svg");
+    println!("\nwrote quickstart_roofline.svg");
+}

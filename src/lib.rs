@@ -1,0 +1,28 @@
+//! PRoof workspace facade: re-exports the public API of every crate so
+//! examples and downstream users can depend on a single crate.
+//!
+//! ```
+//! use proof::core::{profile_model, MetricMode};
+//! use proof::hw::PlatformId;
+//! use proof::ir::DType;
+//! use proof::models::ModelId;
+//! use proof::runtime::{BackendFlavor, SessionConfig};
+//!
+//! let graph = ModelId::ResNet50.build(8);
+//! let report = profile_model(
+//!     &graph,
+//!     &PlatformId::A100.spec(),
+//!     BackendFlavor::TrtLike,
+//!     &SessionConfig::new(DType::F16),
+//!     MetricMode::Predicted,
+//! )
+//! .unwrap();
+//! assert!(report.total_latency_ms > 0.0);
+//! assert_eq!(report.unresolved_layers, 0);
+//! ```
+pub use proof_core as core;
+pub use proof_counters as counters;
+pub use proof_hw as hw;
+pub use proof_ir as ir;
+pub use proof_models as models;
+pub use proof_runtime as runtime;

@@ -1,0 +1,253 @@
+//! Calibration regression tests: the paper's quantitative claims, as bands.
+//!
+//! Absolute numbers come from our simulator substrate, so these assert
+//! *shape*: signs of the Table 4 prediction diffs, the Table 5 speedup
+//! factor, Table 6 monotonicities, the Table 7 orderings and the §4.6
+//! budget-search result. EXPERIMENTS.md records exact values side by side.
+
+use proof::core::{measure_achieved_peak, profile_model, AnalyzeRepr, MetricMode};
+use proof::hw::{ClockConfig, JetsonPowerProfile, OrinNx, PlatformId};
+use proof::ir::DType;
+use proof::models::ModelId;
+use proof::runtime::{BackendFlavor, SessionConfig};
+
+fn predicted(model: ModelId, batch: u64, platform: PlatformId) -> proof::core::ProfileReport {
+    let p = platform.spec();
+    profile_model(
+        &model.build(batch),
+        &p,
+        BackendFlavor::for_platform(&p),
+        &SessionConfig::new(p.preferred_dtype()),
+        MetricMode::Predicted,
+    )
+    .unwrap()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+#[test]
+fn table3_gflop_within_five_percent_of_paper() {
+    for model in ModelId::ALL {
+        let t3 = model.table3();
+        let gflop = AnalyzeRepr::new(&model.build(1), DType::F32).gflops();
+        let diff = (gflop - t3.paper_gflop).abs() / t3.paper_gflop;
+        assert!(diff < 0.05, "{}: {gflop:.3} vs paper {:.3}", t3.name, t3.paper_gflop);
+    }
+}
+
+#[test]
+fn table3_params_within_twelve_percent_of_paper() {
+    for model in ModelId::ALL {
+        let t3 = model.table3();
+        let params_m = model.build(1).param_count() as f64 / 1e6;
+        let diff = (params_m - t3.paper_params_m).abs() / t3.paper_params_m;
+        // EfficientNetV2-S is the outlier (paper 23.9 M vs the reference
+        // implementation's 21.5 M — see EXPERIMENTS.md)
+        assert!(diff < 0.12, "{}: {params_m:.2} vs paper {:.2}", t3.name, t3.paper_params_m);
+    }
+}
+
+// ---------------------------------------------------------------- Table 4
+
+#[test]
+fn table4_prediction_diff_signs_match_paper() {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    // analytical FLOP below Hardware FLOP for the conv nets (padding and
+    // depthwise overheads), with MobileNet the worst — paper ordering
+    let mut diffs = Vec::new();
+    for model in [ModelId::ResNet50, ModelId::MobileNetV2x10, ModelId::SwinSmall] {
+        let g = model.build(32);
+        let p = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
+        let m = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
+        let d = p.total_flops as f64 / m.total_flops as f64 - 1.0;
+        assert!(d < 0.0, "{model:?}: analytical above measured ({d})");
+        diffs.push((model, d));
+    }
+    let mobilenet = diffs.iter().find(|(m, _)| *m == ModelId::MobileNetV2x10).unwrap().1;
+    let resnet = diffs.iter().find(|(m, _)| *m == ModelId::ResNet50).unwrap().1;
+    assert!(mobilenet < resnet, "MobileNet must show the larger gap (paper: −24% vs −2%)");
+    assert!(mobilenet < -0.15 && mobilenet > -0.35);
+    assert!(resnet > -0.08);
+}
+
+#[test]
+fn table4_profiling_overhead_is_orders_of_magnitude_above_analysis() {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let g = ModelId::ResNet50.build(32);
+    let p = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
+    let m = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
+    assert!(m.metric_collection_s > 100.0, "counter replay takes minutes");
+    assert!(p.metric_collection_s < 2.0, "analysis takes (sub)seconds");
+}
+
+// ---------------------------------------------------------------- Table 5
+
+#[test]
+fn table5_modified_shufflenet_wins_at_every_batch() {
+    for (batch, paper_speedup) in [(1u64, 1.39), (128, 1.49), (2048, 1.64)] {
+        let orig = predicted(ModelId::ShuffleNetV2x10, batch, PlatformId::A100);
+        let modi = predicted(ModelId::ShuffleNetV2x10Mod, batch, PlatformId::A100);
+        let speedup = orig.total_latency_ms / modi.total_latency_ms;
+        assert!(
+            (paper_speedup - 0.35..paper_speedup + 0.35).contains(&speedup),
+            "bs={batch}: speedup {speedup:.2} vs paper {paper_speedup}"
+        );
+        // more FLOP, yet faster — the §4.5 trade
+        assert!(modi.total_flops > orig.total_flops);
+    }
+}
+
+#[test]
+fn table5_bs2048_throughput_gain_matches_paper_band() {
+    let orig = predicted(ModelId::ShuffleNetV2x10, 2048, PlatformId::A100);
+    let modi = predicted(ModelId::ShuffleNetV2x10Mod, 2048, PlatformId::A100);
+    let gain = modi.throughput_per_s() / orig.throughput_per_s() - 1.0;
+    // paper: +64.45%
+    assert!((0.4..0.9).contains(&gain), "gain {gain}");
+}
+
+// ---------------------------------------------------------------- Table 6
+
+#[test]
+fn table6_peaks_scale_with_the_right_clock() {
+    let orin = PlatformId::OrinNx.spec();
+    let at = |gpu, mem| {
+        measure_achieved_peak(
+            &orin.with_clocks(ClockConfig::new(gpu, mem)),
+            BackendFlavor::TrtLike,
+            DType::F16,
+        )
+        .unwrap()
+    };
+    let full = at(918, 3199);
+    let low_mem = at(918, 2133);
+    let low_gpu = at(510, 3199);
+    // memory clock down: bandwidth falls, compute ~unchanged (rows 1 vs 2)
+    assert!(low_mem.bw_gbs < 0.8 * full.bw_gbs);
+    assert!((low_mem.gflops / full.gflops - 1.0).abs() < 0.05);
+    // GPU clock down: compute falls proportionally (rows 1 vs 3)
+    assert!((low_gpu.gflops / full.gflops - 510.0 / 918.0).abs() < 0.05);
+}
+
+#[test]
+fn table6_power_matches_paper_within_a_watt() {
+    let power = OrinNx::new().power;
+    for (gpu, mem, paper_w) in [
+        (918u32, 3199u32, 23.6),
+        (918, 2133, 21.3),
+        (510, 3199, 15.7),
+        (510, 2133, 13.6),
+        (510, 665, 11.5),
+    ] {
+        let w = power.power_w(&ClockConfig::new(gpu, mem), 1.0, 1.0);
+        assert!((w - paper_w).abs() < 1.0, "({gpu},{mem}): {w:.1} vs {paper_w}");
+    }
+}
+
+// ------------------------------------------------------- Table 7 / Fig. 8
+
+fn orin_run(clocks: ClockConfig) -> (f64, f64) {
+    let platform = PlatformId::OrinNx.spec().with_clocks(clocks);
+    let r = profile_model(
+        &ModelId::EfficientNetV2T.build(128),
+        &platform,
+        BackendFlavor::TrtLike,
+        &SessionConfig::new(DType::F16),
+        MetricMode::Predicted,
+    )
+    .unwrap();
+    let power = OrinNx::new().power.power_w(&clocks, r.util_gpu, r.util_mem);
+    (r.total_latency_ms, power)
+}
+
+#[test]
+fn table7_orderings_hold() {
+    let cc = |gpu, mem| ClockConfig::new(gpu, mem).with_tpc_mask(240);
+    let (lat_maxn, _) = orin_run(JetsonPowerProfile::MaxN.clocks());
+    let (lat_stock15, p_stock15) = orin_run(JetsonPowerProfile::Stock15W.clocks());
+    let (lat_opt, p_opt) = orin_run(cc(612, 2133));
+    let (lat_665, _) = orin_run(cc(612, 665));
+    let (lat_3199, p_3199) = orin_run(cc(612, 3199));
+
+    // MAXN is fastest; the stock 15W profile (TPC-gated) is slower than the
+    // tuned 612/2133 at comparable power — the paper's headline
+    assert!(lat_maxn < lat_opt);
+    assert!(lat_opt < lat_stock15, "{lat_opt} vs stock {lat_stock15}");
+    assert!(p_opt < 15.0, "tuned profile within budget: {p_opt}");
+    assert!(p_stock15 < 15.0);
+    // memory clock: 2133 costs little vs 3199; 665 costs a lot (Fig. 8)
+    assert!(lat_opt / lat_3199 < 1.15);
+    assert!(lat_665 / lat_opt > 1.5);
+    assert!(p_3199 > p_opt);
+}
+
+#[test]
+fn budget_search_selects_612_mhz_like_the_paper() {
+    let orin = OrinNx::new();
+    let found = orin.search_gpu_clock_under_budget(2133, 15.0, |clocks| {
+        let platform = PlatformId::OrinNx.spec().with_clocks(clocks);
+        let r = profile_model(
+            &ModelId::EfficientNetV2T.build(128),
+            &platform,
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap();
+        (r.util_gpu, r.util_mem)
+    });
+    assert_eq!(found, Some(612));
+}
+
+// ------------------------------------------------------------ §4.3 claims
+
+#[test]
+fn fig4_most_models_stay_under_half_peak_on_a100() {
+    let peak_gflops = PlatformId::A100.spec().peak_flops(DType::F16, true) / 1e9;
+    let mut above_half = 0;
+    let mut total = 0;
+    for model in [
+        ModelId::ResNet50,
+        ModelId::MobileNetV2x10,
+        ModelId::ShuffleNetV2x10,
+        ModelId::EfficientNetB0,
+        ModelId::SwinTiny,
+        ModelId::ViTBase,
+        ModelId::MlpMixerB16,
+        ModelId::DistilBertBase,
+    ] {
+        let r = predicted(model, 128, PlatformId::A100);
+        total += 1;
+        if r.achieved_gflops() > 0.5 * peak_gflops {
+            above_half += 1;
+        }
+    }
+    assert!(above_half >= 1, "some model exceeds half peak");
+    assert!(above_half <= total / 2, "only a small number exceed half peak");
+}
+
+#[test]
+fn npu_runs_only_a_small_portion_of_models_far_from_peak() {
+    let npu = PlatformId::Npu3720.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let mut ok = 0;
+    for model in ModelId::ALL {
+        let g = model.build(1);
+        if let Ok(r) = profile_model(&g, &npu, BackendFlavor::OvLike, &cfg, MetricMode::Predicted) {
+            ok += 1;
+            // "performance significantly deviated from its theoretical value"
+            assert!(r.achieved_gflops() < 0.4 * npu.peak_flops(DType::F16, true) / 1e9, "{model:?}");
+        }
+    }
+    assert!(ok >= 4 && ok <= 10, "only a small portion compiles: {ok}");
+}
+
+#[test]
+fn orin_roughly_doubles_xavier() {
+    let xavier = predicted(ModelId::ResNet50, 16, PlatformId::XavierNx);
+    let orin = predicted(ModelId::ResNet50, 16, PlatformId::OrinNx);
+    let ratio = xavier.total_latency_ms / orin.total_latency_ms;
+    assert!((1.5..3.5).contains(&ratio), "Orin/Xavier speedup {ratio}");
+}
