@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the proof workspace. Run from the repo root.
+#
+#   ./ci.sh          # format check, lints, release build, full test suite
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

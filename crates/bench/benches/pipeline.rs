@@ -3,7 +3,10 @@
 //! measured) and SVG rendering.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use proof_core::{map_layers, profile_model, render_roofline_svg, AnalyzeRepr, MetricMode, OptimizedRepr, SvgOptions};
+use proof_core::{
+    map_layers, profile_model, render_roofline_svg, AnalyzeRepr, MetricMode, OptimizedRepr,
+    SvgOptions,
+};
 use proof_hw::PlatformId;
 use proof_ir::DType;
 use proof_models::ModelId;
@@ -22,7 +25,9 @@ fn bench_compile(c: &mut Criterion) {
     let platform = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
     c.bench_function("compile/resnet50_a100", |b| {
-        b.iter(|| black_box(compile(black_box(&g), BackendFlavor::TrtLike, &platform, &cfg).unwrap()))
+        b.iter(|| {
+            black_box(compile(black_box(&g), BackendFlavor::TrtLike, &platform, &cfg).unwrap())
+        })
     });
 }
 
@@ -35,7 +40,11 @@ fn bench_mapping(c: &mut Criterion) {
     c.bench_function("mapping/vit_tiny_trt_with_myelin", |b| {
         b.iter(|| {
             let repr = OptimizedRepr::new(AnalyzeRepr::new(&g, DType::F16));
-            black_box(map_layers(repr, black_box(&profile), BackendFlavor::TrtLike))
+            black_box(map_layers(
+                repr,
+                black_box(&profile),
+                BackendFlavor::TrtLike,
+            ))
         })
     });
 }
@@ -47,16 +56,28 @@ fn bench_full_profile(c: &mut Criterion) {
     c.bench_function("profile/resnet50_predicted", |b| {
         b.iter(|| {
             black_box(
-                profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
-                    .unwrap(),
+                profile_model(
+                    &g,
+                    &platform,
+                    BackendFlavor::TrtLike,
+                    &cfg,
+                    MetricMode::Predicted,
+                )
+                .unwrap(),
             )
         })
     });
     c.bench_function("profile/resnet50_measured", |b| {
         b.iter(|| {
             black_box(
-                profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured)
-                    .unwrap(),
+                profile_model(
+                    &g,
+                    &platform,
+                    BackendFlavor::TrtLike,
+                    &cfg,
+                    MetricMode::Measured,
+                )
+                .unwrap(),
             )
         })
     });
@@ -66,11 +87,22 @@ fn bench_svg(c: &mut Criterion) {
     let platform = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
     let g = ModelId::SwinTiny.build(8);
-    let report =
-        profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
+    let report = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::TrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .unwrap();
     let chart = report.layerwise_chart("bench");
     c.bench_function("svg_render/swin_tiny_layerwise", |b| {
-        b.iter(|| black_box(render_roofline_svg(black_box(&chart), &SvgOptions::default())))
+        b.iter(|| {
+            black_box(render_roofline_svg(
+                black_box(&chart),
+                &SvgOptions::default(),
+            ))
+        })
     });
 }
 

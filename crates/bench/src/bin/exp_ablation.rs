@@ -59,8 +59,11 @@ fn main() {
                 ..CostOptions::default()
             },
         ));
-        let nostride_mapping =
-            map_layers(nostride, &compiled.builtin_profile(), BackendFlavor::TrtLike);
+        let nostride_mapping = map_layers(
+            nostride,
+            &compiled.builtin_profile(),
+            BackendFlavor::TrtLike,
+        );
         let nostride_bytes = nostride_mapping.repr.total_cost().memory_bytes();
 
         let e = |v: u64| fmt_pct(pct_diff(v as f64, truth_bytes as f64));

@@ -18,7 +18,10 @@ fn main() {
     let cc = |gpu, mem| ClockConfig::new(gpu, mem).with_tpc_mask(240);
     let profiles: Vec<(String, ClockConfig)> = vec![
         ("stock MAXN".into(), JetsonPowerProfile::MaxN.clocks()),
-        ("stock 15W (TPC-gated)".into(), JetsonPowerProfile::Stock15W.clocks()),
+        (
+            "stock 15W (TPC-gated)".into(),
+            JetsonPowerProfile::Stock15W.clocks(),
+        ),
         ("stock 25W".into(), JetsonPowerProfile::Stock25W.clocks()),
         ("918/2133".into(), cc(918, 2133)),
         ("612/3199".into(), cc(612, 3199)),
@@ -31,7 +34,8 @@ fn main() {
         "{:<24} {:>9} {:>8} {:>12} {:>12}",
         "Profile", "lat(ms)", "P(W)", "img/s", "mJ/image"
     );
-    let mut csv = String::from("profile,gpu_mhz,mem_mhz,latency_ms,power_w,images_per_s,mj_per_image\n");
+    let mut csv =
+        String::from("profile,gpu_mhz,mem_mhz,latency_ms,power_w,images_per_s,mj_per_image\n");
     let mut best: Option<(String, f64)> = None;
     for (label, clocks) in &profiles {
         let platform = PlatformId::OrinNx.spec().with_clocks(*clocks);

@@ -8,12 +8,19 @@
 //! compile failures are reported (most models fail there, §4.3).
 
 use proof_bench::save_artifact;
-use proof_core::{profile_model, render_roofline_svg, MetricMode, RooflineCeiling, RooflineChart, RooflinePoint, SvgOptions};
 use proof_core::roofline::LayerCategory;
+use proof_core::{
+    profile_model, render_roofline_svg, MetricMode, RooflineCeiling, RooflineChart, RooflinePoint,
+    SvgOptions,
+};
 use proof_hw::{Platform, PlatformId};
 use proof_models::ModelId;
 use proof_runtime::{BackendFlavor, SessionConfig};
 use rayon::prelude::*;
+
+/// Table-3 index, display name, and (latency, gflops, gbs, intensity, batch)
+/// when the model profiles successfully on the platform.
+type ModelRow = (u32, String, Option<(f64, f64, f64, f64, u64)>);
 
 fn batch_for(model: ModelId, platform: &Platform) -> u64 {
     if model == ModelId::StableDiffusionUnet {
@@ -40,13 +47,8 @@ fn main() {
         let platform = id.spec();
         let flavor = BackendFlavor::for_platform(&platform);
         let dtype = platform.preferred_dtype();
-        println!(
-            "\n=== {} [{}] {} ===",
-            platform.name,
-            flavor.name(),
-            dtype
-        );
-        let results: Vec<(u32, String, Option<(f64, f64, f64, f64, u64)>)> = ModelId::ALL
+        println!("\n=== {} [{}] {} ===", platform.name, flavor.name(), dtype);
+        let results: Vec<ModelRow> = ModelId::ALL
             .par_iter()
             .filter(|&&m| runs_on(m, id))
             .map(|&m| {

@@ -6,8 +6,8 @@
 
 use proof_bench::save_artifact;
 use proof_core::report::chart_to_csv;
-use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
 use proof_core::roofline::LayerCategory;
+use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
 use proof_hw::PlatformId;
 use proof_ir::DType;
 use proof_models::ModelId;
@@ -25,8 +25,14 @@ fn main() {
     println!("Figure 5: layer-wise rooflines on A100 (fp16, bs=128)\n");
     for (panel, model) in subjects {
         let g = model.build(128);
-        let report = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
-            .expect("profile");
+        let report = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Predicted,
+        )
+        .expect("profile");
         let chart = report.layerwise_chart(&format!(
             "({panel}) {} on A100 (fp16, bs=128)",
             model.table3().name
@@ -39,7 +45,13 @@ fn main() {
         let dominant = by_cat
             .iter()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, t)| format!("{} ({:.1}%)", c.label(), 100.0 * t / (report.total_latency_ms * 1e3)))
+            .map(|(c, t)| {
+                format!(
+                    "{} ({:.1}%)",
+                    c.label(),
+                    100.0 * t / (report.total_latency_ms * 1e3)
+                )
+            })
             .unwrap_or_default();
         println!(
             "({panel}) {:<18} {:>8.3} ms | {:>7.3} TFLOP/s | {:>7.1} GB/s | {} layers | busiest: {}",
@@ -51,7 +63,10 @@ fn main() {
             dominant
         );
         let slug = model.slug().replace('.', "_");
-        save_artifact(&format!("fig5{panel}_{slug}.svg"), &render_roofline_svg(&chart, &SvgOptions::default()));
+        save_artifact(
+            &format!("fig5{panel}_{slug}.svg"),
+            &render_roofline_svg(&chart, &SvgOptions::default()),
+        );
         save_artifact(&format!("fig5{panel}_{slug}.csv"), &chart_to_csv(&chart));
     }
     println!("\npaper reference: (c) EfficientNet B4 17.242 TFLOP/s, (d) EfficientNetV2-T 37.586 TFLOP/s");

@@ -23,7 +23,11 @@ fn main() {
     let rows: Vec<(u32, String)> = ModelId::ALL
         .par_iter()
         .map(|&m| {
-            let batch = if m == ModelId::StableDiffusionUnet { 4 } else { 128 };
+            let batch = if m == ModelId::StableDiffusionUnet {
+                4
+            } else {
+                128
+            };
             let g = m.build(batch);
             let run = |d: DType| {
                 profile_model(
@@ -61,10 +65,27 @@ fn main() {
         println!("{line}");
     }
     for &m in &ModelId::ALL {
-        let batch = if m == ModelId::StableDiffusionUnet { 4 } else { 128 };
+        let batch = if m == ModelId::StableDiffusionUnet {
+            4
+        } else {
+            128
+        };
         let g = m.build(batch);
-        let fp16 = profile_model(&g, &platform, BackendFlavor::TrtLike, &SessionConfig::new(DType::F16), MetricMode::Predicted).unwrap();
-        match profile_model(&g, &platform, BackendFlavor::TrtLike, &SessionConfig::new(DType::I8), MetricMode::Predicted) {
+        let fp16 = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            MetricMode::Predicted,
+        )
+        .unwrap();
+        match profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::I8),
+            MetricMode::Predicted,
+        ) {
             Ok(i8r) => csv.push_str(&format!(
                 "{},{:.3},{:.1},{:.3},{:.1},{:.3}\n",
                 m.slug(),
@@ -74,7 +95,12 @@ fn main() {
                 i8r.achieved_gflops() / 1e3,
                 fp16.total_latency_ms / i8r.total_latency_ms
             )),
-            Err(_) => csv.push_str(&format!("{},{:.3},{:.1},,,conversion_failed\n", m.slug(), fp16.total_latency_ms, fp16.achieved_gflops() / 1e3)),
+            Err(_) => csv.push_str(&format!(
+                "{},{:.3},{:.1},,,conversion_failed\n",
+                m.slug(),
+                fp16.total_latency_ms,
+                fp16.achieved_gflops() / 1e3
+            )),
         }
     }
     save_artifact("int8_sweep.csv", &csv);

@@ -12,7 +12,16 @@ fn main() {
     println!("Table 3: models for evaluation (analytical model, bs=1)\n");
     println!(
         "{:>2} {:<20} {:<6} {:>6} {:>9} {:>10} | {:>6} {:>9} {:>10} {:>9}",
-        "#", "Model", "Type", "Nodes", "Params(M)", "GFLOP", "pNodes", "pParams", "pGFLOP", "dGFLOP"
+        "#",
+        "Model",
+        "Type",
+        "Nodes",
+        "Params(M)",
+        "GFLOP",
+        "pNodes",
+        "pParams",
+        "pGFLOP",
+        "dGFLOP"
     );
 
     let rows: Vec<(u32, String)> = ModelId::ALL
@@ -42,7 +51,8 @@ fn main() {
 
     let mut rows = rows;
     rows.sort_by_key(|r| r.0);
-    let mut csv = String::from("index,model,nodes,params_m,gflop,paper_nodes,paper_params_m,paper_gflop\n");
+    let mut csv =
+        String::from("index,model,nodes,params_m,gflop,paper_nodes,paper_params_m,paper_gflop\n");
     for (_, line) in &rows {
         println!("{line}");
     }

@@ -25,11 +25,41 @@ struct PaperRow {
 
 fn paper_rows() -> Vec<PaperRow> {
     vec![
-        PaperRow { model: ModelId::EfficientNetV2S, latency_ms: 16.644, gflop: (771.794, 962.575), mem_mb: (11669.419, 11820.696), prof_s: 1327.0 },
-        PaperRow { model: ModelId::MobileNetV2x10, latency_ms: 3.894, gflop: (79.452, 104.492), mem_mb: (3521.010, 3474.114), prof_s: 343.0 },
-        PaperRow { model: ModelId::ResNet50, latency_ms: 8.918, gflop: (1050.435, 1072.227), mem_mb: (7052.921, 7150.855), prof_s: 395.0 },
-        PaperRow { model: ModelId::SwinSmall, latency_ms: 43.935, gflop: (2268.528, 2414.215), mem_mb: (28897.395, 31431.407), prof_s: 1930.0 },
-        PaperRow { model: ModelId::ViTTiny, latency_ms: 5.308, gflop: (327.382, 298.195), mem_mb: (4059.092, 3826.516), prof_s: 483.0 },
+        PaperRow {
+            model: ModelId::EfficientNetV2S,
+            latency_ms: 16.644,
+            gflop: (771.794, 962.575),
+            mem_mb: (11669.419, 11820.696),
+            prof_s: 1327.0,
+        },
+        PaperRow {
+            model: ModelId::MobileNetV2x10,
+            latency_ms: 3.894,
+            gflop: (79.452, 104.492),
+            mem_mb: (3521.010, 3474.114),
+            prof_s: 343.0,
+        },
+        PaperRow {
+            model: ModelId::ResNet50,
+            latency_ms: 8.918,
+            gflop: (1050.435, 1072.227),
+            mem_mb: (7052.921, 7150.855),
+            prof_s: 395.0,
+        },
+        PaperRow {
+            model: ModelId::SwinSmall,
+            latency_ms: 43.935,
+            gflop: (2268.528, 2414.215),
+            mem_mb: (28897.395, 31431.407),
+            prof_s: 1930.0,
+        },
+        PaperRow {
+            model: ModelId::ViTTiny,
+            latency_ms: 5.308,
+            gflop: (327.382, 298.195),
+            mem_mb: (4059.092, 3826.516),
+            prof_s: 483.0,
+        },
     ]
 }
 
@@ -39,7 +69,16 @@ fn main() {
     println!("Table 4: analytical model vs simulated NCU (A100, fp16, bs=128)\n");
     println!(
         "{:<18} {:>8} {:>6} | {:>10} {:>12} | {:>10} {:>12} {:>9} | {:>9} {:>8} | paper diffs",
-        "Model", "lat(ms)", "nodes", "GFLOP", "Mem(MB)", "ncuGFLOP", "ncuMem(MB)", "prof(s)", "dFLOP", "dMem"
+        "Model",
+        "lat(ms)",
+        "nodes",
+        "GFLOP",
+        "Mem(MB)",
+        "ncuGFLOP",
+        "ncuMem(MB)",
+        "prof(s)",
+        "dFLOP",
+        "dMem"
     );
 
     let rows: Vec<String> = paper_rows()
@@ -76,8 +115,22 @@ fn main() {
     }
     for row in paper_rows() {
         let g = row.model.build(128);
-        let pred = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
-        let meas = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
+        let pred = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Predicted,
+        )
+        .unwrap();
+        let meas = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Measured,
+        )
+        .unwrap();
         csv.push_str(&format!(
             "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.2},{:.2}\n",
             row.model.slug(),
@@ -88,7 +141,10 @@ fn main() {
             meas.total_memory_bytes as f64 / 1e6,
             meas.metric_collection_s,
             pct_diff(pred.total_flops as f64, meas.total_flops as f64),
-            pct_diff(pred.total_memory_bytes as f64, meas.total_memory_bytes as f64),
+            pct_diff(
+                pred.total_memory_bytes as f64,
+                meas.total_memory_bytes as f64
+            ),
         ));
     }
     save_artifact("table4.csv", &csv);

@@ -7,8 +7,8 @@
 
 use proof_bench::save_artifact;
 use proof_core::report::chart_to_csv;
-use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
 use proof_core::roofline::LayerCategory;
+use proof_core::{profile_model, render_roofline_svg, MetricMode, SvgOptions};
 use proof_hw::PlatformId;
 use proof_ir::DType;
 use proof_models::ModelId;
@@ -27,8 +27,14 @@ fn measure(model: ModelId, batch: u64) -> Row {
     let platform = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
     let g = model.build(batch);
-    let r = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
-        .expect("profile");
+    let r = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::TrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .expect("profile");
     Row {
         batch,
         gflop: r.total_flops as f64 / 1e9,
@@ -43,7 +49,16 @@ fn main() {
     println!("Table 5: original vs modified ShuffleNetV2 x1.0 on A100 (fp16)\n");
     println!(
         "{:<9} {:>9} {:>8} {:>6} {:>9} {:>9} {:>12} {:>11} {:>9} {:>8}",
-        "Model", "Params(M)", "Top-1(%)", "bs", "GFLOP", "lat(ms)", "thr(img/s)", "GFLOP/s", "GB/s", "speedup"
+        "Model",
+        "Params(M)",
+        "Top-1(%)",
+        "bs",
+        "GFLOP",
+        "lat(ms)",
+        "thr(img/s)",
+        "GFLOP/s",
+        "GB/s",
+        "speedup"
     );
     let mut table: Vec<(&str, f64, f64, Vec<Row>)> = Vec::new();
     for (label, model, acc) in [
@@ -51,7 +66,10 @@ fn main() {
         ("Modified", ModelId::ShuffleNetV2x10Mod, 70.1),
     ] {
         let params_m = model.build(1).param_count() as f64 / 1e6;
-        let rows: Vec<Row> = [1u64, 128, 2048].iter().map(|&b| measure(model, b)).collect();
+        let rows: Vec<Row> = [1u64, 128, 2048]
+            .iter()
+            .map(|&b| measure(model, b))
+            .collect();
         table.push((label, params_m, acc, rows));
     }
     let mut csv = String::from("model,batch,gflop,latency_ms,throughput,gflops,gbs,speedup\n");
@@ -97,7 +115,10 @@ fn main() {
 
     // Figure 6: layer-wise rooflines at bs=2048 (prediction mode, as in the
     // paper), plus the share of time in transpose/data-copy layers
-    for (panel, model) in [("a", ModelId::ShuffleNetV2x10), ("b", ModelId::ShuffleNetV2x10Mod)] {
+    for (panel, model) in [
+        ("a", ModelId::ShuffleNetV2x10),
+        ("b", ModelId::ShuffleNetV2x10Mod),
+    ] {
         let g = model.build(2048);
         let platform = PlatformId::A100.spec();
         let r = profile_model(
@@ -111,7 +132,12 @@ fn main() {
         let shuffle_share: f64 = r
             .layers
             .iter()
-            .filter(|l| matches!(l.category, LayerCategory::Transpose | LayerCategory::DataCopy))
+            .filter(|l| {
+                matches!(
+                    l.category,
+                    LayerCategory::Transpose | LayerCategory::DataCopy
+                )
+            })
             .map(|l| l.latency_us)
             .sum::<f64>()
             / (r.total_latency_ms * 1e3);
@@ -125,7 +151,10 @@ fn main() {
             model.table3().name
         ));
         let slug = model.slug().replace('.', "_");
-        save_artifact(&format!("fig6{panel}_{slug}.svg"), &render_roofline_svg(&chart, &SvgOptions::default()));
+        save_artifact(
+            &format!("fig6{panel}_{slug}.svg"),
+            &render_roofline_svg(&chart, &SvgOptions::default()),
+        );
         save_artifact(&format!("fig6{panel}_{slug}.csv"), &chart_to_csv(&chart));
     }
 }

@@ -20,10 +20,19 @@ fn main() {
     println!("Table 6: achieved roofline peak and power vs clocks (Orin NX, fp16)\n");
     println!(
         "{:>2} {:>9} {:>9} | {:>9} {:>10} {:>8} | paper: {:>8} {:>9} {:>7}",
-        "#", "GPU(MHz)", "EMC(MHz)", "TFLOP/s", "BW(GB/s)", "Power(W)", "TFLOP/s", "BW(GB/s)", "P(W)"
+        "#",
+        "GPU(MHz)",
+        "EMC(MHz)",
+        "TFLOP/s",
+        "BW(GB/s)",
+        "Power(W)",
+        "TFLOP/s",
+        "BW(GB/s)",
+        "P(W)"
     );
-    let mut csv =
-        String::from("row,gpu_mhz,mem_mhz,tflops,bw_gbs,power_w,paper_tflops,paper_bw,paper_power\n");
+    let mut csv = String::from(
+        "row,gpu_mhz,mem_mhz,tflops,bw_gbs,power_w,paper_tflops,paper_bw,paper_power\n",
+    );
     for (i, gpu, mem, p_tf, p_bw, p_w) in rows {
         let clocks = ClockConfig::new(gpu, mem);
         let platform = PlatformId::OrinNx.spec().with_clocks(clocks);

@@ -27,12 +27,34 @@ fn run(clocks: ClockConfig) -> (f64, f64, f64) {
 
 fn main() {
     let orin = OrinNx::new();
-    let cc = |gpu, mem| ClockConfig::new(gpu, mem).with_cpus(Some(729), None).with_tpc_mask(240);
+    let cc = |gpu, mem| {
+        ClockConfig::new(gpu, mem)
+            .with_cpus(Some(729), None)
+            .with_tpc_mask(240)
+    };
     // (profile label, #, clocks, paper latency ms, paper power W)
     let rows: Vec<(&str, u32, ClockConfig, f64, f64)> = vec![
-        ("stock \"MAXN\"", 1, JetsonPowerProfile::MaxN.clocks(), 211.4, 23.2),
-        ("stock \"15W\"*", 2, JetsonPowerProfile::Stock15W.clocks(), 514.5, 13.6),
-        ("stock \"25W\"", 3, JetsonPowerProfile::Stock25W.clocks(), 462.1, 14.2),
+        (
+            "stock \"MAXN\"",
+            1,
+            JetsonPowerProfile::MaxN.clocks(),
+            211.4,
+            23.2,
+        ),
+        (
+            "stock \"15W\"*",
+            2,
+            JetsonPowerProfile::Stock15W.clocks(),
+            514.5,
+            13.6,
+        ),
+        (
+            "stock \"25W\"",
+            3,
+            JetsonPowerProfile::Stock25W.clocks(),
+            462.1,
+            14.2,
+        ),
         ("comparison", 4, cc(918, 3199), 211.3, 22.5),
         ("comparison", 5, cc(918, 2133), 232.7, 19.2),
         ("comparison", 6, cc(918, 665), 568.0, 12.4),
@@ -47,7 +69,9 @@ fn main() {
         "{:<15} {:>2} {:>9} {:>5} {:>5} {:>5} | {:>9} {:>8} | paper: {:>8} {:>6}",
         "Profile", "#", "CPU", "GPU", "EMC", "TPC", "lat(ms)", "P(W)", "lat(ms)", "P(W)"
     );
-    let mut csv = String::from("row,profile,gpu_mhz,mem_mhz,tpcs,latency_ms,power_w,paper_latency_ms,paper_power_w\n");
+    let mut csv = String::from(
+        "row,profile,gpu_mhz,mem_mhz,tpcs,latency_ms,power_w,paper_latency_ms,paper_power_w\n",
+    );
     for (label, i, clocks, p_lat, p_w) in &rows {
         let (lat, ug, um) = run(*clocks);
         let power = orin.power.power_w(clocks, ug, um);
@@ -104,7 +128,10 @@ fn main() {
             chart.points.len()
         );
     }
-    save_artifact("fig8_effnetv2t_orin.svg", &render_roofline_svg(&chart, &SvgOptions::default()));
+    save_artifact(
+        "fig8_effnetv2t_orin.svg",
+        &render_roofline_svg(&chart, &SvgOptions::default()),
+    );
     save_artifact("fig8_effnetv2t_orin.csv", &chart_to_csv(&chart));
 
     // binary search the GPU clock under 15 W at EMC 2133 (paper finds 612)
@@ -112,5 +139,8 @@ fn main() {
         let (_, ug, um) = run(clocks);
         (ug, um)
     });
-    println!("\n15 W budget search at EMC 2133: GPU clock = {:?} MHz (paper: 612)", found);
+    println!(
+        "\n15 W budget search at EMC 2133: GPU clock = {:?} MHz (paper: 612)",
+        found
+    );
 }

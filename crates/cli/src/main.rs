@@ -10,10 +10,14 @@
 //! proof peak --platform orin-nx [--precision fp16]
 //! proof memory --model resnet-50 --batch 64 [--precision fp16] [--budget-gb 16]
 //! proof headroom --model resnet-50 --platform a100 [--batch N] [--top N]
+//! proof serve [--addr 127.0.0.1:7878] [--workers 2] [--cache-budget-mb 64]
+//!             [--cache-dir DIR] [--queue-cap 256]
 //! ```
 
 use proof_core::report::{chart_to_csv, profile_summary};
-use proof_core::{measure_achieved_peak, profile_model, render_roofline_svg, MetricMode, SvgOptions};
+use proof_core::{
+    measure_achieved_peak, profile_model, render_roofline_svg, MetricMode, SvgOptions,
+};
 use proof_hw::{Platform, PlatformId};
 use proof_ir::{DType, Graph};
 use proof_models::ModelId;
@@ -23,7 +27,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--top N] [--svg FILE] [--csv FILE] [--json FILE] [--html FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--svg FILE] [--csv FILE] [--json FILE] [--html FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N]\n\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -72,7 +76,10 @@ fn load_model(flags: &HashMap<String, String>, batch: u64) -> Graph {
             std::process::exit(1);
         });
     }
-    let slug = flags.get("model").map(String::as_str).unwrap_or_else(|| usage());
+    let slug = flags
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let model = ModelId::parse(slug).unwrap_or_else(|| {
         eprintln!("unknown model {slug}");
         usage();
@@ -81,7 +88,10 @@ fn load_model(flags: &HashMap<String, String>, batch: u64) -> Graph {
 }
 
 fn load_platform(flags: &HashMap<String, String>) -> Platform {
-    let id = flags.get("platform").map(String::as_str).unwrap_or_else(|| usage());
+    let id = flags
+        .get("platform")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     match PlatformId::parse(id) {
         Some(p) => p.spec(),
         None => {
@@ -119,7 +129,10 @@ fn cmd_list() {
 }
 
 fn cmd_inspect(flags: HashMap<String, String>) {
-    let batch: u64 = flags.get("batch").map(|v| v.parse().expect("batch")).unwrap_or(1);
+    let batch: u64 = flags
+        .get("batch")
+        .map(|v| v.parse().expect("batch"))
+        .unwrap_or(1);
     let g = load_model(&flags, batch);
     let analysis = proof_core::AnalyzeRepr::new(&g, DType::F32);
     println!(
@@ -168,7 +181,10 @@ fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
             usage();
         }
     };
-    let cfg = SessionConfig::new(precision);
+    let mut cfg = SessionConfig::new(precision);
+    if let Some(seed) = flags.get("seed") {
+        cfg = cfg.with_seed(seed.parse().expect("seed"));
+    }
     let report = match profile_model(&g, &platform, flavor, &cfg, mode) {
         Ok(r) => r,
         Err(e) => {
@@ -176,7 +192,10 @@ fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let top: usize = flags.get("top").map(|v| v.parse().expect("top")).unwrap_or(15);
+    let top: usize = flags
+        .get("top")
+        .map(|v| v.parse().expect("top"))
+        .unwrap_or(15);
     println!("{}", profile_summary(&report, top));
     let chart = report.layerwise_chart(&format!(
         "{} on {} ({}, bs={batch})",
@@ -203,7 +222,10 @@ fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
 }
 
 fn cmd_memory(flags: HashMap<String, String>) {
-    let batch: u64 = flags.get("batch").map(|v| v.parse().expect("batch")).unwrap_or(1);
+    let batch: u64 = flags
+        .get("batch")
+        .map(|v| v.parse().expect("batch"))
+        .unwrap_or(1);
     let precision = flags
         .get("precision")
         .map(|s| parse_precision(s))
@@ -255,7 +277,10 @@ fn cmd_headroom(flags: HashMap<String, String>) {
         hr.ideal_ms,
         hr.potential_speedup()
     );
-    let top: usize = flags.get("top").map(|v| v.parse().expect("top")).unwrap_or(10);
+    let top: usize = flags
+        .get("top")
+        .map(|v| v.parse().expect("top"))
+        .unwrap_or(10);
     println!("layers losing the most time vs their roofline bound:");
     for l in hr.worst_layers(top) {
         println!(
@@ -293,6 +318,41 @@ fn cmd_peak(flags: HashMap<String, String>) {
     );
 }
 
+fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
+    let mut config = proof_serve::ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    if let Some(w) = flags.get("workers") {
+        config.workers = w.parse().expect("workers");
+    }
+    if let Some(mb) = flags.get("cache-budget-mb") {
+        config.cache_budget_bytes = mb.parse::<usize>().expect("cache-budget-mb") << 20;
+    }
+    if let Some(dir) = flags.get("cache-dir") {
+        config.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(cap) = flags.get("queue-cap") {
+        config.queue_capacity = cap.parse().expect("queue-cap");
+    }
+    let workers = config.workers;
+    let server = match proof_serve::Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /metrics, GET /models",
+        server.addr()
+    );
+    // serve until the process is terminated
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -302,6 +362,7 @@ fn main() -> ExitCode {
         Some("peak") => cmd_peak(parse_flags(&args[1..])),
         Some("memory") => cmd_memory(parse_flags(&args[1..])),
         Some("headroom") => cmd_headroom(parse_flags(&args[1..])),
+        Some("serve") => return cmd_serve(parse_flags(&args[1..])),
         _ => usage(),
     }
     ExitCode::SUCCESS

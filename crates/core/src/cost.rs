@@ -267,7 +267,11 @@ pub fn op_cost_with(
         Gather => {
             let idx = g.tensor(node.inputs[1]);
             c.input_bytes = idx.size_bytes(); // indices keep native width
-            let gathered: u64 = node.outputs.iter().map(|&o| bytes_of(g, o, precision)).sum();
+            let gathered: u64 = node
+                .outputs
+                .iter()
+                .map(|&o| bytes_of(g, o, precision))
+                .sum();
             if g.tensor(node.inputs[0]).kind == TensorKind::Weight {
                 c.weight_bytes = gathered;
             } else {
@@ -276,7 +280,11 @@ pub fn op_cost_with(
         }
         // read only the kept slice
         Slice => {
-            c.input_bytes = node.outputs.iter().map(|&o| bytes_of(g, o, precision)).sum();
+            c.input_bytes = node
+                .outputs
+                .iter()
+                .map(|&o| bytes_of(g, o, precision))
+                .sum();
         }
         // nearest-neighbour upsampling reads each source pixel once
         Resize | Expand | Tile => {
@@ -328,7 +336,10 @@ pub fn input_read_bytes(
             if Some(&tensor) == node.inputs.get(1) {
                 g.tensor(tensor).size_bytes() // indices at native width
             } else {
-                node.outputs.iter().map(|&o| bytes_of(g, o, precision)).sum()
+                node.outputs
+                    .iter()
+                    .map(|&o| bytes_of(g, o, precision))
+                    .sum()
             }
         }
         _ => full,

@@ -142,7 +142,12 @@ pub fn profile_pipeline(
                 .map_err(|e| BackendError::ConversionFailure(e.to_string()))?;
             let r = profile_model(&stage, &devices[d], flavor, cfg, MetricMode::Predicted)?;
             let egress = boundary_out_bytes(g, &members, cfg.precision);
-            let t = r.total_latency_ms + if d + 1 < k { link.transfer_ms(egress) } else { 0.0 };
+            let t = r.total_latency_ms
+                + if d + 1 < k {
+                    link.transfer_ms(egress)
+                } else {
+                    0.0
+                };
             worst = worst.max(t);
         }
         Ok(worst)
@@ -159,7 +164,11 @@ pub fn profile_pipeline(
                     let mut cand = cuts.clone();
                     let moved = cand[i] as isize + dir * step as isize;
                     let lo = if i == 0 { 1 } else { cand[i - 1] + 1 };
-                    let hi = if i + 1 < cand.len() { cand[i + 1] - 1 } else { n - 1 };
+                    let hi = if i + 1 < cand.len() {
+                        cand[i + 1] - 1
+                    } else {
+                        n - 1
+                    };
                     if moved < lo as isize || moved > hi as isize {
                         continue;
                     }
@@ -183,13 +192,23 @@ pub fn profile_pipeline(
         let members: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
         let stage_graph = extract_subgraph(g, &members, &format!("{}-stage{d}", g.name))
             .map_err(|e| BackendError::ConversionFailure(e.to_string()))?;
-        let report = profile_model(&stage_graph, &devices[d], flavor, cfg, MetricMode::Predicted)?;
+        let report = profile_model(
+            &stage_graph,
+            &devices[d],
+            flavor,
+            cfg,
+            MetricMode::Predicted,
+        )?;
         let egress = if d + 1 < k {
             boundary_out_bytes(g, &members, cfg.precision)
         } else {
             0
         };
-        let transfer_ms = if d + 1 < k { link.transfer_ms(egress) } else { 0.0 };
+        let transfer_ms = if d + 1 < k {
+            link.transfer_ms(egress)
+        } else {
+            0.0
+        };
         single_sample_ms += report.total_latency_ms + transfer_ms;
         bottleneck_ms = bottleneck_ms.max(report.total_latency_ms + transfer_ms);
         stages.push(StageReport {
@@ -242,10 +261,15 @@ mod tests {
     fn two_a100_pipeline_beats_the_bottleneck_of_one() {
         let g = ModelId::ResNet50.build(64);
         let dev = PlatformId::A100.spec();
-        let single =
-            profile_model(&g, &dev, BackendFlavor::TrtLike, &cfg(), MetricMode::Predicted)
-                .unwrap()
-                .total_latency_ms;
+        let single = profile_model(
+            &g,
+            &dev,
+            BackendFlavor::TrtLike,
+            &cfg(),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+        .total_latency_ms;
         let pipe = profile_pipeline(
             &g,
             &[dev.clone(), dev.clone()],
@@ -256,15 +280,25 @@ mod tests {
         .unwrap();
         assert_eq!(pipe.stages.len(), 2);
         // steady-state interval below single-device latency (pipelining wins)
-        assert!(pipe.bottleneck_ms < single, "{} vs {single}", pipe.bottleneck_ms);
+        assert!(
+            pipe.bottleneck_ms < single,
+            "{} vs {single}",
+            pipe.bottleneck_ms
+        );
         assert!(pipe.speedup_over(single) > 1.3);
         // single-sample latency pays the transfers on top
         assert!(pipe.single_sample_ms >= pipe.bottleneck_ms);
         // stage flops sum to the model's flops
         let sum: u64 = pipe.stages.iter().map(|s| s.report.total_flops).sum();
-        let whole = profile_model(&g, &dev, BackendFlavor::TrtLike, &cfg(), MetricMode::Predicted)
-            .unwrap()
-            .total_flops;
+        let whole = profile_model(
+            &g,
+            &dev,
+            BackendFlavor::TrtLike,
+            &cfg(),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+        .total_flops;
         let ratio = sum as f64 / whole as f64;
         assert!((0.95..1.1).contains(&ratio), "{ratio}");
     }
@@ -316,14 +350,25 @@ mod tests {
     fn single_device_pipeline_degenerates_gracefully() {
         let g = ModelId::ShuffleNetV2x05.build(4);
         let dev = PlatformId::A100.spec();
-        let pipe =
-            profile_pipeline(&g, &[dev.clone()], BackendFlavor::TrtLike, &cfg(), Interconnect::pcie4())
-                .unwrap();
+        let pipe = profile_pipeline(
+            &g,
+            std::slice::from_ref(&dev),
+            BackendFlavor::TrtLike,
+            &cfg(),
+            Interconnect::pcie4(),
+        )
+        .unwrap();
         assert_eq!(pipe.stages.len(), 1);
         assert_eq!(pipe.stages[0].transfer_ms, 0.0);
-        let single = profile_model(&g, &dev, BackendFlavor::TrtLike, &cfg(), MetricMode::Predicted)
-            .unwrap()
-            .total_latency_ms;
+        let single = profile_model(
+            &g,
+            &dev,
+            BackendFlavor::TrtLike,
+            &cfg(),
+            MetricMode::Predicted,
+        )
+        .unwrap()
+        .total_latency_ms;
         assert!((pipe.bottleneck_ms - single).abs() / single < 0.05);
     }
 }

@@ -39,9 +39,13 @@ pub enum FuseError {
     UnknownTensor(String),
     UnknownNode(NodeId),
     /// The io-bounded closure escaped the given inputs (not a valid subgraph).
-    NotAClosedSubgraph { escaped_tensor: String },
+    NotAClosedSubgraph {
+        escaped_tensor: String,
+    },
     /// A member already belongs to another fused group.
-    AlreadyFused { node: String },
+    AlreadyFused {
+        node: String,
+    },
     EmptyMemberSet,
 }
 
@@ -51,7 +55,10 @@ impl std::fmt::Display for FuseError {
             FuseError::UnknownTensor(n) => write!(f, "unknown tensor {n}"),
             FuseError::UnknownNode(id) => write!(f, "unknown node id {id}"),
             FuseError::NotAClosedSubgraph { escaped_tensor } => {
-                write!(f, "subgraph escapes its declared inputs via {escaped_tensor}")
+                write!(
+                    f,
+                    "subgraph escapes its declared inputs via {escaped_tensor}"
+                )
             }
             FuseError::AlreadyFused { node } => write!(f, "node {node} is already fused"),
             FuseError::EmptyMemberSet => write!(f, "empty member set"),
@@ -348,8 +355,7 @@ impl<'g> OptimizedRepr<'g> {
             cost.weight_bytes += nc.weight_bytes;
         }
         let (ins, outs) = self.group_io(id);
-        let members: std::collections::HashSet<NodeId> =
-            grp.members.iter().copied().collect();
+        let members: std::collections::HashSet<NodeId> = grp.members.iter().copied().collect();
         for t in ins {
             // the fused kernel reads each boundary tensor once; honour the
             // per-consumer read rules (e.g. strided-conv partial reads) by

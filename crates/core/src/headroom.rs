@@ -45,9 +45,7 @@ impl HeadroomReport {
     /// The `n` layers losing the most absolute time vs their bound.
     pub fn worst_layers(&self, n: usize) -> Vec<&LayerHeadroom> {
         let mut v: Vec<&LayerHeadroom> = self.layers.iter().collect();
-        v.sort_by(|a, b| {
-            (b.actual_us - b.ideal_us).total_cmp(&(a.actual_us - a.ideal_us))
-        });
+        v.sort_by(|a, b| (b.actual_us - b.ideal_us).total_cmp(&(a.actual_us - a.ideal_us)));
         v.truncate(n);
         v
     }
@@ -137,9 +135,7 @@ mod tests {
         let w = hr.worst_layers(5);
         assert_eq!(w.len(), 5);
         for pair in w.windows(2) {
-            assert!(
-                pair[0].actual_us - pair[0].ideal_us >= pair[1].actual_us - pair[1].ideal_us
-            );
+            assert!(pair[0].actual_us - pair[0].ideal_us >= pair[1].actual_us - pair[1].ideal_us);
         }
     }
 

@@ -8,7 +8,9 @@ use crate::viewer::{render_roofline_svg, SvgOptions};
 use std::fmt::Write as _;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a complete standalone HTML report for one or more profiles.
@@ -68,23 +70,35 @@ function sortTable(tbl, col) {
             r.metric_collection_s,
         );
         h.push_str(&render_roofline_svg(&chart, &SvgOptions::default()));
-        let _ = write!(
+        let _ = writeln!(
             h,
-            "<table id='t{i}' data-dir='desc'><thead><tr>{}</tr></thead><tbody>\n",
-            ["backend layer", "category", "latency (µs)", "share %", "GFLOP", "mem (MB)", "GFLOP/s", "GB/s", "AI"]
-                .iter()
-                .enumerate()
-                .map(|(c, name)| format!("<th onclick=\"sortTable(document.getElementById('t{i}'),{c})\">{name}</th>"))
-                .collect::<String>()
+            "<table id='t{i}' data-dir='desc'><thead><tr>{}</tr></thead><tbody>",
+            [
+                "backend layer",
+                "category",
+                "latency (µs)",
+                "share %",
+                "GFLOP",
+                "mem (MB)",
+                "GFLOP/s",
+                "GB/s",
+                "AI"
+            ]
+            .iter()
+            .enumerate()
+            .map(|(c, name)| format!(
+                "<th onclick=\"sortTable(document.getElementById('t{i}'),{c})\">{name}</th>"
+            ))
+            .collect::<String>()
         );
         let total_us = (r.total_latency_ms * 1e3).max(1e-12);
         for l in &r.layers {
             let cls = if l.is_reorder { " class='reorder'" } else { "" };
-            let _ = write!(
+            let _ = writeln!(
                 h,
                 "<tr{cls}><td title='{}'>{}</td><td>{}</td><td data-v='{:.3}'>{:.1}</td><td data-v='{:.5}'>{:.2}</td>\
                  <td data-v='{}'>{:.3}</td><td data-v='{}'>{:.2}</td><td data-v='{:.3}'>{:.1}</td>\
-                 <td data-v='{:.3}'>{:.1}</td><td data-v='{:.4}'>{:.2}</td></tr>\n",
+                 <td data-v='{:.3}'>{:.1}</td><td data-v='{:.4}'>{:.2}</td></tr>",
                 esc(&l.original_nodes.join(", ")),
                 esc(&l.name),
                 l.category.label(),

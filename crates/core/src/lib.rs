@@ -17,8 +17,8 @@
 
 pub mod analysis;
 pub mod cost;
-pub mod fused;
 pub mod distributed;
+pub mod fused;
 pub mod headroom;
 pub mod html;
 pub mod mapping;
@@ -33,11 +33,11 @@ pub mod viewer;
 
 pub use analysis::AnalyzeRepr;
 pub use cost::{op_cost, op_cost_with, CostEstimate, CostOptions, FlopTable};
-pub use fused::{FuseError, Group, GroupId, OptimizedRepr, ReorderLayer};
-pub use mapping::{map_layers, MappedLayer, Mapping};
 pub use distributed::{profile_pipeline, Interconnect, PipelineReport, StageReport};
+pub use fused::{FuseError, Group, GroupId, OptimizedRepr, ReorderLayer};
 pub use headroom::{analyze_headroom, HeadroomReport, LayerHeadroom};
 pub use html::html_report;
+pub use mapping::{map_layers, MappedLayer, Mapping};
 pub use memory::{max_batch_within, plan_memory, MemoryPlan};
 pub use peak::{measure_achieved_peak, AchievedPeak};
 pub use profile::{profile_model, LayerReport, MetricMode, ProfileReport};

@@ -225,7 +225,10 @@ fn map_primary_heuristic(
 ) -> Option<GroupId> {
     let g = repr.graph();
     let root = g.node_by_name(node_name)?;
-    if !matches!(g.node(root).op, OpKind::Conv | OpKind::Gemm | OpKind::MatMul) {
+    if !matches!(
+        g.node(root).op,
+        OpKind::Conv | OpKind::Gemm | OpKind::MatMul
+    ) {
         return Some(repr.group_of(root));
     }
     let consumers = g.consumers();
@@ -234,8 +237,7 @@ fn map_primary_heuristic(
     // a node that another layer's mapping already fused is off-limits —
     // this is how two convs sharing a residual Add agree on its owner
     let taken = |repr: &OptimizedRepr, n: NodeId| repr.group(repr.group_of(n)).fused;
-    loop {
-        let Some(cs) = consumers.get(&cur) else { break };
+    while let Some(cs) = consumers.get(&cur) {
         // SiLU diamond: two consumers {Sigmoid, Mul(cur, σ)}
         if cs.len() == 2 {
             let silu = cs.iter().copied().find_map(|s| {
@@ -299,9 +301,7 @@ fn absorb_leftover_noops(repr: &mut OptimizedRepr, layers: &[MappedLayer]) {
     let consumers = g.consumers();
     let noops: Vec<NodeId> = g
         .iter_nodes()
-        .filter(|(id, n)| {
-            n.op.is_noop_at_inference() && !reported.contains(&repr.group_of(*id))
-        })
+        .filter(|(id, n)| n.op.is_noop_at_inference() && !reported.contains(&repr.group_of(*id)))
         .map(|(id, _)| id)
         .collect();
     for id in noops {
@@ -352,7 +352,11 @@ mod tests {
     fn assert_matches_truth(g: &proof_ir::Graph, m: &CompiledModel, flavor: BackendFlavor) {
         let analysis = AnalyzeRepr::new(g, DType::F16);
         let mapping = map_layers(OptimizedRepr::new(analysis), &m.builtin_profile(), flavor);
-        assert!(mapping.unresolved.is_empty(), "unresolved: {:?}", mapping.unresolved);
+        assert!(
+            mapping.unresolved.is_empty(),
+            "unresolved: {:?}",
+            mapping.unresolved
+        );
 
         // truth: non-noop member sets per profiled layer
         let truth: Vec<HashSet<NodeId>> = m
@@ -423,7 +427,11 @@ mod tests {
 
     #[test]
     fn coverage_is_total_after_absorption() {
-        for flavor in [BackendFlavor::TrtLike, BackendFlavor::OrtLike, BackendFlavor::OvLike] {
+        for flavor in [
+            BackendFlavor::TrtLike,
+            BackendFlavor::OrtLike,
+            BackendFlavor::OvLike,
+        ] {
             let (g, m) = run(ModelId::ResNet50, 1, flavor);
             let analysis = AnalyzeRepr::new(&g, DType::F16);
             let mapping = map_layers(OptimizedRepr::new(analysis), &m.builtin_profile(), flavor);
@@ -456,7 +464,11 @@ mod tests {
         let (g, m) = run(ModelId::SwinTiny, 2, BackendFlavor::TrtLike);
         let profile = m.builtin_profile();
         let analysis = AnalyzeRepr::new(&g, DType::F16);
-        let mapping = map_layers(OptimizedRepr::new(analysis), &profile, BackendFlavor::TrtLike);
+        let mapping = map_layers(
+            OptimizedRepr::new(analysis),
+            &profile,
+            BackendFlavor::TrtLike,
+        );
         let sum_profile: f64 = profile.iter().map(|l| l.avg_latency_us).sum();
         let sum_mapped: f64 = mapping.layers.iter().map(|l| l.avg_latency_us).sum();
         assert!((sum_profile - sum_mapped).abs() < 1e-6);

@@ -98,7 +98,7 @@ pub fn max_batch_within(
     }
     let (mut lo, mut hi) = (1u64, max_batch);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if fits(mid) {
             lo = mid;
         } else {

@@ -60,7 +60,10 @@ mod tests {
     #[test]
     fn volta_needs_no_correction() {
         let m = metrics(true, 512_000, 1000);
-        assert_eq!(corrected_kernel_flops(&m, GpuArch::Volta, DType::F16), 512_000);
+        assert_eq!(
+            corrected_kernel_flops(&m, GpuArch::Volta, DType::F16),
+            512_000
+        );
     }
 
     #[test]

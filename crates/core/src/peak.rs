@@ -84,7 +84,12 @@ mod tests {
         let theo_gflops = p.peak_flops(DType::F16, true) / 1e9;
         let theo_bw = p.theoretical_bw() / 1e9;
         assert!(peak.gflops < theo_gflops);
-        assert!(peak.gflops > 0.6 * theo_gflops, "{} of {}", peak.gflops, theo_gflops);
+        assert!(
+            peak.gflops > 0.6 * theo_gflops,
+            "{} of {}",
+            peak.gflops,
+            theo_gflops
+        );
         assert!(peak.bw_gbs < theo_bw);
         assert!(peak.bw_gbs > 0.5 * theo_bw);
     }

@@ -3,11 +3,11 @@
 
 use proof_hw::Platform;
 use proof_ir::{DType, Graph, NodeId, OpKind};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Layer categories used for roofline colouring. The order is fixed — it is
 /// also the categorical colour-slot order in the SVG viewer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LayerCategory {
     Transpose,
     DataCopy,
@@ -69,8 +69,14 @@ pub fn categorize(g: &Graph, members: &[NodeId]) -> LayerCategory {
             }
             OpKind::MatMul | OpKind::Gemm => (LayerCategory::MatMul, 8),
             OpKind::Transpose => (LayerCategory::Transpose, 6),
-            OpKind::Concat | OpKind::Split | OpKind::Slice | OpKind::Gather | OpKind::Pad
-            | OpKind::Resize | OpKind::Expand | OpKind::Tile => (LayerCategory::DataCopy, 5),
+            OpKind::Concat
+            | OpKind::Split
+            | OpKind::Slice
+            | OpKind::Gather
+            | OpKind::Pad
+            | OpKind::Resize
+            | OpKind::Expand
+            | OpKind::Tile => (LayerCategory::DataCopy, 5),
             OpKind::BatchNormalization
             | OpKind::LayerNormalization
             | OpKind::GroupNormalization
@@ -90,7 +96,7 @@ pub fn categorize(g: &Graph, members: &[NodeId]) -> LayerCategory {
 }
 
 /// The chart ceilings: compute peak and memory bandwidth(s).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RooflineCeiling {
     /// Peak performance line (GFLOP/s).
     pub peak_gflops: f64,
@@ -127,7 +133,7 @@ impl RooflineCeiling {
 }
 
 /// One point on a roofline chart (a layer, or a whole model end-to-end).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RooflinePoint {
     pub label: String,
     pub category: LayerCategory,
@@ -170,7 +176,7 @@ impl RooflinePoint {
 }
 
 /// A complete roofline chart: ceilings + points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RooflineChart {
     pub title: String,
     pub ceiling: RooflineCeiling,

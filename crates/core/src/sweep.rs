@@ -7,10 +7,10 @@ use crate::profile::{profile_model, MetricMode};
 use proof_hw::Platform;
 use proof_ir::Graph;
 use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One batch-size measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     pub batch: u64,
     pub latency_ms: f64,
@@ -19,7 +19,7 @@ pub struct SweepPoint {
 }
 
 /// A completed sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchSweep {
     pub model: String,
     pub platform: String,

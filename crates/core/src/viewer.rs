@@ -64,7 +64,10 @@ fn nice_log_bounds(vals: impl Iterator<Item = f64>, pad: f64) -> (f64, f64) {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn fmt_si(v: f64) -> String {
@@ -160,18 +163,21 @@ pub fn render_roofline_svg(chart: &RooflineChart, opts: &SvgOptions) -> String {
         let start_i = 10f64.powf(x0);
         let (a, b) = (
             (sx(start_i), sy(bw_gbs * start_i)),
-            (sx(ridge_x.min(10f64.powf(x1))), sy((bw_gbs * ridge_x).min(ceil.peak_gflops))),
+            (
+                sx(ridge_x.min(10f64.powf(x1))),
+                sy((bw_gbs * ridge_x).min(ceil.peak_gflops)),
+            ),
         );
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<line x1='{:.1}' y1='{:.1}' x2='{:.1}' y2='{:.1}' stroke='{color}' stroke-width='2'/>\n",
+            "<line x1='{:.1}' y1='{:.1}' x2='{:.1}' y2='{:.1}' stroke='{color}' stroke-width='2'/>",
             a.0, a.1, b.0, b.1
         );
         // direct label midway along the diagonal
         let mid_i = (start_i * ridge_x).sqrt();
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<text x='{:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}'>{}</text>\n",
+            "<text x='{:.1}' y='{:.1}' font-size='11' fill='{INK_SECONDARY}'>{}</text>",
             sx(mid_i) + 6.0,
             sy(bw_gbs * mid_i) - 6.0,
             esc(label)
@@ -222,9 +228,9 @@ pub fn render_roofline_svg(chart: &RooflineChart, opts: &SvgOptions) -> String {
             100.0 * p.latency_share
         );
         if opts.label_points {
-            let _ = write!(
+            let _ = writeln!(
                 s,
-                "<text x='{:.1}' y='{:.1}' font-size='10' fill='{INK_SECONDARY}'>{}</text>\n",
+                "<text x='{:.1}' y='{:.1}' font-size='10' fill='{INK_SECONDARY}'>{}</text>",
                 x + 7.0,
                 y + 3.0,
                 esc(&p.label)
@@ -239,9 +245,9 @@ pub fn render_roofline_svg(chart: &RooflineChart, opts: &SvgOptions) -> String {
         .collect();
     if present.len() >= 2 {
         let lx = ml + pw + 18.0;
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<text x='{lx:.1}' y='{:.1}' font-size='11' font-weight='600' fill='{INK_PRIMARY}'>Layer type</text>\n",
+            "<text x='{lx:.1}' y='{:.1}' font-size='11' font-weight='600' fill='{INK_PRIMARY}'>Layer type</text>",
             mt + 6.0
         );
         for (i, c) in present.drain(..).enumerate() {
@@ -258,9 +264,9 @@ pub fn render_roofline_svg(chart: &RooflineChart, opts: &SvgOptions) -> String {
                 c.label()
             );
         }
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<text x='{lx:.1}' y='{:.1}' font-size='10' fill='{INK_SECONDARY}'>opacity = latency share</text>\n",
+            "<text x='{lx:.1}' y='{:.1}' font-size='10' fill='{INK_SECONDARY}'>opacity = latency share</text>",
             mt + 36.0 + 8.0 * 18.0
         );
     }
@@ -318,7 +324,10 @@ mod tests {
         let max = opacities.iter().copied().fold(0.0f64, f64::max);
         let min = opacities.iter().copied().fold(1.0f64, f64::min);
         assert!((max - 1.0).abs() < 1e-9, "dominant layer at full opacity");
-        assert!(min < 0.8 * max, "minor layers visibly lighter: {min} vs {max}");
+        assert!(
+            min < 0.8 * max,
+            "minor layers visibly lighter: {min} vs {max}"
+        );
     }
 
     #[test]

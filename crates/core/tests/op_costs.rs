@@ -118,11 +118,7 @@ fn softmax_and_reductions() {
     let (_, sm) = single_op(OpKind::Softmax, attrs! {"axis" => int (-1)}, &[&[8, 32]]);
     assert_eq!(sm.flops, 256 * (2 * T.cmp + T.add + T.exp + T.div));
 
-    let (_, mean) = single_op(
-        OpKind::ReduceMean,
-        attrs! {"axes" => ints[-1]},
-        &[&[8, 32]],
-    );
+    let (_, mean) = single_op(OpKind::ReduceMean, attrs! {"axes" => ints[-1]}, &[&[8, 32]]);
     assert_eq!(mean.flops, 256 * T.add + 8 * T.div);
     assert_eq!(mean.output_bytes, fb(8));
 
@@ -145,7 +141,11 @@ fn pooling_rules() {
     assert_eq!(mp.flops, 64 * 4 * T.cmp);
     let (_, ap) = single_op(OpKind::AveragePool, pool_attrs, &[&[1, 4, 8, 8]]);
     assert_eq!(ap.flops, 64 * (4 * T.add + T.div));
-    let (_, gap) = single_op(OpKind::GlobalAveragePool, Attributes::new(), &[&[1, 4, 8, 8]]);
+    let (_, gap) = single_op(
+        OpKind::GlobalAveragePool,
+        Attributes::new(),
+        &[&[1, 4, 8, 8]],
+    );
     assert_eq!(gap.flops, 256 * T.add + 4 * T.div);
     assert_eq!(gap.output_bytes, fb(4));
 }
@@ -178,12 +178,12 @@ fn data_movement_is_zero_flop_full_traffic() {
         (OpKind::Transpose, attrs! {"perm" => ints[1, 0]}, vec![6, 4]),
         (OpKind::Concat, attrs! {"axis" => int 0}, vec![6, 4]),
         (OpKind::Pad, attrs! {"pads" => ints[1, 1, 1, 1]}, vec![6, 4]),
-        (OpKind::Cast, Attributes::new().with_dtype("to", DType::F16), vec![6, 4]),
         (
-            OpKind::Tile,
-            attrs! {"repeats" => ints[2, 2]},
+            OpKind::Cast,
+            Attributes::new().with_dtype("to", DType::F16),
             vec![6, 4],
         ),
+        (OpKind::Tile, attrs! {"repeats" => ints[2, 2]}, vec![6, 4]),
         (
             OpKind::Expand,
             attrs! {"shape" => ints[3, 6, 4]},
@@ -233,7 +233,11 @@ fn metadata_ops_cost_nothing() {
         (OpKind::Dropout, Attributes::new()),
         (OpKind::Shape, Attributes::new()),
     ] {
-        let dims: &[u64] = if op == OpKind::Squeeze { &[1, 6, 4] } else { &[6, 4] };
+        let dims: &[u64] = if op == OpKind::Squeeze {
+            &[1, 6, 4]
+        } else {
+            &[6, 4]
+        };
         let (_, c) = single_op(op, a, &[dims]);
         assert_eq!(c, CostEstimate::default(), "{op}");
     }
@@ -289,20 +293,15 @@ fn grouped_conv_spectrum() {
 #[test]
 fn constants_and_range_are_free() {
     let mut b = GraphBuilder::new("k");
-    let c1 = b.push(
-        "const",
-        OpKind::Constant,
-        attrs! {"shape" => ints[4]},
-        &[],
-    );
-    let r = b.push(
-        "range",
-        OpKind::Range,
-        attrs! {"length" => int 7},
-        &[],
-    );
+    let c1 = b.push("const", OpKind::Constant, attrs! {"shape" => ints[4]}, &[]);
+    let r = b.push("range", OpKind::Range, attrs! {"length" => int 7}, &[]);
     let _ = (c1, r);
-    let sink = b.push("cast", OpKind::Cast, Attributes::new().with_dtype("to", DType::F32), &[r]);
+    let sink = b.push(
+        "cast",
+        OpKind::Cast,
+        Attributes::new().with_dtype("to", DType::F32),
+        &[r],
+    );
     b.output(sink);
     b.output(c1);
     let g = b.finish();

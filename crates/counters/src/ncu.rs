@@ -60,7 +60,8 @@ impl NcuReport {
     /// Aggregate per backend layer: `(reported_flops, mma_instrs, bytes)`
     /// keyed by layer index.
     pub fn per_layer(&self) -> std::collections::HashMap<usize, (u64, u64, u64)> {
-        let mut m: std::collections::HashMap<usize, (u64, u64, u64)> = std::collections::HashMap::new();
+        let mut m: std::collections::HashMap<usize, (u64, u64, u64)> =
+            std::collections::HashMap::new();
         for k in &self.kernels {
             let e = m.entry(k.layer_index).or_default();
             e.0 += k.reported_flops;

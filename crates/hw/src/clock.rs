@@ -46,7 +46,7 @@ impl ClockConfig {
         if self.tpc_pg_mask == 0 {
             return total;
         }
-        let gated = u32::from(self.tpc_pg_mask.count_ones());
+        let gated = self.tpc_pg_mask.count_ones();
         // The mask is 8 bits wide regardless of the physical TPC count; bits
         // above the physical count gate nothing.
         let baseline = 8u32.saturating_sub(total);
@@ -76,7 +76,12 @@ mod tests {
         // mask 0 = unconfigured = everything on
         assert_eq!(ClockConfig::new(918, 3199).enabled_tpcs(4), 4);
         // pathological all-ones mask cannot underflow
-        assert_eq!(ClockConfig::new(918, 3199).with_tpc_mask(255).enabled_tpcs(4), 1);
+        assert_eq!(
+            ClockConfig::new(918, 3199)
+                .with_tpc_mask(255)
+                .enabled_tpcs(4),
+            1
+        );
     }
 
     #[test]

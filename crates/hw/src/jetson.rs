@@ -133,7 +133,10 @@ mod tests {
         assert_eq!((maxn.gpu_mhz, maxn.mem_mhz), (918, 3199));
         assert_eq!(maxn.active_cpu_clusters(), 2);
         let s15 = JetsonPowerProfile::Stock15W.clocks();
-        assert_eq!((s15.gpu_mhz, s15.mem_mhz, s15.tpc_pg_mask), (612, 3199, 252));
+        assert_eq!(
+            (s15.gpu_mhz, s15.mem_mhz, s15.tpc_pg_mask),
+            (612, 3199, 252)
+        );
         assert_eq!(s15.enabled_tpcs(4), 2);
         let s25 = JetsonPowerProfile::Stock25W.clocks();
         assert_eq!(s25.gpu_mhz, 408);
@@ -160,7 +163,10 @@ mod tests {
     #[test]
     fn budget_search_handles_infeasible_budget() {
         let o = OrinNx::new();
-        assert_eq!(o.search_gpu_clock_under_budget(3199, 1.0, |_| (1.0, 1.0)), None);
+        assert_eq!(
+            o.search_gpu_clock_under_budget(3199, 1.0, |_| (1.0, 1.0)),
+            None
+        );
     }
 
     #[test]

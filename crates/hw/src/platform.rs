@@ -449,7 +449,11 @@ mod tests {
         assert!((p.theoretical_bw() / 1e9 - 102.4).abs() < 0.5);
         // reclocking scales linearly
         let lo = p.with_clocks(ClockConfig::new(510, 2133));
-        assert!((lo.peak_flops(DType::F16, true) / p.peak_flops(DType::F16, true) - 510.0 / 918.0).abs() < 1e-9);
+        assert!(
+            (lo.peak_flops(DType::F16, true) / p.peak_flops(DType::F16, true) - 510.0 / 918.0)
+                .abs()
+                < 1e-9
+        );
         assert!((lo.theoretical_bw() / p.theoretical_bw() - 2133.0 / 3199.0).abs() < 1e-9);
     }
 
@@ -478,7 +482,10 @@ mod tests {
             p.peak_flops(DType::F32, false)
         );
         // int8 VNNI is 4× fp32
-        assert_eq!(p.peak_flops(DType::I8, true), 4.0 * p.peak_flops(DType::F32, false));
+        assert_eq!(
+            p.peak_flops(DType::I8, true),
+            4.0 * p.peak_flops(DType::F32, false)
+        );
     }
 
     #[test]

@@ -86,7 +86,13 @@ impl GraphBuilder {
     ///
     /// # Panics
     /// On shape-inference failure (model construction is programmer error).
-    pub fn push(&mut self, name: &str, op: OpKind, attrs: Attributes, inputs: &[TensorId]) -> TensorId {
+    pub fn push(
+        &mut self,
+        name: &str,
+        op: OpKind,
+        attrs: Attributes,
+        inputs: &[TensorId],
+    ) -> TensorId {
         self.push_multi(name, op, attrs, inputs)[0]
     }
 
@@ -100,7 +106,10 @@ impl GraphBuilder {
     ) -> Vec<TensorId> {
         match self.try_push(name, op, attrs, inputs) {
             Ok(outs) => outs,
-            Err(e) => panic!("while building node {name} ({op}) in graph {}: {e}", self.name),
+            Err(e) => panic!(
+                "while building node {name} ({op}) in graph {}: {e}",
+                self.name
+            ),
         }
     }
 
@@ -225,7 +234,12 @@ impl GraphBuilder {
             .with_ints("strides", &[stride.0 as i64, stride.1 as i64])
             .with_ints(
                 "pads",
-                &[pads[0] as i64, pads[1] as i64, pads[2] as i64, pads[3] as i64],
+                &[
+                    pads[0] as i64,
+                    pads[1] as i64,
+                    pads[2] as i64,
+                    pads[3] as i64,
+                ],
             )
             .with_int("group", groups as i64);
         self.push(name, OpKind::Conv, attrs, &ins)
@@ -255,7 +269,9 @@ impl GraphBuilder {
         self.push(
             name,
             OpKind::Clip,
-            Attributes::new().with_float("min", 0.0).with_float("max", 6.0),
+            Attributes::new()
+                .with_float("min", 0.0)
+                .with_float("max", 6.0),
             &[x],
         )
     }
@@ -267,7 +283,12 @@ impl GraphBuilder {
     /// SiLU/Swish as exported by PyTorch: `Sigmoid` + `Mul` (2 nodes).
     pub fn silu(&mut self, name: &str, x: TensorId) -> TensorId {
         let s = self.sigmoid(&format!("{name}/Sigmoid"), x);
-        self.push(&format!("{name}/Mul"), OpKind::Mul, Attributes::new(), &[x, s])
+        self.push(
+            &format!("{name}/Mul"),
+            OpKind::Mul,
+            Attributes::new(),
+            &[x, s],
+        )
     }
 
     pub fn hardswish(&mut self, name: &str, x: TensorId) -> TensorId {
@@ -280,11 +301,31 @@ impl GraphBuilder {
         let sqrt2 = self.scalar(&format!("{name}/sqrt2"));
         let one = self.scalar(&format!("{name}/one"));
         let half = self.scalar(&format!("{name}/half"));
-        let d = self.push(&format!("{name}/Div"), OpKind::Div, Attributes::new(), &[x, sqrt2]);
+        let d = self.push(
+            &format!("{name}/Div"),
+            OpKind::Div,
+            Attributes::new(),
+            &[x, sqrt2],
+        );
         let e = self.push(&format!("{name}/Erf"), OpKind::Erf, Attributes::new(), &[d]);
-        let a = self.push(&format!("{name}/Add"), OpKind::Add, Attributes::new(), &[e, one]);
-        let m = self.push(&format!("{name}/Mul"), OpKind::Mul, Attributes::new(), &[x, a]);
-        self.push(&format!("{name}/Mul_1"), OpKind::Mul, Attributes::new(), &[m, half])
+        let a = self.push(
+            &format!("{name}/Add"),
+            OpKind::Add,
+            Attributes::new(),
+            &[e, one],
+        );
+        let m = self.push(
+            &format!("{name}/Mul"),
+            OpKind::Mul,
+            Attributes::new(),
+            &[x, a],
+        );
+        self.push(
+            &format!("{name}/Mul_1"),
+            OpKind::Mul,
+            Attributes::new(),
+            &[m, half],
+        )
     }
 
     /// LayerNorm over the last axis, decomposed as PyTorch exports it with
@@ -297,15 +338,60 @@ impl GraphBuilder {
         let two = self.scalar(&format!("{name}/two"));
         let eps = self.scalar(&format!("{name}/eps"));
         let axes = Attributes::new().with_ints("axes", &[-1]);
-        let mean = self.push(&format!("{name}/ReduceMean"), OpKind::ReduceMean, axes.clone(), &[x]);
-        let sub = self.push(&format!("{name}/Sub"), OpKind::Sub, Attributes::new(), &[x, mean]);
-        let sq = self.push(&format!("{name}/Pow"), OpKind::Pow, Attributes::new(), &[sub, two]);
-        let var = self.push(&format!("{name}/ReduceMean_1"), OpKind::ReduceMean, axes, &[sq]);
-        let ve = self.push(&format!("{name}/Add"), OpKind::Add, Attributes::new(), &[var, eps]);
-        let std = self.push(&format!("{name}/Sqrt"), OpKind::Sqrt, Attributes::new(), &[ve]);
-        let nrm = self.push(&format!("{name}/Div"), OpKind::Div, Attributes::new(), &[sub, std]);
-        let sc = self.push(&format!("{name}/Mul"), OpKind::Mul, Attributes::new(), &[nrm, scale]);
-        self.push(&format!("{name}/Add_1"), OpKind::Add, Attributes::new(), &[sc, bias])
+        let mean = self.push(
+            &format!("{name}/ReduceMean"),
+            OpKind::ReduceMean,
+            axes.clone(),
+            &[x],
+        );
+        let sub = self.push(
+            &format!("{name}/Sub"),
+            OpKind::Sub,
+            Attributes::new(),
+            &[x, mean],
+        );
+        let sq = self.push(
+            &format!("{name}/Pow"),
+            OpKind::Pow,
+            Attributes::new(),
+            &[sub, two],
+        );
+        let var = self.push(
+            &format!("{name}/ReduceMean_1"),
+            OpKind::ReduceMean,
+            axes,
+            &[sq],
+        );
+        let ve = self.push(
+            &format!("{name}/Add"),
+            OpKind::Add,
+            Attributes::new(),
+            &[var, eps],
+        );
+        let std = self.push(
+            &format!("{name}/Sqrt"),
+            OpKind::Sqrt,
+            Attributes::new(),
+            &[ve],
+        );
+        let nrm = self.push(
+            &format!("{name}/Div"),
+            OpKind::Div,
+            Attributes::new(),
+            &[sub, std],
+        );
+        let sc = self.push(
+            &format!("{name}/Mul"),
+            OpKind::Mul,
+            Attributes::new(),
+            &[nrm, scale],
+        );
+        self.push(
+            &format!("{name}/Add_1"),
+            OpKind::Add,
+            Attributes::new(),
+            &[sc, bias],
+        )
     }
 
     /// Fused single-node LayerNormalization (opset >= 17 export).
@@ -316,7 +402,9 @@ impl GraphBuilder {
         self.push(
             name,
             OpKind::LayerNormalization,
-            Attributes::new().with_int("axis", -1).with_float("epsilon", 1e-5),
+            Attributes::new()
+                .with_int("axis", -1)
+                .with_float("epsilon", 1e-5),
             &[x, scale, bias],
         )
     }
@@ -346,13 +434,28 @@ impl GraphBuilder {
             if bias {
                 ins.push(self.weight(&format!("{name}.bias"), &[out_features]));
             }
-            self.push(name, OpKind::Gemm, Attributes::new().with_int("transB", 1), &ins)
+            self.push(
+                name,
+                OpKind::Gemm,
+                Attributes::new().with_int("transB", 1),
+                &ins,
+            )
         } else {
             let w = self.weight(&format!("{name}.weight"), &[in_features, out_features]);
-            let y = self.push(&format!("{name}/MatMul"), OpKind::MatMul, Attributes::new(), &[x, w]);
+            let y = self.push(
+                &format!("{name}/MatMul"),
+                OpKind::MatMul,
+                Attributes::new(),
+                &[x, w],
+            );
             if bias {
                 let b = self.weight(&format!("{name}.bias"), &[out_features]);
-                self.push(&format!("{name}/Add"), OpKind::Add, Attributes::new(), &[y, b])
+                self.push(
+                    &format!("{name}/Add"),
+                    OpKind::Add,
+                    Attributes::new(),
+                    &[y, b],
+                )
             } else {
                 y
             }
@@ -372,36 +475,70 @@ impl GraphBuilder {
     }
 
     pub fn softmax(&mut self, name: &str, x: TensorId, axis: i64) -> TensorId {
-        self.push(name, OpKind::Softmax, Attributes::new().with_int("axis", axis), &[x])
+        self.push(
+            name,
+            OpKind::Softmax,
+            Attributes::new().with_int("axis", axis),
+            &[x],
+        )
     }
 
     pub fn transpose(&mut self, name: &str, x: TensorId, perm: &[i64]) -> TensorId {
-        self.push(name, OpKind::Transpose, Attributes::new().with_ints("perm", perm), &[x])
+        self.push(
+            name,
+            OpKind::Transpose,
+            Attributes::new().with_ints("perm", perm),
+            &[x],
+        )
     }
 
     pub fn reshape(&mut self, name: &str, x: TensorId, shape: &[i64]) -> TensorId {
-        self.push(name, OpKind::Reshape, Attributes::new().with_ints("shape", shape), &[x])
+        self.push(
+            name,
+            OpKind::Reshape,
+            Attributes::new().with_ints("shape", shape),
+            &[x],
+        )
     }
 
     pub fn flatten(&mut self, name: &str, x: TensorId, axis: i64) -> TensorId {
-        self.push(name, OpKind::Flatten, Attributes::new().with_int("axis", axis), &[x])
+        self.push(
+            name,
+            OpKind::Flatten,
+            Attributes::new().with_int("axis", axis),
+            &[x],
+        )
     }
 
     pub fn concat(&mut self, name: &str, xs: &[TensorId], axis: i64) -> TensorId {
-        self.push(name, OpKind::Concat, Attributes::new().with_int("axis", axis), xs)
+        self.push(
+            name,
+            OpKind::Concat,
+            Attributes::new().with_int("axis", axis),
+            xs,
+        )
     }
 
     pub fn split2(&mut self, name: &str, x: TensorId, axis: i64) -> (TensorId, TensorId) {
         let outs = self.push_multi(
             name,
             OpKind::Split,
-            Attributes::new().with_int("axis", axis).with_int("num_outputs", 2),
+            Attributes::new()
+                .with_int("axis", axis)
+                .with_int("num_outputs", 2),
             &[x],
         );
         (outs[0], outs[1])
     }
 
-    pub fn maxpool(&mut self, name: &str, x: TensorId, kernel: u64, stride: u64, pad: u64) -> TensorId {
+    pub fn maxpool(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        kernel: u64,
+        stride: u64,
+        pad: u64,
+    ) -> TensorId {
         self.push(
             name,
             OpKind::MaxPool,
@@ -413,7 +550,14 @@ impl GraphBuilder {
         )
     }
 
-    pub fn avgpool(&mut self, name: &str, x: TensorId, kernel: u64, stride: u64, pad: u64) -> TensorId {
+    pub fn avgpool(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        kernel: u64,
+        stride: u64,
+        pad: u64,
+    ) -> TensorId {
         self.push(
             name,
             OpKind::AveragePool,
@@ -430,7 +574,12 @@ impl GraphBuilder {
     }
 
     pub fn gather(&mut self, name: &str, data: TensorId, indices: TensorId, axis: i64) -> TensorId {
-        self.push(name, OpKind::Gather, Attributes::new().with_int("axis", axis), &[data, indices])
+        self.push(
+            name,
+            OpKind::Gather,
+            Attributes::new().with_int("axis", axis),
+            &[data, indices],
+        )
     }
 
     pub fn slice(

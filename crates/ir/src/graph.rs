@@ -31,7 +31,10 @@ impl std::fmt::Display for GraphError {
                 write!(f, "tensor {tensor} has multiple producers")
             }
             GraphError::MissingProducer { tensor } => {
-                write!(f, "activation {tensor} has no producer and is not a graph input")
+                write!(
+                    f,
+                    "activation {tensor} has no producer and is not a graph input"
+                )
             }
             GraphError::NotTopologicallyOrdered { node, tensor } => {
                 write!(f, "node {node} consumes {tensor} before it is produced")
@@ -334,7 +337,10 @@ mod tests {
     fn validate_rejects_dangling_ids() {
         let mut g = tiny_graph();
         g.nodes[1].inputs[0] = 999;
-        assert!(matches!(g.validate(), Err(GraphError::DanglingTensor { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::DanglingTensor { .. })
+        ));
     }
 
     #[test]

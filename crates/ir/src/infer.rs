@@ -22,12 +22,19 @@ macro_rules! bail {
     ($($arg:tt)*) => { return Err(ShapeError(format!($($arg)*))) };
 }
 
-fn expect_inputs(op: OpKind, inputs: &[(Shape, DType)], range: std::ops::RangeInclusive<usize>) -> Result<(), ShapeError> {
+fn expect_inputs(
+    op: OpKind,
+    inputs: &[(Shape, DType)],
+    range: std::ops::RangeInclusive<usize>,
+) -> Result<(), ShapeError> {
     if !range.contains(&inputs.len()) {
         bail!(
             "{op} expects {range:?} inputs, got {}: {:?}",
             inputs.len(),
-            inputs.iter().map(|(s, _)| s.to_string()).collect::<Vec<_>>()
+            inputs
+                .iter()
+                .map(|(s, _)| s.to_string())
+                .collect::<Vec<_>>()
         );
     }
     Ok(())
@@ -57,9 +64,7 @@ fn window_out(
         let padded = spatial[i] as i64 + pads[i] + pads[r + i];
         let num = padded - eff_k;
         if num < 0 {
-            bail!(
-                "{op}: window {eff_k} larger than padded input {padded} on spatial axis {i}"
-            );
+            bail!("{op}: window {eff_k} larger than padded input {padded} on spatial axis {i}");
         }
         let o = if ceil_mode {
             (num + strides[i] - 1) / strides[i] + 1
@@ -105,10 +110,9 @@ pub fn infer_shapes(
         Add | Sub | Mul | Div | Pow | Min | Max => {
             expect_inputs(op, inputs, 2..=2)?;
             let (a, b) = (&inputs[0], &inputs[1]);
-            let out = a
-                .0
-                .broadcast(&b.0)
-                .ok_or_else(|| ShapeError(format!("{op}: cannot broadcast {} with {}", a.0, b.0)))?;
+            let out = a.0.broadcast(&b.0).ok_or_else(|| {
+                ShapeError(format!("{op}: cannot broadcast {} with {}", a.0, b.0))
+            })?;
             Ok(vec![(out, a.1)])
         }
         Equal | Greater | Less => {
@@ -144,7 +148,7 @@ pub fn infer_shapes(
                 bail!("GlobalAveragePool needs rank>=3 input, got {s}");
             }
             let mut dims = vec![s.0[0], s.0[1]];
-            dims.extend(std::iter::repeat(1).take(s.rank() - 2));
+            dims.extend(std::iter::repeat_n(1, s.rank() - 2));
             Ok(vec![(crate::Shape(dims), *d)])
         }
         Transpose => {
@@ -164,7 +168,10 @@ pub fn infer_shapes(
                 }
                 seen[p] = true;
             }
-            Ok(vec![(crate::Shape(perm.iter().map(|&p| s.0[p]).collect()), *d)])
+            Ok(vec![(
+                crate::Shape(perm.iter().map(|&p| s.0[p]).collect()),
+                *d,
+            )])
         }
         Reshape => {
             expect_inputs(op, inputs, 1..=1)?;
@@ -313,9 +320,9 @@ pub fn infer_shapes(
                 .ints("shape")
                 .ok_or_else(|| ShapeError("Expand: missing 'shape'".into()))?;
             let target = crate::Shape(spec.iter().map(|&x| x as u64).collect());
-            let out = s.broadcast(&target).ok_or_else(|| {
-                ShapeError(format!("Expand: {s} not broadcastable to {target}"))
-            })?;
+            let out = s
+                .broadcast(&target)
+                .ok_or_else(|| ShapeError(format!("Expand: {s} not broadcastable to {target}")))?;
             Ok(vec![(out, *d)])
         }
         Tile => {
@@ -325,7 +332,11 @@ pub fn infer_shapes(
                 .ints("repeats")
                 .ok_or_else(|| ShapeError("Tile: missing 'repeats'".into()))?;
             if reps.len() != s.rank() {
-                bail!("Tile: repeats rank {} != input rank {}", reps.len(), s.rank());
+                bail!(
+                    "Tile: repeats rank {} != input rank {}",
+                    reps.len(),
+                    s.rank()
+                );
             }
             Ok(vec![(
                 crate::Shape(s.0.iter().zip(reps).map(|(&a, &r)| a * r as u64).collect()),
@@ -359,7 +370,11 @@ pub fn infer_shapes(
                 .floats("scales")
                 .ok_or_else(|| ShapeError("Resize: missing 'scales'".into()))?;
             if scales.len() != s.rank() {
-                bail!("Resize: scales rank {} != input rank {}", scales.len(), s.rank());
+                bail!(
+                    "Resize: scales rank {} != input rank {}",
+                    scales.len(),
+                    s.rank()
+                );
             }
             Ok(vec![(
                 crate::Shape(
@@ -380,14 +395,20 @@ pub fn infer_shapes(
         }
         Shape => {
             expect_inputs(op, inputs, 1..=1)?;
-            Ok(vec![(crate::Shape(vec![inputs[0].0.rank() as u64]), DType::I64)])
+            Ok(vec![(
+                crate::Shape(vec![inputs[0].0.rank() as u64]),
+                DType::I64,
+            )])
         }
         Constant | ConstantOfShape => {
             let spec = attrs
                 .ints("shape")
                 .ok_or_else(|| ShapeError(format!("{op}: missing 'shape'")))?;
             let d = attrs.dtype("dtype").unwrap_or(DType::F32);
-            Ok(vec![(crate::Shape(spec.iter().map(|&x| x as u64).collect()), d)])
+            Ok(vec![(
+                crate::Shape(spec.iter().map(|&x| x as u64).collect()),
+                d,
+            )])
         }
         Range => {
             let len = attrs
@@ -398,7 +419,10 @@ pub fn infer_shapes(
     }
 }
 
-fn infer_conv(attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shape, DType)>, ShapeError> {
+fn infer_conv(
+    attrs: &Attributes,
+    inputs: &[(Shape, DType)],
+) -> Result<Vec<(Shape, DType)>, ShapeError> {
     expect_inputs(OpKind::Conv, inputs, 2..=3)?;
     let (x, d) = &inputs[0];
     let (w, _) = &inputs[1];
@@ -422,16 +446,31 @@ fn infer_conv(attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shap
     };
     let ones = vec![1i64; r];
     let zeros = vec![0i64; 2 * r];
-    let strides = attrs.ints("strides").map(|s| s.to_vec()).unwrap_or_else(|| ones.clone());
+    let strides = attrs
+        .ints("strides")
+        .map(|s| s.to_vec())
+        .unwrap_or_else(|| ones.clone());
     let dilations = attrs.ints("dilations").map(|s| s.to_vec()).unwrap_or(ones);
     let pads = attrs.ints("pads").map(|s| s.to_vec()).unwrap_or(zeros);
-    let out_sp = window_out(OpKind::Conv, spatial, &kernel, &strides, &pads, &dilations, false)?;
+    let out_sp = window_out(
+        OpKind::Conv,
+        spatial,
+        &kernel,
+        &strides,
+        &pads,
+        &dilations,
+        false,
+    )?;
     let mut dims = vec![n, m];
     dims.extend(out_sp);
     Ok(vec![(Shape(dims), *d)])
 }
 
-fn infer_pool(op: OpKind, attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shape, DType)>, ShapeError> {
+fn infer_pool(
+    op: OpKind,
+    attrs: &Attributes,
+    inputs: &[(Shape, DType)],
+) -> Result<Vec<(Shape, DType)>, ShapeError> {
     expect_inputs(op, inputs, 1..=1)?;
     let (x, d) = &inputs[0];
     if x.rank() < 3 {
@@ -457,7 +496,10 @@ fn infer_pool(op: OpKind, attrs: &Attributes, inputs: &[(Shape, DType)]) -> Resu
     Ok(vec![(Shape(dims), *d)])
 }
 
-fn infer_gemm(attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shape, DType)>, ShapeError> {
+fn infer_gemm(
+    attrs: &Attributes,
+    inputs: &[(Shape, DType)],
+) -> Result<Vec<(Shape, DType)>, ShapeError> {
     expect_inputs(OpKind::Gemm, inputs, 2..=3)?;
     let (a, d) = &inputs[0];
     let (b, _) = &inputs[1];
@@ -466,8 +508,16 @@ fn infer_gemm(attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shap
     }
     let ta = attrs.int_or("transA", 0) != 0;
     let tb = attrs.int_or("transB", 0) != 0;
-    let (m, ka) = if ta { (a.0[1], a.0[0]) } else { (a.0[0], a.0[1]) };
-    let (kb, n) = if tb { (b.0[1], b.0[0]) } else { (b.0[0], b.0[1]) };
+    let (m, ka) = if ta {
+        (a.0[1], a.0[0])
+    } else {
+        (a.0[0], a.0[1])
+    };
+    let (kb, n) = if tb {
+        (b.0[1], b.0[0])
+    } else {
+        (b.0[0], b.0[1])
+    };
     if ka != kb {
         bail!("Gemm: inner dims {ka} != {kb}");
     }
@@ -502,7 +552,11 @@ fn infer_matmul(inputs: &[(Shape, DType)]) -> Result<Vec<(Shape, DType)>, ShapeE
     Ok(vec![(Shape(dims), *d)])
 }
 
-fn infer_reduce(op: OpKind, attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shape, DType)>, ShapeError> {
+fn infer_reduce(
+    op: OpKind,
+    attrs: &Attributes,
+    inputs: &[(Shape, DType)],
+) -> Result<Vec<(Shape, DType)>, ShapeError> {
     expect_inputs(op, inputs, 1..=1)?;
     let (s, d) = &inputs[0];
     let keep = attrs.int_or("keepdims", 1) != 0;
@@ -533,7 +587,10 @@ fn infer_reduce(op: OpKind, attrs: &Attributes, inputs: &[(Shape, DType)]) -> Re
     Ok(vec![(Shape(dims), out_d)])
 }
 
-fn infer_slice(attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Shape, DType)>, ShapeError> {
+fn infer_slice(
+    attrs: &Attributes,
+    inputs: &[(Shape, DType)],
+) -> Result<Vec<(Shape, DType)>, ShapeError> {
     expect_inputs(OpKind::Slice, inputs, 1..=1)?;
     let (s, d) = &inputs[0];
     let starts = attrs
@@ -566,6 +623,50 @@ fn infer_slice(attrs: &Attributes, inputs: &[(Shape, DType)]) -> Result<Vec<(Sha
         dims[ax] = (((end - start).max(0) + step - 1) / step) as u64;
     }
     Ok(vec![(Shape(dims), *d)])
+}
+
+/// Resolve an ONNX reshape spec (`0` = copy input dim, `-1` = infer) against
+/// an input shape.
+fn resolve_reshape(input: &Shape, spec: &[i64]) -> Result<Shape, ShapeError> {
+    let total = input.numel();
+    let mut out: Vec<u64> = Vec::with_capacity(spec.len());
+    let mut infer_at: Option<usize> = None;
+    for (i, &v) in spec.iter().enumerate() {
+        match v {
+            0 => {
+                let d = *input.0.get(i).ok_or_else(|| {
+                    ShapeError(format!(
+                        "Reshape: 0 at axis {i} but input rank {}",
+                        input.rank()
+                    ))
+                })?;
+                out.push(d);
+            }
+            -1 => {
+                if infer_at.is_some() {
+                    return Err(ShapeError("Reshape: multiple -1".into()));
+                }
+                infer_at = Some(i);
+                out.push(1);
+            }
+            v if v > 0 => out.push(v as u64),
+            v => return Err(ShapeError(format!("Reshape: bad dim {v}"))),
+        }
+    }
+    let known: u64 = out.iter().product();
+    if let Some(i) = infer_at {
+        if known == 0 || !total.is_multiple_of(known) {
+            return Err(ShapeError(format!(
+                "Reshape: cannot infer -1 ({total} elements into {known})"
+            )));
+        }
+        out[i] = total / known;
+    } else if known != total {
+        return Err(ShapeError(format!(
+            "Reshape: element count mismatch {known} != {total}"
+        )));
+    }
+    Ok(Shape(out))
 }
 
 #[cfg(test)]
@@ -664,9 +765,12 @@ mod tests {
 
     #[test]
     fn global_avg_pool() {
-        let out =
-            infer_shapes(OpKind::GlobalAveragePool, &Attributes::new(), &[t(&[2, 512, 7, 7])])
-                .unwrap();
+        let out = infer_shapes(
+            OpKind::GlobalAveragePool,
+            &Attributes::new(),
+            &[t(&[2, 512, 7, 7])],
+        )
+        .unwrap();
         assert_eq!(out[0].0, Shape::new(&[2, 512, 1, 1]));
     }
 
@@ -779,8 +883,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out[0].0, Shape::new(&[4, 197, 768]));
-        let cmp =
-            infer_shapes(OpKind::Equal, &Attributes::new(), &[t(&[3]), t(&[3])]).unwrap();
+        let cmp = infer_shapes(OpKind::Equal, &Attributes::new(), &[t(&[3]), t(&[3])]).unwrap();
         assert_eq!(cmp[0].1, DType::Bool);
     }
 
@@ -820,45 +923,4 @@ mod tests {
     }
 
     use crate::AttrValue;
-}
-
-/// Resolve an ONNX reshape spec (`0` = copy input dim, `-1` = infer) against
-/// an input shape.
-fn resolve_reshape(input: &Shape, spec: &[i64]) -> Result<Shape, ShapeError> {
-    let total = input.numel();
-    let mut out: Vec<u64> = Vec::with_capacity(spec.len());
-    let mut infer_at: Option<usize> = None;
-    for (i, &v) in spec.iter().enumerate() {
-        match v {
-            0 => {
-                let d = *input.0.get(i).ok_or_else(|| {
-                    ShapeError(format!("Reshape: 0 at axis {i} but input rank {}", input.rank()))
-                })?;
-                out.push(d);
-            }
-            -1 => {
-                if infer_at.is_some() {
-                    return Err(ShapeError("Reshape: multiple -1".into()));
-                }
-                infer_at = Some(i);
-                out.push(1);
-            }
-            v if v > 0 => out.push(v as u64),
-            v => return Err(ShapeError(format!("Reshape: bad dim {v}"))),
-        }
-    }
-    let known: u64 = out.iter().product();
-    if let Some(i) = infer_at {
-        if known == 0 || total % known != 0 {
-            return Err(ShapeError(format!(
-                "Reshape: cannot infer -1 ({total} elements into {known})"
-            )));
-        }
-        out[i] = total / known;
-    } else if known != total {
-        return Err(ShapeError(format!(
-            "Reshape: element count mismatch {known} != {total}"
-        )));
-    }
-    Ok(Shape(out))
 }

@@ -273,9 +273,6 @@ mod tests {
         // param/shape bookkeeping survives: output shape identical
         let g = conv_bn_relu_graph();
         let s = simplify(&g);
-        assert_eq!(
-            g.tensor(g.outputs[0]).shape,
-            s.tensor(s.outputs[0]).shape
-        );
+        assert_eq!(g.tensor(g.outputs[0]).shape, s.tensor(s.outputs[0]).shape);
     }
 }

@@ -16,17 +16,16 @@ pub fn extract_subgraph(g: &Graph, members: &[NodeId], name: &str) -> Result<Gra
     let producers = g.producers();
     let consumers = g.consumers();
 
-    let produced_inside =
-        |t: TensorId| producers.get(&t).is_some_and(|p| member_set.contains(p));
+    let produced_inside = |t: TensorId| producers.get(&t).is_some_and(|p| member_set.contains(p));
 
     let mut tensors = Vec::new();
     let mut remap: HashMap<TensorId, TensorId> = HashMap::new();
     let mut inputs = Vec::new();
     let mut outputs = Vec::new();
     let add_tensor = |remap: &mut HashMap<TensorId, TensorId>,
-                          tensors: &mut Vec<crate::TensorInfo>,
-                          t: TensorId,
-                          kind: TensorKind|
+                      tensors: &mut Vec<crate::TensorInfo>,
+                      t: TensorId,
+                      kind: TensorKind|
      -> TensorId {
         if let Some(&id) = remap.get(&t) {
             return id;

@@ -24,7 +24,7 @@ proptest! {
             inverse[p as usize] = i as i64;
         }
         let input = (Shape::new(&dims), DType::F32);
-        let t1 = infer_shapes(OpKind::Transpose, &attrs! {"perm" => ints perm}, &[input.clone()]).unwrap();
+        let t1 = infer_shapes(OpKind::Transpose, &attrs! {"perm" => ints perm}, std::slice::from_ref(&input)).unwrap();
         let t2 = infer_shapes(OpKind::Transpose, &attrs! {"perm" => ints inverse}, &[t1[0].clone()]).unwrap();
         prop_assert_eq!(&t2[0].0, &input.0);
     }
@@ -35,7 +35,7 @@ proptest! {
     fn reshape_preserves_numel(dims in dims_strategy(4), split_at in 0usize..4) {
         let shape = Shape::new(&dims);
         let numel = shape.numel();
-        let k = (split_at % dims.len()).max(0);
+        let k = split_at % dims.len();
         let head: u64 = dims[..k].iter().product();
         let tail: u64 = dims[k..].iter().product();
         let explicit = infer_shapes(

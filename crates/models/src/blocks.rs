@@ -77,10 +77,20 @@ pub fn channel_shuffle(b: &mut GraphBuilder, name: &str, x: TensorId, groups: u6
     let r1 = b.reshape(
         &format!("{name}/reshape"),
         x,
-        &[n as i64, groups as i64, (c / groups) as i64, h as i64, w as i64],
+        &[
+            n as i64,
+            groups as i64,
+            (c / groups) as i64,
+            h as i64,
+            w as i64,
+        ],
     );
     let t = b.transpose(&format!("{name}/transpose"), r1, &[0, 2, 1, 3, 4]);
-    b.reshape(&format!("{name}/reshape_1"), t, &[n as i64, c as i64, h as i64, w as i64])
+    b.reshape(
+        &format!("{name}/reshape_1"),
+        t,
+        &[n as i64, c as i64, h as i64, w as i64],
+    )
 }
 
 /// Multi-head self-attention on `[B, L, E]` tokens, exported PyTorch-style:

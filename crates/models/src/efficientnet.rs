@@ -199,7 +199,11 @@ mod tests {
         let params_m = g.param_count() as f64 / 1e6;
         assert!((params_m - 5.3).abs() < 0.3, "params {params_m}M");
         // paper: 239 nodes; ours is close (same block structure)
-        assert!((g.node_count() as i64 - 239).abs() < 30, "{} nodes", g.node_count());
+        assert!(
+            (g.node_count() as i64 - 239).abs() < 30,
+            "{} nodes",
+            g.node_count()
+        );
     }
 
     #[test]
@@ -235,7 +239,12 @@ mod tests {
         };
         let v1 = b4(1);
         let v2 = v2_t(1);
-        assert!(dw_count(&v2) < dw_count(&v1), "{} vs {}", dw_count(&v2), dw_count(&v1));
+        assert!(
+            dw_count(&v2) < dw_count(&v1),
+            "{} vs {}",
+            dw_count(&v2),
+            dw_count(&v1)
+        );
     }
 
     #[test]

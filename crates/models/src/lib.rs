@@ -124,7 +124,9 @@ impl ModelId {
         };
         match self {
             ModelId::DistilBertBase => r(1, "DistilBERT base", "Trans.", 435, 67.0, 48.718),
-            ModelId::StableDiffusionUnet => r(2, "Stable Diffusion", "Diffu.", 5343, 859.5, 4747.726),
+            ModelId::StableDiffusionUnet => {
+                r(2, "Stable Diffusion", "Diffu.", 5343, 859.5, 4747.726)
+            }
             ModelId::EfficientNetB0 => r(3, "EfficientNet B0", "CNN", 239, 5.3, 0.851),
             ModelId::EfficientNetB4 => r(4, "EfficientNet B4", "CNN", 476, 19.3, 3.209),
             ModelId::EfficientNetV2T => r(5, "EfficientNetV2-T", "CNN", 487, 13.6, 3.939),

@@ -15,7 +15,11 @@ pub fn mixer_b16(batch: u64) -> Graph {
     let mut b = GraphBuilder::new("mlp-mixer-b16");
     let x = b.input("input", &[batch, 3, 224, 224], DType::F32);
     let p = b.conv("stem", x, dim, 16, 16, 0, 1, true);
-    let p = b.reshape("stem/reshape", p, &[batch as i64, dim as i64, patches as i64]);
+    let p = b.reshape(
+        "stem/reshape",
+        p,
+        &[batch as i64, dim as i64, patches as i64],
+    );
     let mut y = b.transpose("stem/transpose", p, &[0, 2, 1]); // [B, 196, 768]
 
     for i in 0..layers {
@@ -23,12 +27,24 @@ pub fn mixer_b16(batch: u64) -> Graph {
         // token-mixing: LN → transpose → MLP over patches → transpose → +skip
         let n1 = b.layer_norm_decomposed(&format!("{blk}.norm1"), y);
         let t = b.transpose(&format!("{blk}.token/transpose"), n1, &[0, 2, 1]);
-        let tm = mlp(&mut b, &format!("{blk}.token_mlp"), t, token_hidden, patches);
+        let tm = mlp(
+            &mut b,
+            &format!("{blk}.token_mlp"),
+            t,
+            token_hidden,
+            patches,
+        );
         let t2 = b.transpose(&format!("{blk}.token/transpose_1"), tm, &[0, 2, 1]);
         y = b.add(&format!("{blk}.add1"), y, t2);
         // channel-mixing: LN → MLP over channels → +skip
         let n2 = b.layer_norm_decomposed(&format!("{blk}.norm2"), y);
-        let cm = mlp(&mut b, &format!("{blk}.channel_mlp"), n2, channel_hidden, dim);
+        let cm = mlp(
+            &mut b,
+            &format!("{blk}.channel_mlp"),
+            n2,
+            channel_hidden,
+            dim,
+        );
         y = b.add(&format!("{blk}.add2"), y, cm);
     }
     y = b.layer_norm_decomposed("norm", y);
@@ -36,7 +52,9 @@ pub fn mixer_b16(batch: u64) -> Graph {
     let pooled = b.push(
         "pool",
         proof_ir::OpKind::ReduceMean,
-        proof_ir::Attributes::new().with_ints("axes", &[1]).with_int("keepdims", 0),
+        proof_ir::Attributes::new()
+            .with_ints("axes", &[1])
+            .with_int("keepdims", 0),
         &[y],
     );
     let out = b.linear("head", pooled, 1000, true);

@@ -112,8 +112,20 @@ fn swin_block(
         &[batch as i64, h as i64, h as i64, c as i64],
     );
     if shifted {
-        back = roll(b, &format!("{name}.unshift_h"), back, 1, (h - WINDOW / 2) as i64);
-        back = roll(b, &format!("{name}.unshift_w"), back, 2, (h - WINDOW / 2) as i64);
+        back = roll(
+            b,
+            &format!("{name}.unshift_h"),
+            back,
+            1,
+            (h - WINDOW / 2) as i64,
+        );
+        back = roll(
+            b,
+            &format!("{name}.unshift_w"),
+            back,
+            2,
+            (h - WINDOW / 2) as i64,
+        );
     }
     let tokens = b.reshape(
         &format!("{name}.to_tokens"),
@@ -137,16 +149,18 @@ fn patch_merging(b: &mut GraphBuilder, name: &str, x: TensorId, batch: u64, h: u
     );
     let mut quads = Vec::with_capacity(4);
     for (i, (oh, ow)) in [(0i64, 0i64), (1, 0), (0, 1), (1, 1)].iter().enumerate() {
-        quads.push(b.push(
-            &format!("{name}.slice_{i}"),
-            OpKind::Slice,
-            Attributes::new()
-                .with_ints("starts", &[*oh, *ow])
-                .with_ints("ends", &[h as i64, h as i64])
-                .with_ints("axes", &[1, 2])
-                .with_ints("steps", &[2, 2]),
-            &[grid],
-        ));
+        quads.push(
+            b.push(
+                &format!("{name}.slice_{i}"),
+                OpKind::Slice,
+                Attributes::new()
+                    .with_ints("starts", &[*oh, *ow])
+                    .with_ints("ends", &[h as i64, h as i64])
+                    .with_ints("axes", &[1, 2])
+                    .with_ints("steps", &[2, 2]),
+                &[grid],
+            ),
+        );
     }
     let cat = b.concat(&format!("{name}.concat"), &quads, -1);
     let tokens = b.reshape(
@@ -165,7 +179,11 @@ pub fn swin(batch: u64, size: SwinSize) -> Graph {
     let x = b.input("input", &[batch, 3, 224, 224], DType::F32);
     // patch embedding: conv 4×4/4 → [B, C, 56, 56] → tokens + LN
     let p = b.conv("patch_embed", x, embed, 4, 4, 0, 1, true);
-    let p = b.reshape("patch_embed/reshape", p, &[batch as i64, embed as i64, 56 * 56]);
+    let p = b.reshape(
+        "patch_embed/reshape",
+        p,
+        &[batch as i64, embed as i64, 56 * 56],
+    );
     let p = b.transpose("patch_embed/transpose", p, &[0, 2, 1]);
     let mut y = b.layer_norm_decomposed("patch_embed.norm", p);
 
@@ -191,7 +209,9 @@ pub fn swin(batch: u64, size: SwinSize) -> Graph {
     let pooled = b.push(
         "pool",
         OpKind::ReduceMean,
-        Attributes::new().with_ints("axes", &[1]).with_int("keepdims", 0),
+        Attributes::new()
+            .with_ints("axes", &[1])
+            .with_int("keepdims", 0),
         &[y],
     );
     let out = b.linear("head", pooled, 1000, true);
@@ -237,7 +257,11 @@ mod tests {
     #[test]
     fn shifted_blocks_emit_roll_slices() {
         let g = swin(1, SwinSize::Tiny);
-        let shifts = g.nodes.iter().filter(|n| n.name.contains(".shift_h/concat")).count();
+        let shifts = g
+            .nodes
+            .iter()
+            .filter(|n| n.name.contains(".shift_h/concat"))
+            .count();
         // one shifted block per pair: depths [2,2,6,2] → 1+1+3+1 = 6
         assert_eq!(shifts, 6);
     }

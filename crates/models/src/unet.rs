@@ -31,7 +31,9 @@ impl UNetBuilder {
     fn res_block(&mut self, name: &str, x: TensorId, cout: u64) -> TensorId {
         let cin = self.b.channels(x);
         let h = self.group_norm_silu(&format!("{name}.in"), x);
-        let h = self.b.conv(&format!("{name}.conv1"), h, cout, 3, 1, 1, 1, true);
+        let h = self
+            .b
+            .conv(&format!("{name}.conv1"), h, cout, 3, 1, 1, 1, true);
         let e = self.b.silu(&format!("{name}.emb_silu"), self.t_emb);
         let e = self.b.linear(&format!("{name}.emb_proj"), e, cout, true);
         let e = self.b.reshape(
@@ -41,7 +43,9 @@ impl UNetBuilder {
         );
         let h = self.b.add(&format!("{name}.emb_add"), h, e);
         let h = self.group_norm_silu(&format!("{name}.out"), h);
-        let h = self.b.conv(&format!("{name}.conv2"), h, cout, 3, 1, 1, 1, true);
+        let h = self
+            .b
+            .conv(&format!("{name}.conv2"), h, cout, 3, 1, 1, 1, true);
         let skip = if cin != cout {
             self.b
                 .conv(&format!("{name}.skip"), x, cout, 1, 1, 0, 1, true)
@@ -105,13 +109,17 @@ impl UNetBuilder {
         let dims = self.b.shape(x).dims().to_vec();
         let (h, w) = (dims[2], dims[3]);
         let n = self.b.group_norm(&format!("{name}.norm"), x, 32);
-        let p = self.b.conv(&format!("{name}.proj_in"), n, c, 1, 1, 0, 1, true);
+        let p = self
+            .b
+            .conv(&format!("{name}.proj_in"), n, c, 1, 1, 0, 1, true);
         let t = self.b.reshape(
             &format!("{name}.to_tokens"),
             p,
             &[self.batch as i64, c as i64, (h * w) as i64],
         );
-        let mut y = self.b.transpose(&format!("{name}.transpose_in"), t, &[0, 2, 1]);
+        let mut y = self
+            .b
+            .transpose(&format!("{name}.transpose_in"), t, &[0, 2, 1]);
         // basic transformer block (depth 1 in SD v1)
         let n1 = self.b.layer_norm_fused(&format!("{name}.norm1"), y);
         let sa = self.attention(&format!("{name}.attn1"), n1, n1);
@@ -122,13 +130,17 @@ impl UNetBuilder {
         let n3 = self.b.layer_norm_fused(&format!("{name}.norm3"), y);
         let ff = self.geglu_ff(&format!("{name}.ff"), n3);
         y = self.b.add(&format!("{name}.add3"), y, ff);
-        let back = self.b.transpose(&format!("{name}.transpose_out"), y, &[0, 2, 1]);
+        let back = self
+            .b
+            .transpose(&format!("{name}.transpose_out"), y, &[0, 2, 1]);
         let grid = self.b.reshape(
             &format!("{name}.to_grid"),
             back,
             &[self.batch as i64, c as i64, h as i64, w as i64],
         );
-        let o = self.b.conv(&format!("{name}.proj_out"), grid, c, 1, 1, 0, 1, true);
+        let o = self
+            .b
+            .conv(&format!("{name}.proj_out"), grid, c, 1, 1, 0, 1, true);
         self.b.add(&format!("{name}.res_add"), x, o)
     }
 }
@@ -167,9 +179,16 @@ pub fn sd_unet(batch: u64, latent: u64) -> Graph {
             skips.push(h);
         }
         if level < 3 {
-            h = u
-                .b
-                .conv(&format!("input_blocks.{level}.down"), h, c, 3, 2, 1, 1, true);
+            h = u.b.conv(
+                &format!("input_blocks.{level}.down"),
+                h,
+                c,
+                3,
+                2,
+                1,
+                1,
+                true,
+            );
             skips.push(h);
         }
     }
@@ -192,9 +211,16 @@ pub fn sd_unet(batch: u64, latent: u64) -> Graph {
         }
         if level > 0 {
             h = u.b.resize2x(&format!("output_blocks.{level}.upsample"), h);
-            h = u
-                .b
-                .conv(&format!("output_blocks.{level}.up_conv"), h, c, 3, 1, 1, 1, true);
+            h = u.b.conv(
+                &format!("output_blocks.{level}.up_conv"),
+                h,
+                c,
+                3,
+                1,
+                1,
+                1,
+                true,
+            );
         }
     }
 

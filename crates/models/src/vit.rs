@@ -43,11 +43,7 @@ pub fn vit(batch: u64, size: ViTSize) -> Graph {
 
     // patch embedding: conv 16×16/16 → [B, E, 14, 14] → flatten → [B, 196, E]
     let p = b.conv("patch_embed", x, embed, 16, 16, 0, 1, true);
-    let p = b.reshape(
-        "patch_embed/reshape",
-        p,
-        &[batch as i64, embed as i64, 196],
-    );
+    let p = b.reshape("patch_embed/reshape", p, &[batch as i64, embed as i64, 196]);
     let p = b.transpose("patch_embed/transpose", p, &[0, 2, 1]);
 
     // class token prepend + position embedding

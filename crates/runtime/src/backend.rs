@@ -78,7 +78,10 @@ pub enum LayerHint {
         outputs: Vec<String>,
     },
     /// OpenVINO-style: primary node name + executor type.
-    PrimaryOp { node_name: String, exec_type: String },
+    PrimaryOp {
+        node_name: String,
+        exec_type: String,
+    },
     /// Runtime-inserted conversion layer (no model counterpart).
     Reorder {
         input_tensor: String,
@@ -180,8 +183,7 @@ fn check_support(g: &Graph, platform: &Platform, cfg: &SessionConfig) -> Result<
                     | OpKind::GroupNormalization
                     | OpKind::Softmax
                     | OpKind::LayerNormalization
-            ) || (n.op == OpKind::Transpose
-                && g.tensor(n.inputs[0]).shape.rank() > 4);
+            ) || (n.op == OpKind::Transpose && g.tensor(n.inputs[0]).shape.rank() > 4);
             if bad {
                 return Err(BackendError::UnsupportedOp {
                     op: n.op.to_string(),
@@ -486,7 +488,13 @@ mod tests {
     #[test]
     fn truth_partition_covers_every_node_once() {
         let g = ModelId::MobileNetV2x10.build(1);
-        let m = compile(&g, BackendFlavor::OrtLike, &a100(), &SessionConfig::default()).unwrap();
+        let m = compile(
+            &g,
+            BackendFlavor::OrtLike,
+            &a100(),
+            &SessionConfig::default(),
+        )
+        .unwrap();
         let mut seen = vec![false; g.nodes.len()];
         for l in &m.layers {
             for &n in l.truth_members() {
@@ -500,7 +508,13 @@ mod tests {
     #[test]
     fn trt_names_join_members_and_myelin_is_opaque() {
         let g = ModelId::ViTTiny.build(1);
-        let m = compile(&g, BackendFlavor::TrtLike, &a100(), &SessionConfig::default()).unwrap();
+        let m = compile(
+            &g,
+            BackendFlavor::TrtLike,
+            &a100(),
+            &SessionConfig::default(),
+        )
+        .unwrap();
         let profile = m.builtin_profile();
         assert!(profile.iter().any(|l| l.name.contains(" + ")));
         let myelin: Vec<_> = profile
@@ -516,9 +530,17 @@ mod tests {
     #[test]
     fn ort_reveals_node_names_and_inserts_reorders() {
         let g = ModelId::ResNet50.build(1);
-        let m = compile(&g, BackendFlavor::OrtLike, &a100(), &SessionConfig::default()).unwrap();
+        let m = compile(
+            &g,
+            BackendFlavor::OrtLike,
+            &a100(),
+            &SessionConfig::default(),
+        )
+        .unwrap();
         let profile = m.builtin_profile();
-        assert!(profile.iter().any(|l| matches!(&l.hint, LayerHint::Reorder { .. })));
+        assert!(profile
+            .iter()
+            .any(|l| matches!(&l.hint, LayerHint::Reorder { .. })));
         assert!(profile
             .iter()
             .any(|l| matches!(&l.hint, LayerHint::NodeNames(ns) if ns.len() > 1)));
@@ -547,9 +569,20 @@ mod tests {
     #[test]
     fn batch_scaling_increases_throughput() {
         let cfg = SessionConfig::new(DType::F16);
-        let m1 = compile(&ModelId::ResNet50.build(1), BackendFlavor::TrtLike, &a100(), &cfg).unwrap();
-        let m128 =
-            compile(&ModelId::ResNet50.build(128), BackendFlavor::TrtLike, &a100(), &cfg).unwrap();
+        let m1 = compile(
+            &ModelId::ResNet50.build(1),
+            BackendFlavor::TrtLike,
+            &a100(),
+            &cfg,
+        )
+        .unwrap();
+        let m128 = compile(
+            &ModelId::ResNet50.build(128),
+            BackendFlavor::TrtLike,
+            &a100(),
+            &cfg,
+        )
+        .unwrap();
         let thr1 = 1.0 / m1.end_to_end_latency_ms();
         let thr128 = 128.0 / m128.end_to_end_latency_ms();
         assert!(thr128 > 5.0 * thr1, "batch should amortize overheads");
@@ -558,7 +591,13 @@ mod tests {
     #[test]
     fn utilization_is_sane() {
         let g = ModelId::ResNet50.build(64);
-        let m = compile(&g, BackendFlavor::TrtLike, &a100(), &SessionConfig::default()).unwrap();
+        let m = compile(
+            &g,
+            BackendFlavor::TrtLike,
+            &a100(),
+            &SessionConfig::default(),
+        )
+        .unwrap();
         let u = m.utilization();
         assert!(u.gpu > 0.0 && u.gpu <= 1.0);
         assert!(u.mem > 0.0 && u.mem <= 1.0);

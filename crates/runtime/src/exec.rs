@@ -87,9 +87,7 @@ fn occupancy(k: &Kernel, platform: &Platform) -> f64 {
 pub fn kernel_timing(k: &Kernel, platform: &Platform, precision: DType) -> KernelTiming {
     let occ = occupancy(k, platform);
     let matrix = k.cost.tensor_core && k.class.uses_matrix_engine();
-    let peak = platform.peak_flops(precision, matrix)
-        * compute_eff(k.class, platform.family)
-        * occ;
+    let peak = platform.peak_flops(precision, matrix) * compute_eff(k.class, platform.family) * occ;
     let bw = platform.achievable_bw() * mem_eff(k.class, platform.family) * occ;
     let compute_us = if k.cost.hw_flops == 0 || peak <= 0.0 {
         0.0
@@ -101,10 +99,8 @@ pub fn kernel_timing(k: &Kernel, platform: &Platform, precision: DType) -> Kerne
     } else {
         k.cost.dram_bytes() as f64 / bw * 1e6
     };
-    let latency_us = compute_us
-        .max(memory_us)
-        .max(platform.min_kernel_us)
-        + platform.kernel_launch_us;
+    let latency_us =
+        compute_us.max(memory_us).max(platform.min_kernel_us) + platform.kernel_launch_us;
     KernelTiming {
         latency_us,
         compute_us,
@@ -119,8 +115,16 @@ pub fn aggregate_utilization(timings: &[KernelTiming]) -> Utilization {
         return Utilization::default();
     }
     Utilization {
-        gpu: timings.iter().map(|t| t.compute_us.min(t.latency_us)).sum::<f64>() / total,
-        mem: timings.iter().map(|t| t.memory_us.min(t.latency_us)).sum::<f64>() / total,
+        gpu: timings
+            .iter()
+            .map(|t| t.compute_us.min(t.latency_us))
+            .sum::<f64>()
+            / total,
+        mem: timings
+            .iter()
+            .map(|t| t.memory_us.min(t.latency_us))
+            .sum::<f64>()
+            / total,
     }
 }
 
@@ -153,7 +157,11 @@ mod tests {
         let t = kernel_timing(&k, &p, DType::F16);
         let achieved = 1e12 / (t.latency_us / 1e6);
         let peak = p.peak_flops(DType::F16, true);
-        assert!(achieved / peak > 0.7, "achieved {:.1}% of peak", 100.0 * achieved / peak);
+        assert!(
+            achieved / peak > 0.7,
+            "achieved {:.1}% of peak",
+            100.0 * achieved / peak
+        );
         assert!(achieved / peak < 1.0);
     }
 
@@ -196,7 +204,12 @@ mod tests {
         let dw = kernel(KernelClass::DepthwiseConv, flops, 1 << 20, 1 << 26, false);
         let td = kernel_timing(&dense, &p, DType::F16);
         let tw = kernel_timing(&dw, &p, DType::F16);
-        assert!(tw.latency_us > 5.0 * td.latency_us, "{} vs {}", tw.latency_us, td.latency_us);
+        assert!(
+            tw.latency_us > 5.0 * td.latency_us,
+            "{} vs {}",
+            tw.latency_us,
+            td.latency_us
+        );
     }
 
     #[test]

@@ -43,12 +43,7 @@ impl RtGroup {
         self.members
             .iter()
             .copied()
-            .find(|&m| {
-                matches!(
-                    g.node(m).op,
-                    OpKind::Conv | OpKind::Gemm | OpKind::MatMul
-                )
-            })
+            .find(|&m| matches!(g.node(m).op, OpKind::Conv | OpKind::Gemm | OpKind::MatMul))
             .or_else(|| {
                 self.members
                     .iter()
@@ -480,7 +475,9 @@ pub fn fuse(g: &Graph, policy: &FusionPolicy) -> Vec<RtGroup> {
                 // producers feeding the conv's data input
                 let mut cur = g.node(id).inputs[0];
                 for _ in 0..3 {
-                    let Some(&p) = f.producers.get(&cur) else { break };
+                    let Some(&p) = f.producers.get(&cur) else {
+                        break;
+                    };
                     let pn = g.node(p);
                     // the producer must be free, pointwise, and feed only us
                     if !f.free(p)

@@ -73,9 +73,9 @@ pub struct Kernel {
 pub fn mma_flops_per_instr(arch: proof_hw::GpuArch, dtype: DType) -> u64 {
     use proof_hw::GpuArch::*;
     let fp16 = match arch {
-        Volta => 512,           // HMMA.884.F32
-        Turing => 2048,         // HMMA.16816 (half rate)
-        Ampere | Ada => 4096,   // HMMA.16816
+        Volta => 512,         // HMMA.884.F32
+        Turing => 2048,       // HMMA.16816 (half rate)
+        Ampere | Ada => 4096, // HMMA.16816
         NonNvidia => 0,
     };
     if fp16 == 0 {
@@ -269,14 +269,12 @@ impl<'g> Lowerer<'g> {
                         } else {
                             pad_to(cin_g, chan_align)
                         };
-                        let cout_tile = if self.platform.compute.has_matrix_engine(self.precision)
-                        {
+                        let cout_tile = if self.platform.compute.has_matrix_engine(self.precision) {
                             32
                         } else {
                             chan_align
                         };
-                        let base =
-                            (spatial * pad_to(cout, cout_tile) * cin_pad * k * 2) as f64;
+                        let base = (spatial * pad_to(cout, cout_tile) * cin_pad * k * 2) as f64;
                         total += (base * 1.02) as u64;
                     }
                 }
@@ -554,8 +552,14 @@ mod mixed_precision_tests {
             .enumerate()
             .filter_map(|(i, grp)| lw.lower_group(grp, i))
             .collect();
-        let transpose = kernels.iter().find(|k| k.class == KernelClass::Transpose).unwrap();
-        let conv = kernels.iter().find(|k| k.class == KernelClass::DenseConv).unwrap();
+        let transpose = kernels
+            .iter()
+            .find(|k| k.class == KernelClass::Transpose)
+            .unwrap();
+        let conv = kernels
+            .iter()
+            .find(|k| k.class == KernelClass::DenseConv)
+            .unwrap();
         // transpose moves fp16 bytes even in an int8 engine: tensor is
         // 64·2·784 elements, written at 2 B/elem × 1.25 coalescing
         let elems = 64 * 2 * 784u64;

@@ -21,7 +21,13 @@ pub fn chrome_trace(model: &CompiledModel) -> String {
         if layer.kernels.is_empty() {
             continue;
         }
-        let mut push = |s: &mut String, name: &str, cat: &str, tid: u32, ts: f64, dur: f64, args: String| {
+        let mut push = |s: &mut String,
+                        name: &str,
+                        cat: &str,
+                        tid: u32,
+                        ts: f64,
+                        dur: f64,
+                        args: String| {
             if !first {
                 s.push_str(",\n");
             }

@@ -1,0 +1,316 @@
+//! Content-addressed artifact cache: in-memory LRU with a byte budget,
+//! backed by an optional on-disk JSON artifact store.
+//!
+//! Lookups are *single-flight*: the first requester of a missing key gets a
+//! [`BuildGuard`] and computes the artifact; concurrent requesters of the
+//! same key block until the build completes and then count as hits. This is
+//! what guarantees N identical concurrent submissions cost exactly one
+//! simulation.
+
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counter snapshot surfaced by `GET /metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Lookups served from memory, disk, or by waiting on an in-flight build.
+    pub hits: u64,
+    /// Lookups that had to run the pipeline.
+    pub misses: u64,
+    /// Entries evicted from memory by the byte budget (disk copy survives).
+    pub evictions: u64,
+    /// Hits satisfied by reloading a disk artifact after memory eviction.
+    pub disk_hits: u64,
+    /// Resident entries.
+    pub entries: usize,
+    /// Resident artifact bytes.
+    pub bytes: usize,
+    /// Configured byte budget for resident artifacts.
+    pub budget_bytes: usize,
+}
+
+enum Slot {
+    /// A build is in flight; waiters block on the condvar.
+    Pending,
+    /// Artifact resident in memory.
+    Ready(Arc<String>),
+}
+
+struct Inner {
+    slots: HashMap<String, Slot>,
+    /// Keys of `Ready` slots, least-recently-used first.
+    lru: VecDeque<String>,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    disk_hits: u64,
+}
+
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    budget: usize,
+    disk_dir: Option<PathBuf>,
+}
+
+/// Result of [`ArtifactCache::lookup_or_begin`].
+pub enum Lookup<'a> {
+    /// Artifact available (memory, disk, or a completed in-flight build).
+    Hit(Arc<String>),
+    /// Caller owns the build; fulfill or abandon via the guard.
+    Miss(BuildGuard<'a>),
+}
+
+/// Exclusive right to build one key. Dropping without
+/// [`BuildGuard::fulfill`] releases waiters so one of them can retry.
+pub struct BuildGuard<'a> {
+    cache: &'a ArtifactCache,
+    key: String,
+    fulfilled: bool,
+}
+
+impl BuildGuard<'_> {
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Store the built artifact, waking every waiter with a hit.
+    pub fn fulfill(mut self, artifact: String) -> Arc<String> {
+        self.fulfilled = true;
+        self.cache.complete(&self.key, artifact)
+    }
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            let mut inner = self.cache.inner.lock().unwrap();
+            inner.slots.remove(&self.key);
+            self.cache.cond.notify_all();
+        }
+    }
+}
+
+impl ArtifactCache {
+    /// `budget` caps resident artifact bytes; `disk_dir` (created eagerly)
+    /// enables the persistent artifact store.
+    pub fn new(budget: usize, disk_dir: Option<PathBuf>) -> std::io::Result<ArtifactCache> {
+        if let Some(dir) = &disk_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ArtifactCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                lru: VecDeque::new(),
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                disk_hits: 0,
+            }),
+            cond: Condvar::new(),
+            budget,
+            disk_dir,
+        })
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Single-flight lookup. Exactly one caller per missing key receives
+    /// `Lookup::Miss`; everyone else blocks and then hits.
+    pub fn lookup_or_begin(&self, key: &str) -> Lookup<'_> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.slots.get(key) {
+                Some(Slot::Ready(artifact)) => {
+                    let artifact = Arc::clone(artifact);
+                    inner.hits += 1;
+                    touch(&mut inner.lru, key);
+                    return Lookup::Hit(artifact);
+                }
+                Some(Slot::Pending) => {
+                    inner = self.cond.wait(inner).unwrap();
+                }
+                None => break,
+            }
+        }
+        // not resident — try the disk store before claiming the build
+        if let Some(path) = self.disk_path(key) {
+            if let Ok(artifact) = std::fs::read_to_string(&path) {
+                inner.hits += 1;
+                inner.disk_hits += 1;
+                let artifact = self.insert_ready(&mut inner, key, artifact);
+                return Lookup::Hit(artifact);
+            }
+        }
+        inner.misses += 1;
+        inner.slots.insert(key.to_string(), Slot::Pending);
+        Lookup::Miss(BuildGuard {
+            cache: self,
+            key: key.to_string(),
+            fulfilled: false,
+        })
+    }
+
+    fn complete(&self, key: &str, artifact: String) -> Arc<String> {
+        if let Some(path) = self.disk_path(key) {
+            // best-effort persistence; the in-memory copy is authoritative
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, &artifact).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let arc = self.insert_ready(&mut inner, key, artifact);
+        drop(inner);
+        self.cond.notify_all();
+        arc
+    }
+
+    fn insert_ready(&self, inner: &mut Inner, key: &str, artifact: String) -> Arc<String> {
+        let arc = Arc::new(artifact);
+        inner.bytes += arc.len();
+        inner
+            .slots
+            .insert(key.to_string(), Slot::Ready(Arc::clone(&arc)));
+        touch(&mut inner.lru, key);
+        // enforce the byte budget, never evicting the key just inserted
+        while inner.bytes > self.budget && inner.lru.len() > 1 {
+            let victim = if inner.lru.front().map(String::as_str) == Some(key) {
+                inner.lru.remove(1)
+            } else {
+                inner.lru.pop_front()
+            };
+            let Some(victim) = victim else { break };
+            if let Some(Slot::Ready(a)) = inner.slots.remove(&victim) {
+                inner.bytes -= a.len();
+                inner.evictions += 1;
+            }
+        }
+        arc
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            disk_hits: inner.disk_hits,
+            entries: inner.lru.len(),
+            bytes: inner.bytes,
+            budget_bytes: self.budget,
+        }
+    }
+}
+
+/// Move `key` to the most-recently-used end.
+fn touch(lru: &mut VecDeque<String>, key: &str) {
+    if let Some(pos) = lru.iter().position(|k| k == key) {
+        lru.remove(pos);
+    }
+    lru.push_back(key.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn build(cache: &ArtifactCache, key: &str, payload: &str) -> Arc<String> {
+        match cache.lookup_or_begin(key) {
+            Lookup::Hit(a) => a,
+            Lookup::Miss(guard) => guard.fulfill(payload.to_string()),
+        }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let c = ArtifactCache::new(1 << 20, None).unwrap();
+        build(&c, "k", "artifact");
+        match c.lookup_or_begin("k") {
+            Lookup::Hit(a) => assert_eq!(*a, "artifact"),
+            Lookup::Miss(_) => panic!("expected hit"),
+        }
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_under_tight_budget() {
+        // budget fits two 8-byte artifacts, not three
+        let c = ArtifactCache::new(20, None).unwrap();
+        build(&c, "a", "01234567");
+        build(&c, "b", "01234567");
+        // touch "a" so "b" is the LRU victim when "c" arrives
+        build(&c, "a", "ignored-already-cached");
+        build(&c, "c", "01234567");
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes <= 20);
+        assert!(matches!(c.lookup_or_begin("a"), Lookup::Hit(_)));
+        assert!(matches!(c.lookup_or_begin("c"), Lookup::Hit(_)));
+        assert!(matches!(c.lookup_or_begin("b"), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn eviction_falls_back_to_disk_store() {
+        let dir = std::env::temp_dir().join(format!("proof-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ArtifactCache::new(10, Some(dir.clone())).unwrap();
+        build(&c, "a", "0123456789"); // fills the whole budget
+        build(&c, "b", "0123456789"); // evicts "a" from memory
+        assert_eq!(c.stats().evictions, 1);
+        // "a" comes back from disk, counted as a (disk) hit
+        assert!(matches!(c.lookup_or_begin("a"), Lookup::Hit(_)));
+        let s = c.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.misses, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_identical_lookups_build_once() {
+        let c = std::sync::Arc::new(ArtifactCache::new(1 << 20, None).unwrap());
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match c.lookup_or_begin("shared") {
+                    Lookup::Hit(a) => assert_eq!(*a, "artifact"),
+                    Lookup::Miss(guard) => {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // widen the race window so waiters really block
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        guard.fulfill("artifact".to_string());
+                    }
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn abandoned_build_releases_waiters() {
+        let c = ArtifactCache::new(1 << 20, None).unwrap();
+        {
+            let guard = match c.lookup_or_begin("k") {
+                Lookup::Miss(g) => g,
+                Lookup::Hit(_) => panic!("expected miss"),
+            };
+            drop(guard); // simulated pipeline failure
+        }
+        // the key is claimable again, not deadlocked
+        assert!(matches!(c.lookup_or_begin("k"), Lookup::Miss(_)));
+    }
+}

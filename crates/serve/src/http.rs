@@ -1,0 +1,174 @@
+//! Minimal HTTP/1.1 support over `std::net`: just enough request parsing
+//! and response writing for the JSON API, plus a tiny blocking client used
+//! by the CLI walkthroughs and the integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request. Bodies are read eagerly (Content-Length only; no
+/// chunked encoding — every client this daemon targets sends sized bodies).
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (no '?'), empty if absent.
+    pub query: String,
+    pub body: String,
+}
+
+/// Read one request from the stream. `Ok(None)` means the peer closed the
+/// connection before sending anything.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return Err(bad("malformed request line")),
+    };
+    let mut content_length = 0usize;
+    let mut header_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad("headers too large"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response and flush. Connections are single-request
+/// (`Connection: close`), which keeps lifecycle handling trivial.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot client: send `method path` with an optional JSON body,
+/// return `(status, body)`.
+pub fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = String::new();
+    match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            body = String::from_utf8(buf).map_err(|_| bad("body is not UTF-8"))?;
+        }
+        None => {
+            reader.read_to_string(&mut body)?;
+        }
+    }
+    Ok((status, body))
+}
+
+/// `GET path` convenience wrapper.
+pub fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` convenience wrapper.
+pub fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}

@@ -1,0 +1,275 @@
+//! Typed analysis-job specification, canonicalization, and cache keys.
+//!
+//! A job arrives as loosely-typed JSON (aliases allowed: `"trt"`,
+//! `"tensorrt"`, `"f16"`, ...). Parsing normalizes it into [`AnalysisJob`];
+//! re-serializing that into sorted-key compact JSON gives a *canonical spec*
+//! that is independent of field order and alias spelling, so hashing it
+//! yields a stable content address for the artifact cache.
+
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use serde_json::{Map, Value};
+
+/// The default simulation seed (mirrors `SessionConfig::default`).
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// Fully-resolved job specification. Two specs that differ in any field —
+/// including `seed` — get distinct cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisJob {
+    pub model: ModelId,
+    pub backend: BackendFlavor,
+    pub hardware: PlatformId,
+    pub batch: u64,
+    pub dtype: DType,
+    pub mode: proof_core::MetricMode,
+    pub seed: u64,
+}
+
+/// Canonical CLI-style token for a platform (round-trips via
+/// `PlatformId::parse`, which ignores separators).
+pub fn platform_slug(p: PlatformId) -> &'static str {
+    match p {
+        PlatformId::A100 => "a100",
+        PlatformId::Rtx4090 => "rtx-4090",
+        PlatformId::Xeon6330 => "xeon-6330",
+        PlatformId::XavierNx => "xavier-nx",
+        PlatformId::OrinNx => "orin-nx",
+        PlatformId::RaspberryPi4 => "raspberry-pi-4",
+        PlatformId::Npu3720 => "npu-3720",
+    }
+}
+
+fn parse_dtype(s: &str) -> Option<DType> {
+    match s.to_ascii_lowercase().as_str() {
+        "fp32" | "f32" | "float32" => Some(DType::F32),
+        "fp16" | "f16" | "float16" => Some(DType::F16),
+        "bf16" | "bfloat16" => Some(DType::BF16),
+        "int8" | "i8" => Some(DType::I8),
+        _ => None,
+    }
+}
+
+fn parse_mode(s: &str) -> Option<proof_core::MetricMode> {
+    match s.to_ascii_lowercase().as_str() {
+        "predicted" | "predict" | "analytical" => Some(proof_core::MetricMode::Predicted),
+        "measured" | "measure" | "counters" => Some(proof_core::MetricMode::Measured),
+        _ => None,
+    }
+}
+
+fn mode_token(m: proof_core::MetricMode) -> &'static str {
+    match m {
+        proof_core::MetricMode::Predicted => "predicted",
+        proof_core::MetricMode::Measured => "measured",
+    }
+}
+
+fn str_field<'a>(obj: &'a Map<String, Value>, key: &str) -> Result<Option<&'a str>, String> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.as_str())),
+        Some(other) => Err(format!("field '{key}' must be a string, got {other}")),
+    }
+}
+
+fn u64_field(obj: &Map<String, Value>, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer, got {v}")),
+    }
+}
+
+impl AnalysisJob {
+    /// Parse a request body. `model` and `hardware` are required; everything
+    /// else has a sensible default (backend: the platform's native flavor,
+    /// batch 1, fp16, predicted, [`DEFAULT_SEED`]).
+    pub fn from_value(v: &Value) -> Result<AnalysisJob, String> {
+        let obj = match v {
+            Value::Object(m) => m,
+            _ => return Err("job spec must be a JSON object".to_string()),
+        };
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "model"
+                    | "backend"
+                    | "hardware"
+                    | "platform"
+                    | "batch"
+                    | "dtype"
+                    | "precision"
+                    | "mode"
+                    | "seed"
+            ) {
+                return Err(format!("unknown field '{key}' in job spec"));
+            }
+        }
+        let model_s =
+            str_field(obj, "model")?.ok_or_else(|| "missing required field 'model'".to_string())?;
+        let model = ModelId::parse(model_s)
+            .ok_or_else(|| format!("unknown model '{model_s}' (see GET /models)"))?;
+        let hw_s = str_field(obj, "hardware")?
+            .or(str_field(obj, "platform")?)
+            .ok_or_else(|| "missing required field 'hardware'".to_string())?;
+        let hardware =
+            PlatformId::parse(hw_s).ok_or_else(|| format!("unknown hardware platform '{hw_s}'"))?;
+        let backend = match str_field(obj, "backend")? {
+            Some(s) => BackendFlavor::parse(s).ok_or_else(|| format!("unknown backend '{s}'"))?,
+            None => BackendFlavor::for_platform(&hardware.spec()),
+        };
+        let dtype_s = str_field(obj, "dtype")?.or(str_field(obj, "precision")?);
+        let dtype = match dtype_s {
+            Some(s) => parse_dtype(s).ok_or_else(|| format!("unknown dtype '{s}'"))?,
+            None => DType::F16,
+        };
+        let mode = match str_field(obj, "mode")? {
+            Some(s) => parse_mode(s).ok_or_else(|| format!("unknown mode '{s}'"))?,
+            None => proof_core::MetricMode::Predicted,
+        };
+        let batch = u64_field(obj, "batch")?.unwrap_or(1);
+        if batch == 0 || batch > 1 << 20 {
+            return Err(format!("batch {batch} out of range [1, 2^20]"));
+        }
+        let seed = u64_field(obj, "seed")?.unwrap_or(DEFAULT_SEED);
+        Ok(AnalysisJob {
+            model,
+            backend,
+            hardware,
+            batch,
+            dtype,
+            mode,
+            seed,
+        })
+    }
+
+    /// The fully-resolved spec as a JSON object (canonical tokens, all
+    /// defaults filled in). Keys serialize sorted, so this is canonical.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("model".to_string(), Value::String(self.model.slug().into()));
+        m.insert(
+            "backend".to_string(),
+            Value::String(self.backend.name().into()),
+        );
+        m.insert(
+            "hardware".to_string(),
+            Value::String(platform_slug(self.hardware).into()),
+        );
+        m.insert("batch".to_string(), Value::from(self.batch));
+        m.insert(
+            "dtype".to_string(),
+            Value::String(self.dtype.short_name().into()),
+        );
+        m.insert(
+            "mode".to_string(),
+            Value::String(mode_token(self.mode).into()),
+        );
+        m.insert("seed".to_string(), Value::from(self.seed));
+        Value::Object(m)
+    }
+
+    /// Compact canonical JSON of the resolved spec (sorted keys).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("canonical spec")
+    }
+
+    /// Content address of this job's artifact: FNV-1a/64 over the canonical
+    /// JSON, hex-encoded. Field order and alias spelling in the original
+    /// request cannot affect it; the seed (and every other field) does.
+    pub fn cache_key(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical_json().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// The runtime session configuration this spec resolves to.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig::new(self.dtype).with_seed(self.seed)
+    }
+
+    /// Run the full profiling pipeline for this spec.
+    pub fn execute(&self) -> Result<proof_core::ProfileReport, proof_runtime::BackendError> {
+        let graph = self.model.build(self.batch);
+        let platform = self.hardware.spec();
+        proof_core::profile_model(
+            &graph,
+            &platform,
+            self.backend,
+            &self.session_config(),
+            self.mode,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<AnalysisJob, String> {
+        AnalysisJob::from_value(&serde_json::from_str(s).unwrap())
+    }
+
+    #[test]
+    fn cache_key_ignores_field_order_and_aliases() {
+        let a = parse(r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":8,"dtype":"f16","seed":7}"#).unwrap();
+        let b = parse(r#"{"seed":7,"dtype":"fp16","batch":8,"backend":"tensorrt","platform":"A100","model":"resnet-50"}"#).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn seed_differentiates_cache_keys() {
+        let a = parse(r#"{"model":"resnet-50","hardware":"a100","seed":1}"#).unwrap();
+        let b = parse(r#"{"model":"resnet-50","hardware":"a100","seed":2}"#).unwrap();
+        let c = parse(r#"{"model":"resnet-50","hardware":"a100"}"#).unwrap();
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_eq!(c.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn every_field_feeds_the_key() {
+        let base = r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":8,"dtype":"fp16","mode":"predicted","seed":7}"#;
+        let variants = [
+            r#"{"model":"resnet-34","hardware":"a100","backend":"trt","batch":8,"dtype":"fp16","mode":"predicted","seed":7}"#,
+            r#"{"model":"resnet-50","hardware":"rtx-4090","backend":"trt","batch":8,"dtype":"fp16","mode":"predicted","seed":7}"#,
+            r#"{"model":"resnet-50","hardware":"a100","backend":"ort","batch":8,"dtype":"fp16","mode":"predicted","seed":7}"#,
+            r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":16,"dtype":"fp16","mode":"predicted","seed":7}"#,
+            r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":8,"dtype":"fp32","mode":"predicted","seed":7}"#,
+            r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":8,"dtype":"fp16","mode":"measured","seed":7}"#,
+            r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":8,"dtype":"fp16","mode":"predicted","seed":8}"#,
+        ];
+        let key = parse(base).unwrap().cache_key();
+        for v in variants {
+            assert_ne!(parse(v).unwrap().cache_key(), key, "{v}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse(r#"{"hardware":"a100"}"#).is_err()); // no model
+        assert!(parse(r#"{"model":"resnet-50"}"#).is_err()); // no hardware
+        assert!(parse(r#"{"model":"nope","hardware":"a100"}"#).is_err());
+        assert!(parse(r#"{"model":"resnet-50","hardware":"a100","batch":0}"#).is_err());
+        assert!(parse(r#"{"model":"resnet-50","hardware":"a100","bogus":1}"#).is_err());
+        assert!(parse(r#"{"model":"resnet-50","hardware":"a100","batch":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn defaults_resolve_to_platform_native_backend() {
+        let j = parse(r#"{"model":"resnet-50","hardware":"a100"}"#).unwrap();
+        assert_eq!(j.backend, BackendFlavor::TrtLike);
+        assert_eq!(j.batch, 1);
+        assert_eq!(j.dtype, DType::F16);
+    }
+}

@@ -1,0 +1,31 @@
+//! proof-serve: profiling-as-a-service on top of the PRoof pipeline.
+//!
+//! A daemon that accepts analysis jobs over a minimal HTTP/1.1 JSON API,
+//! schedules them on a bounded FIFO queue drained by a worker pool, runs
+//! the existing pipeline (proof-models → proof-runtime → proof-core), and
+//! content-addresses every artifact by the stable hash of its canonical job
+//! spec — identical submissions cost exactly one simulation.
+//!
+//! ```no_run
+//! use proof_serve::{Server, ServeConfig};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let body = r#"{"model":"resnet-50","hardware":"a100","batch":8}"#;
+//! let (status, reply) = proof_serve::http::post(server.addr(), "/jobs", body).unwrap();
+//! assert_eq!(status, 201);
+//! println!("{reply}");
+//! server.shutdown(); // drains every accepted job first
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use cache::{ArtifactCache, CacheStats, Lookup};
+pub use job::{AnalysisJob, DEFAULT_SEED};
+pub use metrics::{Histogram, HistogramSnapshot, WorkerMetrics, WorkerSnapshot};
+pub use queue::JobQueue;
+pub use server::{JobStatus, ServeConfig, Server, ShutdownReport};

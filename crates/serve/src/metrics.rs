@@ -1,0 +1,182 @@
+//! Service metrics: per-stage latency histograms and worker utilization.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of log2 buckets: bucket `i` counts samples in `[2^i, 2^(i+1))` µs,
+/// bucket 0 additionally covers sub-microsecond samples. 2^39 µs ≈ 6 days,
+/// far beyond any job latency.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram (microseconds).
+pub struct Histogram {
+    inner: Mutex<HistInner>,
+}
+
+struct HistInner {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+/// Serializable snapshot: only non-empty buckets, as `(le_us, count)` pairs
+/// with cumulative-friendly upper bounds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_us: u64,
+    pub max_us: u64,
+    pub mean_us: f64,
+    /// `[upper_bound_us, count]` per occupied log2 bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Mutex::new(HistInner {
+                counts: [0; BUCKETS],
+                count: 0,
+                sum_us: 0,
+                max_us: 0,
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record_us(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        let mut h = self.inner.lock().unwrap();
+        h.counts[bucket] += 1;
+        h.count += 1;
+        h.sum_us += us;
+        h.max_us = h.max_us.max(us);
+    }
+
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = self.inner.lock().unwrap();
+        HistogramSnapshot {
+            count: h.count,
+            sum_us: h.sum_us,
+            max_us: h.max_us,
+            mean_us: if h.count == 0 {
+                0.0
+            } else {
+                h.sum_us as f64 / h.count as f64
+            },
+            buckets: h
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (1u64 << (i + 1), c))
+                .collect(),
+        }
+    }
+}
+
+/// Wall-clock-busy accounting for the worker pool.
+pub struct WorkerMetrics {
+    started: Instant,
+    workers: usize,
+    busy_us: AtomicU64,
+    busy_now: AtomicU64,
+    jobs_executed: AtomicU64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkerSnapshot {
+    pub count: usize,
+    /// Workers currently executing a job.
+    pub busy: u64,
+    pub jobs_executed: u64,
+    /// Busy-time fraction of total worker-uptime, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl WorkerMetrics {
+    pub fn new(workers: usize) -> WorkerMetrics {
+        WorkerMetrics {
+            started: Instant::now(),
+            workers,
+            busy_us: AtomicU64::new(0),
+            busy_now: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// RAII span covering one job execution.
+    pub fn busy_span(&self) -> BusySpan<'_> {
+        self.busy_now.fetch_add(1, Ordering::Relaxed);
+        BusySpan {
+            metrics: self,
+            started: Instant::now(),
+        }
+    }
+
+    pub fn snapshot(&self) -> WorkerSnapshot {
+        let uptime_us = self.started.elapsed().as_micros().max(1) as f64;
+        let busy_us = self.busy_us.load(Ordering::Relaxed) as f64;
+        WorkerSnapshot {
+            count: self.workers,
+            busy: self.busy_now.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            utilization: (busy_us / (uptime_us * self.workers.max(1) as f64)).min(1.0),
+        }
+    }
+}
+
+pub struct BusySpan<'a> {
+    metrics: &'a WorkerMetrics,
+    started: Instant,
+}
+
+impl Drop for BusySpan<'_> {
+    fn drop(&mut self) {
+        let us = self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics.busy_us.fetch_add(us, Ordering::Relaxed);
+        self.metrics.busy_now.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record_us(0); // clamped into bucket 0
+        h.record_us(1);
+        h.record_us(3);
+        h.record_us(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max_us, 1000);
+        // 0 and 1 land in [1,2), 3 in [2,4), 1000 in [512,1024)
+        assert_eq!(s.buckets, vec![(2, 2), (4, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn worker_utilization_tracks_busy_spans() {
+        let m = WorkerMetrics::new(2);
+        {
+            let _span = m.busy_span();
+            assert_eq!(m.snapshot().busy, 1);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.busy, 0);
+        assert_eq!(s.jobs_executed, 1);
+        assert!(s.utilization > 0.0 && s.utilization <= 1.0);
+    }
+}

@@ -1,0 +1,623 @@
+//! The daemon: TCP acceptor, worker pool, job registry, and HTTP routing.
+//!
+//! Lifecycle: `Server::start` binds the listener (port 0 picks an ephemeral
+//! port), spawns the acceptor and `workers` pipeline workers, and returns.
+//! `shutdown` stops accepting, waits for live connection handlers, closes
+//! the queue, and joins the workers — which drain every queued and
+//! in-flight job before exiting, so no accepted job is ever dropped.
+
+use crate::cache::{ArtifactCache, Lookup};
+use crate::http::{read_request, write_response, Request};
+use crate::job::AnalysisJob;
+use crate::metrics::{Histogram, WorkerMetrics};
+use crate::queue::JobQueue;
+use proof_models::ModelId;
+use serde_json::{Map, Value};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Daemon configuration (see `proof serve --help` for the CLI mapping).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Pipeline worker threads.
+    pub workers: usize,
+    /// Byte budget for memory-resident artifacts.
+    pub cache_budget_bytes: usize,
+    /// Optional persistent artifact store directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Bounded job-queue capacity; submissions beyond it get 503.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_budget_bytes: 64 << 20,
+            cache_dir: None,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+struct JobRecord {
+    spec: AnalysisJob,
+    key: String,
+    status: JobStatus,
+    group: Option<u64>,
+    /// Whether the artifact came from the cache (set when finished).
+    cache_hit: Option<bool>,
+    error: Option<String>,
+    artifact: Option<Arc<String>>,
+    submitted: Instant,
+    queue_wait_us: Option<u64>,
+    execute_us: Option<u64>,
+}
+
+impl JobRecord {
+    fn to_value(&self, id: u64) -> Value {
+        let mut m = Map::new();
+        m.insert("id".to_string(), Value::from(id));
+        m.insert("spec".to_string(), self.spec.to_value());
+        m.insert("key".to_string(), Value::from(self.key.as_str()));
+        m.insert("status".to_string(), Value::from(self.status.as_str()));
+        m.insert(
+            "group".to_string(),
+            self.group.map(Value::from).unwrap_or(Value::Null),
+        );
+        m.insert(
+            "cache_hit".to_string(),
+            self.cache_hit.map(Value::from).unwrap_or(Value::Null),
+        );
+        m.insert(
+            "error".to_string(),
+            self.error
+                .as_deref()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        );
+        m.insert(
+            "queue_wait_us".to_string(),
+            self.queue_wait_us.map(Value::from).unwrap_or(Value::Null),
+        );
+        m.insert(
+            "execute_us".to_string(),
+            self.execute_us.map(Value::from).unwrap_or(Value::Null),
+        );
+        Value::Object(m)
+    }
+}
+
+/// Tracks live connection-handler threads so shutdown can wait for them.
+#[derive(Default)]
+struct ConnGate {
+    count: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ConnGate {
+    fn enter(&self) {
+        *self.count.lock().unwrap() += 1;
+    }
+    fn exit(&self) {
+        let mut n = self.count.lock().unwrap();
+        *n -= 1;
+        if *n == 0 {
+            self.idle.notify_all();
+        }
+    }
+    fn wait_idle(&self) {
+        let mut n = self.count.lock().unwrap();
+        while *n > 0 {
+            n = self.idle.wait(n).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    queue: JobQueue<u64>,
+    registry: Mutex<HashMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+    next_group: AtomicU64,
+    cache: ArtifactCache,
+    worker_metrics: WorkerMetrics,
+    hist_queue_wait: Histogram,
+    hist_execute: Histogram,
+    hist_total: Histogram,
+    running: AtomicBool,
+    conns: ConnGate,
+}
+
+/// What a graceful shutdown drained: every accepted job must be accounted
+/// for as `done` or `failed`; `dropped` (still queued/running at exit) must
+/// be zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShutdownReport {
+    pub done: usize,
+    pub failed: usize,
+    pub dropped: usize,
+}
+
+/// A running proof-serve daemon.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            registry: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            next_group: AtomicU64::new(1),
+            cache: ArtifactCache::new(config.cache_budget_bytes, config.cache_dir.clone())?,
+            worker_metrics: WorkerMetrics::new(config.workers.max(1)),
+            hist_queue_wait: Histogram::default(),
+            hist_execute: Histogram::default(),
+            hist_total: Histogram::default(),
+            running: AtomicBool::new(true),
+            conns: ConnGate::default(),
+        });
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("proof-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("proof-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, listener))?
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: drains in-flight connections and every accepted
+    /// job before returning an accounting of the drain.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> ShutdownReport {
+        if !self.shared.running.swap(false, Ordering::SeqCst) {
+            return ShutdownReport::default();
+        }
+        // wake the blocking accept with a throwaway connection
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // let live request handlers finish (they may still enqueue)
+        self.shared.conns.wait_idle();
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let reg = self.shared.registry.lock().unwrap();
+        let count = |s: JobStatus| reg.values().filter(|r| r.status == s).count();
+        ShutdownReport {
+            done: count(JobStatus::Done),
+            failed: count(JobStatus::Failed),
+            dropped: count(JobStatus::Queued) + count(JobStatus::Running),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.conns.enter();
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("proof-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(&shared, stream);
+                shared.conns.exit();
+            });
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(id) = shared.queue.pop() {
+        execute_job(shared, id);
+    }
+}
+
+fn execute_job(shared: &Arc<Shared>, id: u64) {
+    let (spec, key, submitted) = {
+        let mut reg = shared.registry.lock().unwrap();
+        let rec = reg.get_mut(&id).expect("queued job has a record");
+        rec.status = JobStatus::Running;
+        let wait_us = rec.submitted.elapsed().as_micros() as u64;
+        rec.queue_wait_us = Some(wait_us);
+        shared.hist_queue_wait.record_us(wait_us);
+        (rec.spec, rec.key.clone(), rec.submitted)
+    };
+
+    let _busy = shared.worker_metrics.busy_span();
+    let exec_start = Instant::now();
+    // Single-flight: concurrent identical jobs wait here and then hit.
+    let outcome = match shared.cache.lookup_or_begin(&key) {
+        Lookup::Hit(artifact) => Ok((artifact, true)),
+        Lookup::Miss(guard) => match spec.execute() {
+            Ok(report) => Ok((guard.fulfill(report.to_json()), false)),
+            // dropping the guard lets a coalesced waiter retry the build
+            Err(e) => Err(e.to_string()),
+        },
+    };
+    let execute_us = exec_start.elapsed().as_micros() as u64;
+    shared.hist_execute.record_us(execute_us);
+    shared
+        .hist_total
+        .record_us(submitted.elapsed().as_micros() as u64);
+
+    let mut reg = shared.registry.lock().unwrap();
+    let rec = reg.get_mut(&id).expect("running job has a record");
+    rec.execute_us = Some(execute_us);
+    match outcome {
+        Ok((artifact, hit)) => {
+            rec.status = JobStatus::Done;
+            rec.cache_hit = Some(hit);
+            rec.artifact = Some(artifact);
+        }
+        Err(msg) => {
+            rec.status = JobStatus::Failed;
+            rec.error = Some(msg);
+        }
+    }
+}
+
+/// Register + enqueue one parsed job. Returns the job id.
+fn submit(shared: &Shared, spec: AnalysisJob, group: Option<u64>) -> Result<u64, &'static str> {
+    if !shared.running.load(Ordering::SeqCst) {
+        return Err("server is shutting down");
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let record = JobRecord {
+        spec,
+        key: spec.cache_key(),
+        status: JobStatus::Queued,
+        group,
+        cache_hit: None,
+        error: None,
+        artifact: None,
+        submitted: Instant::now(),
+        queue_wait_us: None,
+        execute_us: None,
+    };
+    shared.registry.lock().unwrap().insert(id, record);
+    if shared.queue.try_push(id).is_err() {
+        shared.registry.lock().unwrap().remove(&id);
+        return Err("job queue is full");
+    }
+    Ok(id)
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(Some(r)) => r,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = write_response(&mut stream, 400, &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let (status, body) = route(shared, &request);
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn error_body(msg: &str) -> String {
+    let mut m = Map::new();
+    m.insert("error".to_string(), Value::from(msg));
+    Value::Object(m).to_string()
+}
+
+fn route(shared: &Shared, req: &Request) -> (u16, String) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => post_job(shared, &req.body),
+        ("GET", ["jobs", id]) => get_job(shared, id),
+        ("GET", ["jobs", id, "report"]) => get_report(shared, id),
+        ("POST", ["sweep"]) => post_sweep(shared, &req.body),
+        ("GET", ["sweep", gid]) => get_sweep(shared, gid),
+        ("GET", ["metrics"]) => (200, metrics_body(shared)),
+        ("GET", ["models"]) => (200, models_body()),
+        ("GET", ["healthz"]) => (200, r#"{"status":"ok"}"#.to_string()),
+        ("GET" | "POST", _) => (404, error_body("no such endpoint")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn post_job(shared: &Shared, body: &str) -> (u16, String) {
+    let value: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+    };
+    let spec = match AnalysisJob::from_value(&value) {
+        Ok(s) => s,
+        Err(e) => return (400, error_body(&e)),
+    };
+    match submit(shared, spec, None) {
+        Ok(id) => {
+            let mut m = Map::new();
+            m.insert("id".to_string(), Value::from(id));
+            m.insert("key".to_string(), Value::from(spec.cache_key()));
+            m.insert("status".to_string(), Value::from("queued"));
+            (201, Value::Object(m).to_string())
+        }
+        Err(e) => (503, error_body(e)),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn get_job(shared: &Shared, id: &str) -> (u16, String) {
+    let Some(id) = parse_id(id) else {
+        return (400, error_body("job id must be an integer"));
+    };
+    let reg = shared.registry.lock().unwrap();
+    match reg.get(&id) {
+        Some(rec) => (200, rec.to_value(id).to_string()),
+        None => (404, error_body("no such job")),
+    }
+}
+
+fn get_report(shared: &Shared, id: &str) -> (u16, String) {
+    let Some(id) = parse_id(id) else {
+        return (400, error_body("job id must be an integer"));
+    };
+    let reg = shared.registry.lock().unwrap();
+    match reg.get(&id) {
+        None => (404, error_body("no such job")),
+        Some(rec) => match (rec.status, &rec.artifact) {
+            (JobStatus::Done, Some(artifact)) => (200, artifact.as_str().to_string()),
+            (JobStatus::Failed, _) => (
+                500,
+                error_body(rec.error.as_deref().unwrap_or("job failed")),
+            ),
+            _ => (409, error_body("job not finished yet")),
+        },
+    }
+}
+
+/// Expand a sweep request into its model × batch × dtype grid.
+fn sweep_grid(body: &Value) -> Result<Vec<Value>, String> {
+    let obj = body
+        .as_object()
+        .ok_or_else(|| "sweep spec must be a JSON object".to_string())?;
+    let scalar_or_list = |scalar: &str, list: &str| -> Result<Vec<Value>, String> {
+        if let Some(v) = obj.get(list) {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| format!("field '{list}' must be an array"))?;
+            if arr.is_empty() {
+                return Err(format!("field '{list}' must not be empty"));
+            }
+            Ok(arr.clone())
+        } else if let Some(v) = obj.get(scalar) {
+            Ok(vec![v.clone()])
+        } else {
+            Ok(vec![Value::Null])
+        }
+    };
+    let models = scalar_or_list("model", "models")?;
+    let batches = scalar_or_list("batch", "batches")?;
+    let dtypes = scalar_or_list("dtype", "dtypes")?;
+    if models.len() * batches.len() * dtypes.len() > 4096 {
+        return Err("sweep grid larger than 4096 points".to_string());
+    }
+    let mut base = Map::new();
+    for (k, v) in obj {
+        if !matches!(
+            k.as_str(),
+            "model" | "models" | "batch" | "batches" | "dtype" | "dtypes"
+        ) {
+            base.insert(k.clone(), v.clone());
+        }
+    }
+    let mut grid = Vec::new();
+    for model in &models {
+        for dtype in &dtypes {
+            for batch in &batches {
+                let mut point = base.clone();
+                for (key, v) in [("model", model), ("batch", batch), ("dtype", dtype)] {
+                    if !v.is_null() {
+                        point.insert(key.to_string(), v.clone());
+                    }
+                }
+                grid.push(Value::Object(point));
+            }
+        }
+    }
+    Ok(grid)
+}
+
+fn post_sweep(shared: &Shared, body: &str) -> (u16, String) {
+    let value: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+    };
+    let grid = match sweep_grid(&value) {
+        Ok(g) => g,
+        Err(e) => return (400, error_body(&e)),
+    };
+    // validate the whole grid before enqueueing anything
+    let mut specs = Vec::with_capacity(grid.len());
+    for point in &grid {
+        match AnalysisJob::from_value(point) {
+            Ok(s) => specs.push(s),
+            Err(e) => return (400, error_body(&e)),
+        }
+    }
+    if shared.queue.capacity() - shared.queue.depth() < specs.len() {
+        return (503, error_body("job queue cannot hold the whole sweep"));
+    }
+    let group = shared.next_group.fetch_add(1, Ordering::SeqCst);
+    let mut ids = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match submit(shared, spec, Some(group)) {
+            Ok(id) => ids.push(Value::from(id)),
+            Err(e) => return (503, error_body(e)),
+        }
+    }
+    let mut m = Map::new();
+    m.insert("group".to_string(), Value::from(group));
+    m.insert("submitted".to_string(), Value::from(ids.len()));
+    m.insert("jobs".to_string(), Value::Array(ids));
+    (201, Value::Object(m).to_string())
+}
+
+fn get_sweep(shared: &Shared, gid: &str) -> (u16, String) {
+    let Some(gid) = parse_id(gid) else {
+        return (400, error_body("sweep group id must be an integer"));
+    };
+    let reg = shared.registry.lock().unwrap();
+    let mut members: Vec<(u64, &JobRecord)> = reg
+        .iter()
+        .filter(|(_, r)| r.group == Some(gid))
+        .map(|(&id, r)| (id, r))
+        .collect();
+    if members.is_empty() {
+        return (404, error_body("no such sweep group"));
+    }
+    members.sort_by_key(|(id, _)| *id);
+    let count = |s: JobStatus| members.iter().filter(|(_, r)| r.status == s).count();
+    let mut m = Map::new();
+    m.insert("group".to_string(), Value::from(gid));
+    m.insert("total".to_string(), Value::from(members.len()));
+    m.insert("queued".to_string(), Value::from(count(JobStatus::Queued)));
+    m.insert(
+        "running".to_string(),
+        Value::from(count(JobStatus::Running)),
+    );
+    m.insert("done".to_string(), Value::from(count(JobStatus::Done)));
+    m.insert("failed".to_string(), Value::from(count(JobStatus::Failed)));
+    m.insert(
+        "jobs".to_string(),
+        Value::Array(members.iter().map(|(id, r)| r.to_value(*id)).collect()),
+    );
+    (200, Value::Object(m).to_string())
+}
+
+fn metrics_body(shared: &Shared) -> String {
+    let mut queue = Map::new();
+    queue.insert("depth".to_string(), Value::from(shared.queue.depth()));
+    queue.insert("capacity".to_string(), Value::from(shared.queue.capacity()));
+
+    let mut jobs = Map::new();
+    {
+        let reg = shared.registry.lock().unwrap();
+        let count = |s: JobStatus| reg.values().filter(|r| r.status == s).count();
+        jobs.insert("total".to_string(), Value::from(reg.len()));
+        jobs.insert("queued".to_string(), Value::from(count(JobStatus::Queued)));
+        jobs.insert(
+            "running".to_string(),
+            Value::from(count(JobStatus::Running)),
+        );
+        jobs.insert("done".to_string(), Value::from(count(JobStatus::Done)));
+        jobs.insert("failed".to_string(), Value::from(count(JobStatus::Failed)));
+    }
+
+    let mut latency = Map::new();
+    latency.insert(
+        "queue_wait_us".to_string(),
+        serde_json::to_value(&shared.hist_queue_wait.snapshot()),
+    );
+    latency.insert(
+        "execute_us".to_string(),
+        serde_json::to_value(&shared.hist_execute.snapshot()),
+    );
+    latency.insert(
+        "total_us".to_string(),
+        serde_json::to_value(&shared.hist_total.snapshot()),
+    );
+
+    let mut m = Map::new();
+    m.insert("queue".to_string(), Value::Object(queue));
+    m.insert("jobs".to_string(), Value::Object(jobs));
+    m.insert(
+        "workers".to_string(),
+        serde_json::to_value(&shared.worker_metrics.snapshot()),
+    );
+    m.insert(
+        "cache".to_string(),
+        serde_json::to_value(&shared.cache.stats()),
+    );
+    m.insert("latency".to_string(), Value::Object(latency));
+    Value::Object(m).to_string()
+}
+
+fn models_body() -> String {
+    let mut m = Map::new();
+    m.insert(
+        "models".to_string(),
+        Value::Array(
+            ModelId::ALL
+                .iter()
+                .map(|id| Value::from(id.slug()))
+                .collect(),
+        ),
+    );
+    Value::Object(m).to_string()
+}

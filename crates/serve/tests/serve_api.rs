@@ -1,0 +1,228 @@
+//! End-to-end tests against a live daemon on an ephemeral port.
+
+use proof_core::{profile_model, MetricMode};
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use proof_serve::http::{get, post};
+use proof_serve::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn boot(workers: usize) -> Server {
+    Server::start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn wait_status(addr: SocketAddr, id: u64, want: &str) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = get(addr, &format!("/jobs/{id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        if v["status"] == want {
+            return v;
+        }
+        assert_ne!(v["status"], "failed", "job {id} failed: {}", v["error"]);
+        assert!(Instant::now() < deadline, "timed out waiting for job {id}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let (status, reply) = post(addr, "/jobs", body).unwrap();
+    assert_eq!(status, 201, "{reply}");
+    let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+    v["id"].as_u64().unwrap()
+}
+
+/// The acceptance scenario: same ResNet-50 job twice (second is a cache
+/// hit), a 3-point batch sweep in one tracked group, report equality with a
+/// direct library call, and a zero-drop graceful shutdown.
+#[test]
+fn resnet50_roundtrip_with_cache_and_sweep() {
+    let server = boot(2);
+    let addr = server.addr();
+    let spec = r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batch":8,"dtype":"fp16","seed":42}"#;
+
+    // first submission simulates, second hits the artifact cache
+    let first = submit(addr, spec);
+    wait_status(addr, first, "done");
+    let second = submit(addr, spec);
+    let v = wait_status(addr, second, "done");
+    assert_eq!(v["cache_hit"], true);
+
+    let (status, metrics) = get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let m: serde_json::Value = serde_json::from_str(&metrics).unwrap();
+    assert_eq!(m["cache"]["misses"], 1u64);
+    assert!(m["cache"]["hits"].as_u64().unwrap() >= 1);
+    assert_eq!(m["jobs"]["done"], 2u64);
+    assert!(m["latency"]["execute_us"]["count"].as_u64().unwrap() >= 2);
+
+    // the served report is bit-for-bit the direct library-call result
+    let (status, served) = get(addr, &format!("/jobs/{first}/report")).unwrap();
+    assert_eq!(status, 200);
+    let direct = profile_model(
+        &ModelId::ResNet50.build(8),
+        &PlatformId::A100.spec(),
+        BackendFlavor::TrtLike,
+        &SessionConfig::new(DType::F16).with_seed(42),
+        MetricMode::Predicted,
+    )
+    .unwrap()
+    .to_json();
+    assert_eq!(served, direct);
+    // and both submissions served the identical artifact
+    let (_, served2) = get(addr, &format!("/jobs/{second}/report")).unwrap();
+    assert_eq!(served, served2);
+
+    // 3-point batch sweep tracked as one group
+    let (status, reply) = post(
+        addr,
+        "/sweep",
+        r#"{"model":"resnet-50","hardware":"a100","backend":"trt","batches":[1,2,4],"dtype":"fp16","seed":42}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{reply}");
+    let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+    assert_eq!(v["submitted"], 3u64);
+    let gid = v["group"].as_u64().unwrap();
+    let ids: Vec<u64> = v["jobs"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|j| j.as_u64().unwrap())
+        .collect();
+    for id in &ids {
+        wait_status(addr, *id, "done");
+    }
+    let (status, sweep) = get(addr, &format!("/sweep/{gid}")).unwrap();
+    assert_eq!(status, 200);
+    let s: serde_json::Value = serde_json::from_str(&sweep).unwrap();
+    assert_eq!(s["total"], 3u64);
+    assert_eq!(s["done"], 3u64);
+    // distinct batches → distinct cache keys → no aliasing inside the sweep
+    let keys: std::collections::BTreeSet<String> = s["jobs"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|j| j["key"].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(keys.len(), 3);
+
+    // graceful shutdown accounts for every accepted job
+    let drain = server.shutdown();
+    assert_eq!(drain.dropped, 0);
+    assert_eq!(drain.failed, 0);
+    assert_eq!(drain.done, 5);
+}
+
+/// N concurrent identical submissions cost exactly one simulation; the
+/// other N−1 jobs coalesce onto the in-flight build and report cache hits.
+#[test]
+fn concurrent_identical_jobs_simulate_once() {
+    const N: usize = 6;
+    let server = boot(3);
+    let addr = server.addr();
+    let spec = r#"{"model":"shufflenetv2-x0.5","hardware":"a100","batch":4,"seed":123}"#;
+
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| scope.spawn(move || submit(addr, spec)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut hits = 0;
+    for id in &ids {
+        let v = wait_status(addr, *id, "done");
+        if v["cache_hit"] == true {
+            hits += 1;
+        }
+    }
+    assert_eq!(hits, N - 1, "exactly one job may simulate");
+
+    let (_, metrics) = get(addr, "/metrics").unwrap();
+    let m: serde_json::Value = serde_json::from_str(&metrics).unwrap();
+    assert_eq!(m["cache"]["misses"], 1u64);
+    assert_eq!(m["cache"]["hits"], (N - 1) as u64);
+    server.shutdown();
+}
+
+/// Jobs that differ only in their simulation seed never alias.
+#[test]
+fn seed_is_part_of_the_job_identity() {
+    let server = boot(2);
+    let addr = server.addr();
+    let a = submit(
+        addr,
+        r#"{"model":"mobilenetv2-0.5","hardware":"a100","batch":2,"seed":1}"#,
+    );
+    let b = submit(
+        addr,
+        r#"{"model":"mobilenetv2-0.5","hardware":"a100","batch":2,"seed":2}"#,
+    );
+    let va = wait_status(addr, a, "done");
+    let vb = wait_status(addr, b, "done");
+    assert_ne!(va["key"], vb["key"].as_str().unwrap());
+    assert_eq!(vb["cache_hit"], false, "different seed must not hit");
+    // different measurement noise → different artifacts
+    let (_, ra) = get(addr, &format!("/jobs/{a}/report")).unwrap();
+    let (_, rb) = get(addr, &format!("/jobs/{b}/report")).unwrap();
+    assert_ne!(ra, rb);
+    server.shutdown();
+}
+
+/// Shutdown initiated while jobs are still queued drains all of them.
+#[test]
+fn shutdown_drains_queued_jobs() {
+    let server = boot(1);
+    let addr = server.addr();
+    let ids: Vec<u64> = (1..=4)
+        .map(|b| {
+            submit(
+                addr,
+                &format!(r#"{{"model":"shufflenetv2-x0.5","hardware":"a100","batch":{b}}}"#),
+            )
+        })
+        .collect();
+    assert_eq!(ids.len(), 4);
+    let drain = server.shutdown(); // no waiting: most jobs still queued
+    assert_eq!(drain.dropped, 0);
+    assert_eq!(drain.done + drain.failed, 4);
+    assert_eq!(drain.failed, 0);
+}
+
+#[test]
+fn api_error_paths() {
+    let server = boot(1);
+    let addr = server.addr();
+    let (status, _) = post(addr, "/jobs", "{not json").unwrap();
+    assert_eq!(status, 400);
+    let (status, body) = post(addr, "/jobs", r#"{"model":"nope","hardware":"a100"}"#).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown model"));
+    let (status, _) = get(addr, "/jobs/999").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/nope").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request_delete(addr).unwrap();
+    assert_eq!(status, 405);
+    // report of an unfinished job: queue a job on a busy server and ask
+    let id = submit(addr, r#"{"model":"resnet-50","hardware":"a100","batch":8}"#);
+    let (status, _) = get(addr, &format!("/jobs/{id}/report")).unwrap();
+    assert!(status == 409 || status == 200); // may already be done
+    let (status, body) = get(addr, "/models").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("resnet-50"));
+    server.shutdown();
+}
+
+fn request_delete(addr: SocketAddr) -> std::io::Result<(u16, String)> {
+    proof_serve::http::request(addr, "DELETE", "/jobs/1", None)
+}

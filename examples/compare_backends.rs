@@ -24,7 +24,11 @@ fn main() {
         platform.name
     );
 
-    for flavor in [BackendFlavor::TrtLike, BackendFlavor::OrtLike, BackendFlavor::OvLike] {
+    for flavor in [
+        BackendFlavor::TrtLike,
+        BackendFlavor::OrtLike,
+        BackendFlavor::OvLike,
+    ] {
         let compiled = compile(&g, flavor, &platform, &cfg).expect("compile");
         let profile = compiled.builtin_profile();
 
@@ -60,7 +64,10 @@ fn main() {
             100.0 * mapping.coverage(),
             compiled.end_to_end_latency_ms(),
         );
-        if let Some(example) = profile.iter().find(|l| matches!(l.hint, LayerHint::OpaqueIo { .. })) {
+        if let Some(example) = profile
+            .iter()
+            .find(|l| matches!(l.hint, LayerHint::OpaqueIo { .. }))
+        {
             let gid = mapping
                 .layers
                 .iter()

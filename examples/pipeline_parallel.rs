@@ -18,15 +18,24 @@ fn main() {
     let a100 = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
 
-    let single = profile_model(&g, &a100, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
-        .expect("single-device profile");
+    let single = profile_model(
+        &g,
+        &a100,
+        BackendFlavor::TrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .expect("single-device profile");
     println!(
         "single A100: {:.1} ms/step ({:.1} TFLOP/s)\n",
         single.total_latency_ms,
         single.achieved_gflops() / 1e3
     );
 
-    for (name, link) in [("NVLink", Interconnect::nvlink()), ("PCIe 4.0", Interconnect::pcie4())] {
+    for (name, link) in [
+        ("NVLink", Interconnect::nvlink()),
+        ("PCIe 4.0", Interconnect::pcie4()),
+    ] {
         let pipe = profile_pipeline(
             &g,
             &[a100.clone(), a100.clone()],

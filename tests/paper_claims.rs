@@ -31,7 +31,12 @@ fn table3_gflop_within_five_percent_of_paper() {
         let t3 = model.table3();
         let gflop = AnalyzeRepr::new(&model.build(1), DType::F32).gflops();
         let diff = (gflop - t3.paper_gflop).abs() / t3.paper_gflop;
-        assert!(diff < 0.05, "{}: {gflop:.3} vs paper {:.3}", t3.name, t3.paper_gflop);
+        assert!(
+            diff < 0.05,
+            "{}: {gflop:.3} vs paper {:.3}",
+            t3.name,
+            t3.paper_gflop
+        );
     }
 }
 
@@ -43,7 +48,12 @@ fn table3_params_within_twelve_percent_of_paper() {
         let diff = (params_m - t3.paper_params_m).abs() / t3.paper_params_m;
         // EfficientNetV2-S is the outlier (paper 23.9 M vs the reference
         // implementation's 21.5 M — see EXPERIMENTS.md)
-        assert!(diff < 0.12, "{}: {params_m:.2} vs paper {:.2}", t3.name, t3.paper_params_m);
+        assert!(
+            diff < 0.12,
+            "{}: {params_m:.2} vs paper {:.2}",
+            t3.name,
+            t3.paper_params_m
+        );
     }
 }
 
@@ -56,17 +66,46 @@ fn table4_prediction_diff_signs_match_paper() {
     // analytical FLOP below Hardware FLOP for the conv nets (padding and
     // depthwise overheads), with MobileNet the worst — paper ordering
     let mut diffs = Vec::new();
-    for model in [ModelId::ResNet50, ModelId::MobileNetV2x10, ModelId::SwinSmall] {
+    for model in [
+        ModelId::ResNet50,
+        ModelId::MobileNetV2x10,
+        ModelId::SwinSmall,
+    ] {
         let g = model.build(32);
-        let p = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
-        let m = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
+        let p = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Predicted,
+        )
+        .unwrap();
+        let m = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Measured,
+        )
+        .unwrap();
         let d = p.total_flops as f64 / m.total_flops as f64 - 1.0;
         assert!(d < 0.0, "{model:?}: analytical above measured ({d})");
         diffs.push((model, d));
     }
-    let mobilenet = diffs.iter().find(|(m, _)| *m == ModelId::MobileNetV2x10).unwrap().1;
-    let resnet = diffs.iter().find(|(m, _)| *m == ModelId::ResNet50).unwrap().1;
-    assert!(mobilenet < resnet, "MobileNet must show the larger gap (paper: −24% vs −2%)");
+    let mobilenet = diffs
+        .iter()
+        .find(|(m, _)| *m == ModelId::MobileNetV2x10)
+        .unwrap()
+        .1;
+    let resnet = diffs
+        .iter()
+        .find(|(m, _)| *m == ModelId::ResNet50)
+        .unwrap()
+        .1;
+    assert!(
+        mobilenet < resnet,
+        "MobileNet must show the larger gap (paper: −24% vs −2%)"
+    );
     assert!(mobilenet < -0.15 && mobilenet > -0.35);
     assert!(resnet > -0.08);
 }
@@ -76,9 +115,26 @@ fn table4_profiling_overhead_is_orders_of_magnitude_above_analysis() {
     let platform = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
     let g = ModelId::ResNet50.build(32);
-    let p = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
-    let m = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
-    assert!(m.metric_collection_s > 100.0, "counter replay takes minutes");
+    let p = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::TrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .unwrap();
+    let m = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::TrtLike,
+        &cfg,
+        MetricMode::Measured,
+    )
+    .unwrap();
+    assert!(
+        m.metric_collection_s > 100.0,
+        "counter replay takes minutes"
+    );
     assert!(p.metric_collection_s < 2.0, "analysis takes (sub)seconds");
 }
 
@@ -142,7 +198,10 @@ fn table6_power_matches_paper_within_a_watt() {
         (510, 665, 11.5),
     ] {
         let w = power.power_w(&ClockConfig::new(gpu, mem), 1.0, 1.0);
-        assert!((w - paper_w).abs() < 1.0, "({gpu},{mem}): {w:.1} vs {paper_w}");
+        assert!(
+            (w - paper_w).abs() < 1.0,
+            "({gpu},{mem}): {w:.1} vs {paper_w}"
+        );
     }
 }
 
@@ -225,7 +284,10 @@ fn fig4_most_models_stay_under_half_peak_on_a100() {
         }
     }
     assert!(above_half >= 1, "some model exceeds half peak");
-    assert!(above_half <= total / 2, "only a small number exceed half peak");
+    assert!(
+        above_half <= total / 2,
+        "only a small number exceed half peak"
+    );
 }
 
 #[test]
@@ -238,10 +300,16 @@ fn npu_runs_only_a_small_portion_of_models_far_from_peak() {
         if let Ok(r) = profile_model(&g, &npu, BackendFlavor::OvLike, &cfg, MetricMode::Predicted) {
             ok += 1;
             // "performance significantly deviated from its theoretical value"
-            assert!(r.achieved_gflops() < 0.4 * npu.peak_flops(DType::F16, true) / 1e9, "{model:?}");
+            assert!(
+                r.achieved_gflops() < 0.4 * npu.peak_flops(DType::F16, true) / 1e9,
+                "{model:?}"
+            );
         }
     }
-    assert!(ok >= 4 && ok <= 10, "only a small portion compiles: {ok}");
+    assert!(
+        (4..=10).contains(&ok),
+        "only a small portion compiles: {ok}"
+    );
 }
 
 #[test]

@@ -27,8 +27,18 @@ fn profile(
 #[test]
 fn every_zoo_model_profiles_on_a100_predicted() {
     for model in ModelId::ALL {
-        let batch = if model == ModelId::StableDiffusionUnet { 1 } else { 4 };
-        let r = profile(model, batch, PlatformId::A100, BackendFlavor::TrtLike, MetricMode::Predicted);
+        let batch = if model == ModelId::StableDiffusionUnet {
+            1
+        } else {
+            4
+        };
+        let r = profile(
+            model,
+            batch,
+            PlatformId::A100,
+            BackendFlavor::TrtLike,
+            MetricMode::Predicted,
+        );
         assert_eq!(r.unresolved_layers, 0, "{model:?}");
         assert!(r.total_latency_ms > 0.0, "{model:?}");
         assert!(r.total_flops > 0, "{model:?}");
@@ -67,7 +77,11 @@ fn mapping_matches_runtime_truth_for_all_flavors_and_several_models() {
             &compiled.builtin_profile(),
             flavor,
         );
-        assert!(mapping.unresolved.is_empty(), "{model:?}/{flavor:?}: {:?}", mapping.unresolved);
+        assert!(
+            mapping.unresolved.is_empty(),
+            "{model:?}/{flavor:?}: {:?}",
+            mapping.unresolved
+        );
         assert!(
             mapping.coverage() > 0.99,
             "{model:?}/{flavor:?}: coverage {}",
@@ -117,12 +131,32 @@ fn predicted_and_measured_agree_within_table4_bands() {
     let cfg = SessionConfig::new(DType::F16);
     for model in [ModelId::ResNet50, ModelId::MobileNetV2x10, ModelId::ViTTiny] {
         let g = model.build(16);
-        let pred = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted).unwrap();
-        let meas = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured).unwrap();
+        let pred = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Predicted,
+        )
+        .unwrap();
+        let meas = profile_model(
+            &g,
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Measured,
+        )
+        .unwrap();
         let flop_ratio = pred.total_flops as f64 / meas.total_flops as f64;
         let mem_ratio = pred.total_memory_bytes as f64 / meas.total_memory_bytes as f64;
-        assert!((0.7..1.15).contains(&flop_ratio), "{model:?} flop ratio {flop_ratio}");
-        assert!((0.85..1.1).contains(&mem_ratio), "{model:?} mem ratio {mem_ratio}");
+        assert!(
+            (0.7..1.15).contains(&flop_ratio),
+            "{model:?} flop ratio {flop_ratio}"
+        );
+        assert!(
+            (0.85..1.1).contains(&mem_ratio),
+            "{model:?} mem ratio {mem_ratio}"
+        );
     }
 }
 
@@ -133,8 +167,22 @@ fn model_json_roundtrips_through_the_full_pipeline() {
     assert_eq!(g, restored);
     let platform = PlatformId::Xeon6330.spec();
     let cfg = SessionConfig::new(DType::F32);
-    let a = profile_model(&g, &platform, BackendFlavor::OrtLike, &cfg, MetricMode::Predicted).unwrap();
-    let b = profile_model(&restored, &platform, BackendFlavor::OrtLike, &cfg, MetricMode::Predicted).unwrap();
+    let a = profile_model(
+        &g,
+        &platform,
+        BackendFlavor::OrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .unwrap();
+    let b = profile_model(
+        &restored,
+        &platform,
+        BackendFlavor::OrtLike,
+        &cfg,
+        MetricMode::Predicted,
+    )
+    .unwrap();
     assert_eq!(a.total_flops, b.total_flops);
     assert_eq!(a.total_latency_ms, b.total_latency_ms);
 }
@@ -146,7 +194,9 @@ fn fusion_reduces_backend_layer_count_and_latency() {
     let cfg = SessionConfig::new(DType::F16);
     let trt = compile(&g, BackendFlavor::TrtLike, &platform, &cfg).unwrap();
     let ov = compile(&g, BackendFlavor::OvLike, &platform, &cfg).unwrap();
-    let count = |m: &proof::runtime::CompiledModel| m.layers.iter().filter(|l| !l.kernels.is_empty()).count();
+    let count = |m: &proof::runtime::CompiledModel| {
+        m.layers.iter().filter(|l| !l.kernels.is_empty()).count()
+    };
     assert!(count(&trt) <= count(&ov));
     assert!(trt.end_to_end_latency_ms() <= ov.end_to_end_latency_ms() * 1.01);
 }
@@ -156,7 +206,11 @@ fn svg_renders_for_every_flavor() {
     let g = ModelId::ShuffleNetV2x05.build(4);
     let platform = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
-    for flavor in [BackendFlavor::TrtLike, BackendFlavor::OrtLike, BackendFlavor::OvLike] {
+    for flavor in [
+        BackendFlavor::TrtLike,
+        BackendFlavor::OrtLike,
+        BackendFlavor::OvLike,
+    ] {
         let r = profile_model(&g, &platform, flavor, &cfg, MetricMode::Predicted).unwrap();
         let svg = render_roofline_svg(&r.layerwise_chart("t"), &SvgOptions::default());
         assert!(svg.contains("</svg>"), "{flavor:?}");
@@ -165,7 +219,13 @@ fn svg_renders_for_every_flavor() {
 
 #[test]
 fn cpu_platforms_run_fp32_without_tensor_core_artifacts() {
-    let r = profile(ModelId::ResNet34, 8, PlatformId::Xeon6330, BackendFlavor::OrtLike, MetricMode::Predicted);
+    let r = profile(
+        ModelId::ResNet34,
+        8,
+        PlatformId::Xeon6330,
+        BackendFlavor::OrtLike,
+        MetricMode::Predicted,
+    );
     // achieved must stay below the CPU's vector fp32 peak
     assert!(r.achieved_gflops() < PlatformId::Xeon6330.spec().peak_flops(DType::F32, false) / 1e9);
     assert!(r.achieved_gflops() > 0.0);

@@ -11,7 +11,12 @@ use proptest::prelude::*;
 /// One randomly chosen layer in a generated chain model.
 #[derive(Debug, Clone)]
 enum LayerSpec {
-    Conv { cout_mult: u64, kernel: u64, stride: u64, depthwise: bool },
+    Conv {
+        cout_mult: u64,
+        kernel: u64,
+        stride: u64,
+        depthwise: bool,
+    },
     Relu,
     Silu,
     Clip,
@@ -25,14 +30,18 @@ enum LayerSpec {
 
 fn layer_strategy() -> impl Strategy<Value = LayerSpec> {
     prop_oneof![
-        (1u64..=2, prop_oneof![Just(1u64), Just(3u64)], 1u64..=2, any::<bool>()).prop_map(
-            |(cout_mult, kernel, stride, depthwise)| LayerSpec::Conv {
+        (
+            1u64..=2,
+            prop_oneof![Just(1u64), Just(3u64)],
+            1u64..=2,
+            any::<bool>()
+        )
+            .prop_map(|(cout_mult, kernel, stride, depthwise)| LayerSpec::Conv {
                 cout_mult,
                 kernel,
                 stride,
                 depthwise
-            }
-        ),
+            }),
         Just(LayerSpec::Relu),
         Just(LayerSpec::Silu),
         Just(LayerSpec::Clip),
@@ -55,7 +64,12 @@ fn build_model(batch: u64, channels: u64, specs: &[LayerSpec]) -> Graph {
         let c = b.channels(y);
         let h = b.shape(y).dims()[2];
         match spec {
-            LayerSpec::Conv { cout_mult, kernel, stride, depthwise } => {
+            LayerSpec::Conv {
+                cout_mult,
+                kernel,
+                stride,
+                depthwise,
+            } => {
                 if h < *stride * 2 || (*kernel == 3 && h < 3) {
                     continue;
                 }
@@ -89,12 +103,12 @@ fn build_model(batch: u64, channels: u64, specs: &[LayerSpec]) -> Graph {
                 }
             }
             LayerSpec::ShuffleLike => {
-                if c % 2 == 0 {
+                if c.is_multiple_of(2) {
                     y = proof::models::blocks::channel_shuffle(&mut b, &format!("shuf{i}"), y, 2);
                 }
             }
             LayerSpec::SplitConcat => {
-                if c % 2 == 0 {
+                if c.is_multiple_of(2) {
                     let (l, r) = b.split2(&format!("split{i}"), y, 1);
                     y = b.concat(&format!("cat{i}"), &[l, r], 1);
                 }

@@ -1,0 +1,192 @@
+//! Offline stand-in for the small `rayon` surface this workspace uses:
+//! `slice.par_iter().filter(..).map(..).collect()/sum()/for_each()`.
+//!
+//! Unlike rayon's work-stealing pool, this implementation partitions the
+//! input slice into contiguous chunks and runs one scoped `std::thread` per
+//! chunk (bounded by `std::thread::available_parallelism`), preserving input
+//! order in collected output. On a single-core host it degrades to the
+//! sequential path with no thread overhead.
+
+pub mod prelude {
+    pub use crate::{FromParallel, IntoParallelRefIterator, ParIter};
+}
+
+use std::marker::PhantomData;
+
+/// `.par_iter()` entry point for slices and anything deref-ing to one.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    #[allow(clippy::type_complexity)]
+    fn par_iter(
+        &'a self,
+    ) -> ParIter<'a, Self::Item, &'a Self::Item, fn(&'a Self::Item) -> Option<&'a Self::Item>>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T, &'a T, fn(&'a T) -> Option<&'a T>> {
+        ParIter {
+            data: self,
+            f: Some,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T, &'a T, fn(&'a T) -> Option<&'a T>> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A lazy element-wise pipeline over a slice: each source element maps to
+/// `Option<I>` (`None` = filtered out).
+pub struct ParIter<'a, T, I, F> {
+    data: &'a [T],
+    f: F,
+    _marker: PhantomData<fn() -> I>,
+}
+
+impl<'a, T, I, F> ParIter<'a, T, I, F>
+where
+    T: Sync,
+    I: Send,
+    F: Fn(&'a T) -> Option<I> + Sync,
+{
+    pub fn map<O: Send>(
+        self,
+        g: impl Fn(I) -> O + Sync,
+    ) -> ParIter<'a, T, O, impl Fn(&'a T) -> Option<O> + Sync> {
+        let f = self.f;
+        ParIter {
+            data: self.data,
+            f: move |t| f(t).map(&g),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn filter(
+        self,
+        pred: impl Fn(&I) -> bool + Sync,
+    ) -> ParIter<'a, T, I, impl Fn(&'a T) -> Option<I> + Sync> {
+        let f = self.f;
+        ParIter {
+            data: self.data,
+            f: move |t| f(t).filter(|i| pred(i)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Evaluate the pipeline, preserving input order.
+    fn run(self) -> Vec<I> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.data.len().max(1));
+        if threads <= 1 || self.data.len() <= 1 {
+            return self.data.iter().filter_map(&self.f).collect();
+        }
+        let chunk = self.data.len().div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<I>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .data
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().filter_map(f).collect::<Vec<I>>()))
+                .collect();
+            chunks = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    pub fn collect<C: FromParallel<I>>(self) -> C {
+        C::from_parallel(self.run())
+    }
+
+    pub fn for_each(self, g: impl Fn(I) + Sync) {
+        for item in self.run() {
+            g(item);
+        }
+    }
+
+    pub fn count(self) -> usize {
+        self.run().len()
+    }
+
+    pub fn sum<S: std::iter::Sum<I>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    pub fn reduce(self, identity: impl Fn() -> I, op: impl Fn(I, I) -> I + Sync) -> I {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Collect targets for [`ParIter::collect`] (mirrors rayon's
+/// `FromParallelIterator` for the shapes used here).
+pub trait FromParallel<I>: Sized {
+    fn from_parallel(items: Vec<I>) -> Self;
+}
+
+impl<I> FromParallel<I> for Vec<I> {
+    fn from_parallel(items: Vec<I>) -> Self {
+        items
+    }
+}
+
+impl<X, E> FromParallel<Result<X, E>> for Result<Vec<X>, E> {
+    fn from_parallel(items: Vec<Result<X, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<I> FromParallel<I> for String
+where
+    String: FromIterator<I>,
+{
+    fn from_parallel(items: Vec<I>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_filter_collect_preserves_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = data
+            .par_iter()
+            .filter(|&&x| x % 2 == 0)
+            .map(|&x| x * 3)
+            .collect();
+        let expect: Vec<u64> = (0..1000).filter(|x| x % 2 == 0).map(|x| x * 3).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let data = vec![1u64, 2, 3];
+        let out: Result<Vec<u64>, String> = data
+            .par_iter()
+            .map(|&x| {
+                if x == 2 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let data: Vec<u64> = (1..=100).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+    }
+}

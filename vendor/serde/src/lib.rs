@@ -1,0 +1,28 @@
+//! Offline API-compatible stand-in for [serde](https://serde.rs).
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the small serde surface it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums (no field attributes), driven
+//! through a JSON-like [`Value`] data model instead of serde's
+//! serializer/deserializer visitors. `serde_json` (also vendored) layers
+//! text parsing and printing on top of [`Value`].
+//!
+//! Semantics mirror serde + serde_json defaults where they matter:
+//! - struct -> JSON object keyed by field name (BTreeMap, so key order is
+//!   sorted and deterministic, matching serde_json's default `Map`),
+//! - newtype struct -> the inner value, transparently,
+//! - unit enum variant -> `"VariantName"`,
+//! - data-carrying variant -> `{"VariantName": <payload>}` (externally
+//!   tagged),
+//! - `Option::None` -> `null`, non-finite floats -> `null`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{DeError, Deserialize};
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+// Derive macros; same names as the traits, in the macro namespace.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — no `syn`/`quote` (unavailable offline), just
+//! direct `proc_macro::TokenStream` walking plus string codegen:
+//!
+//! - structs with named fields          -> JSON objects
+//! - newtype / tuple structs            -> inner value / JSON array
+//! - unit structs                       -> `null`
+//! - enums: unit variants               -> `"Variant"`
+//! - enums: newtype/tuple/struct variants -> `{"Variant": ...}` (externally
+//!   tagged, matching real serde's default representation)
+//!
+//! Generics and `#[serde(...)]` field attributes are intentionally
+//! unsupported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed skeleton of the type being derived.
+enum Shape {
+    Unit,
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Preamble: outer attributes and visibility before `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional restriction: pub(crate), pub(in ...)
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                i += 1;
+                break id.to_string();
+            }
+            Some(tt) => return Err(format!("unexpected token `{tt}` before struct/enum")),
+            None => return Err("no struct/enum found".to_string()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".to_string()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    if kind == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err(format!("enum `{name}` has no brace body")),
+        };
+        return Ok((name, Shape::Enum(parse_variants(body)?)));
+    }
+
+    match tokens.get(i) {
+        // `struct Name;`
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+        // `struct Name(T, U);`
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            Ok((name, Shape::Tuple(n)))
+        }
+        // `struct Name { .. }`
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+        }
+        other => Err(format!("unexpected struct body for `{name}`: {other:?}")),
+    }
+}
+
+/// Count comma-separated items at angle-bracket depth 0.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+/// Extract field names from a named-field body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        // attributes
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        // visibility
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let fname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{fname}`, got {other:?}")),
+        }
+        // skip the type: consume until a comma at angle depth 0
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let vname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // skip an optional `= discriminant` and the trailing comma
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut s = String::from("{ let mut m = ::serde::value::new_object();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::value::tagged({vn:?}, ::serde::Serialize::to_value(x0)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::tagged({vn:?}, ::serde::Value::Array(vec![{}])),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inner = String::from(
+                            "{ let mut m = ::serde::value::new_object();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.insert({f:?}.to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::value::tagged({vn:?}, {inner}),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "if v.is_null() {{ Ok({name}) }} else {{ \
+             Err(::serde::DeError::custom(\"expected null for unit struct {name}\")) }}"
+        ),
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "{{ let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{ return Err(::serde::DeError::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", arr.len()))); }}\n\
+                 Ok({name}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(obj, {f:?})?"))
+                .collect();
+            format!(
+                "{{ let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(format!(\"expected object for {name}, got {{v}}\")))?;\n\
+                 Ok({name} {{ {items} }}) }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array for variant {vn}\"))?;\n\
+                             if arr.len() != {n} {{ return Err(::serde::DeError::custom(\
+                             \"wrong tuple arity for variant {vn}\")); }}\n\
+                             Ok({name}::{vn}({items})) }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de::field(obj, {f:?})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for variant {vn}\"))?;\n\
+                             Ok({name}::{vn} {{ {items} }}) }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().unwrap();\n\
+                 #[allow(unused_variables)] let inner = inner;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"expected {name} variant, got {{other}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
