@@ -19,4 +19,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> proof profile --trace smoke test"
+# capture first: grep -q on a pipe would close it early and break the CLI
+trace_out="$(./target/release/proof profile --model mobilenetv2-0.5 --platform a100 --batch 1 --trace)"
+grep -q "builtin_profile" <<<"$trace_out"
+
 echo "CI OK"

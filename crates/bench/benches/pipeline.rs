@@ -1,11 +1,12 @@
 //! Criterion benches over the full PRoof pipeline stages: backend fusion,
 //! compilation, layer mapping, end-to-end profiling (predicted and
-//! measured) and SVG rendering.
+//! measured), the individual staged-pipeline stages, and SVG rendering.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use proof_core::{
-    map_layers, profile_model, render_roofline_svg, AnalyzeRepr, MetricMode, OptimizedRepr,
-    SvgOptions,
+    map_layers, prepare_stages, profile_model, render_roofline_svg, run_metric_stages,
+    stage_assemble, stage_builtin_profile, stage_map, stage_metrics, AnalyzeRepr, MetricMode,
+    OptimizedRepr, SvgOptions,
 };
 use proof_hw::PlatformId;
 use proof_ir::DType;
@@ -83,6 +84,65 @@ fn bench_full_profile(c: &mut Criterion) {
     });
 }
 
+/// Per-stage costs of the staged pipeline on pre-built upstream artifacts,
+/// plus the marginal cost of a second mode off a cached prefix.
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    let g = ModelId::ResNet50.build(8);
+    let prep = prepare_stages(&g, &platform, BackendFlavor::TrtLike, &cfg).unwrap();
+    let compiled = &prep.compiled;
+    let profile = &prep.profile;
+    let mapping = &prep.mapping;
+
+    c.bench_function("stage/builtin_profile_resnet50", |b| {
+        b.iter(|| black_box(stage_builtin_profile(black_box(compiled))))
+    });
+    c.bench_function("stage/map_resnet50", |b| {
+        b.iter(|| {
+            black_box(stage_map(
+                &g,
+                black_box(profile),
+                BackendFlavor::TrtLike,
+                &cfg,
+            ))
+        })
+    });
+    c.bench_function("stage/metrics_resnet50_predicted", |b| {
+        b.iter(|| {
+            black_box(stage_metrics(
+                black_box(compiled),
+                black_box(mapping),
+                MetricMode::Predicted,
+            ))
+        })
+    });
+    c.bench_function("stage/metrics_resnet50_measured", |b| {
+        b.iter(|| {
+            black_box(stage_metrics(
+                black_box(compiled),
+                black_box(mapping),
+                MetricMode::Measured,
+            ))
+        })
+    });
+    let metrics = stage_metrics(compiled, mapping, MetricMode::Predicted);
+    c.bench_function("stage/assemble_resnet50", |b| {
+        b.iter(|| {
+            black_box(stage_assemble(
+                black_box(compiled),
+                black_box(profile),
+                black_box(mapping),
+                black_box(&metrics),
+            ))
+        })
+    });
+    // the stage-cache fast path: everything after a prefix hit
+    c.bench_function("stage/metric_suffix_resnet50_predicted", |b| {
+        b.iter(|| black_box(run_metric_stages(black_box(&prep), MetricMode::Predicted)))
+    });
+}
+
 fn bench_svg(c: &mut Criterion) {
     let platform = PlatformId::A100.spec();
     let cfg = SessionConfig::new(DType::F16);
@@ -109,6 +169,6 @@ fn bench_svg(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_fusion, bench_compile, bench_mapping, bench_full_profile, bench_svg
+    targets = bench_fusion, bench_compile, bench_mapping, bench_full_profile, bench_pipeline_stages, bench_svg
 }
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Extension experiment: batch-size sweeps on the A100 for the ShuffleNet
 //! pair — justifying the paper's choice of bs=2048 as "the batch size
-//! [that] reached maximum throughput for both models" (Table 5), and
+//! \[that\] reached maximum throughput for both models" (Table 5), and
 //! showing where the throughput knee sits for latency-sensitive serving.
 
 use proof_bench::save_artifact;

@@ -4,7 +4,7 @@
 //! the huge SD-free subset stays as in the paper).
 
 use proof_bench::{fmt_pct, pct_diff, save_artifact};
-use proof_core::{profile_model, MetricMode};
+use proof_core::profile_both_modes;
 use proof_hw::PlatformId;
 use proof_ir::DType;
 use proof_models::ModelId;
@@ -81,17 +81,18 @@ fn main() {
         "dMem"
     );
 
-    let rows: Vec<String> = paper_rows()
+    // One staged-pipeline run per model: the compile/profile/map prefix is
+    // shared and only the metric stages differ between the two modes.
+    let rows: Vec<(String, String)> = paper_rows()
         .par_iter()
         .map(|row| {
             let g = row.model.build(128);
-            let pred = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Predicted)
-                .expect("predicted profile");
-            let meas = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, MetricMode::Measured)
-                .expect("measured profile");
+            let (pred, meas) =
+                profile_both_modes(&g, &platform, BackendFlavor::TrtLike, &cfg)
+                    .expect("profile both modes");
             let (pg, pm) = (pred.total_flops as f64 / 1e9, pred.total_memory_bytes as f64 / 1e6);
             let (mg, mm) = (meas.total_flops as f64 / 1e9, meas.total_memory_bytes as f64 / 1e6);
-            format!(
+            let line = format!(
                 "{:<18} {:>8.3} {:>6} | {:>10.1} {:>12.1} | {:>10.1} {:>12.1} {:>9.0} | {:>9} {:>8} | paper {} / {}",
                 row.model.table3().name,
                 pred.total_latency_ms,
@@ -105,47 +106,30 @@ fn main() {
                 fmt_pct(pct_diff(pm, mm)),
                 fmt_pct(pct_diff(row.gflop.0, row.gflop.1)),
                 fmt_pct(pct_diff(row.mem_mb.0, row.mem_mb.1)),
-            )
+            );
+            let csv_line = format!(
+                "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.2},{:.2}\n",
+                row.model.slug(),
+                pred.total_latency_ms,
+                pg,
+                pm,
+                mg,
+                mm,
+                meas.metric_collection_s,
+                pct_diff(pred.total_flops as f64, meas.total_flops as f64),
+                pct_diff(
+                    pred.total_memory_bytes as f64,
+                    meas.total_memory_bytes as f64
+                ),
+            );
+            (line, csv_line)
         })
         .collect();
 
     let mut csv = String::from("model,latency_ms,pred_gflop,pred_mem_mb,ncu_gflop,ncu_mem_mb,prof_time_s,flop_diff_pct,mem_diff_pct\n");
-    for line in &rows {
+    for (line, csv_line) in &rows {
         println!("{line}");
-    }
-    for row in paper_rows() {
-        let g = row.model.build(128);
-        let pred = profile_model(
-            &g,
-            &platform,
-            BackendFlavor::TrtLike,
-            &cfg,
-            MetricMode::Predicted,
-        )
-        .unwrap();
-        let meas = profile_model(
-            &g,
-            &platform,
-            BackendFlavor::TrtLike,
-            &cfg,
-            MetricMode::Measured,
-        )
-        .unwrap();
-        csv.push_str(&format!(
-            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.2},{:.2}\n",
-            row.model.slug(),
-            pred.total_latency_ms,
-            pred.total_flops as f64 / 1e9,
-            pred.total_memory_bytes as f64 / 1e6,
-            meas.total_flops as f64 / 1e9,
-            meas.total_memory_bytes as f64 / 1e6,
-            meas.metric_collection_s,
-            pct_diff(pred.total_flops as f64, meas.total_flops as f64),
-            pct_diff(
-                pred.total_memory_bytes as f64,
-                meas.total_memory_bytes as f64
-            ),
-        ));
+        csv.push_str(csv_line);
     }
     save_artifact("table4.csv", &csv);
     println!("\n(negative dFLOP = analytical below measured Hardware FLOP, as in the paper)");

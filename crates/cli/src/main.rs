@@ -27,14 +27,18 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--svg FILE] [--csv FILE] [--json FILE] [--html FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N]\n\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
     std::process::exit(2)
 }
 
-/// Parse `--key value` pairs after the subcommand.
+/// Flags that take no value; their presence maps to `"true"`.
+const BOOLEAN_FLAGS: &[&str] = &["trace"];
+
+/// Parse `--key value` pairs (and valueless boolean flags) after the
+/// subcommand.
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -43,6 +47,11 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument: {}", args[i]);
             usage();
         };
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             eprintln!("--{key} needs a value");
             usage();
@@ -197,6 +206,9 @@ fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
         .map(|v| v.parse().expect("top"))
         .unwrap_or(15);
     println!("{}", profile_summary(&report, top));
+    if flags.contains_key("trace") {
+        println!("\n{}", report.trace.summary());
+    }
     let chart = report.layerwise_chart(&format!(
         "{} on {} ({}, bs={batch})",
         report.model, report.platform, report.precision
@@ -335,6 +347,9 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     if let Some(cap) = flags.get("queue-cap") {
         config.queue_capacity = cap.parse().expect("queue-cap");
     }
+    if let Some(cap) = flags.get("stage-cache-cap") {
+        config.stage_cache_capacity = cap.parse().expect("stage-cache-cap");
+    }
     let workers = config.workers;
     let server = match proof_serve::Server::start(config) {
         Ok(s) => s,
@@ -381,6 +396,17 @@ mod tests {
         let f = parse_flags(&args(&["--model", "resnet-50", "--batch", "8"]));
         assert_eq!(f["model"], "resnet-50");
         assert_eq!(f["batch"], "8");
+    }
+
+    #[test]
+    fn parse_flags_handles_valueless_trace() {
+        // --trace consumes no value: the flag after it must still be parsed
+        let f = parse_flags(&args(&["--trace", "--model", "resnet-50"]));
+        assert_eq!(f["trace"], "true");
+        assert_eq!(f["model"], "resnet-50");
+        // trailing position works too
+        let f = parse_flags(&args(&["--model", "resnet-50", "--trace"]));
+        assert_eq!(f["trace"], "true");
     }
 
     #[test]

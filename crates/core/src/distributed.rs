@@ -12,11 +12,12 @@
 //! points by local search on the simulated stage latencies.
 
 use crate::analysis::AnalyzeRepr;
+use crate::pipeline::ProofError;
 use crate::profile::{profile_model, MetricMode, ProfileReport};
 use proof_hw::Platform;
 use proof_ir::subgraph::{boundary_out_bytes, extract_subgraph};
 use proof_ir::{Graph, NodeId};
-use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
+use proof_runtime::{BackendFlavor, SessionConfig};
 use serde::Serialize;
 
 /// Interconnect between pipeline stages.
@@ -118,7 +119,7 @@ pub fn profile_pipeline(
     flavor: BackendFlavor,
     cfg: &SessionConfig,
     link: Interconnect,
-) -> Result<PipelineReport, BackendError> {
+) -> Result<PipelineReport, ProofError> {
     assert!(!devices.is_empty(), "need at least one device");
     let n = g.nodes.len();
     let k = devices.len().min(n);
@@ -134,12 +135,12 @@ pub fn profile_pipeline(
     let mut cuts = balanced_cuts(&weights, k);
 
     // evaluate a cut vector: max stage latency (the steady-state bound)
-    let eval = |cuts: &[usize]| -> Result<f64, BackendError> {
+    let eval = |cuts: &[usize]| -> Result<f64, ProofError> {
         let mut worst = 0.0f64;
         for (d, &(lo, hi)) in spans(cuts, n).iter().enumerate() {
             let members: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
             let stage = extract_subgraph(g, &members, &format!("{}-stage{d}", g.name))
-                .map_err(|e| BackendError::ConversionFailure(e.to_string()))?;
+                .map_err(|e| ProofError::Graph(e.to_string()))?;
             let r = profile_model(&stage, &devices[d], flavor, cfg, MetricMode::Predicted)?;
             let egress = boundary_out_bytes(g, &members, cfg.precision);
             let t = r.total_latency_ms
@@ -191,7 +192,7 @@ pub fn profile_pipeline(
     for (d, &(lo, hi)) in spans(&cuts, n).iter().enumerate() {
         let members: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
         let stage_graph = extract_subgraph(g, &members, &format!("{}-stage{d}", g.name))
-            .map_err(|e| BackendError::ConversionFailure(e.to_string()))?;
+            .map_err(|e| ProofError::Graph(e.to_string()))?;
         let report = profile_model(
             &stage_graph,
             &devices[d],

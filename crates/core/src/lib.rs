@@ -11,7 +11,9 @@
 //!   ONNX-Runtime-like, OpenVINO-like),
 //! - `ncu_fix` — the Tensor-Core FLOP correction for counter profilers,
 //! - `roofline` — end-to-end and layer-wise roofline assembly,
-//! - `profile` — the top-level profiler workflow (predicted or measured),
+//! - [`pipeline`] — the workflow as explicit, reusable stages with typed
+//!   artifacts, per-stage timings, and the unified [`ProofError`],
+//! - `profile` — the top-level profiler driver (predicted or measured),
 //! - `peak` — achieved-roofline-peak measurement via a pseudo model,
 //! - `report` / `viewer` — text/CSV reports and SVG roofline charts.
 
@@ -25,6 +27,7 @@ pub mod mapping;
 pub mod memory;
 pub mod ncu_fix;
 pub mod peak;
+pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod roofline;
@@ -40,6 +43,12 @@ pub use html::html_report;
 pub use mapping::{map_layers, MappedLayer, Mapping};
 pub use memory::{max_batch_within, plan_memory, MemoryPlan};
 pub use peak::{measure_achieved_peak, AchievedPeak};
+pub use pipeline::{
+    prepare_stages, profile_both_modes, run_metric_stages, run_pipeline, stage_assemble,
+    stage_builtin_profile, stage_compile, stage_map, stage_metrics, BuiltinProfileArtifact,
+    CompiledArtifact, MappedLayerArtifact, MappingArtifact, MetricsArtifact, PipelineStage,
+    PipelineTrace, PreparedStages, ProofError, StageTiming,
+};
 pub use profile::{profile_model, LayerReport, MetricMode, ProfileReport};
 pub use roofline::{categorize, LayerCategory, RooflineCeiling, RooflineChart, RooflinePoint};
 pub use sweep::{pow2_grid, sweep_batches, BatchSweep, SweepPoint};

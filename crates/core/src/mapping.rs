@@ -31,6 +31,10 @@ pub struct MappedLayer {
     /// The analysis-side group (None for runtime-inserted reorder layers).
     pub group: Option<GroupId>,
     pub is_reorder: bool,
+    /// Index of the source entry in the backend profile. Unresolved profile
+    /// entries leave gaps, so positions in [`Mapping::layers`] cannot be
+    /// used to correlate back to the profile — this index can.
+    pub profile_index: usize,
 }
 
 /// Outcome of the mapping step.
@@ -84,7 +88,7 @@ pub fn map_layers<'g>(
         HashSet::new()
     };
 
-    for lp in profile {
+    for (pi, lp) in profile.iter().enumerate() {
         let mapped = match &lp.hint {
             LayerHint::Reorder {
                 input_tensor,
@@ -97,6 +101,7 @@ pub fn map_layers<'g>(
                         avg_latency_us: lp.avg_latency_us,
                         group: None,
                         is_reorder: true,
+                        profile_index: pi,
                     })
                 }
                 None => None,
@@ -107,6 +112,7 @@ pub fn map_layers<'g>(
                     avg_latency_us: lp.avg_latency_us,
                     group: Some(g),
                     is_reorder: false,
+                    profile_index: pi,
                 })
             }
             LayerHint::FusedNameString(s) => {
@@ -123,6 +129,7 @@ pub fn map_layers<'g>(
                     avg_latency_us: lp.avg_latency_us,
                     group: Some(g),
                     is_reorder: false,
+                    profile_index: pi,
                 })
             }
             LayerHint::OpaqueIo { inputs, outputs } => {
@@ -131,6 +138,7 @@ pub fn map_layers<'g>(
                     avg_latency_us: lp.avg_latency_us,
                     group: Some(g),
                     is_reorder: false,
+                    profile_index: pi,
                 })
             }
             LayerHint::PrimaryOp { node_name, .. } => {
@@ -140,6 +148,7 @@ pub fn map_layers<'g>(
                         avg_latency_us: lp.avg_latency_us,
                         group: Some(g),
                         is_reorder: false,
+                        profile_index: pi,
                     }
                 })
             }

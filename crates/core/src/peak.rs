@@ -3,10 +3,11 @@
 //! of different sizes", runs it through the backend, and takes the best
 //! per-layer achieved FLOP/s and bandwidth as the *achieved* ceilings.
 
+use crate::pipeline::ProofError;
 use crate::profile::{profile_model, MetricMode};
 use proof_hw::Platform;
 use proof_ir::{DType, Graph, GraphBuilder};
-use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
+use proof_runtime::{BackendFlavor, SessionConfig};
 use serde::Serialize;
 
 /// Measured achievable ceilings.
@@ -46,7 +47,7 @@ pub fn measure_achieved_peak(
     platform: &Platform,
     flavor: BackendFlavor,
     precision: DType,
-) -> Result<AchievedPeak, BackendError> {
+) -> Result<AchievedPeak, ProofError> {
     let g = default_pseudo_model();
     let cfg = SessionConfig::new(precision);
     let report = profile_model(&g, platform, flavor, &cfg, MetricMode::Predicted)?;

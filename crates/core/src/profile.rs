@@ -3,16 +3,17 @@
 //! model, obtain FLOP/memory per layer (analytically predicted or measured
 //! via the counter profiler + correction), and assemble the end-to-end and
 //! layer-wise rooflines.
+//!
+//! [`profile_model`] is a thin driver over the staged pipeline in
+//! [`crate::pipeline`] — callers that profile the same configuration more
+//! than once (mode pairs, batch sweeps, serve resubmissions) should use the
+//! stage functions directly to reuse the compile/profile/map prefix.
 
-use crate::analysis::AnalyzeRepr;
-use crate::mapping::map_layers;
-use crate::ncu_fix::corrected_layer_flops;
-use crate::roofline::{categorize, LayerCategory, RooflineCeiling, RooflineChart, RooflinePoint};
-use crate::OptimizedRepr;
-use proof_counters::profile_with_counters;
+use crate::pipeline::{run_pipeline, PipelineTrace, ProofError};
+use crate::roofline::{LayerCategory, RooflineCeiling, RooflineChart, RooflinePoint};
 use proof_hw::Platform;
 use proof_ir::Graph;
-use proof_runtime::{compile, BackendError, BackendFlavor, SessionConfig};
+use proof_runtime::{BackendFlavor, SessionConfig};
 use serde::{Deserialize, Serialize};
 
 /// Where FLOP/memory numbers come from (the paper's two modes).
@@ -58,7 +59,13 @@ impl LayerReport {
 /// The complete profiling result for one (model, platform, backend, config).
 /// Round-trips losslessly through JSON (`to_json` / `from_json`), which is
 /// what lets proof-serve persist reports as content-addressed artifacts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The [`trace`](ProfileReport::trace) field carries wall-clock per-stage
+/// timings of the run that produced the report. It is observability
+/// metadata, deliberately excluded from both the JSON form and equality:
+/// two runs of the same (spec, seed) yield equal, byte-identical reports
+/// even though their stage timings differ.
+#[derive(Debug, Clone)]
 pub struct ProfileReport {
     pub model: String,
     pub platform: String,
@@ -79,6 +86,108 @@ pub struct ProfileReport {
     pub util_mem: f64,
     /// Backend layers the mapping could not resolve (diagnostic; 0 expected).
     pub unresolved_layers: usize,
+    /// Per-stage timings of the pipeline run that produced this report
+    /// (not serialized, not part of equality).
+    pub trace: PipelineTrace,
+}
+
+// Hand-written (instead of derived) so `trace` stays out of the canonical
+// JSON form — the vendored derive has no `#[serde(skip)]`.
+impl Serialize for ProfileReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::value::new_object();
+        m.insert("model".to_string(), self.model.to_value());
+        m.insert("platform".to_string(), self.platform.to_value());
+        m.insert("backend".to_string(), self.backend.to_value());
+        m.insert("precision".to_string(), self.precision.to_value());
+        m.insert("batch".to_string(), self.batch.to_value());
+        m.insert("mode".to_string(), self.mode.to_value());
+        m.insert("layers".to_string(), self.layers.to_value());
+        m.insert("ceiling".to_string(), self.ceiling.to_value());
+        m.insert(
+            "total_latency_ms".to_string(),
+            self.total_latency_ms.to_value(),
+        );
+        m.insert("total_flops".to_string(), self.total_flops.to_value());
+        m.insert(
+            "total_memory_bytes".to_string(),
+            self.total_memory_bytes.to_value(),
+        );
+        m.insert(
+            "metric_collection_s".to_string(),
+            self.metric_collection_s.to_value(),
+        );
+        m.insert("util_gpu".to_string(), self.util_gpu.to_value());
+        m.insert("util_mem".to_string(), self.util_mem.to_value());
+        m.insert(
+            "unresolved_layers".to_string(),
+            self.unresolved_layers.to_value(),
+        );
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for ProfileReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("ProfileReport: expected object"))?;
+        Ok(ProfileReport {
+            model: serde::de::field(obj, "model")?,
+            platform: serde::de::field(obj, "platform")?,
+            backend: serde::de::field(obj, "backend")?,
+            precision: serde::de::field(obj, "precision")?,
+            batch: serde::de::field(obj, "batch")?,
+            mode: serde::de::field(obj, "mode")?,
+            layers: serde::de::field(obj, "layers")?,
+            ceiling: serde::de::field(obj, "ceiling")?,
+            total_latency_ms: serde::de::field(obj, "total_latency_ms")?,
+            total_flops: serde::de::field(obj, "total_flops")?,
+            total_memory_bytes: serde::de::field(obj, "total_memory_bytes")?,
+            metric_collection_s: serde::de::field(obj, "metric_collection_s")?,
+            util_gpu: serde::de::field(obj, "util_gpu")?,
+            util_mem: serde::de::field(obj, "util_mem")?,
+            unresolved_layers: serde::de::field(obj, "unresolved_layers")?,
+            trace: PipelineTrace::default(),
+        })
+    }
+}
+
+impl PartialEq for ProfileReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.model == other.model
+            && self.platform == other.platform
+            && self.backend == other.backend
+            && self.precision == other.precision
+            && self.batch == other.batch
+            && self.mode == other.mode
+            && self.layers == other.layers
+            && self.ceiling == other.ceiling
+            && self.total_latency_ms == other.total_latency_ms
+            && self.total_flops == other.total_flops
+            && self.total_memory_bytes == other.total_memory_bytes
+            && self.metric_collection_s == other.metric_collection_s
+            && self.util_gpu == other.util_gpu
+            && self.util_mem == other.util_mem
+            && self.unresolved_layers == other.unresolved_layers
+        // trace intentionally excluded: timing jitter must not make two
+        // otherwise-identical reports unequal
+    }
+}
+
+/// Locate a non-finite float in a serialized value tree, if any.
+fn non_finite_path(v: &serde::Value, path: &str) -> Option<String> {
+    match v {
+        serde::Value::Number(serde::Number::F(f)) if !f.is_finite() => Some(path.to_string()),
+        serde::Value::Array(items) => items
+            .iter()
+            .enumerate()
+            .find_map(|(i, x)| non_finite_path(x, &format!("{path}[{i}]"))),
+        serde::Value::Object(m) => m
+            .iter()
+            .find_map(|(k, x)| non_finite_path(x, &format!("{path}.{k}"))),
+        _ => None,
+    }
 }
 
 impl ProfileReport {
@@ -135,8 +244,22 @@ impl ProfileReport {
         chart
     }
 
+    /// Canonical pretty JSON, or an error if the report cannot round-trip.
+    /// The vendored serializer renders non-finite floats as `null`, which
+    /// would silently corrupt a stored artifact — surface that as
+    /// [`ProofError::Serialize`] instead.
+    pub fn try_to_json(&self) -> Result<String, ProofError> {
+        let v = Serialize::to_value(self);
+        if let Some(path) = non_finite_path(&v, "report") {
+            return Err(ProofError::Serialize(format!(
+                "non-finite number at {path} would not survive a JSON round-trip"
+            )));
+        }
+        serde_json::to_string_pretty(&v).map_err(|e| ProofError::Serialize(e.to_string()))
+    }
+
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization")
+        self.try_to_json().expect("report serialization")
     }
 
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
@@ -144,113 +267,16 @@ impl ProfileReport {
     }
 }
 
-/// Run the full PRoof workflow on one configuration.
+/// Run the full PRoof workflow on one configuration — the five pipeline
+/// stages end to end. See [`crate::pipeline`] for the staged interface.
 pub fn profile_model(
     g: &Graph,
     platform: &Platform,
     flavor: BackendFlavor,
     cfg: &SessionConfig,
     mode: MetricMode,
-) -> Result<ProfileReport, BackendError> {
-    let compiled = compile(g, flavor, platform, cfg)?;
-    let profile = compiled.builtin_profile();
-
-    let analysis = AnalyzeRepr::new(g, cfg.precision);
-    let mapping = map_layers(OptimizedRepr::new(analysis), &profile, flavor);
-    // Deterministic cost model for the analytical pass (~50 µs/node): the
-    // paper's point is that prediction overhead is negligible vs counter
-    // replay, and a modeled figure keeps reports bit-for-bit reproducible
-    // for a given (spec, seed) — which content-addressed caching relies on.
-    let analysis_s = g.nodes.len() as f64 * 50e-6;
-
-    // measured mode: counter metrics aggregated per backend layer + TC fix
-    let (measured, overhead_s) = match mode {
-        MetricMode::Measured => {
-            let ncu = profile_with_counters(&compiled, cfg.seed);
-            let overhead = ncu.profiling_overhead_s;
-            (Some(ncu.per_layer()), overhead)
-        }
-        MetricMode::Predicted => (None, analysis_s),
-    };
-    // indices of profiled (non-empty) layers in the compiled plan, in
-    // profile order — the Nsight-trace correlation key
-    let profiled_indices: Vec<usize> = compiled
-        .layers
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.kernels.is_empty())
-        .map(|(i, _)| i)
-        .collect();
-
-    let mut layers = Vec::with_capacity(mapping.layers.len());
-    let mut reorder_seen = 0usize;
-    for (i, ml) in mapping.layers.iter().enumerate() {
-        let (flops, bytes) = match (&measured, ml.group) {
-            (Some(per_layer), _) => {
-                let (reported, mma, bytes) = per_layer
-                    .get(&profiled_indices[i])
-                    .copied()
-                    .unwrap_or_default();
-                (
-                    corrected_layer_flops(reported, mma, platform.arch, cfg.precision),
-                    bytes,
-                )
-            }
-            (None, Some(gid)) => {
-                let c = mapping.repr.group_cost(gid);
-                (c.flops, c.memory_bytes())
-            }
-            (None, None) => {
-                let c = mapping.repr.reorder_layers()[reorder_seen].cost;
-                (c.flops, c.memory_bytes())
-            }
-        };
-        if ml.is_reorder {
-            reorder_seen += 1;
-        }
-        let (category, original_nodes) = match ml.group {
-            Some(gid) => {
-                let members = &mapping.repr.group(gid).members;
-                (
-                    categorize(g, members),
-                    members.iter().map(|&m| g.node(m).name.clone()).collect(),
-                )
-            }
-            None => (LayerCategory::DataCopy, Vec::new()),
-        };
-        layers.push(LayerReport {
-            name: ml.backend_name.clone(),
-            category,
-            latency_us: ml.avg_latency_us,
-            flops,
-            memory_bytes: bytes,
-            is_reorder: ml.is_reorder,
-            original_nodes,
-        });
-    }
-
-    let total_latency_ms = layers.iter().map(|l| l.latency_us).sum::<f64>() / 1e3;
-    let total_flops = layers.iter().map(|l| l.flops).sum();
-    let total_memory_bytes = layers.iter().map(|l| l.memory_bytes).sum();
-    let util = compiled.utilization();
-
-    Ok(ProfileReport {
-        model: g.name.clone(),
-        platform: platform.name.clone(),
-        backend: flavor.name().to_string(),
-        precision: cfg.precision.short_name().to_string(),
-        batch: g.batch_size(),
-        mode,
-        layers,
-        ceiling: RooflineCeiling::theoretical(platform, cfg.precision),
-        total_latency_ms,
-        total_flops,
-        total_memory_bytes,
-        metric_collection_s: overhead_s,
-        util_gpu: util.gpu,
-        util_mem: util.mem,
-        unresolved_layers: mapping.unresolved.len(),
-    })
+) -> Result<ProfileReport, ProofError> {
+    run_pipeline(g, platform, flavor, cfg, mode)
 }
 
 #[cfg(test)]
@@ -339,5 +365,26 @@ mod tests {
         assert_eq!(r, back);
         // and the re-serialized JSON is byte-identical (canonical key order)
         assert_eq!(r.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn trace_is_populated_but_stays_out_of_json_and_equality() {
+        let r = run(MetricMode::Predicted);
+        assert_eq!(r.trace.stages.len(), 5);
+        assert!(!r.to_json().contains("\"trace\""));
+        // a round-trip drops the trace without breaking equality
+        let back = ProfileReport::from_json(&r.to_json()).unwrap();
+        assert!(back.trace.stages.is_empty());
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn try_to_json_rejects_non_finite_values() {
+        let mut r = run(MetricMode::Predicted);
+        assert!(r.try_to_json().is_ok());
+        r.total_latency_ms = f64::NAN;
+        let err = r.try_to_json().unwrap_err();
+        assert!(matches!(err, ProofError::Serialize(_)), "{err}");
+        assert!(err.to_string().contains("total_latency_ms"), "{err}");
     }
 }

@@ -1,12 +1,13 @@
 //! Batch-size sweeps: latency/throughput curves across batch sizes, used to
-//! find "the batch size [that] reached maximum throughput" (how the paper
+//! find "the batch size \[that\] reached maximum throughput" (how the paper
 //! picked bs=2048 for Table 5) and the latency knee for latency-sensitive
 //! deployment.
 
-use crate::profile::{profile_model, MetricMode};
+use crate::pipeline::{prepare_stages, run_metric_stages, ProofError};
+use crate::profile::MetricMode;
 use proof_hw::Platform;
 use proof_ir::Graph;
-use proof_runtime::{BackendError, BackendFlavor, SessionConfig};
+use proof_runtime::{BackendFlavor, SessionConfig};
 use serde::{Deserialize, Serialize};
 
 /// One batch-size measurement.
@@ -58,19 +59,23 @@ impl BatchSweep {
 }
 
 /// Sweep `batches` (ascending), building the model per batch via `build`.
+/// Points run in parallel (rayon); each point runs the staged pipeline, so
+/// the compile/profile/map prefix is paid once per batch even if callers
+/// later want the Measured counterpart of a point.
 pub fn sweep_batches(
     build: impl Fn(u64) -> Graph + Sync,
     platform: &Platform,
     flavor: BackendFlavor,
     cfg: &SessionConfig,
     batches: &[u64],
-) -> Result<BatchSweep, BackendError> {
+) -> Result<BatchSweep, ProofError> {
     use rayon::prelude::*;
-    let points: Result<Vec<SweepPoint>, BackendError> = batches
+    let points: Result<Vec<SweepPoint>, ProofError> = batches
         .par_iter()
         .map(|&batch| {
             let g = build(batch);
-            let r = profile_model(&g, platform, flavor, cfg, MetricMode::Predicted)?;
+            let prep = prepare_stages(&g, platform, flavor, cfg)?;
+            let r = run_metric_stages(&prep, MetricMode::Predicted);
             Ok(SweepPoint {
                 batch,
                 latency_ms: r.total_latency_ms,

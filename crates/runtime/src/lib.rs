@@ -19,7 +19,7 @@
 //!    ([`backend::LayerHint`]) and a kernel trace for counter profilers.
 //!
 //! Ground-truth fusion membership is available via
-//! [`backend::CompiledModel::truth_members`] for tests only — the PRoof side
+//! [`backend::BackendLayer::truth_members`] for tests only — the PRoof side
 //! (`proof-core`) never reads it.
 
 pub mod backend;

@@ -196,8 +196,32 @@ impl AnalysisJob {
         SessionConfig::new(self.dtype).with_seed(self.seed)
     }
 
+    /// Key of this spec's mode-independent pipeline prefix. Everything that
+    /// feeds compile/profile/map participates — including the seed, which
+    /// shapes the built-in profiler's simulated latency noise — while `mode`
+    /// deliberately does not: it only affects the metric stage, which is
+    /// exactly the reuse the stage cache exists to exploit.
+    pub fn stage_cache_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.model.slug(),
+            self.backend.name(),
+            platform_slug(self.hardware),
+            self.batch,
+            self.dtype.short_name(),
+            self.seed
+        )
+    }
+
+    /// Build this spec's pipeline prefix (compile + built-in profile + map).
+    pub fn prepare(&self) -> Result<proof_core::PreparedStages, proof_core::ProofError> {
+        let graph = self.model.build(self.batch);
+        let platform = self.hardware.spec();
+        proof_core::prepare_stages(&graph, &platform, self.backend, &self.session_config())
+    }
+
     /// Run the full profiling pipeline for this spec.
-    pub fn execute(&self) -> Result<proof_core::ProfileReport, proof_runtime::BackendError> {
+    pub fn execute(&self) -> Result<proof_core::ProfileReport, proof_core::ProofError> {
         let graph = self.model.build(self.batch);
         let platform = self.hardware.spec();
         proof_core::profile_model(
@@ -253,6 +277,22 @@ mod tests {
         for v in variants {
             assert_ne!(parse(v).unwrap().cache_key(), key, "{v}");
         }
+    }
+
+    #[test]
+    fn stage_cache_key_ignores_mode_but_not_seed() {
+        let p = parse(r#"{"model":"resnet-50","hardware":"a100","mode":"predicted","seed":7}"#)
+            .unwrap();
+        let m =
+            parse(r#"{"model":"resnet-50","hardware":"a100","mode":"measured","seed":7}"#).unwrap();
+        let s = parse(r#"{"model":"resnet-50","hardware":"a100","mode":"predicted","seed":8}"#)
+            .unwrap();
+        // mode pairs share a prefix (the whole point of the stage cache)...
+        assert_eq!(p.stage_cache_key(), m.stage_cache_key());
+        // ...but still get distinct artifacts
+        assert_ne!(p.cache_key(), m.cache_key());
+        // the seed shapes the built-in profile, so it splits prefixes
+        assert_ne!(p.stage_cache_key(), s.stage_cache_key());
     }
 
     #[test]

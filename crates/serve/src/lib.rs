@@ -23,9 +23,11 @@ pub mod job;
 pub mod metrics;
 pub mod queue;
 pub mod server;
+pub mod stage_cache;
 
 pub use cache::{ArtifactCache, CacheStats, Lookup};
 pub use job::{AnalysisJob, DEFAULT_SEED};
-pub use metrics::{Histogram, HistogramSnapshot, WorkerMetrics, WorkerSnapshot};
+pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, WorkerMetrics, WorkerSnapshot};
 pub use queue::JobQueue;
 pub use server::{JobStatus, ServeConfig, Server, ShutdownReport};
+pub use stage_cache::{StageCache, StageCacheStats};

@@ -1,5 +1,7 @@
-//! Service metrics: per-stage latency histograms and worker utilization.
+//! Service metrics: job/pipeline-stage latency histograms and worker
+//! utilization.
 
+use proof_core::{PipelineStage, StageTiming};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -80,6 +82,45 @@ impl Histogram {
                 .map(|(i, &c)| (1u64 << (i + 1), c))
                 .collect(),
         }
+    }
+}
+
+/// One latency histogram per pipeline stage, fed from the [`StageTiming`]s
+/// of traces the workers actually execute (cached prefix stages are
+/// recorded once, when built — not again on every reuse).
+pub struct StageHistograms {
+    hists: [Histogram; PipelineStage::ALL.len()],
+}
+
+impl Default for StageHistograms {
+    fn default() -> Self {
+        StageHistograms {
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+}
+
+impl StageHistograms {
+    fn index(stage: PipelineStage) -> usize {
+        PipelineStage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage in ALL")
+    }
+
+    /// Record a batch of executed stage timings.
+    pub fn record<'a>(&self, timings: impl IntoIterator<Item = &'a StageTiming>) {
+        for t in timings {
+            self.hists[Self::index(t.stage)].record_us(t.duration_us.round().max(0.0) as u64);
+        }
+    }
+
+    /// Per-stage snapshots as `(name, snapshot)`, in pipeline order.
+    pub fn snapshot(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        PipelineStage::ALL
+            .iter()
+            .map(|&s| (s.name(), self.hists[Self::index(s)].snapshot()))
+            .collect()
     }
 }
 
@@ -164,6 +205,32 @@ mod tests {
         assert_eq!(s.max_us, 1000);
         // 0 and 1 land in [1,2), 3 in [2,4), 1000 in [512,1024)
         assert_eq!(s.buckets, vec![(2, 2), (4, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn stage_histograms_key_by_stage_name() {
+        let h = StageHistograms::default();
+        h.record(&[
+            StageTiming {
+                stage: PipelineStage::Compile,
+                duration_us: 100.0,
+            },
+            StageTiming {
+                stage: PipelineStage::Metrics,
+                duration_us: 7.0,
+            },
+            StageTiming {
+                stage: PipelineStage::Metrics,
+                duration_us: 9.0,
+            },
+        ]);
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 5);
+        let by_name = |n: &str| snap.iter().find(|(k, _)| *k == n).unwrap().1.clone();
+        assert_eq!(by_name("compile").count, 1);
+        assert_eq!(by_name("metrics").count, 2);
+        assert_eq!(by_name("metrics").sum_us, 16);
+        assert_eq!(by_name("assemble").count, 0);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 use crate::cache::{ArtifactCache, Lookup};
 use crate::http::{read_request, write_response, Request};
 use crate::job::AnalysisJob;
-use crate::metrics::{Histogram, WorkerMetrics};
+use crate::metrics::{Histogram, StageHistograms, WorkerMetrics};
 use crate::queue::JobQueue;
+use crate::stage_cache::StageCache;
+use proof_core::{run_metric_stages, PipelineStage, ProfileReport};
 use proof_models::ModelId;
 use serde_json::{Map, Value};
 use std::collections::HashMap;
@@ -34,6 +36,9 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Bounded job-queue capacity; submissions beyond it get 503.
     pub queue_capacity: usize,
+    /// Entry budget for the in-process stage cache (pipeline prefixes kept
+    /// live so mode pairs and sweep resubmissions skip compile/profile/map).
+    pub stage_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +49,7 @@ impl Default for ServeConfig {
             cache_budget_bytes: 64 << 20,
             cache_dir: None,
             queue_capacity: 256,
+            stage_cache_capacity: 32,
         }
     }
 }
@@ -148,10 +154,12 @@ struct Shared {
     next_id: AtomicU64,
     next_group: AtomicU64,
     cache: ArtifactCache,
+    stage_cache: StageCache,
     worker_metrics: WorkerMetrics,
     hist_queue_wait: Histogram,
     hist_execute: Histogram,
     hist_total: Histogram,
+    stage_hists: StageHistograms,
     running: AtomicBool,
     conns: ConnGate,
 }
@@ -184,10 +192,12 @@ impl Server {
             next_id: AtomicU64::new(1),
             next_group: AtomicU64::new(1),
             cache: ArtifactCache::new(config.cache_budget_bytes, config.cache_dir.clone())?,
+            stage_cache: StageCache::new(config.stage_cache_capacity),
             worker_metrics: WorkerMetrics::new(config.workers.max(1)),
             hist_queue_wait: Histogram::default(),
             hist_execute: Histogram::default(),
             hist_total: Histogram::default(),
+            stage_hists: StageHistograms::default(),
             running: AtomicBool::new(true),
             conns: ConnGate::default(),
         });
@@ -298,10 +308,15 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     // Single-flight: concurrent identical jobs wait here and then hit.
     let outcome = match shared.cache.lookup_or_begin(&key) {
         Lookup::Hit(artifact) => Ok((artifact, true)),
-        Lookup::Miss(guard) => match spec.execute() {
-            Ok(report) => Ok((guard.fulfill(report.to_json()), false)),
+        Lookup::Miss(guard) => match run_staged(shared, &spec) {
+            // try_to_json instead of to_json: a non-finite value fails the
+            // job instead of aborting the whole worker thread.
+            Ok(report) => match report.try_to_json() {
+                Ok(json) => Ok((guard.fulfill(json), false)),
+                Err(e) => Err(e.to_string()),
+            },
             // dropping the guard lets a coalesced waiter retry the build
-            Err(e) => Err(e.to_string()),
+            Err(e) => Err(e),
         },
     };
     let execute_us = exec_start.elapsed().as_micros() as u64;
@@ -324,6 +339,33 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
             rec.error = Some(msg);
         }
     }
+}
+
+/// Run a job through the staged pipeline, reusing the mode-independent
+/// prefix (compile → built-in profile → map) from the stage cache when the
+/// same spec — under any metric mode — was prepared before. Prefix stage
+/// timings are recorded into the stage histograms once, when built; the
+/// metric/assembly stages are recorded on every execution.
+fn run_staged(shared: &Shared, spec: &AnalysisJob) -> Result<ProfileReport, String> {
+    let skey = spec.stage_cache_key();
+    let prep = match shared.stage_cache.get(&skey) {
+        Some(prep) => prep,
+        None => {
+            let prep = Arc::new(spec.prepare().map_err(|e| e.to_string())?);
+            shared.stage_hists.record(&prep.trace.stages);
+            shared.stage_cache.insert(skey, Arc::clone(&prep));
+            prep
+        }
+    };
+    let report = run_metric_stages(&prep, spec.mode);
+    shared.stage_hists.record(
+        report
+            .trace
+            .stages
+            .iter()
+            .filter(|t| matches!(t.stage, PipelineStage::Metrics | PipelineStage::Assemble)),
+    );
+    Ok(report)
 }
 
 /// Register + enqueue one parsed job. Returns the job id.
@@ -593,6 +635,11 @@ fn metrics_body(shared: &Shared) -> String {
         serde_json::to_value(&shared.hist_total.snapshot()),
     );
 
+    let mut stages = Map::new();
+    for (name, snap) in shared.stage_hists.snapshot() {
+        stages.insert(format!("{name}_us"), serde_json::to_value(&snap));
+    }
+
     let mut m = Map::new();
     m.insert("queue".to_string(), Value::Object(queue));
     m.insert("jobs".to_string(), Value::Object(jobs));
@@ -604,7 +651,12 @@ fn metrics_body(shared: &Shared) -> String {
         "cache".to_string(),
         serde_json::to_value(&shared.cache.stats()),
     );
+    m.insert(
+        "stage_cache".to_string(),
+        serde_json::to_value(&shared.stage_cache.stats()),
+    );
     m.insert("latency".to_string(), Value::Object(latency));
+    m.insert("stages".to_string(), Value::Object(stages));
     Value::Object(m).to_string()
 }
 

@@ -1,0 +1,143 @@
+//! In-process cache of mode-independent pipeline prefixes.
+//!
+//! The first three pipeline stages (compile → built-in profile → map)
+//! depend only on (model, backend, platform, precision, batch, seed) — not
+//! on the [`proof_core::MetricMode`]. Workers cache the resulting
+//! [`PreparedStages`] under that prefix key, so resubmitting a spec with a
+//! different mode (or re-running a sweep grid in the other mode) re-executes
+//! only the metric and assembly stages.
+//!
+//! Unlike the artifact cache this holds live Rust structs, not JSON, and is
+//! purely in-memory with a bounded entry count (FIFO eviction — prefix
+//! reuse is bursty and short-lived, so recency tracking buys little).
+//! Concurrent misses on the same key may build the prefix twice; both
+//! builds are deterministic and identical, so the race is benign and only
+//! costs the duplicated work.
+
+use proof_core::PreparedStages;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters exposed through `GET /metrics` as `stage_cache`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StageCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<String, Arc<PreparedStages>>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<String>,
+}
+
+/// Bounded map of prefix key → shared [`PreparedStages`].
+pub struct StageCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StageCache {
+    pub fn new(capacity: usize) -> StageCache {
+        StageCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a prefix; counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<PreparedStages>> {
+        let inner = self.inner.lock().unwrap();
+        match inner.map.get(key) {
+            Some(prep) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(prep))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built prefix, evicting the oldest entry when full.
+    pub fn insert(&self, key: String, prep: Arc<PreparedStages>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key.clone(), prep).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub fn stats(&self) -> StageCacheStats {
+        let inner = self.inner.lock().unwrap();
+        StageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::AnalysisJob;
+
+    fn prep(spec: &str) -> Arc<PreparedStages> {
+        let job = AnalysisJob::from_value(&serde_json::from_str(spec).unwrap()).unwrap();
+        Arc::new(job.prepare().unwrap())
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let c = StageCache::new(4);
+        assert!(c.get("k").is_none());
+        let p = prep(r#"{"model":"mobilenetv2-0.5","hardware":"a100"}"#);
+        c.insert("k".to_string(), Arc::clone(&p));
+        let got = c.get("k").unwrap();
+        assert!(Arc::ptr_eq(&got, &p));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_fifo_beyond_capacity() {
+        let c = StageCache::new(2);
+        let p = prep(r#"{"model":"mobilenetv2-0.5","hardware":"a100"}"#);
+        for k in ["a", "b", "c"] {
+            c.insert(k.to_string(), Arc::clone(&p));
+        }
+        assert!(c.get("a").is_none(), "oldest entry must be evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_grow_order() {
+        let c = StageCache::new(2);
+        let p = prep(r#"{"model":"mobilenetv2-0.5","hardware":"a100"}"#);
+        c.insert("a".to_string(), Arc::clone(&p));
+        c.insert("a".to_string(), Arc::clone(&p));
+        c.insert("b".to_string(), Arc::clone(&p));
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_some());
+    }
+}

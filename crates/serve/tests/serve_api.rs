@@ -178,6 +178,52 @@ fn seed_is_part_of_the_job_identity() {
     server.shutdown();
 }
 
+/// Resubmitting the same spec under the other metric mode reuses the
+/// cached pipeline prefix: compile/profile/map run once, only the metric
+/// and assembly stages run again — and the report is still bit-for-bit the
+/// direct library-call result.
+#[test]
+fn stage_cache_reuses_prefix_across_modes() {
+    let server = boot(1);
+    let addr = server.addr();
+    let predicted = r#"{"model":"shufflenetv2-x0.5","hardware":"a100","backend":"trt","batch":2,"dtype":"fp16","seed":9,"mode":"predicted"}"#;
+    let measured = r#"{"model":"shufflenetv2-x0.5","hardware":"a100","backend":"trt","batch":2,"dtype":"fp16","seed":9,"mode":"measured"}"#;
+
+    let a = submit(addr, predicted);
+    wait_status(addr, a, "done");
+    let b = submit(addr, measured);
+    let vb = wait_status(addr, b, "done");
+    // different mode → different artifact key, so this is NOT an artifact hit
+    assert_eq!(vb["cache_hit"], false);
+
+    let (status, metrics) = get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let m: serde_json::Value = serde_json::from_str(&metrics).unwrap();
+    // ...but it IS a stage-cache hit: the prefix was prepared exactly once
+    assert_eq!(m["stage_cache"]["misses"], 1u64);
+    assert!(m["stage_cache"]["hits"].as_u64().unwrap() >= 1);
+    assert_eq!(m["stages"]["compile_us"]["count"], 1u64);
+    assert_eq!(m["stages"]["builtin_profile_us"]["count"], 1u64);
+    assert_eq!(m["stages"]["map_us"]["count"], 1u64);
+    assert_eq!(m["stages"]["metrics_us"]["count"], 2u64);
+    assert_eq!(m["stages"]["assemble_us"]["count"], 2u64);
+
+    // the prefix-reused measured report equals the fresh monolithic run
+    let (status, served) = get(addr, &format!("/jobs/{b}/report")).unwrap();
+    assert_eq!(status, 200);
+    let direct = profile_model(
+        &ModelId::ShuffleNetV2x05.build(2),
+        &PlatformId::A100.spec(),
+        BackendFlavor::TrtLike,
+        &SessionConfig::new(DType::F16).with_seed(9),
+        MetricMode::Measured,
+    )
+    .unwrap()
+    .to_json();
+    assert_eq!(served, direct);
+    server.shutdown();
+}
+
 /// Shutdown initiated while jobs are still queued drains all of them.
 #[test]
 fn shutdown_drains_queued_jobs() {

@@ -1,8 +1,12 @@
 //! Property-based tests (proptest) over randomly generated CNN-ish graphs:
 //! cost-model invariants (Eq. 1 linearity, non-negativity), fusion and
-//! mapping partition properties, and serialization round-trips.
+//! mapping partition properties, staged-vs-monolithic pipeline equivalence,
+//! and serialization round-trips.
 
-use proof::core::{map_layers, AnalyzeRepr, OptimizedRepr};
+use proof::core::{
+    map_layers, prepare_stages, profile_model, run_metric_stages, AnalyzeRepr, MetricMode,
+    OptimizedRepr,
+};
 use proof::hw::PlatformId;
 use proof::ir::{DType, Graph, GraphBuilder, TensorId};
 use proof::runtime::{compile, fusion, BackendFlavor, SessionConfig};
@@ -222,6 +226,27 @@ proptest! {
             let profile_sum: f64 = compiled.builtin_profile().iter().map(|l| l.avg_latency_us).sum();
             let mapped_sum: f64 = mapping.layers.iter().map(|l| l.avg_latency_us).sum();
             prop_assert!((profile_sum - mapped_sum).abs() < 1e-6);
+        }
+    }
+
+    /// The staged pipeline with prefix reuse (both metric modes off one
+    /// [`prepare_stages`] call) is byte-identical — via the canonical JSON —
+    /// to a fresh monolithic [`profile_model`] run, for random models,
+    /// batch sizes, and dtypes.
+    #[test]
+    fn staged_pipeline_with_reuse_matches_monolithic(
+        (_b, g) in model_strategy(),
+        dtype in prop_oneof![Just(DType::F16), Just(DType::F32)],
+    ) {
+        let platform = PlatformId::A100.spec();
+        let cfg = SessionConfig::new(dtype);
+        let flavor = BackendFlavor::TrtLike;
+        let prep = prepare_stages(&g, &platform, flavor, &cfg).unwrap();
+        for mode in [MetricMode::Predicted, MetricMode::Measured] {
+            let staged = run_metric_stages(&prep, mode);
+            let fresh = profile_model(&g, &platform, flavor, &cfg, mode).unwrap();
+            prop_assert_eq!(&staged, &fresh);
+            prop_assert_eq!(staged.to_json(), fresh.to_json());
         }
     }
 
