@@ -27,4 +27,40 @@ echo "==> proof profile --trace smoke test"
 trace_out="$(./target/release/proof profile --model mobilenetv2-0.5 --platform a100 --batch 1 --trace)"
 grep -q "builtin_profile" <<<"$trace_out"
 
+echo "==> proof profile --trace-out smoke test (valid + byte-reproducible)"
+./target/release/proof profile --model mobilenetv2-0.5 --platform a100 --batch 1 --seed 42 \
+    --trace-out /tmp/proof_ci_trace_a.json >/dev/null
+./target/release/proof profile --model mobilenetv2-0.5 --platform a100 --batch 1 --seed 42 \
+    --trace-out /tmp/proof_ci_trace_b.json >/dev/null
+cmp /tmp/proof_ci_trace_a.json /tmp/proof_ci_trace_b.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("/tmp/proof_ci_trace_a.json"))
+events = doc["traceEvents"]
+assert events, "empty trace"
+cats = {e["cat"] for e in events}
+assert {"pipeline", "kernel", "backend_layer"} <= cats, cats
+print(f"  trace OK: {len(events)} events, cats {sorted(cats)}")
+EOF
+rm -f /tmp/proof_ci_trace_a.json /tmp/proof_ci_trace_b.json
+
+echo "==> proof serve smoke test (healthz + prometheus metrics)"
+serve_log="$(mktemp)"
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "listening on" "$serve_log" && break
+    sleep 0.1
+done
+serve_addr="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$serve_log" | head -n1)"
+curl -sf "http://${serve_addr}/healthz" | grep -q '"ok"'
+prom="$(curl -sf "http://${serve_addr}/metrics?format=prometheus")"
+grep -q "^# TYPE proof_serve_http_requests_total counter" <<<"$prom"
+grep -q "^proof_serve_queue_capacity " <<<"$prom"
+grep -q "^proof_serve_stage_compile_us_count " <<<"$prom"
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+
 echo "CI OK"

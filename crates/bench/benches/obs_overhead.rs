@@ -1,0 +1,58 @@
+//! Tracing-overhead bench: `profile_model` with the default disabled
+//! tracer (no-op collector) vs the shared ring collector. The disabled
+//! path should be indistinguishable from the seed's untraced pipeline; the
+//! ring adds a handful of lock-protected pushes per run.
+//!
+//! Group order matters: the no-op group runs first, because installing the
+//! shared ring tracer is process-global and irreversible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proof_core::{profile_model, MetricMode};
+use proof_hw::PlatformId;
+use proof_ir::DType;
+use proof_models::ModelId;
+use proof_runtime::{BackendFlavor, SessionConfig};
+use std::hint::black_box;
+
+fn profile_once() {
+    let g = ModelId::MobileNetV2x05.build(1);
+    let platform = PlatformId::A100.spec();
+    let cfg = SessionConfig::new(DType::F16);
+    black_box(
+        profile_model(
+            black_box(&g),
+            &platform,
+            BackendFlavor::TrtLike,
+            &cfg,
+            MetricMode::Predicted,
+        )
+        .unwrap(),
+    );
+}
+
+fn bench_noop_collector(c: &mut Criterion) {
+    assert!(
+        !proof_obs::global().collector_enabled(),
+        "no-op group must run before the ring tracer is installed"
+    );
+    c.bench_function("obs/profile_mobilenetv2_noop_collector", |b| {
+        b.iter(profile_once)
+    });
+}
+
+fn bench_ring_collector(c: &mut Criterion) {
+    let (_, ring) = proof_obs::shared_ring_tracer();
+    c.bench_function("obs/profile_mobilenetv2_ring_collector", |b| {
+        b.iter(|| {
+            let trace = proof_obs::new_trace_id();
+            let span = proof_obs::span_in(trace, "bench");
+            profile_once();
+            drop(span);
+        })
+    });
+    ring.clear();
+}
+
+criterion_group!(noop, bench_noop_collector);
+criterion_group!(ring, bench_ring_collector);
+criterion_main!(noop, ring);

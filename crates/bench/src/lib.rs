@@ -73,4 +73,57 @@ mod tests {
     fn results_dir_is_creatable() {
         assert!(results_dir().is_dir());
     }
+
+    /// Guardrail for the `obs_overhead` bench's premise: collecting spans
+    /// must not change what the pipeline computes, and the tracing path
+    /// must stay far below report granularity (reports quote milliseconds;
+    /// a run opens ~6 spans).
+    #[test]
+    fn tracing_overhead_is_unmeasurable_at_report_granularity() {
+        use proof_core::{profile_model, MetricMode};
+        use proof_hw::PlatformId;
+        use proof_ir::DType;
+        use proof_models::ModelId;
+        use proof_runtime::{BackendFlavor, SessionConfig};
+        use std::time::Instant;
+
+        let profile_once = || {
+            let g = ModelId::MobileNetV2x05.build(1);
+            let platform = PlatformId::A100.spec();
+            let cfg = SessionConfig::new(DType::F16);
+            profile_model(
+                &g,
+                &platform,
+                BackendFlavor::TrtLike,
+                &cfg,
+                MetricMode::Predicted,
+            )
+            .unwrap()
+            .to_json()
+        };
+        let time_once = || {
+            let t = Instant::now();
+            let json = profile_once();
+            (t.elapsed(), json)
+        };
+
+        // default tracer: disabled no-op collector
+        let (_, noop_json) = time_once();
+        let noop_best = (0..5).map(|_| time_once().0).min().unwrap();
+
+        // same pipeline with every span recorded into the shared ring
+        let (_, ring) = proof_obs::shared_ring_tracer();
+        let (_, ring_json) = time_once();
+        let ring_best = (0..5).map(|_| time_once().0).min().unwrap();
+        ring.clear();
+
+        // identical output bytes: observation never perturbs the result
+        assert_eq!(noop_json, ring_json);
+        // generous margin — this catches pathological regressions (a lock
+        // or allocation on every kernel), not scheduler noise
+        assert!(
+            ring_best <= noop_best * 10 + std::time::Duration::from_millis(5),
+            "ring-collector run {ring_best:?} vastly slower than no-op {noop_best:?}"
+        );
+    }
 }

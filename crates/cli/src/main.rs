@@ -6,6 +6,7 @@
 //! proof profile --model resnet-50 --platform a100 [--backend trt]
 //!               [--batch 128] [--precision fp16] [--mode predicted|measured]
 //!               [--top 15] [--svg chart.svg] [--csv chart.csv] [--json report.json] [--html report.html]
+//!               [--trace-out trace.json]   (merged Chrome trace: stage spans + kernel timeline)
 //! proof profile --model-file model.json ...   (PRoof JSON model format)
 //! proof peak --platform orin-nx [--precision fp16]
 //! proof memory --model resnet-50 --batch 64 [--precision fp16] [--budget-gb 16]
@@ -27,7 +28,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -167,6 +168,38 @@ fn cmd_inspect(flags: HashMap<String, String>) {
     }
 }
 
+/// Run the profiling pipeline, honoring `--trace-out FILE`: with it, the
+/// run executes under a root span on the shared ring tracer and the merged
+/// Chrome trace (pipeline-stage spans + kernel timeline) is written to
+/// FILE. The logical trace clock makes the file byte-reproducible for a
+/// given seeded invocation.
+fn run_profile(
+    flags: &HashMap<String, String>,
+    g: &Graph,
+    platform: &Platform,
+    flavor: BackendFlavor,
+    cfg: &SessionConfig,
+    mode: MetricMode,
+) -> Result<proof_core::ProfileReport, proof_core::ProofError> {
+    let Some(path) = flags.get("trace-out") else {
+        return profile_model(g, platform, flavor, cfg, mode);
+    };
+    let (tracer, ring) = proof_obs::shared_ring_tracer();
+    let trace_id = proof_obs::new_trace_id();
+    let mut root = tracer.span_in(trace_id, "profile");
+    root.field("model", g.name.clone());
+    root.field("batch", g.batch_size());
+    let outcome = proof_core::prepare_stages(g, platform, flavor, cfg)
+        .map(|prep| (proof_core::run_metric_stages(&prep, mode), prep));
+    root.finish();
+    let (report, prep) = outcome?;
+    let trace_json =
+        proof_core::merged_chrome_trace(&ring.trace_spans(trace_id), Some(&prep.compiled.compiled));
+    std::fs::write(path, trace_json).expect("write trace");
+    println!("wrote {path}");
+    Ok(report)
+}
+
 fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
     let platform = load_platform(&flags);
     let batch: u64 = flags
@@ -194,13 +227,24 @@ fn cmd_profile(flags: HashMap<String, String>) -> ExitCode {
     if let Some(seed) = flags.get("seed") {
         cfg = cfg.with_seed(seed.parse().expect("seed"));
     }
-    let report = match profile_model(&g, &platform, flavor, &cfg, mode) {
+    let report = match run_profile(&flags, &g, &platform, flavor, &cfg, mode) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("profiling failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if proof_obs::event_enabled(proof_obs::Level::Info) {
+        proof_obs::event(
+            proof_obs::Level::Info,
+            "proof_cli",
+            format!(
+                "profiled {} on {} (bs={batch}, {precision}): {:.3} ms",
+                report.model, report.platform, report.total_latency_ms
+            ),
+            Vec::new(),
+        );
+    }
     let top: usize = flags
         .get("top")
         .map(|v| v.parse().expect("top"))
@@ -359,7 +403,7 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
         }
     };
     println!(
-        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /metrics, GET /models",
+        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /trace/<trace-id>, GET /metrics[?format=prometheus], GET /models",
         server.addr()
     );
     // serve until the process is terminated

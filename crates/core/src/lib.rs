@@ -12,7 +12,9 @@
 //! - `ncu_fix` — the Tensor-Core FLOP correction for counter profilers,
 //! - `roofline` — end-to-end and layer-wise roofline assembly,
 //! - [`pipeline`] — the workflow as explicit, reusable stages with typed
-//!   artifacts, per-stage timings, and the unified [`ProofError`],
+//!   artifacts, per-stage spans/timings, and the unified [`ProofError`],
+//! - [`trace_export`] — merged Chrome-trace export (stage spans + kernel
+//!   timeline on one clock),
 //! - `profile` — the top-level profiler driver (predicted or measured),
 //! - `peak` — achieved-roofline-peak measurement via a pseudo model,
 //! - `report` / `viewer` — text/CSV reports and SVG roofline charts.
@@ -32,6 +34,7 @@ pub mod profile;
 pub mod report;
 pub mod roofline;
 pub mod sweep;
+pub mod trace_export;
 pub mod viewer;
 
 pub use analysis::AnalyzeRepr;
@@ -52,4 +55,5 @@ pub use pipeline::{
 pub use profile::{profile_model, LayerReport, MetricMode, ProfileReport};
 pub use roofline::{categorize, LayerCategory, RooflineCeiling, RooflineChart, RooflinePoint};
 pub use sweep::{pow2_grid, sweep_batches, BatchSweep, SweepPoint};
+pub use trace_export::merged_chrome_trace;
 pub use viewer::{render_roofline_svg, SvgOptions};

@@ -13,11 +13,18 @@
 //! what lets `sweep_batches` and proof-serve profile the same configuration
 //! in both modes — or resweep a grid — paying compile/profile/map once.
 //!
-//! Every produced [`ProfileReport`] carries a [`PipelineTrace`] with
-//! wall-clock per-stage timings (`proof profile --trace`, serve's
-//! `/metrics` stage histograms). The trace is observability metadata: it is
-//! excluded from the report's JSON form and equality so reports stay
-//! bit-for-bit reproducible for a given (spec, seed).
+//! Every stage body runs inside a `proof_obs` span named after the stage
+//! ([`PipelineStage::name`]), inheriting trace and parent from whatever
+//! span the caller has open — a serve job's root span, the CLI's `profile`
+//! span — so one Chrome-trace file can show the whole stage hierarchy (see
+//! [`crate::trace_export`]). Every produced [`ProfileReport`] still carries
+//! a [`PipelineTrace`] with wall-clock per-stage timings (`proof profile
+//! --trace`, serve's `/metrics` stage histograms); it is now derived from
+//! the span records ([`PipelineTrace::from_spans`] reconstructs an equal
+//! trace from a collector) rather than being a separate timing source. The
+//! trace is observability metadata: it is excluded from the report's JSON
+//! form and equality so reports stay bit-for-bit reproducible for a given
+//! (spec, seed).
 
 use crate::analysis::AnalyzeRepr;
 use crate::fused::FuseError;
@@ -29,10 +36,10 @@ use crate::OptimizedRepr;
 use proof_counters::profile_with_counters;
 use proof_hw::Platform;
 use proof_ir::Graph;
+use proof_obs::SpanRecord;
 use proof_runtime::{
     compile, BackendError, BackendFlavor, CompiledModel, LayerProfile, SessionConfig, Utilization,
 };
-use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Unified error
@@ -114,7 +121,8 @@ impl PipelineStage {
         PipelineStage::Assemble,
     ];
 
-    /// Stable snake_case name (used as the `/metrics` histogram key).
+    /// Stable snake_case name (used as the `/metrics` histogram key and the
+    /// stage span name).
     pub fn name(self) -> &'static str {
         match self {
             PipelineStage::Compile => "compile",
@@ -123,6 +131,11 @@ impl PipelineStage {
             PipelineStage::Metrics => "metrics",
             PipelineStage::Assemble => "assemble",
         }
+    }
+
+    /// Inverse of [`PipelineStage::name`].
+    pub fn from_name(name: &str) -> Option<PipelineStage> {
+        PipelineStage::ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
@@ -174,13 +187,49 @@ impl PipelineTrace {
         out.push_str(&format!("{:<16} {:>9.1} µs\n", "total", self.total_us()));
         out
     }
+
+    /// Rebuild a trace from collected span records: stage-named spans, in
+    /// start order, with their real wall durations. Given the spans of one
+    /// pipeline run this equals the trace the drivers recorded directly.
+    pub fn from_spans<'a>(spans: impl IntoIterator<Item = &'a SpanRecord>) -> PipelineTrace {
+        let mut staged: Vec<(&SpanRecord, PipelineStage)> = spans
+            .into_iter()
+            .filter_map(|s| PipelineStage::from_name(s.name).map(|stage| (s, stage)))
+            .collect();
+        staged.sort_by(|a, b| {
+            a.0.start_us
+                .total_cmp(&b.0.start_us)
+                .then(a.0.id.cmp(&b.0.id))
+        });
+        PipelineTrace {
+            stages: staged
+                .into_iter()
+                .map(|(s, stage)| StageTiming {
+                    stage,
+                    duration_us: s.wall_us,
+                })
+                .collect(),
+        }
+    }
 }
 
-/// Time one stage body and record it in `trace`.
+/// Run one stage body inside a span named after the stage and record its
+/// wall duration in `trace`. The span is the single timing source: the
+/// trace entry is taken from the finished record, so a collector sees
+/// exactly the durations the report carries.
 fn timed<T>(trace: &mut PipelineTrace, stage: PipelineStage, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
+    let span = proof_obs::span(stage.name());
     let out = f();
-    trace.record(stage, t0.elapsed().as_secs_f64() * 1e6);
+    let rec = span.finish();
+    if proof_obs::event_enabled(proof_obs::Level::Debug) {
+        proof_obs::event(
+            proof_obs::Level::Debug,
+            "proof_core::pipeline",
+            format!("stage {} finished in {:.1} µs", stage.name(), rec.wall_us),
+            Vec::new(),
+        );
+    }
+    trace.record(stage, rec.wall_us);
     out
 }
 
@@ -563,6 +612,14 @@ mod tests {
             assert_eq!(staged, mono);
             assert_eq!(staged.to_json(), mono.to_json());
         }
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in PipelineStage::ALL {
+            assert_eq!(PipelineStage::from_name(stage.name()), Some(stage));
+        }
+        assert_eq!(PipelineStage::from_name("no_such_stage"), None);
     }
 
     #[test]

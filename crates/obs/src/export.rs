@@ -1,0 +1,282 @@
+//! Exporters: Chrome-trace (`chrome://tracing` / Perfetto) JSON for spans
+//! and timeline events, and Prometheus text exposition for the registry.
+
+use crate::metrics::RegistrySnapshot;
+use crate::span::{FieldValue, SpanRecord};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal: backslash, quote, the common control
+/// escapes, and every remaining char below 0x20 as `\u00XX`.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One complete (`ph: "X"`) Chrome-trace slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: &'static str,
+    pub pid: u32,
+    pub tid: u32,
+    pub ts_us: f64,
+    pub dur_us: f64,
+    pub args: Vec<(String, FieldValue)>,
+}
+
+fn arg_json(value: &FieldValue) -> String {
+    match value {
+        FieldValue::U64(n) => n.to_string(),
+        FieldValue::I64(n) => n.to_string(),
+        FieldValue::F64(x) if x.is_finite() => format!("{x:.3}"),
+        FieldValue::F64(_) => "null".to_string(),
+        FieldValue::Bool(b) => b.to_string(),
+        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Render events as a Chrome-trace JSON document (`traceEvents` +
+/// `displayTimeUnit`), sorted by (ts, pid, tid) so rows interleave on one
+/// time axis. Timestamps and durations are fixed at 3 decimals, which both
+/// bounds the file size and makes the output stable for byte comparison.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then(a.pid.cmp(&b.pid))
+            .then(a.tid.cmp(&b.tid))
+    });
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{",
+            json_escape(&e.name),
+            json_escape(e.cat),
+            e.pid,
+            e.tid,
+            e.ts_us,
+            e.dur_us
+        );
+        for (j, (key, value)) in e.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(key), arg_json(value));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Convert finished spans to Chrome-trace slices on one (pid, tid) row.
+///
+/// Span ids are renumbered 1..N by start order into the `span`/`parent`
+/// args: the process-global id allocator is shared by everything in the
+/// process, so raw ids would differ from run to run and break byte-identical
+/// export. Parents outside the given slice map to 0.
+pub fn spans_to_events(
+    spans: &[SpanRecord],
+    pid: u32,
+    tid: u32,
+    cat: &'static str,
+) -> Vec<TraceEvent> {
+    let mut order: Vec<&SpanRecord> = spans.iter().collect();
+    order.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.id.cmp(&b.id)));
+    let local: HashMap<u64, u64> = order
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i as u64 + 1))
+        .collect();
+    order
+        .iter()
+        .map(|s| {
+            let mut args = vec![
+                ("span".to_string(), FieldValue::U64(local[&s.id])),
+                (
+                    "parent".to_string(),
+                    FieldValue::U64(local.get(&s.parent).copied().unwrap_or(0)),
+                ),
+            ];
+            args.extend(s.fields.iter().map(|(k, v)| (k.to_string(), v.clone())));
+            TraceEvent {
+                name: s.name.to_string(),
+                cat,
+                pid,
+                tid,
+                ts_us: s.start_us,
+                dur_us: s.dur_us(),
+                args,
+            }
+        })
+        .collect()
+}
+
+/// Clamp a name to the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); anything else becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a registry snapshot as Prometheus text exposition (version
+/// 0.0.4). Histograms emit cumulative `_bucket{le=...}` series capped by
+/// `le="+Inf"`, plus `_sum` and `_count`. `prefix` namespaces every metric
+/// (e.g. `proof_serve_`).
+pub fn prometheus_text(snap: &RegistrySnapshot, prefix: &str) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize_metric_name(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize_metric_name(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize_metric_name(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for &(le, count) in &h.buckets {
+            cumulative += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum_us);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, MetricsRegistry};
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(json_escape("x\ny\tz\r"), "x\\ny\\tz\\r");
+        assert_eq!(json_escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+        assert_eq!(json_escape("plain µs"), "plain µs");
+    }
+
+    fn event(name: &str, ts: f64, tid: u32) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "test",
+            pid: 1,
+            tid,
+            ts_us: ts,
+            dur_us: 1.0,
+            args: vec![
+                ("n".to_string(), FieldValue::U64(7)),
+                ("label".to_string(), FieldValue::Str("x\"y".to_string())),
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_json_is_valid_and_time_sorted() {
+        let trace = chrome_trace_json(&[event("b", 5.0, 2), event("a", 1.0, 1)]);
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["name"], "a");
+        assert_eq!(events[1]["args"]["n"].as_u64(), Some(7));
+        assert_eq!(events[1]["args"]["label"], "x\"y");
+        assert_eq!(v["displayTimeUnit"], "ms");
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let v: serde_json::Value = serde_json::from_str(&chrome_trace_json(&[])).unwrap();
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    fn span(id: u64, parent: u64, start: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            trace: 9,
+            parent,
+            name: "s",
+            start_us: start,
+            end_us: start + 2.0,
+            wall_us: 2.0,
+            fields: vec![("job", FieldValue::U64(1))],
+        }
+    }
+
+    #[test]
+    fn spans_renumber_ids_deterministically_by_start_order() {
+        // ids 50/51 vs 500/501 must export identically
+        let a = spans_to_events(&[span(51, 50, 1.0), span(50, 0, 0.0)], 1, 0, "pipeline");
+        let b = spans_to_events(&[span(501, 500, 1.0), span(500, 0, 0.0)], 1, 0, "pipeline");
+        assert_eq!(a, b);
+        assert_eq!(a[0].args[0], ("span".to_string(), FieldValue::U64(1)));
+        assert_eq!(a[1].args[1], ("parent".to_string(), FieldValue::U64(1)));
+        // a parent outside the slice maps to 0
+        let orphan = spans_to_events(&[span(3, 999, 0.0)], 1, 0, "pipeline");
+        assert_eq!(
+            orphan[0].args[1],
+            ("parent".to_string(), FieldValue::U64(0))
+        );
+    }
+
+    #[test]
+    fn prometheus_text_emits_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs_total").add(3);
+        reg.gauge("queue_depth").set(2.0);
+        let h: std::sync::Arc<Histogram> = reg.histogram("exec_us");
+        for us in [1, 3, 3, 900] {
+            h.record_us(us);
+        }
+        let text = prometheus_text(&reg.snapshot(), "proof_");
+        assert!(text.contains("# TYPE proof_jobs_total counter\nproof_jobs_total 3\n"));
+        assert!(text.contains("# TYPE proof_queue_depth gauge\nproof_queue_depth 2\n"));
+        // buckets are cumulative and capped by +Inf == count
+        assert!(text.contains("proof_exec_us_bucket{le=\"2\"} 1"));
+        assert!(text.contains("proof_exec_us_bucket{le=\"4\"} 3"));
+        assert!(text.contains("proof_exec_us_bucket{le=\"1024\"} 4"));
+        assert!(text.contains("proof_exec_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("proof_exec_us_sum 907"));
+        assert!(text.contains("proof_exec_us_count 4"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name("bad name-µ"), "bad_name__");
+        assert_eq!(sanitize_metric_name("9lead"), "_lead");
+    }
+}

@@ -1,0 +1,237 @@
+//! The metrics registry: named counters, gauges, and log2 latency
+//! histograms with a snapshot API (rendered by the JSON `/metrics` body and
+//! the Prometheus exporter in [`crate::export`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets: bucket `i` counts samples in `[2^i, 2^(i+1))` µs,
+/// bucket 0 additionally covers sub-microsecond samples. 2^39 µs ≈ 6 days,
+/// far beyond any job latency.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram (microseconds).
+pub struct Histogram {
+    inner: Mutex<HistInner>,
+}
+
+struct HistInner {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+/// Snapshot: only non-empty buckets, as `(le_us, count)` pairs with
+/// cumulative-friendly upper bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_us: u64,
+    pub max_us: u64,
+    pub mean_us: f64,
+    /// `[upper_bound_us, count]` per occupied log2 bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Mutex::new(HistInner {
+                counts: [0; BUCKETS],
+                count: 0,
+                sum_us: 0,
+                max_us: 0,
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record_us(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        let mut h = self.inner.lock().unwrap();
+        h.counts[bucket] += 1;
+        h.count += 1;
+        h.sum_us += us;
+        h.max_us = h.max_us.max(us);
+    }
+
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = self.inner.lock().unwrap();
+        HistogramSnapshot {
+            count: h.count,
+            sum_us: h.sum_us,
+            max_us: h.max_us,
+            mean_us: if h.count == 0 {
+                0.0
+            } else {
+                h.sum_us as f64 / h.count as f64
+            },
+            buckets: h
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (1u64 << (i + 1), c))
+                .collect(),
+        }
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins f64 gauge.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct Registered {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Named metric instruments. `counter`/`gauge`/`histogram` get-or-register,
+/// so any holder of the registry can cheaply re-resolve an instrument by
+/// name; the returned `Arc` is the hot-path handle (no lock per update).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registered>,
+}
+
+/// Point-in-time view of every registered instrument, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.counters.entry(name.to_string()).or_default())
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.gauges.entry(name.to_string()).or_default())
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+    }
+
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record_us(0); // clamped into bucket 0
+        h.record_us(1);
+        h.record_us(3);
+        h.record_us(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max_us, 1000);
+        // 0 and 1 land in [1,2), 3 in [2,4), 1000 in [512,1024)
+        assert_eq!(s.buckets, vec![(2, 2), (4, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn histogram_bucket_counts_sum_to_count() {
+        let h = Histogram::default();
+        for us in [1, 5, 5, 80, 4096, 4097, 1 << 50] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), s.count);
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn registry_reresolves_instruments_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests").inc();
+        reg.counter("requests").add(2);
+        reg.gauge("depth").set(3.5);
+        reg.histogram("lat_us").record_us(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("requests".to_string(), 3)]);
+        assert_eq!(snap.gauges, vec![("depth".to_string(), 3.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = MetricsRegistry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            reg.counter(name).inc();
+        }
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

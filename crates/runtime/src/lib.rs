@@ -37,4 +37,4 @@ pub use config::SessionConfig;
 pub use exec::Utilization;
 pub use fusion::{FusionPolicy, GroupKind, RtGroup};
 pub use lower::{Kernel, KernelClass, KernelCost};
-pub use trace::chrome_trace;
+pub use trace::{chrome_trace, kernel_events};

@@ -1,79 +1,82 @@
 //! Chrome-trace export: serialize the simulated kernel timeline in the
 //! `chrome://tracing` / Perfetto JSON format — the timeline view a real
 //! deployment would get from Nsight Systems.
+//!
+//! The timeline is produced as [`proof_obs::TraceEvent`]s so callers can
+//! merge it with pipeline-stage spans on one clock
+//! (`proof_core::merged_chrome_trace`) before rendering; [`chrome_trace`]
+//! keeps the standalone kernel-only document.
 
 use crate::backend::CompiledModel;
-use std::fmt::Write as _;
+use proof_obs::export::chrome_trace_json;
+use proof_obs::{FieldValue, TraceEvent};
 
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Serialize the execution timeline as Chrome-trace JSON. Two rows: backend
-/// layers (tid 1) and the kernels inside them (tid 2); durations come from
-/// the deterministic base latencies.
-pub fn chrome_trace(model: &CompiledModel) -> String {
-    let mut out = String::from("{\"traceEvents\":[\n");
-    let pid = 1;
-    let mut t_us = 0.0f64;
-    let mut first = true;
+/// The execution timeline as trace events starting at `t0_us`. Two rows:
+/// backend layers (tid 1) and the kernels inside them (tid 2); durations
+/// come from the deterministic base latencies.
+pub fn kernel_events(model: &CompiledModel, t0_us: f64) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut t_us = t0_us;
     for layer in &model.layers {
         if layer.kernels.is_empty() {
             continue;
         }
-        let mut push = |s: &mut String,
-                        name: &str,
-                        cat: &str,
-                        tid: u32,
-                        ts: f64,
-                        dur: f64,
-                        args: String| {
-            if !first {
-                s.push_str(",\n");
-            }
-            first = false;
-            let _ = write!(
-                s,
-                "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{{args}}}}}",
-                esc(name)
-            );
-        };
-        push(
-            &mut out,
-            &layer.name,
-            "backend_layer",
-            1,
-            t_us,
-            layer.base_latency_us,
-            format!(
-                "\"compute_us\":{:.3},\"memory_us\":{:.3},\"reorder\":{}",
-                layer.timing.compute_us, layer.timing.memory_us, layer.is_reorder
-            ),
-        );
+        events.push(TraceEvent {
+            name: layer.name.clone(),
+            cat: "backend_layer",
+            pid: 1,
+            tid: 1,
+            ts_us: t_us,
+            dur_us: layer.base_latency_us,
+            args: vec![
+                (
+                    "compute_us".to_string(),
+                    FieldValue::F64(layer.timing.compute_us),
+                ),
+                (
+                    "memory_us".to_string(),
+                    FieldValue::F64(layer.timing.memory_us),
+                ),
+                ("reorder".to_string(), FieldValue::Bool(layer.is_reorder)),
+            ],
+        });
         let per_kernel = layer.base_latency_us / layer.kernels.len() as f64;
         let mut kt = t_us;
         for k in &layer.kernels {
-            push(
-                &mut out,
-                &k.name,
-                "kernel",
-                2,
-                kt,
-                per_kernel,
-                format!(
-                    "\"class\":\"{:?}\",\"hw_flops\":{},\"dram_bytes\":{},\"tensor_core\":{}",
-                    k.class,
-                    k.cost.hw_flops,
-                    k.cost.dram_bytes(),
-                    k.cost.tensor_core
-                ),
-            );
+            events.push(TraceEvent {
+                name: k.name.clone(),
+                cat: "kernel",
+                pid: 1,
+                tid: 2,
+                ts_us: kt,
+                dur_us: per_kernel,
+                args: vec![
+                    (
+                        "class".to_string(),
+                        FieldValue::Str(format!("{:?}", k.class)),
+                    ),
+                    ("hw_flops".to_string(), FieldValue::U64(k.cost.hw_flops)),
+                    (
+                        "dram_bytes".to_string(),
+                        FieldValue::U64(k.cost.dram_bytes()),
+                    ),
+                    (
+                        "tensor_core".to_string(),
+                        FieldValue::Bool(k.cost.tensor_core),
+                    ),
+                ],
+            });
             kt += per_kernel;
         }
         t_us += layer.base_latency_us;
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
+    events
+}
+
+/// Serialize the execution timeline as a standalone Chrome-trace JSON
+/// document.
+pub fn chrome_trace(model: &CompiledModel) -> String {
+    chrome_trace_json(&kernel_events(model, 0.0))
 }
 
 #[cfg(test)]
@@ -135,5 +138,37 @@ mod tests {
         let trace = chrome_trace(&m);
         serde_json::from_str::<serde_json::Value>(&trace).unwrap();
         assert!(trace.contains("tensor_core"));
+    }
+
+    #[test]
+    fn control_characters_in_names_still_emit_valid_json() {
+        // regression: the old escaper handled only '\' and '"', so newlines,
+        // tabs, or raw control bytes in a layer/kernel name broke the JSON
+        let mut m = compiled();
+        m.layers[0].name = "conv\n\t \"0\"\\ \u{1}\u{1f}".to_string();
+        if let Some(k) = m.layers[0].kernels.first_mut() {
+            k.name = "kern\rnel \u{7}".to_string();
+        }
+        let trace = chrome_trace(&m);
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("escaped JSON parses");
+        let events = v["traceEvents"].as_array().unwrap();
+        // the names round-trip exactly through escape + parse
+        assert!(events
+            .iter()
+            .any(|e| e["name"] == "conv\n\t \"0\"\\ \u{1}\u{1f}"));
+        assert!(events.iter().any(|e| e["name"] == "kern\rnel \u{7}"));
+    }
+
+    #[test]
+    fn kernel_events_offset_by_t0() {
+        let m = compiled();
+        let at_zero = kernel_events(&m, 0.0);
+        let shifted = kernel_events(&m, 100.0);
+        assert_eq!(at_zero.len(), shifted.len());
+        for (a, b) in at_zero.iter().zip(&shifted) {
+            assert!((b.ts_us - a.ts_us - 100.0).abs() < 1e-9);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.dur_us, b.dur_us);
+        }
     }
 }

@@ -96,10 +96,22 @@ fn reason(status: u16) -> &'static str {
 /// Write a JSON response and flush. Connections are single-request
 /// (`Connection: close`), which keeps lifecycle handling trivial.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// [`write_response`] with an explicit Content-Type (the Prometheus
+/// exposition endpoint serves `text/plain`).
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     );
     stream.write_all(head.as_bytes())?;

@@ -1,106 +1,65 @@
-//! Service metrics: job/pipeline-stage latency histograms and worker
-//! utilization.
+//! Service metrics on the `proof-obs` registry: job/pipeline-stage latency
+//! histograms and worker utilization.
+//!
+//! The log2 [`Histogram`] itself now lives in `proof_obs::metrics` (it is
+//! re-exported here unchanged); this module keeps the serve-specific
+//! instruments — per-stage histograms registered under `stage_<name>_us`,
+//! worker busy accounting — and the JSON rendering used by `GET /metrics`.
 
 use proof_core::{PipelineStage, StageTiming};
+use proof_obs::MetricsRegistry;
+pub use proof_obs::{Histogram, HistogramSnapshot};
 use serde::Serialize;
+use serde_json::{Map, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Number of log2 buckets: bucket `i` counts samples in `[2^i, 2^(i+1))` µs,
-/// bucket 0 additionally covers sub-microsecond samples. 2^39 µs ≈ 6 days,
-/// far beyond any job latency.
-const BUCKETS: usize = 40;
-
-/// A log2-bucketed latency histogram (microseconds).
-pub struct Histogram {
-    inner: Mutex<HistInner>,
-}
-
-struct HistInner {
-    counts: [u64; BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-/// Serializable snapshot: only non-empty buckets, as `(le_us, count)` pairs
-/// with cumulative-friendly upper bounds.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct HistogramSnapshot {
-    pub count: u64,
-    pub sum_us: u64,
-    pub max_us: u64,
-    pub mean_us: f64,
-    /// `[upper_bound_us, count]` per occupied log2 bucket, ascending.
-    pub buckets: Vec<(u64, u64)>,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            inner: Mutex::new(HistInner {
-                counts: [0; BUCKETS],
-                count: 0,
-                sum_us: 0,
-                max_us: 0,
-            }),
-        }
-    }
-}
-
-impl Histogram {
-    pub fn record_us(&self, us: u64) {
-        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        let mut h = self.inner.lock().unwrap();
-        h.counts[bucket] += 1;
-        h.count += 1;
-        h.sum_us += us;
-        h.max_us = h.max_us.max(us);
-    }
-
-    pub fn record(&self, elapsed: std::time::Duration) {
-        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
-    }
-
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let h = self.inner.lock().unwrap();
-        HistogramSnapshot {
-            count: h.count,
-            sum_us: h.sum_us,
-            max_us: h.max_us,
-            mean_us: if h.count == 0 {
-                0.0
-            } else {
-                h.sum_us as f64 / h.count as f64
-            },
-            buckets: h
-                .counts
+/// Render a histogram snapshot as the `/metrics` JSON shape (`proof-obs`
+/// types can't implement the vendored `Serialize` from here, so the value
+/// is built by hand — same shape as the old derive).
+pub fn hist_value(snap: &HistogramSnapshot) -> Value {
+    let mut m = Map::new();
+    m.insert("count".to_string(), Value::from(snap.count));
+    m.insert("sum_us".to_string(), Value::from(snap.sum_us));
+    m.insert("max_us".to_string(), Value::from(snap.max_us));
+    m.insert("mean_us".to_string(), Value::from(snap.mean_us));
+    m.insert(
+        "buckets".to_string(),
+        Value::Array(
+            snap.buckets
                 .iter()
-                .enumerate()
-                .filter(|(_, &c)| c > 0)
-                .map(|(i, &c)| (1u64 << (i + 1), c))
+                .map(|&(le, c)| Value::Array(vec![Value::from(le), Value::from(c)]))
                 .collect(),
-        }
-    }
+        ),
+    );
+    Value::Object(m)
 }
 
 /// One latency histogram per pipeline stage, fed from the [`StageTiming`]s
 /// of traces the workers actually execute (cached prefix stages are
-/// recorded once, when built — not again on every reuse).
+/// recorded once, when built — not again on every reuse). The histograms
+/// are registered as `stage_<name>_us`, so the Prometheus exposition picks
+/// them up from the registry snapshot.
 pub struct StageHistograms {
-    hists: [Histogram; PipelineStage::ALL.len()],
+    hists: [Arc<Histogram>; PipelineStage::ALL.len()],
 }
 
 impl Default for StageHistograms {
     fn default() -> Self {
-        StageHistograms {
-            hists: std::array::from_fn(|_| Histogram::default()),
-        }
+        StageHistograms::register(&MetricsRegistry::new())
     }
 }
 
 impl StageHistograms {
+    /// Register the five stage histograms in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> StageHistograms {
+        StageHistograms {
+            hists: PipelineStage::ALL
+                .map(|s| registry.histogram(&format!("stage_{}_us", s.name()))),
+        }
+    }
+
     fn index(stage: PipelineStage) -> usize {
         PipelineStage::ALL
             .iter()
@@ -208,6 +167,20 @@ mod tests {
     }
 
     #[test]
+    fn hist_value_keeps_the_metrics_json_shape() {
+        let h = Histogram::default();
+        h.record_us(3);
+        h.record_us(5);
+        let v = hist_value(&h.snapshot());
+        assert_eq!(v["count"].as_u64(), Some(2));
+        assert_eq!(v["sum_us"].as_u64(), Some(8));
+        assert_eq!(v["mean_us"].as_f64(), Some(4.0));
+        let buckets = v["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].as_array().unwrap()[0].as_u64(), Some(4));
+    }
+
+    #[test]
     fn stage_histograms_key_by_stage_name() {
         let h = StageHistograms::default();
         h.record(&[
@@ -231,6 +204,24 @@ mod tests {
         assert_eq!(by_name("metrics").count, 2);
         assert_eq!(by_name("metrics").sum_us, 16);
         assert_eq!(by_name("assemble").count, 0);
+    }
+
+    #[test]
+    fn stage_histograms_share_the_registry_instruments() {
+        let registry = MetricsRegistry::new();
+        let stages = StageHistograms::register(&registry);
+        stages.record(&[StageTiming {
+            stage: PipelineStage::Map,
+            duration_us: 42.0,
+        }]);
+        let snap = registry.snapshot();
+        let map_hist = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "stage_map_us")
+            .expect("registered under stage_map_us");
+        assert_eq!(map_hist.1.count, 1);
+        assert_eq!(snap.histograms.len(), 5);
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! in-flight job before exiting, so no accepted job is ever dropped.
 
 use crate::cache::{ArtifactCache, Lookup};
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_typed, Request};
 use crate::job::AnalysisJob;
-use crate::metrics::{Histogram, StageHistograms, WorkerMetrics};
+use crate::metrics::{hist_value, Histogram, StageHistograms, WorkerMetrics};
 use crate::queue::JobQueue;
 use crate::stage_cache::StageCache;
-use proof_core::{run_metric_stages, PipelineStage, ProfileReport};
+use proof_core::{
+    merged_chrome_trace, run_metric_stages, PipelineStage, PreparedStages, ProfileReport,
+};
 use proof_models::ModelId;
+use proof_obs::export::prometheus_text;
+use proof_obs::{Counter, FieldValue, Level, MetricsRegistry, RingCollector, Tracer};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -79,10 +83,16 @@ struct JobRecord {
     key: String,
     status: JobStatus,
     group: Option<u64>,
+    /// Observability trace id: every span the job's execution opens carries
+    /// it, and `GET /trace/<id>` renders the collected result.
+    trace: u64,
     /// Whether the artifact came from the cache (set when finished).
     cache_hit: Option<bool>,
     error: Option<String>,
     artifact: Option<Arc<String>>,
+    /// Merged Chrome-trace JSON, rendered eagerly when the job finishes (the
+    /// ring buffer may evict the spans long before a client asks).
+    trace_json: Option<Arc<String>>,
     submitted: Instant,
     queue_wait_us: Option<u64>,
     execute_us: Option<u64>,
@@ -94,6 +104,7 @@ impl JobRecord {
         m.insert("id".to_string(), Value::from(id));
         m.insert("spec".to_string(), self.spec.to_value());
         m.insert("key".to_string(), Value::from(self.key.as_str()));
+        m.insert("trace".to_string(), Value::from(self.trace));
         m.insert("status".to_string(), Value::from(self.status.as_str()));
         m.insert(
             "group".to_string(),
@@ -156,9 +167,16 @@ struct Shared {
     cache: ArtifactCache,
     stage_cache: StageCache,
     worker_metrics: WorkerMetrics,
-    hist_queue_wait: Histogram,
-    hist_execute: Histogram,
-    hist_total: Histogram,
+    /// The process-shared ring tracer: job spans land here, and the
+    /// pipeline stages (which trace through the global facade) join them.
+    tracer: Arc<Tracer>,
+    ring: Arc<RingCollector>,
+    /// Named instruments behind `GET /metrics` (both formats).
+    metrics: MetricsRegistry,
+    http_requests: Arc<Counter>,
+    hist_queue_wait: Arc<Histogram>,
+    hist_execute: Arc<Histogram>,
+    hist_total: Arc<Histogram>,
     stage_hists: StageHistograms,
     running: AtomicBool,
     conns: ConnGate,
@@ -186,6 +204,8 @@ impl Server {
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let (tracer, ring) = proof_obs::shared_ring_tracer();
+        let metrics = MetricsRegistry::new();
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             registry: Mutex::new(HashMap::new()),
@@ -194,10 +214,14 @@ impl Server {
             cache: ArtifactCache::new(config.cache_budget_bytes, config.cache_dir.clone())?,
             stage_cache: StageCache::new(config.stage_cache_capacity),
             worker_metrics: WorkerMetrics::new(config.workers.max(1)),
-            hist_queue_wait: Histogram::default(),
-            hist_execute: Histogram::default(),
-            hist_total: Histogram::default(),
-            stage_hists: StageHistograms::default(),
+            tracer,
+            ring,
+            http_requests: metrics.counter("http_requests_total"),
+            hist_queue_wait: metrics.histogram("job_queue_wait_us"),
+            hist_execute: metrics.histogram("job_execute_us"),
+            hist_total: metrics.histogram("job_total_us"),
+            stage_hists: StageHistograms::register(&metrics),
+            metrics,
             running: AtomicBool::new(true),
             conns: ConnGate::default(),
         });
@@ -293,28 +317,38 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn execute_job(shared: &Arc<Shared>, id: u64) {
-    let (spec, key, submitted) = {
+    let (spec, key, submitted, trace_id) = {
         let mut reg = shared.registry.lock().unwrap();
         let rec = reg.get_mut(&id).expect("queued job has a record");
         rec.status = JobStatus::Running;
         let wait_us = rec.submitted.elapsed().as_micros() as u64;
         rec.queue_wait_us = Some(wait_us);
         shared.hist_queue_wait.record_us(wait_us);
-        (rec.spec, rec.key.clone(), rec.submitted)
+        (rec.spec, rec.key.clone(), rec.submitted, rec.trace)
     };
 
     let _busy = shared.worker_metrics.busy_span();
     let exec_start = Instant::now();
+    // Root span of the job's trace; the pipeline stages (tracing through
+    // the global facade) nest under it because they run on this thread.
+    let mut span = shared.tracer.span_in(trace_id, "job");
+    span.field("job", id);
+    // The prepared prefix used for this execution (if any), so the trace
+    // export can merge the kernel timeline of the compiled model.
+    let mut prep_used: Option<Arc<PreparedStages>> = None;
     // Single-flight: concurrent identical jobs wait here and then hit.
     let outcome = match shared.cache.lookup_or_begin(&key) {
         Lookup::Hit(artifact) => Ok((artifact, true)),
         Lookup::Miss(guard) => match run_staged(shared, &spec) {
             // try_to_json instead of to_json: a non-finite value fails the
             // job instead of aborting the whole worker thread.
-            Ok(report) => match report.try_to_json() {
-                Ok(json) => Ok((guard.fulfill(json), false)),
-                Err(e) => Err(e.to_string()),
-            },
+            Ok((report, prep)) => {
+                prep_used = Some(prep);
+                match report.try_to_json() {
+                    Ok(json) => Ok((guard.fulfill(json), false)),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
             // dropping the guard lets a coalesced waiter retry the build
             Err(e) => Err(e),
         },
@@ -325,9 +359,34 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         .hist_total
         .record_us(submitted.elapsed().as_micros() as u64);
 
+    span.field("cache_hit", matches!(outcome, Ok((_, true))));
+    let status = if outcome.is_ok() { "done" } else { "failed" };
+    span.field("status", status);
+    span.finish();
+    let (level, message) = match &outcome {
+        Ok(_) => (Level::Info, format!("job {id} {status}")),
+        Err(e) => (Level::Warn, format!("job {id} failed: {e}")),
+    };
+    shared.tracer.event(
+        level,
+        "proof_serve::worker",
+        message,
+        vec![
+            ("job", FieldValue::U64(id)),
+            ("execute_us", FieldValue::U64(execute_us)),
+        ],
+    );
+    // Render the merged trace now: the ring buffer may evict these spans
+    // long before a client asks for them.
+    let trace_json = merged_chrome_trace(
+        &shared.ring.trace_spans(trace_id),
+        prep_used.as_deref().map(|p| &p.compiled.compiled),
+    );
+
     let mut reg = shared.registry.lock().unwrap();
     let rec = reg.get_mut(&id).expect("running job has a record");
     rec.execute_us = Some(execute_us);
+    rec.trace_json = Some(Arc::new(trace_json));
     match outcome {
         Ok((artifact, hit)) => {
             rec.status = JobStatus::Done;
@@ -346,7 +405,10 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
 /// same spec — under any metric mode — was prepared before. Prefix stage
 /// timings are recorded into the stage histograms once, when built; the
 /// metric/assembly stages are recorded on every execution.
-fn run_staged(shared: &Shared, spec: &AnalysisJob) -> Result<ProfileReport, String> {
+fn run_staged(
+    shared: &Shared,
+    spec: &AnalysisJob,
+) -> Result<(ProfileReport, Arc<PreparedStages>), String> {
     let skey = spec.stage_cache_key();
     let prep = match shared.stage_cache.get(&skey) {
         Some(prep) => prep,
@@ -365,23 +427,30 @@ fn run_staged(shared: &Shared, spec: &AnalysisJob) -> Result<ProfileReport, Stri
             .iter()
             .filter(|t| matches!(t.stage, PipelineStage::Metrics | PipelineStage::Assemble)),
     );
-    Ok(report)
+    Ok((report, prep))
 }
 
-/// Register + enqueue one parsed job. Returns the job id.
-fn submit(shared: &Shared, spec: AnalysisJob, group: Option<u64>) -> Result<u64, &'static str> {
+/// Register + enqueue one parsed job. Returns `(job id, trace id)`.
+fn submit(
+    shared: &Shared,
+    spec: AnalysisJob,
+    group: Option<u64>,
+) -> Result<(u64, u64), &'static str> {
     if !shared.running.load(Ordering::SeqCst) {
         return Err("server is shutting down");
     }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let trace = proof_obs::new_trace_id();
     let record = JobRecord {
         spec,
         key: spec.cache_key(),
         status: JobStatus::Queued,
         group,
+        trace,
         cache_hit: None,
         error: None,
         artifact: None,
+        trace_json: None,
         submitted: Instant::now(),
         queue_wait_us: None,
         execute_us: None,
@@ -391,20 +460,47 @@ fn submit(shared: &Shared, spec: AnalysisJob, group: Option<u64>) -> Result<u64,
         shared.registry.lock().unwrap().remove(&id);
         return Err("job queue is full");
     }
-    Ok(id)
+    Ok((id, trace))
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.http_requests.inc();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let request = match read_request(&mut stream) {
         Ok(Some(r)) => r,
         Ok(None) => return,
         Err(e) => {
+            access_log(shared, &peer, "-", "-", 400);
             let _ = write_response(&mut stream, 400, &error_body(&e.to_string()));
             return;
         }
     };
     let (status, body) = route(shared, &request);
-    let _ = write_response(&mut stream, status, &body);
+    access_log(shared, &peer, &request.method, &request.path, status);
+    // The Prometheus exposition is the one non-JSON response body.
+    let content_type = if request.path == "/metrics" && status == 200 && body.starts_with('#') {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    let _ = write_response_typed(&mut stream, status, content_type, &body);
+}
+
+/// One structured access-log event per request (stderr when `PROOF_LOG`
+/// allows `info`, and into the shared ring collector).
+fn access_log(shared: &Shared, peer: &str, method: &str, path: &str, status: u16) {
+    shared.tracer.event(
+        Level::Info,
+        "proof_serve::http",
+        format!("{method} {path} -> {status}"),
+        vec![
+            ("peer", FieldValue::Str(peer.to_string())),
+            ("status", FieldValue::U64(u64::from(status))),
+        ],
+    );
 }
 
 fn error_body(msg: &str) -> String {
@@ -421,7 +517,8 @@ fn route(shared: &Shared, req: &Request) -> (u16, String) {
         ("GET", ["jobs", id, "report"]) => get_report(shared, id),
         ("POST", ["sweep"]) => post_sweep(shared, &req.body),
         ("GET", ["sweep", gid]) => get_sweep(shared, gid),
-        ("GET", ["metrics"]) => (200, metrics_body(shared)),
+        ("GET", ["trace", tid]) => get_trace(shared, tid),
+        ("GET", ["metrics"]) => (200, metrics_body(shared, &req.query)),
         ("GET", ["models"]) => (200, models_body()),
         ("GET", ["healthz"]) => (200, r#"{"status":"ok"}"#.to_string()),
         ("GET" | "POST", _) => (404, error_body("no such endpoint")),
@@ -439,10 +536,11 @@ fn post_job(shared: &Shared, body: &str) -> (u16, String) {
         Err(e) => return (400, error_body(&e)),
     };
     match submit(shared, spec, None) {
-        Ok(id) => {
+        Ok((id, trace)) => {
             let mut m = Map::new();
             m.insert("id".to_string(), Value::from(id));
             m.insert("key".to_string(), Value::from(spec.cache_key()));
+            m.insert("trace".to_string(), Value::from(trace));
             m.insert("status".to_string(), Value::from("queued"));
             (201, Value::Object(m).to_string())
         }
@@ -479,6 +577,23 @@ fn get_report(shared: &Shared, id: &str) -> (u16, String) {
                 error_body(rec.error.as_deref().unwrap_or("job failed")),
             ),
             _ => (409, error_body("job not finished yet")),
+        },
+    }
+}
+
+/// `GET /trace/<trace-id>` — the merged Chrome-trace JSON of a finished
+/// job's execution (pipeline-stage spans + kernel timeline on one clock).
+/// The id is the `trace` field of the job-submission reply and job status.
+fn get_trace(shared: &Shared, tid: &str) -> (u16, String) {
+    let Some(tid) = parse_id(tid) else {
+        return (400, error_body("trace id must be an integer"));
+    };
+    let reg = shared.registry.lock().unwrap();
+    match reg.values().find(|r| r.trace == tid) {
+        None => (404, error_body("no such trace")),
+        Some(rec) => match &rec.trace_json {
+            Some(json) => (200, json.as_str().to_string()),
+            None => (409, error_body("job not finished yet")),
         },
     }
 }
@@ -559,7 +674,7 @@ fn post_sweep(shared: &Shared, body: &str) -> (u16, String) {
     let mut ids = Vec::with_capacity(specs.len());
     for spec in specs {
         match submit(shared, spec, Some(group)) {
-            Ok(id) => ids.push(Value::from(id)),
+            Ok((id, _)) => ids.push(Value::from(id)),
             Err(e) => return (503, error_body(e)),
         }
     }
@@ -602,7 +717,10 @@ fn get_sweep(shared: &Shared, gid: &str) -> (u16, String) {
     (200, Value::Object(m).to_string())
 }
 
-fn metrics_body(shared: &Shared) -> String {
+fn metrics_body(shared: &Shared, query: &str) -> String {
+    if query.split('&').any(|kv| kv == "format=prometheus") {
+        return prometheus_body(shared);
+    }
     let mut queue = Map::new();
     queue.insert("depth".to_string(), Value::from(shared.queue.depth()));
     queue.insert("capacity".to_string(), Value::from(shared.queue.capacity()));
@@ -624,20 +742,20 @@ fn metrics_body(shared: &Shared) -> String {
     let mut latency = Map::new();
     latency.insert(
         "queue_wait_us".to_string(),
-        serde_json::to_value(&shared.hist_queue_wait.snapshot()),
+        hist_value(&shared.hist_queue_wait.snapshot()),
     );
     latency.insert(
         "execute_us".to_string(),
-        serde_json::to_value(&shared.hist_execute.snapshot()),
+        hist_value(&shared.hist_execute.snapshot()),
     );
     latency.insert(
         "total_us".to_string(),
-        serde_json::to_value(&shared.hist_total.snapshot()),
+        hist_value(&shared.hist_total.snapshot()),
     );
 
     let mut stages = Map::new();
     for (name, snap) in shared.stage_hists.snapshot() {
-        stages.insert(format!("{name}_us"), serde_json::to_value(&snap));
+        stages.insert(format!("{name}_us"), hist_value(&snap));
     }
 
     let mut m = Map::new();
@@ -658,6 +776,55 @@ fn metrics_body(shared: &Shared) -> String {
     m.insert("latency".to_string(), Value::Object(latency));
     m.insert("stages".to_string(), Value::Object(stages));
     Value::Object(m).to_string()
+}
+
+/// `GET /metrics?format=prometheus` — text exposition of every registry
+/// instrument plus scrape-time derived series (queue/job/worker/cache
+/// state), all under the `proof_serve_` prefix.
+fn prometheus_body(shared: &Shared) -> String {
+    let mut snap = shared.metrics.snapshot();
+
+    let reg = shared.registry.lock().unwrap();
+    let jobs = |s: JobStatus| reg.values().filter(|r| r.status == s).count() as u64;
+    let workers = shared.worker_metrics.snapshot();
+    let cache = shared.cache.stats();
+    let stage_cache = shared.stage_cache.stats();
+    snap.counters.extend([
+        ("jobs_done_total".to_string(), jobs(JobStatus::Done)),
+        ("jobs_failed_total".to_string(), jobs(JobStatus::Failed)),
+        ("jobs_submitted_total".to_string(), reg.len() as u64),
+        ("jobs_executed_total".to_string(), workers.jobs_executed),
+        ("cache_hits_total".to_string(), cache.hits),
+        ("cache_misses_total".to_string(), cache.misses),
+        ("cache_evictions_total".to_string(), cache.evictions),
+        ("cache_disk_hits_total".to_string(), cache.disk_hits),
+        ("stage_cache_hits_total".to_string(), stage_cache.hits),
+        ("stage_cache_misses_total".to_string(), stage_cache.misses),
+        (
+            "trace_spans_dropped_total".to_string(),
+            shared.ring.dropped(),
+        ),
+    ]);
+    snap.gauges.extend([
+        ("queue_depth".to_string(), shared.queue.depth() as f64),
+        ("queue_capacity".to_string(), shared.queue.capacity() as f64),
+        ("jobs_queued".to_string(), jobs(JobStatus::Queued) as f64),
+        ("jobs_running".to_string(), jobs(JobStatus::Running) as f64),
+        ("workers".to_string(), workers.count as f64),
+        ("workers_busy".to_string(), workers.busy as f64),
+        ("worker_utilization".to_string(), workers.utilization),
+        ("cache_entries".to_string(), cache.entries as f64),
+        ("cache_bytes".to_string(), cache.bytes as f64),
+        ("cache_budget_bytes".to_string(), cache.budget_bytes as f64),
+        (
+            "stage_cache_entries".to_string(),
+            stage_cache.entries as f64,
+        ),
+    ]);
+    drop(reg);
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    prometheus_text(&snap, "proof_serve_")
 }
 
 fn models_body() -> String {

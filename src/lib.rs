@@ -25,5 +25,6 @@ pub use proof_counters as counters;
 pub use proof_hw as hw;
 pub use proof_ir as ir;
 pub use proof_models as models;
+pub use proof_obs as obs;
 pub use proof_runtime as runtime;
 pub use proof_serve as serve;

@@ -253,3 +253,40 @@ fn measured_mode_charges_replay_overhead_proportional_to_kernels() {
     .unwrap();
     assert!(big.metric_collection_s > 2.0 * small.metric_collection_s);
 }
+
+#[test]
+fn pipeline_spans_reach_the_facade_tracer_and_merge_into_one_trace() {
+    // Tracing through the workspace facade: the pipeline stages record
+    // spans into the shared ring, and the merged Chrome trace holds both
+    // the stage spans and the compiled model's kernel timeline.
+    let (_, ring) = proof::obs::shared_ring_tracer();
+    let trace = proof::obs::new_trace_id();
+    let prep = {
+        let _root = proof::obs::span_in(trace, "profile");
+        proof::core::prepare_stages(
+            &ModelId::MobileNetV2x05.build(1),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+        )
+        .expect("prepare")
+    };
+    let spans = ring.trace_spans(trace);
+    // root + the three prefix stages, all carrying this trace id
+    assert!(spans.len() >= 4, "got {} spans", spans.len());
+    for stage in ["profile", "compile", "builtin_profile", "map"] {
+        assert!(
+            spans.iter().any(|s| s.name == stage),
+            "missing span {stage:?}"
+        );
+    }
+    // the derived PipelineTrace matches what prepare_stages recorded
+    let derived = proof::core::PipelineTrace::from_spans(&spans);
+    assert_eq!(derived.stages.len(), prep.trace.stages.len());
+
+    let doc = proof::core::merged_chrome_trace(&spans, Some(&prep.compiled.compiled));
+    let v: serde_json::Value = serde_json::from_str(&doc).expect("valid trace JSON");
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(events.iter().any(|e| e["cat"] == "pipeline"));
+    assert!(events.iter().any(|e| e["cat"] == "kernel"));
+}
