@@ -13,8 +13,10 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace so the smokes below run a freshly-built ./target/release/proof
+# (the bare root-package build would leave the proof-cli binary stale)
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -59,6 +61,58 @@ prom="$(curl -sf "http://${serve_addr}/metrics?format=prometheus")"
 grep -q "^# TYPE proof_serve_http_requests_total counter" <<<"$prom"
 grep -q "^proof_serve_queue_capacity " <<<"$prom"
 grep -q "^proof_serve_stage_compile_us_count " <<<"$prom"
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+
+echo "==> proof serve robustness smoke (fault injection, 429 backpressure, counters)"
+# tiny queue + deterministic fault plan: jobs seeded 31337 panic at the
+# compile stage, jobs seeded 41414 stall 1500 ms at the metrics stage
+serve_log="$(mktemp)"
+# stderr goes to the log too: the injected panic's backtrace is expected
+PROOF_FAULT="compile:panic@31337;metrics:stall:1500@41414" \
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 --queue-cap 1 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "listening on" "$serve_log" && break
+    sleep 0.1
+done
+serve_addr="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$serve_log" | head -n1)"
+
+# a panicking stage fails its job; the daemon survives
+poison_id="$(curl -sf -X POST "http://${serve_addr}/jobs" \
+    -d '{"model":"mobilenetv2-0.5","hardware":"a100","batch":1,"seed":31337}' \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+for _ in $(seq 100); do
+    poison_status="$(curl -sf "http://${serve_addr}/jobs/${poison_id}" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')"
+    [ "$poison_status" = failed ] && break
+    sleep 0.1
+done
+[ "$poison_status" = failed ] || { echo "expected panicked job to be failed, got ${poison_status}"; exit 1; }
+curl -sf "http://${serve_addr}/jobs/${poison_id}" | grep -q "injected fault"
+curl -sf "http://${serve_addr}/healthz" | grep -q '"ok"'
+
+# stall the single worker, fill the 1-deep queue, and the next submission
+# must bounce with 429 + Retry-After
+curl -sf -X POST "http://${serve_addr}/jobs" \
+    -d '{"model":"mobilenetv2-0.5","hardware":"a100","batch":1,"seed":41414}' >/dev/null
+sleep 0.3   # let the worker dequeue the stalling job
+curl -sf -X POST "http://${serve_addr}/jobs" \
+    -d '{"model":"mobilenetv2-0.5","hardware":"a100","batch":2,"seed":1}' >/dev/null
+reject="$(curl -s -i -X POST "http://${serve_addr}/jobs" \
+    -d '{"model":"mobilenetv2-0.5","hardware":"a100","batch":4,"seed":2}')"
+grep -q "^HTTP/1.1 429 " <<<"$reject"
+grep -qi "^Retry-After: " <<<"$reject"
+
+# the hardening counters are exposed under the proof_serve_ prefix
+prom="$(curl -sf "http://${serve_addr}/metrics?format=prometheus")"
+grep -q "^proof_serve_retries_total " <<<"$prom"
+grep -q "^proof_serve_timeouts_total " <<<"$prom"
+grep -q "^proof_serve_panics_total " <<<"$prom"
+grep -q "^proof_serve_rejected_total 1$" <<<"$prom"
+grep -q "^proof_serve_jobs_failed_total 1$" <<<"$prom"
 kill "$serve_pid" 2>/dev/null || true
 trap - EXIT
 rm -f "$serve_log"

@@ -139,7 +139,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     });
     // the stage-cache fast path: everything after a prefix hit
     c.bench_function("stage/metric_suffix_resnet50_predicted", |b| {
-        b.iter(|| black_box(run_metric_stages(black_box(&prep), MetricMode::Predicted)))
+        b.iter(|| black_box(run_metric_stages(black_box(&prep), MetricMode::Predicted).unwrap()))
     });
 }
 

@@ -27,8 +27,8 @@ fn main() {
             &pow2_grid(4096),
         )
         .expect("sweep");
-        let peak = sweep.max_throughput();
-        let knee = sweep.knee(0.9);
+        let peak = sweep.max_throughput().expect("non-empty sweep grid");
+        let knee = sweep.knee(0.9).expect("non-empty sweep grid");
         println!(
             "{:<22} peak {:>7.0} img/s at bs={:<5} (90% knee at bs={}, {:.2} ms)",
             model.table3().name,

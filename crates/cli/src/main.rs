@@ -13,6 +13,7 @@
 //! proof headroom --model resnet-50 --platform a100 [--batch N] [--top N]
 //! proof serve [--addr 127.0.0.1:7878] [--workers 2] [--cache-budget-mb 64]
 //!             [--cache-dir DIR] [--queue-cap 256]
+//!             [--job-timeout MS] [--job-retries N]
 //! ```
 
 use proof_core::report::{chart_to_csv, profile_summary};
@@ -28,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -181,16 +182,25 @@ fn run_profile(
     cfg: &SessionConfig,
     mode: MetricMode,
 ) -> Result<proof_core::ProfileReport, proof_core::ProofError> {
+    // --timeout-ms bounds the whole run; expiry cancels at the next stage
+    // boundary and reports which stage the deadline preempted.
+    let ctx = match flags.get("timeout-ms") {
+        Some(ms) => proof_core::RunCtx::with_timeout(
+            cfg.seed,
+            std::time::Duration::from_millis(ms.parse().expect("timeout-ms")),
+        ),
+        None => proof_core::RunCtx::unbounded(cfg.seed),
+    };
     let Some(path) = flags.get("trace-out") else {
-        return profile_model(g, platform, flavor, cfg, mode);
+        return proof_core::run_pipeline_ctx(g, platform, flavor, cfg, mode, &ctx);
     };
     let (tracer, ring) = proof_obs::shared_ring_tracer();
     let trace_id = proof_obs::new_trace_id();
     let mut root = tracer.span_in(trace_id, "profile");
     root.field("model", g.name.clone());
     root.field("batch", g.batch_size());
-    let outcome = proof_core::prepare_stages(g, platform, flavor, cfg)
-        .map(|prep| (proof_core::run_metric_stages(&prep, mode), prep));
+    let outcome = proof_core::prepare_stages_ctx(g, platform, flavor, cfg, &ctx)
+        .and_then(|prep| proof_core::run_metric_stages_ctx(&prep, mode, &ctx).map(|r| (r, prep)));
     root.finish();
     let (report, prep) = outcome?;
     let trace_json =
@@ -393,6 +403,12 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     }
     if let Some(cap) = flags.get("stage-cache-cap") {
         config.stage_cache_capacity = cap.parse().expect("stage-cache-cap");
+    }
+    if let Some(ms) = flags.get("job-timeout") {
+        config.job_timeout_ms = Some(ms.parse().expect("job-timeout"));
+    }
+    if let Some(n) = flags.get("job-retries") {
+        config.max_retries = n.parse().expect("job-retries");
     }
     let workers = config.workers;
     let server = match proof_serve::Server::start(config) {

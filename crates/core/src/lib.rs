@@ -47,10 +47,11 @@ pub use mapping::{map_layers, MappedLayer, Mapping};
 pub use memory::{max_batch_within, plan_memory, MemoryPlan};
 pub use peak::{measure_achieved_peak, AchievedPeak};
 pub use pipeline::{
-    prepare_stages, profile_both_modes, run_metric_stages, run_pipeline, stage_assemble,
-    stage_builtin_profile, stage_compile, stage_map, stage_metrics, BuiltinProfileArtifact,
-    CompiledArtifact, MappedLayerArtifact, MappingArtifact, MetricsArtifact, PipelineStage,
-    PipelineTrace, PreparedStages, ProofError, StageTiming,
+    prepare_stages, prepare_stages_ctx, profile_both_modes, run_metric_stages,
+    run_metric_stages_ctx, run_pipeline, run_pipeline_ctx, stage_assemble, stage_builtin_profile,
+    stage_compile, stage_map, stage_metrics, BuiltinProfileArtifact, CompiledArtifact,
+    MappedLayerArtifact, MappingArtifact, MetricsArtifact, PipelineStage, PipelineTrace,
+    PreparedStages, ProofError, RunCtx, StageTiming,
 };
 pub use profile::{profile_model, LayerReport, MetricMode, ProfileReport};
 pub use roofline::{categorize, LayerCategory, RooflineCeiling, RooflineChart, RooflinePoint};

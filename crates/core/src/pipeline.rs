@@ -47,6 +47,11 @@ use proof_runtime::{
 
 /// The single error type crossing stage boundaries — replaces the previous
 /// mix of [`BackendError`], [`FuseError`], and internal panics.
+///
+/// Errors split into *permanent* (resubmitting the same work fails the same
+/// way) and *transient* ([`ProofError::is_transient`]; a retry of the same
+/// run may succeed — workers retry these with backoff). Deadline overruns
+/// get their own variant so callers can report `timed_out` distinctly.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProofError {
     /// The backend rejected or failed to convert the model (compile stage).
@@ -57,6 +62,24 @@ pub enum ProofError {
     Graph(String),
     /// A report could not be rendered to JSON losslessly.
     Serialize(String),
+    /// A stage failed transiently; retrying the run may succeed.
+    Transient(String),
+    /// The run's deadline expired before `stage` could start.
+    Timeout { stage: PipelineStage },
+    /// The request was invalid before any stage ran (empty sweep, bad spec).
+    InvalidSpec(String),
+}
+
+impl ProofError {
+    /// Whether a retry of the same run may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProofError::Transient(_))
+    }
+
+    /// Whether this run failed by exceeding its deadline.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ProofError::Timeout { .. })
+    }
 }
 
 impl std::fmt::Display for ProofError {
@@ -66,6 +89,11 @@ impl std::fmt::Display for ProofError {
             ProofError::Fuse(e) => write!(f, "mapping: {e}"),
             ProofError::Graph(m) => write!(f, "graph: {m}"),
             ProofError::Serialize(m) => write!(f, "serialize: {m}"),
+            ProofError::Transient(m) => write!(f, "transient: {m}"),
+            ProofError::Timeout { stage } => {
+                write!(f, "deadline exceeded before stage '{}'", stage.name())
+            }
+            ProofError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
         }
     }
 }
@@ -89,6 +117,54 @@ impl From<BackendError> for ProofError {
 impl From<FuseError> for ProofError {
     fn from(e: FuseError) -> Self {
         ProofError::Fuse(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run context: deadlines, cooperative cancellation, fault hooks
+// ---------------------------------------------------------------------------
+
+/// Per-run execution context: an optional deadline checked cooperatively
+/// *between* stages, and the seed that keys the `proof_obs` fault plan.
+///
+/// Stage bodies stay pure; the drivers call [`RunCtx::checkpoint`] before
+/// each stage, which (in order) fires any planned fault for that stage —
+/// panic, stall, or transient failure — and then checks the deadline, so a
+/// stall that overshoots the deadline surfaces as [`ProofError::Timeout`]
+/// exactly as a slow real stage would.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunCtx {
+    /// Absolute deadline; `None` never times out.
+    pub deadline: Option<std::time::Instant>,
+    /// Job seed, used to scope fault-plan entries (`site:kind@seed`).
+    pub seed: u64,
+}
+
+impl RunCtx {
+    /// No deadline; faults still fire for `seed`-scoped plan entries.
+    pub fn unbounded(seed: u64) -> RunCtx {
+        RunCtx {
+            deadline: None,
+            seed,
+        }
+    }
+
+    /// Deadline `timeout` from now.
+    pub fn with_timeout(seed: u64, timeout: std::time::Duration) -> RunCtx {
+        RunCtx {
+            deadline: Some(std::time::Instant::now() + timeout),
+            seed,
+        }
+    }
+
+    /// Cooperative cancellation point, called by the drivers before each
+    /// stage. Fault hook first, deadline second (see type docs).
+    pub fn checkpoint(&self, stage: PipelineStage) -> Result<(), ProofError> {
+        proof_obs::fault::fire(stage.name(), self.seed).map_err(ProofError::Transient)?;
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => Err(ProofError::Timeout { stage }),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -513,20 +589,36 @@ pub struct PreparedStages {
     pub trace: PipelineTrace,
 }
 
-/// Run the pipeline prefix once.
+/// Run the pipeline prefix once, unbounded ([`prepare_stages_ctx`] with no
+/// deadline; the fault plan still fires for the config's seed).
 pub fn prepare_stages(
     g: &Graph,
     platform: &Platform,
     flavor: BackendFlavor,
     cfg: &SessionConfig,
 ) -> Result<PreparedStages, ProofError> {
+    prepare_stages_ctx(g, platform, flavor, cfg, &RunCtx::unbounded(cfg.seed))
+}
+
+/// Run the pipeline prefix under a [`RunCtx`]: the deadline is checked (and
+/// planned faults fire) at the boundary before each stage.
+pub fn prepare_stages_ctx(
+    g: &Graph,
+    platform: &Platform,
+    flavor: BackendFlavor,
+    cfg: &SessionConfig,
+    ctx: &RunCtx,
+) -> Result<PreparedStages, ProofError> {
     let mut trace = PipelineTrace::default();
+    ctx.checkpoint(PipelineStage::Compile)?;
     let compiled = timed(&mut trace, PipelineStage::Compile, || {
         stage_compile(g, platform, flavor, cfg)
     })?;
+    ctx.checkpoint(PipelineStage::BuiltinProfile)?;
     let profile = timed(&mut trace, PipelineStage::BuiltinProfile, || {
         stage_builtin_profile(&compiled)
     });
+    ctx.checkpoint(PipelineStage::Map)?;
     let mapping = timed(&mut trace, PipelineStage::Map, || {
         stage_map(g, &profile, flavor, cfg)
     });
@@ -538,19 +630,35 @@ pub fn prepare_stages(
     })
 }
 
-/// Run the mode-dependent suffix (metrics + assembly) on a prepared prefix.
-/// The returned report's trace holds the prefix timings (as paid when the
-/// prefix was built) plus this run's metric/assembly timings.
-pub fn run_metric_stages(prep: &PreparedStages, mode: MetricMode) -> ProfileReport {
+/// Run the mode-dependent suffix (metrics + assembly) on a prepared prefix,
+/// unbounded. The returned report's trace holds the prefix timings (as paid
+/// when the prefix was built) plus this run's metric/assembly timings.
+pub fn run_metric_stages(
+    prep: &PreparedStages,
+    mode: MetricMode,
+) -> Result<ProfileReport, ProofError> {
+    let seed = prep.compiled.compiled.config.seed;
+    run_metric_stages_ctx(prep, mode, &RunCtx::unbounded(seed))
+}
+
+/// [`run_metric_stages`] under a [`RunCtx`] (deadline + fault checkpoints
+/// before the metric and assembly stages).
+pub fn run_metric_stages_ctx(
+    prep: &PreparedStages,
+    mode: MetricMode,
+    ctx: &RunCtx,
+) -> Result<ProfileReport, ProofError> {
     let mut trace = prep.trace.clone();
+    ctx.checkpoint(PipelineStage::Metrics)?;
     let metrics = timed(&mut trace, PipelineStage::Metrics, || {
         stage_metrics(&prep.compiled, &prep.mapping, mode)
     });
+    ctx.checkpoint(PipelineStage::Assemble)?;
     let mut report = timed(&mut trace, PipelineStage::Assemble, || {
         stage_assemble(&prep.compiled, &prep.profile, &prep.mapping, &metrics)
     });
     report.trace = trace;
-    report
+    Ok(report)
 }
 
 /// Run all five stages end to end (what [`crate::profile_model`] drives).
@@ -561,8 +669,20 @@ pub fn run_pipeline(
     cfg: &SessionConfig,
     mode: MetricMode,
 ) -> Result<ProfileReport, ProofError> {
-    let prep = prepare_stages(g, platform, flavor, cfg)?;
-    Ok(run_metric_stages(&prep, mode))
+    run_pipeline_ctx(g, platform, flavor, cfg, mode, &RunCtx::unbounded(cfg.seed))
+}
+
+/// [`run_pipeline`] under a [`RunCtx`] — the cancellable end-to-end driver.
+pub fn run_pipeline_ctx(
+    g: &Graph,
+    platform: &Platform,
+    flavor: BackendFlavor,
+    cfg: &SessionConfig,
+    mode: MetricMode,
+    ctx: &RunCtx,
+) -> Result<ProfileReport, ProofError> {
+    let prep = prepare_stages_ctx(g, platform, flavor, cfg, ctx)?;
+    run_metric_stages_ctx(&prep, mode, ctx)
 }
 
 /// Profile one configuration in both modes off a single shared prefix —
@@ -575,8 +695,8 @@ pub fn profile_both_modes(
 ) -> Result<(ProfileReport, ProfileReport), ProofError> {
     let prep = prepare_stages(g, platform, flavor, cfg)?;
     Ok((
-        run_metric_stages(&prep, MetricMode::Predicted),
-        run_metric_stages(&prep, MetricMode::Measured),
+        run_metric_stages(&prep, MetricMode::Predicted)?,
+        run_metric_stages(&prep, MetricMode::Measured)?,
     ))
 }
 
@@ -607,7 +727,7 @@ mod tests {
         let cfg = SessionConfig::new(DType::F16);
         let prep = prepare_stages(&g, &platform, BackendFlavor::TrtLike, &cfg).unwrap();
         for mode in [MetricMode::Predicted, MetricMode::Measured] {
-            let staged = run_metric_stages(&prep, mode);
+            let staged = run_metric_stages(&prep, mode).unwrap();
             let mono = profile_model(&g, &platform, BackendFlavor::TrtLike, &cfg, mode).unwrap();
             assert_eq!(staged, mono);
             assert_eq!(staged.to_json(), mono.to_json());
@@ -644,8 +764,8 @@ mod tests {
     #[test]
     fn prefix_reuse_keeps_prefix_timings_and_appends_suffix() {
         let prep = prep(ModelId::ShuffleNetV2x05, 1);
-        let a = run_metric_stages(&prep, MetricMode::Predicted);
-        let b = run_metric_stages(&prep, MetricMode::Measured);
+        let a = run_metric_stages(&prep, MetricMode::Predicted).unwrap();
+        let b = run_metric_stages(&prep, MetricMode::Measured).unwrap();
         for r in [&a, &b] {
             assert_eq!(r.trace.stages.len(), 5);
             // the shared prefix timings are carried over verbatim
@@ -744,5 +864,47 @@ mod tests {
         assert!(ProofError::Serialize("nan".into())
             .to_string()
             .contains("nan"));
+    }
+
+    #[test]
+    fn error_taxonomy_splits_transient_and_timeout() {
+        assert!(ProofError::Transient("flaky".into()).is_transient());
+        assert!(!ProofError::Transient("flaky".into()).is_timeout());
+        let t = ProofError::Timeout {
+            stage: PipelineStage::Metrics,
+        };
+        assert!(t.is_timeout() && !t.is_transient());
+        assert!(t.to_string().contains("metrics"));
+        for permanent in [
+            ProofError::Graph("g".into()),
+            ProofError::Serialize("s".into()),
+            ProofError::InvalidSpec("empty".into()),
+        ] {
+            assert!(!permanent.is_transient() && !permanent.is_timeout());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_between_stages() {
+        let g = ModelId::MobileNetV2x05.build(1);
+        let platform = PlatformId::A100.spec();
+        let cfg = SessionConfig::new(DType::F16);
+        // an already-expired deadline trips the very first checkpoint
+        let ctx = RunCtx {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            seed: cfg.seed,
+        };
+        match prepare_stages_ctx(&g, &platform, BackendFlavor::TrtLike, &cfg, &ctx) {
+            Err(ProofError::Timeout { stage }) => assert_eq!(stage, PipelineStage::Compile),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // a prefix built in time can still expire before the suffix runs
+        let prep = prepare_stages(&g, &platform, BackendFlavor::TrtLike, &cfg).unwrap();
+        match run_metric_stages_ctx(&prep, MetricMode::Predicted, &ctx) {
+            Err(ProofError::Timeout { stage }) => assert_eq!(stage, PipelineStage::Metrics),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // unbounded contexts never time out
+        assert!(run_metric_stages_ctx(&prep, MetricMode::Predicted, &RunCtx::unbounded(0)).is_ok());
     }
 }

@@ -28,22 +28,26 @@ pub struct BatchSweep {
 }
 
 impl BatchSweep {
-    /// The point with the highest throughput.
-    pub fn max_throughput(&self) -> &SweepPoint {
+    /// The point with the highest throughput, `None` for an empty sweep
+    /// (this used to `expect` and take the whole worker thread down).
+    pub fn max_throughput(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
             .max_by(|a, b| a.throughput_per_s.total_cmp(&b.throughput_per_s))
-            .expect("non-empty sweep")
     }
 
     /// The smallest batch reaching `fraction` of the peak throughput — the
-    /// knee of the curve (beyond it, batching only buys latency).
-    pub fn knee(&self, fraction: f64) -> &SweepPoint {
-        let target = self.max_throughput().throughput_per_s * fraction;
-        self.points
-            .iter()
-            .find(|p| p.throughput_per_s >= target)
-            .unwrap_or_else(|| self.max_throughput())
+    /// knee of the curve (beyond it, batching only buys latency). `None`
+    /// for an empty sweep.
+    pub fn knee(&self, fraction: f64) -> Option<&SweepPoint> {
+        let peak = self.max_throughput()?;
+        let target = peak.throughput_per_s * fraction;
+        Some(
+            self.points
+                .iter()
+                .find(|p| p.throughput_per_s >= target)
+                .unwrap_or(peak),
+        )
     }
 
     pub fn to_csv(&self) -> String {
@@ -70,12 +74,19 @@ pub fn sweep_batches(
     batches: &[u64],
 ) -> Result<BatchSweep, ProofError> {
     use rayon::prelude::*;
+    // reject up front: an empty sweep has no peak/knee and used to panic
+    // the first caller that asked for one
+    let Some(&first) = batches.first() else {
+        return Err(ProofError::InvalidSpec(
+            "batch sweep needs at least one batch size".to_string(),
+        ));
+    };
     let points: Result<Vec<SweepPoint>, ProofError> = batches
         .par_iter()
         .map(|&batch| {
             let g = build(batch);
             let prep = prepare_stages(&g, platform, flavor, cfg)?;
-            let r = run_metric_stages(&prep, MetricMode::Predicted);
+            let r = run_metric_stages(&prep, MetricMode::Predicted)?;
             Ok(SweepPoint {
                 batch,
                 latency_ms: r.total_latency_ms,
@@ -84,7 +95,7 @@ pub fn sweep_batches(
             })
         })
         .collect();
-    let g1 = build(batches.first().copied().unwrap_or(1));
+    let g1 = build(first);
     Ok(BatchSweep {
         model: g1.name.clone(),
         platform: platform.name.clone(),
@@ -137,7 +148,28 @@ mod tests {
             assert!(w[1].latency_ms >= w[0].latency_ms * 0.99);
         }
         // knee at 90% comes at or before the max-throughput batch
-        assert!(s.knee(0.9).batch <= s.max_throughput().batch);
+        assert!(s.knee(0.9).unwrap().batch <= s.max_throughput().unwrap().batch);
+    }
+
+    #[test]
+    fn empty_sweep_is_an_error_not_a_panic() {
+        let err = sweep_batches(
+            |b| ModelId::MobileNetV2x05.build(b),
+            &PlatformId::A100.spec(),
+            BackendFlavor::TrtLike,
+            &SessionConfig::new(DType::F16),
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProofError::InvalidSpec(_)), "{err}");
+        // and an empty BatchSweep (e.g. deserialized) degrades to None
+        let empty = BatchSweep {
+            model: "m".into(),
+            platform: "p".into(),
+            points: Vec::new(),
+        };
+        assert!(empty.max_throughput().is_none());
+        assert!(empty.knee(0.9).is_none());
     }
 
     #[test]

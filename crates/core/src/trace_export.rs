@@ -56,7 +56,7 @@ mod tests {
             &SessionConfig::new(DType::F16),
         )
         .unwrap();
-        let report = run_metric_stages(&prep, MetricMode::Predicted);
+        let report = run_metric_stages(&prep, MetricMode::Predicted).unwrap();
         root.finish();
         (trace_id, prep, report.trace)
     }

@@ -1,0 +1,247 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] names *sites* (pipeline-stage names like `"compile"`)
+//! and attaches one fault to each: panic, stall for a fixed duration, or
+//! fail transiently the first N times. Code under test calls [`fire`] at
+//! its cancellation points; the active plan decides what happens. Plans are
+//! fully deterministic — no randomness, explicit trigger counts — and each
+//! entry can be scoped to a single job seed (`@seed`), so a test or CI
+//! smoke can poison exactly one job on a live server while every other job
+//! runs clean.
+//!
+//! The active plan comes from the `PROOF_FAULT` environment variable at
+//! first use (empty plan when unset or malformed), or programmatically via
+//! [`install`] / [`clear`] in tests. Grammar, entries separated by `;`:
+//!
+//! ```text
+//! PROOF_FAULT="<site>:panic[@seed]"          panic when the site fires
+//! PROOF_FAULT="<site>:stall:<ms>[@seed]"     sleep <ms> before the site runs
+//! PROOF_FAULT="<site>:fail:<n>[@seed]"       first <n> firings fail transiently
+//! ```
+//!
+//! e.g. `PROOF_FAULT="compile:fail:2;map:panic@7"` makes the first two
+//! compile attempts (of any job) fail transiently and panics the map stage
+//! of jobs whose seed is 7.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// What happens when a planned fault fires.
+#[derive(Debug)]
+pub enum FaultKind {
+    /// Panic with an "injected fault" message (tests panic isolation).
+    Panic,
+    /// Sleep for the given duration (tests deadline overruns).
+    Stall { ms: u64 },
+    /// Fail transiently; `remaining` counts down so the site recovers
+    /// after N failures (tests retry-with-backoff).
+    Transient { remaining: AtomicU32 },
+}
+
+/// One planned fault at one named site, optionally scoped to a job seed.
+#[derive(Debug)]
+pub struct FaultSpec {
+    pub site: String,
+    /// `None` fires for every seed; `Some(s)` only for jobs seeded `s`.
+    pub seed: Option<u64>,
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    fn matches(&self, site: &str, seed: u64) -> bool {
+        self.site == site && self.seed.is_none_or(|s| s == seed)
+    }
+}
+
+/// A parsed set of planned faults. The empty plan never fires.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Parse the `PROOF_FAULT` grammar (see module docs).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in text.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            let (spec, seed) = match entry.split_once('@') {
+                Some((s, seed)) => {
+                    let seed = seed
+                        .parse()
+                        .map_err(|_| format!("bad seed in fault entry '{entry}'"))?;
+                    (s, Some(seed))
+                }
+                None => (entry, None),
+            };
+            let mut parts = spec.split(':');
+            let site = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("missing site in fault entry '{entry}'"))?
+                .to_string();
+            let kind = match (parts.next(), parts.next(), parts.next()) {
+                (Some("panic"), None, _) => FaultKind::Panic,
+                (Some("stall"), Some(ms), None) => FaultKind::Stall {
+                    ms: ms
+                        .parse()
+                        .map_err(|_| format!("bad stall duration in '{entry}'"))?,
+                },
+                (Some("fail"), Some(n), None) => FaultKind::Transient {
+                    remaining: AtomicU32::new(
+                        n.parse()
+                            .map_err(|_| format!("bad failure count in '{entry}'"))?,
+                    ),
+                },
+                _ => {
+                    return Err(format!(
+                        "unknown fault kind in '{entry}' (panic | stall:<ms> | fail:<n>)"
+                    ))
+                }
+            };
+            faults.push(FaultSpec { site, seed, kind });
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Fire every planned fault matching `(site, seed)`, in plan order:
+    /// panics panic, stalls sleep in place, and armed transients return the
+    /// injected error message.
+    pub fn fire(&self, site: &str, seed: u64) -> Result<(), String> {
+        for f in self.faults.iter().filter(|f| f.matches(site, seed)) {
+            match &f.kind {
+                FaultKind::Panic => panic!("injected fault: panic at stage '{site}'"),
+                FaultKind::Stall { ms } => std::thread::sleep(Duration::from_millis(*ms)),
+                FaultKind::Transient { remaining } => {
+                    // decrement-if-positive: exactly N firings fail
+                    let mut n = remaining.load(Ordering::Relaxed);
+                    while n > 0 {
+                        match remaining.compare_exchange(
+                            n,
+                            n - 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => {
+                                return Err(format!(
+                                    "injected fault: transient failure at stage '{site}'"
+                                ))
+                            }
+                            Err(cur) => n = cur,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn active_cell() -> &'static RwLock<Arc<FaultPlan>> {
+    static CELL: OnceLock<RwLock<Arc<FaultPlan>>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let plan = match std::env::var("PROOF_FAULT") {
+            Ok(text) => FaultPlan::parse(&text).unwrap_or_else(|e| {
+                eprintln!("PROOF_FAULT ignored: {e}");
+                FaultPlan::default()
+            }),
+            Err(_) => FaultPlan::default(),
+        };
+        RwLock::new(Arc::new(plan))
+    })
+}
+
+/// Replace the active plan (tests). `PROOF_FAULT` seeds the initial plan.
+pub fn install(plan: FaultPlan) {
+    *active_cell().write().unwrap() = Arc::new(plan);
+}
+
+/// Deactivate fault injection (installs the empty plan).
+pub fn clear() {
+    install(FaultPlan::default());
+}
+
+/// Fire the active plan at `(site, seed)` — the single hook instrumented
+/// code calls. No-op (and cheap) when the plan is empty.
+pub fn fire(site: &str, seed: u64) -> Result<(), String> {
+    let plan = Arc::clone(&active_cell().read().unwrap());
+    if plan.is_empty() {
+        return Ok(());
+    }
+    plan.fire(site, seed)
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer. This is the
+/// deterministic "randomness" behind retry-backoff jitter — same inputs,
+/// same jitter, byte-reproducible traces.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_kinds_and_seed_scope() {
+        let plan = FaultPlan::parse("compile:fail:2; map:panic@7 ;metrics:stall:5").unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.faults[0].site, "compile");
+        assert!(matches!(plan.faults[0].kind, FaultKind::Transient { .. }));
+        assert_eq!(plan.faults[1].seed, Some(7));
+        assert!(matches!(plan.faults[2].kind, FaultKind::Stall { ms: 5 }));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "compile",
+            "compile:explode",
+            "compile:stall:fast",
+            "compile:fail:-1",
+            ":panic",
+            "map:panic@x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn transient_fails_exactly_n_times() {
+        let plan = FaultPlan::parse("compile:fail:2").unwrap();
+        assert!(plan.fire("compile", 0).is_err());
+        assert!(plan.fire("compile", 1).is_err()); // unscoped: any seed
+        assert!(plan.fire("compile", 0).is_ok()); // recovered
+        assert!(plan.fire("map", 0).is_ok()); // other sites untouched
+    }
+
+    #[test]
+    fn seed_scoped_fault_spares_other_seeds() {
+        let plan = FaultPlan::parse("map:fail:10@7").unwrap();
+        assert!(plan.fire("map", 8).is_ok());
+        assert!(plan.fire("map", 7).is_err());
+    }
+
+    #[test]
+    fn panic_fault_panics_with_injected_message() {
+        let plan = FaultPlan::parse("assemble:panic").unwrap();
+        let err = std::panic::catch_unwind(|| plan.fire("assemble", 0)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected fault"), "{msg}");
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        assert_ne!(mix64(0), 0);
+    }
+}

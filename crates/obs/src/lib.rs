@@ -15,6 +15,10 @@
 //! - **events** — leveled log lines ([`Level`]) that reach stderr when the
 //!   `PROOF_LOG` environment variable admits the level, and the collector
 //!   when one is enabled.
+//! - **fault injection** — a deterministic, seed-scopeable [`FaultPlan`]
+//!   (`PROOF_FAULT` env or [`fault::install`]) that can make any named
+//!   site panic, stall, or fail transiently, so robustness machinery
+//!   (retries, deadlines, panic isolation) is testable bit-for-bit.
 //!
 //! The shared ring tracer uses the *logical* clock ([`clock::TraceClock`]):
 //! per-trace timestamps are a deterministic counter, so an exported trace is
@@ -25,12 +29,14 @@
 pub mod clock;
 pub mod collector;
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod span;
 pub mod tracer;
 
 pub use collector::{Collector, NoopCollector, RingCollector};
 pub use export::TraceEvent;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };

@@ -1,6 +1,14 @@
 //! Minimal HTTP/1.1 support over `std::net`: just enough request parsing
 //! and response writing for the JSON API, plus a tiny blocking client used
 //! by the CLI walkthroughs and the integration tests.
+//!
+//! Every read from the peer is capped (`MAX_HEADER_BYTES` for the request
+//! line + headers, `MAX_BODY_BYTES` for bodies) **while reading**, not
+//! after: an earlier version buffered an arbitrarily long request line via
+//! `read_line` before checking any limit, which let a single connection
+//! exhaust memory. The client side mirrors the same caps, and
+//! [`RetryPolicy`] adds deterministic (seed-keyed) exponential backoff that
+//! honors `Retry-After` from a backpressuring server.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -20,30 +28,70 @@ pub struct Request {
     pub body: String,
 }
 
+/// Read one `\n`-terminated line into `buf`, consuming at most
+/// `budget` bytes. Returns the number of bytes consumed; `Ok(0)` means
+/// clean EOF before any byte. Errors as soon as the budget is exhausted
+/// without buffering the oversized line.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    budget: usize,
+) -> std::io::Result<usize> {
+    let mut consumed = 0usize;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(consumed); // EOF
+        }
+        let limit = available.len().min(budget - consumed + 1);
+        match available[..limit].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if consumed + pos + 1 > budget {
+                    return Err(bad("line too long"));
+                }
+                buf.extend_from_slice(&available[..=pos]);
+                reader.consume(pos + 1);
+                return Ok(consumed + pos + 1);
+            }
+            None => {
+                let take = available.len();
+                if consumed + take > budget {
+                    return Err(bad("line too long"));
+                }
+                buf.extend_from_slice(&available[..take]);
+                reader.consume(take);
+                consumed += take;
+            }
+        }
+    }
+}
+
 /// Read one request from the stream. `Ok(None)` means the peer closed the
 /// connection before sending anything.
 pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line)? == 0 {
+    let mut budget = MAX_HEADER_BYTES;
+    let mut raw_line = Vec::new();
+    let n = read_line_capped(&mut reader, &mut raw_line, budget)?;
+    if n == 0 {
         return Ok(None);
     }
+    budget -= n;
+    let request_line = String::from_utf8(raw_line).map_err(|_| bad("request line is not UTF-8"))?;
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m.to_string(), t.to_string()),
         _ => return Err(bad("malformed request line")),
     };
     let mut content_length = 0usize;
-    let mut header_bytes = request_line.len();
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        let mut raw = Vec::new();
+        let n = read_line_capped(&mut reader, &mut raw, budget)?;
+        if n == 0 {
             return Err(bad("connection closed inside headers"));
         }
-        header_bytes += line.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(bad("headers too large"));
-        }
+        budget -= n;
+        let line = String::from_utf8(raw).map_err(|_| bad("header is not UTF-8"))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -87,8 +135,10 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -96,7 +146,7 @@ fn reason(status: u16) -> &'static str {
 /// Write a JSON response and flush. Connections are single-request
 /// (`Connection: close`), which keeps lifecycle handling trivial.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    write_response_typed(stream, status, "application/json", body)
+    write_response_full(stream, status, "application/json", None, body)
 }
 
 /// [`write_response`] with an explicit Content-Type (the Prometheus
@@ -107,16 +157,42 @@ pub fn write_response_typed(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_full(stream, status, content_type, None, body)
+}
+
+/// The full-control response writer: explicit Content-Type and an optional
+/// `Retry-After` (seconds) header, sent with 429/503 backpressure replies.
+pub fn write_response_full(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    retry_after_s: Option<u64>,
+    body: &str,
+) -> std::io::Result<()> {
+    let retry = match retry_after_s {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
         status,
         reason(status),
         content_type,
-        body.len()
+        body.len(),
+        retry
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// A client response: status, body, and the parsed `Retry-After` seconds
+/// if the server sent one.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    pub retry_after_s: Option<u64>,
 }
 
 /// Blocking one-shot client: send `method path` with an optional JSON body,
@@ -127,6 +203,19 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let r = request_full(addr, method, path, body)?;
+    Ok((r.status, r.body))
+}
+
+/// [`request`] keeping the response headers the retry layer needs. Reads
+/// are capped like the server side: headers to `MAX_HEADER_BYTES`, body to
+/// `MAX_BODY_BYTES` whether or not the server declared a length.
+pub fn request_full(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
     let head = format!(
@@ -138,19 +227,29 @@ pub fn request(
     stream.flush()?;
 
     let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    let mut budget = MAX_HEADER_BYTES;
+    let mut raw_status = Vec::new();
+    let n = read_line_capped(&mut reader, &mut raw_status, budget)?;
+    if n == 0 {
+        return Err(bad("connection closed before status line"));
+    }
+    budget -= n;
+    let status_line = String::from_utf8(raw_status).map_err(|_| bad("status line is not UTF-8"))?;
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = None;
+    let mut retry_after_s = None;
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        let mut raw = Vec::new();
+        let n = read_line_capped(&mut reader, &mut raw, budget)?;
+        if n == 0 {
             return Err(bad("connection closed inside headers"));
         }
+        budget -= n;
+        let line = String::from_utf8(raw).map_err(|_| bad("header is not UTF-8"))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -158,21 +257,32 @@ pub fn request(
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after_s = value.trim().parse::<u64>().ok();
             }
         }
     }
     let mut body = String::new();
     match content_length {
+        Some(n) if n > MAX_BODY_BYTES => return Err(bad("body too large")),
         Some(n) => {
             let mut buf = vec![0u8; n];
             reader.read_exact(&mut buf)?;
             body = String::from_utf8(buf).map_err(|_| bad("body is not UTF-8"))?;
         }
         None => {
-            reader.read_to_string(&mut body)?;
+            let mut limited = reader.take(MAX_BODY_BYTES as u64 + 1);
+            limited.read_to_string(&mut body)?;
+            if body.len() > MAX_BODY_BYTES {
+                return Err(bad("body too large"));
+            }
         }
     }
-    Ok((status, body))
+    Ok(Response {
+        status,
+        body,
+        retry_after_s,
+    })
 }
 
 /// `GET path` convenience wrapper.
@@ -183,4 +293,161 @@ pub fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<(u16, Stri
 /// `POST path` convenience wrapper.
 pub fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
     request(addr, "POST", path, Some(body))
+}
+
+/// Deterministic retry schedule for 429/503 backpressure: exponential
+/// backoff with seed-keyed jitter. Given the same seed the delay sequence
+/// is byte-for-byte reproducible, so tests and CI scripts that exercise
+/// backpressure stay deterministic; a `Retry-After` hint from the server
+/// raises (never lowers under) the computed delay.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = one attempt total).
+    pub max_retries: u32,
+    /// Base delay for the first retry; doubles each retry.
+    pub base_ms: u64,
+    /// Ceiling for any single delay (pre-`Retry-After`).
+    pub max_delay_ms: u64,
+    /// Jitter key; same seed → same delays.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    pub fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base_ms: 25,
+            max_delay_ms: 2_000,
+            seed,
+        }
+    }
+
+    /// The delay before retry `attempt` (1-based), ignoring `Retry-After`:
+    /// `base * 2^(attempt-1)`, capped, plus 0–25% deterministic jitter.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(32))
+            .min(self.max_delay_ms);
+        let jitter = proof_obs::fault::mix64(self.seed ^ u64::from(attempt)) % (exp / 4 + 1);
+        exp + jitter
+    }
+
+    /// The delay actually slept before retry `attempt`, honoring the
+    /// server's `Retry-After` hint (seconds) as a floor.
+    pub fn effective_delay_ms(&self, attempt: u32, retry_after_s: Option<u64>) -> u64 {
+        let hinted = retry_after_s.map_or(0, |s| s.saturating_mul(1_000));
+        self.delay_ms(attempt).max(hinted)
+    }
+}
+
+/// [`request`] with retries on 429/503 (and connect errors), backing off
+/// per `policy`. Returns the last response once it is not retryable or
+/// retries are exhausted.
+pub fn request_with_retry(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    let mut attempt = 0u32;
+    loop {
+        match request_full(addr, method, path, body) {
+            Ok(r) if (r.status == 429 || r.status == 503) && attempt < policy.max_retries => {
+                attempt += 1;
+                let ms = policy.effective_delay_ms(attempt, r.retry_after_s);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Ok(r) => return Ok((r.status, r.body)),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => return Err(e),
+            Err(_) if attempt < policy.max_retries => {
+                attempt += 1;
+                let ms = policy.effective_delay_ms(attempt, None);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `POST path` with backpressure-aware retries.
+pub fn post_with_retry(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    request_with_retry(addr, "POST", path, Some(body), policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn capped_line_reads_short_lines() {
+        let mut r = Cursor::new(b"GET / HTTP/1.1\r\nrest".to_vec());
+        let mut buf = Vec::new();
+        let n = read_line_capped(&mut r, &mut buf, 64).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(buf, b"GET / HTTP/1.1\r\n");
+    }
+
+    #[test]
+    fn capped_line_rejects_oversized_line_without_buffering_it() {
+        let big = vec![b'a'; 1024];
+        let mut r = Cursor::new(big);
+        let mut buf = Vec::new();
+        let err = read_line_capped(&mut r, &mut buf, 100).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(buf.len() <= 100, "must not buffer past the cap");
+    }
+
+    #[test]
+    fn capped_line_eof_is_zero() {
+        let mut r = Cursor::new(Vec::new());
+        let mut buf = Vec::new();
+        assert_eq!(read_line_capped(&mut r, &mut buf, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_and_exponential() {
+        let p = RetryPolicy::new(42);
+        let a: Vec<u64> = (1..=4).map(|i| p.delay_ms(i)).collect();
+        let b: Vec<u64> = (1..=4).map(|i| p.delay_ms(i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        // exponential base under the jitter: delay(i) within [base*2^(i-1), base*2^(i-1)*1.25]
+        for (i, &d) in a.iter().enumerate() {
+            let base = p.base_ms << i;
+            assert!(d >= base && d <= base + base / 4, "attempt {i}: {d}");
+        }
+        let q = RetryPolicy::new(43);
+        assert_ne!(
+            (1..=4).map(|i| q.delay_ms(i)).collect::<Vec<_>>(),
+            a,
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn retry_after_is_a_floor_not_a_cap() {
+        let p = RetryPolicy::new(7);
+        assert_eq!(p.effective_delay_ms(1, Some(3)), 3_000.max(p.delay_ms(1)));
+        assert_eq!(p.effective_delay_ms(1, None), p.delay_ms(1));
+        // a tiny hint never lowers the computed backoff
+        assert!(p.effective_delay_ms(2, Some(0)) >= p.delay_ms(2));
+    }
+
+    #[test]
+    fn delay_caps_at_max() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_ms: 100,
+            max_delay_ms: 400,
+            seed: 1,
+        };
+        assert!(p.delay_ms(10) <= 400 + 100, "capped plus <=25% jitter");
+    }
 }

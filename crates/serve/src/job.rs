@@ -16,7 +16,11 @@ use serde_json::{Map, Value};
 pub const DEFAULT_SEED: u64 = 0xC0FFEE;
 
 /// Fully-resolved job specification. Two specs that differ in any field —
-/// including `seed` — get distinct cache keys.
+/// including `seed` — get distinct cache keys. `timeout_ms` is the one
+/// exception: it is execution metadata (how long the submitter will wait),
+/// not artifact identity, so it is deliberately excluded from the canonical
+/// spec and every cache key — the same work under a different deadline must
+/// still coalesce onto one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisJob {
     pub model: ModelId,
@@ -26,6 +30,8 @@ pub struct AnalysisJob {
     pub dtype: DType,
     pub mode: proof_core::MetricMode,
     pub seed: u64,
+    /// Per-job deadline override; `None` defers to the server default.
+    pub timeout_ms: Option<u64>,
 }
 
 /// Canonical CLI-style token for a platform (round-trips via
@@ -106,6 +112,7 @@ impl AnalysisJob {
                     | "precision"
                     | "mode"
                     | "seed"
+                    | "timeout_ms"
             ) {
                 return Err(format!("unknown field '{key}' in job spec"));
             }
@@ -137,6 +144,10 @@ impl AnalysisJob {
             return Err(format!("batch {batch} out of range [1, 2^20]"));
         }
         let seed = u64_field(obj, "seed")?.unwrap_or(DEFAULT_SEED);
+        let timeout_ms = u64_field(obj, "timeout_ms")?;
+        if timeout_ms == Some(0) {
+            return Err("timeout_ms must be positive".to_string());
+        }
         Ok(AnalysisJob {
             model,
             backend,
@@ -145,11 +156,13 @@ impl AnalysisJob {
             dtype,
             mode,
             seed,
+            timeout_ms,
         })
     }
 
     /// The fully-resolved spec as a JSON object (canonical tokens, all
     /// defaults filled in). Keys serialize sorted, so this is canonical.
+    /// `timeout_ms` is excluded on purpose — see the type docs.
     pub fn to_value(&self) -> Value {
         let mut m = Map::new();
         m.insert("model".to_string(), Value::String(self.model.slug().into()));
@@ -215,9 +228,18 @@ impl AnalysisJob {
 
     /// Build this spec's pipeline prefix (compile + built-in profile + map).
     pub fn prepare(&self) -> Result<proof_core::PreparedStages, proof_core::ProofError> {
+        self.prepare_ctx(&proof_core::RunCtx::unbounded(self.seed))
+    }
+
+    /// [`AnalysisJob::prepare`] under a [`proof_core::RunCtx`] (deadline +
+    /// fault checkpoints between stages).
+    pub fn prepare_ctx(
+        &self,
+        ctx: &proof_core::RunCtx,
+    ) -> Result<proof_core::PreparedStages, proof_core::ProofError> {
         let graph = self.model.build(self.batch);
         let platform = self.hardware.spec();
-        proof_core::prepare_stages(&graph, &platform, self.backend, &self.session_config())
+        proof_core::prepare_stages_ctx(&graph, &platform, self.backend, &self.session_config(), ctx)
     }
 
     /// Run the full profiling pipeline for this spec.
@@ -249,6 +271,19 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.cache_key(), b.cache_key());
         assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn timeout_is_execution_metadata_not_identity() {
+        // identical work under different deadlines must share one artifact:
+        // timeout_ms stays out of the canonical spec and the cache key
+        let a = parse(r#"{"model":"resnet-50","hardware":"a100","timeout_ms":250}"#).unwrap();
+        let b = parse(r#"{"model":"resnet-50","hardware":"a100"}"#).unwrap();
+        assert_eq!(a.timeout_ms, Some(250));
+        assert_eq!(b.timeout_ms, None);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert!(parse(r#"{"model":"resnet-50","hardware":"a100","timeout_ms":0}"#).is_err());
     }
 
     #[test]

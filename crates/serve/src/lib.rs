@@ -26,6 +26,7 @@ pub mod server;
 pub mod stage_cache;
 
 pub use cache::{ArtifactCache, CacheStats, Lookup};
+pub use http::{Response, RetryPolicy};
 pub use job::{AnalysisJob, DEFAULT_SEED};
 pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, WorkerMetrics, WorkerSnapshot};
 pub use queue::JobQueue;

@@ -2,7 +2,15 @@
 //! close-and-drain shutdown semantics.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock, recovering from poisoning: a worker panicking while holding the
+/// queue lock (now isolated by `catch_unwind`) must not wedge every other
+/// producer/consumer — the queue's invariants hold at every await point,
+/// so the inner state is always safe to reuse.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -36,9 +44,9 @@ impl<T> JobQueue<T> {
 
     /// Enqueue, blocking while the queue is full. Fails once closed.
     pub fn push(&self, item: T) -> Result<(), Closed> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         while inner.items.len() >= self.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).unwrap();
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
         if inner.closed {
             return Err(Closed);
@@ -51,7 +59,7 @@ impl<T> JobQueue<T> {
 
     /// Enqueue only if there is room right now.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         if inner.closed || inner.items.len() >= self.capacity {
             return Err(item);
         }
@@ -64,7 +72,7 @@ impl<T> JobQueue<T> {
     /// Dequeue, blocking while empty. Returns `None` only once the queue is
     /// closed **and** drained — so no accepted job is ever dropped.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -74,19 +82,22 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Stop accepting new items; consumers drain what remains.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock_clean(&self.inner).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock_clean(&self.inner).items.len()
     }
 
     pub fn capacity(&self) -> usize {

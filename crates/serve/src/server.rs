@@ -7,13 +7,14 @@
 //! in-flight job before exiting, so no accepted job is ever dropped.
 
 use crate::cache::{ArtifactCache, Lookup};
-use crate::http::{read_request, write_response, write_response_typed, Request};
+use crate::http::{read_request, write_response, write_response_full, Request};
 use crate::job::AnalysisJob;
 use crate::metrics::{hist_value, Histogram, StageHistograms, WorkerMetrics};
 use crate::queue::JobQueue;
 use crate::stage_cache::StageCache;
 use proof_core::{
-    merged_chrome_trace, run_metric_stages, PipelineStage, PreparedStages, ProfileReport,
+    merged_chrome_trace, run_metric_stages_ctx, PipelineStage, PreparedStages, ProfileReport,
+    ProofError, RunCtx,
 };
 use proof_models::ModelId;
 use proof_obs::export::prometheus_text;
@@ -21,11 +22,18 @@ use proof_obs::{Counter, FieldValue, Level, MetricsRegistry, RingCollector, Trac
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// `Retry-After` seconds sent with 429/503 backpressure responses. One
+/// second is deliberate: the client's seeded exponential backoff treats the
+/// hint as a floor, so short hints keep retry storms cheap to test while
+/// real congestion is still paced by the exponential schedule.
+const RETRY_AFTER_S: u64 = 1;
 
 /// Daemon configuration (see `proof serve --help` for the CLI mapping).
 #[derive(Debug, Clone)]
@@ -38,11 +46,22 @@ pub struct ServeConfig {
     pub cache_budget_bytes: usize,
     /// Optional persistent artifact store directory.
     pub cache_dir: Option<PathBuf>,
-    /// Bounded job-queue capacity; submissions beyond it get 503.
+    /// Bounded job-queue capacity; submissions beyond it get 429 with a
+    /// `Retry-After` hint (backpressure, not failure).
     pub queue_capacity: usize,
     /// Entry budget for the in-process stage cache (pipeline prefixes kept
     /// live so mode pairs and sweep resubmissions skip compile/profile/map).
     pub stage_cache_capacity: usize,
+    /// Default per-job deadline, measured from submission (queue wait
+    /// counts). A job's own `timeout_ms` overrides it; `None` means
+    /// unbounded.
+    pub job_timeout_ms: Option<u64>,
+    /// How many times a worker retries a job whose failure is
+    /// [`ProofError::Transient`] before marking it failed.
+    pub max_retries: u32,
+    /// Base delay of the worker's retry backoff (doubles per retry, with
+    /// seed-keyed jitter so reruns are reproducible).
+    pub retry_base_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +73,9 @@ impl Default for ServeConfig {
             cache_dir: None,
             queue_capacity: 256,
             stage_cache_capacity: 32,
+            job_timeout_ms: None,
+            max_retries: 2,
+            retry_base_ms: 25,
         }
     }
 }
@@ -65,6 +87,10 @@ pub enum JobStatus {
     Running,
     Done,
     Failed,
+    /// The job's deadline expired before it finished; reported separately
+    /// from `Failed` so clients can tell "retry with a bigger budget" from
+    /// "the spec is broken".
+    TimedOut,
 }
 
 impl JobStatus {
@@ -74,6 +100,7 @@ impl JobStatus {
             JobStatus::Running => "running",
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
+            JobStatus::TimedOut => "timed_out",
         }
     }
 }
@@ -96,6 +123,12 @@ struct JobRecord {
     submitted: Instant,
     queue_wait_us: Option<u64>,
     execute_us: Option<u64>,
+    /// Pipeline attempts actually made (1 + transient retries); 0 until the
+    /// job runs, stays 0 on a cache hit.
+    attempts: u32,
+    /// The deadline budget this job ran under (its own `timeout_ms` or the
+    /// server default), for post-mortem visibility in status JSON.
+    timeout_ms: Option<u64>,
 }
 
 impl JobRecord {
@@ -129,6 +162,11 @@ impl JobRecord {
             "execute_us".to_string(),
             self.execute_us.map(Value::from).unwrap_or(Value::Null),
         );
+        m.insert("attempts".to_string(), Value::from(self.attempts));
+        m.insert(
+            "timeout_ms".to_string(),
+            self.timeout_ms.map(Value::from).unwrap_or(Value::Null),
+        );
         Value::Object(m)
     }
 }
@@ -142,21 +180,29 @@ struct ConnGate {
 
 impl ConnGate {
     fn enter(&self) {
-        *self.count.lock().unwrap() += 1;
+        *lock_clean(&self.count) += 1;
     }
     fn exit(&self) {
-        let mut n = self.count.lock().unwrap();
+        let mut n = lock_clean(&self.count);
         *n -= 1;
         if *n == 0 {
             self.idle.notify_all();
         }
     }
     fn wait_idle(&self) {
-        let mut n = self.count.lock().unwrap();
+        let mut n = lock_clean(&self.count);
         while *n > 0 {
-            n = self.idle.wait(n).unwrap();
+            n = self.idle.wait(n).unwrap_or_else(|e| e.into_inner());
         }
     }
+}
+
+/// Lock, recovering from poisoning. Workers run jobs under `catch_unwind`,
+/// but a handler thread could still die between lock and unlock; the shared
+/// maps stay structurally valid at every lock release, so recovery is safe
+/// and keeps one bad request from wedging the daemon.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 struct Shared {
@@ -178,8 +224,25 @@ struct Shared {
     hist_execute: Arc<Histogram>,
     hist_total: Arc<Histogram>,
     stage_hists: StageHistograms,
+    /// Transient-stage retries performed by workers.
+    retries_total: Arc<Counter>,
+    /// Jobs that hit their deadline.
+    timeouts_total: Arc<Counter>,
+    /// Worker panics caught and converted into per-job failures.
+    panics_total: Arc<Counter>,
+    /// Submissions bounced with 429 (queue full).
+    rejected_total: Arc<Counter>,
+    job_timeout_ms: Option<u64>,
+    max_retries: u32,
+    retry_base_ms: u64,
     running: AtomicBool,
     conns: ConnGate,
+}
+
+impl Shared {
+    fn reg(&self) -> MutexGuard<'_, HashMap<u64, JobRecord>> {
+        lock_clean(&self.registry)
+    }
 }
 
 /// What a graceful shutdown drained: every accepted job must be accounted
@@ -189,6 +252,7 @@ struct Shared {
 pub struct ShutdownReport {
     pub done: usize,
     pub failed: usize,
+    pub timed_out: usize,
     pub dropped: usize,
 }
 
@@ -221,7 +285,14 @@ impl Server {
             hist_execute: metrics.histogram("job_execute_us"),
             hist_total: metrics.histogram("job_total_us"),
             stage_hists: StageHistograms::register(&metrics),
+            retries_total: metrics.counter("retries_total"),
+            timeouts_total: metrics.counter("timeouts_total"),
+            panics_total: metrics.counter("panics_total"),
+            rejected_total: metrics.counter("rejected_total"),
             metrics,
+            job_timeout_ms: config.job_timeout_ms,
+            max_retries: config.max_retries,
+            retry_base_ms: config.retry_base_ms,
             running: AtomicBool::new(true),
             conns: ConnGate::default(),
         });
@@ -277,11 +348,12 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        let reg = self.shared.registry.lock().unwrap();
+        let reg = self.shared.reg();
         let count = |s: JobStatus| reg.values().filter(|r| r.status == s).count();
         ShutdownReport {
             done: count(JobStatus::Done),
             failed: count(JobStatus::Failed),
+            timed_out: count(JobStatus::TimedOut),
             dropped: count(JobStatus::Queued) + count(JobStatus::Running),
         }
     }
@@ -316,15 +388,54 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// How one job execution ended short of success.
+enum JobFailure {
+    /// Deadline expired (status `timed_out`, report endpoint returns 504).
+    TimedOut(String),
+    /// Everything else — permanent errors, exhausted retries, panics.
+    Failed(String),
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string or
+/// format message covers everything this codebase can raise).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Worker-side retry backoff: exponential in the retry number, jittered
+/// deterministically by the job seed so a rerun of the same job sleeps the
+/// same schedule.
+fn backoff_ms(base: u64, retry: u32, seed: u64) -> u64 {
+    let exp = base.saturating_mul(1u64 << u64::from(retry.saturating_sub(1).min(16)));
+    exp + proof_obs::fault::mix64(seed ^ u64::from(retry)) % (exp / 4 + 1)
+}
+
 fn execute_job(shared: &Arc<Shared>, id: u64) {
+    let timeout_ms;
     let (spec, key, submitted, trace_id) = {
-        let mut reg = shared.registry.lock().unwrap();
-        let rec = reg.get_mut(&id).expect("queued job has a record");
+        let mut reg = shared.reg();
+        // A missing record means the registry was mutated out from under
+        // the queue (should not happen); skip rather than kill the worker.
+        let Some(rec) = reg.get_mut(&id) else { return };
         rec.status = JobStatus::Running;
+        timeout_ms = rec.spec.timeout_ms.or(shared.job_timeout_ms);
+        rec.timeout_ms = timeout_ms;
         let wait_us = rec.submitted.elapsed().as_micros() as u64;
         rec.queue_wait_us = Some(wait_us);
         shared.hist_queue_wait.record_us(wait_us);
         (rec.spec, rec.key.clone(), rec.submitted, rec.trace)
+    };
+    // The deadline counts from submission: a job that starved in the queue
+    // past its budget fails fast at the first pipeline checkpoint.
+    let ctx = RunCtx {
+        deadline: timeout_ms.and_then(|ms| submitted.checked_add(Duration::from_millis(ms))),
+        seed: spec.seed,
     };
 
     let _busy = shared.worker_metrics.busy_span();
@@ -336,22 +447,56 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     // The prepared prefix used for this execution (if any), so the trace
     // export can merge the kernel timeline of the compiled model.
     let mut prep_used: Option<Arc<PreparedStages>> = None;
+    let mut attempts = 0u32;
     // Single-flight: concurrent identical jobs wait here and then hit.
-    let outcome = match shared.cache.lookup_or_begin(&key) {
+    let outcome: Result<(Arc<String>, bool), JobFailure> = match shared.cache.lookup_or_begin(&key)
+    {
         Lookup::Hit(artifact) => Ok((artifact, true)),
-        Lookup::Miss(guard) => match run_staged(shared, &spec) {
-            // try_to_json instead of to_json: a non-finite value fails the
-            // job instead of aborting the whole worker thread.
-            Ok((report, prep)) => {
-                prep_used = Some(prep);
-                match report.try_to_json() {
-                    Ok(json) => Ok((guard.fulfill(json), false)),
-                    Err(e) => Err(e.to_string()),
+        Lookup::Miss(guard) => {
+            // Panic isolation + transient retry. `catch_unwind` converts a
+            // panicking stage into a per-job failure (the daemon and its
+            // sibling jobs keep running); transient errors retry with
+            // deterministic backoff, timeouts and permanent errors do not.
+            let run = loop {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| run_staged(shared, &spec, &ctx))) {
+                    Err(payload) => {
+                        shared.panics_total.inc();
+                        break Err(JobFailure::Failed(format!(
+                            "panicked: {}",
+                            panic_message(payload.as_ref())
+                        )));
+                    }
+                    Ok(Ok(ok)) => break Ok(ok),
+                    Ok(Err(e)) if e.is_timeout() => {
+                        shared.timeouts_total.inc();
+                        break Err(JobFailure::TimedOut(e.to_string()));
+                    }
+                    Ok(Err(e)) if e.is_transient() && attempts <= shared.max_retries => {
+                        shared.retries_total.inc();
+                        std::thread::sleep(Duration::from_millis(backoff_ms(
+                            shared.retry_base_ms,
+                            attempts,
+                            spec.seed,
+                        )));
+                    }
+                    Ok(Err(e)) => break Err(JobFailure::Failed(e.to_string())),
                 }
+            };
+            match run {
+                Ok((report, prep)) => {
+                    prep_used = Some(prep);
+                    // try_to_json instead of to_json: a non-finite value
+                    // fails the job instead of aborting the worker thread.
+                    match report.try_to_json() {
+                        Ok(json) => Ok((guard.fulfill(json), false)),
+                        Err(e) => Err(JobFailure::Failed(e.to_string())),
+                    }
+                }
+                // dropping the guard lets a coalesced waiter retry the build
+                Err(f) => Err(f),
             }
-            // dropping the guard lets a coalesced waiter retry the build
-            Err(e) => Err(e),
-        },
+        }
     };
     let execute_us = exec_start.elapsed().as_micros() as u64;
     shared.hist_execute.record_us(execute_us);
@@ -360,12 +505,17 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         .record_us(submitted.elapsed().as_micros() as u64);
 
     span.field("cache_hit", matches!(outcome, Ok((_, true))));
-    let status = if outcome.is_ok() { "done" } else { "failed" };
+    let status = match &outcome {
+        Ok(_) => "done",
+        Err(JobFailure::TimedOut(_)) => "timed_out",
+        Err(JobFailure::Failed(_)) => "failed",
+    };
     span.field("status", status);
     span.finish();
     let (level, message) = match &outcome {
         Ok(_) => (Level::Info, format!("job {id} {status}")),
-        Err(e) => (Level::Warn, format!("job {id} failed: {e}")),
+        Err(JobFailure::TimedOut(e)) => (Level::Warn, format!("job {id} timed out: {e}")),
+        Err(JobFailure::Failed(e)) => (Level::Warn, format!("job {id} failed: {e}")),
     };
     shared.tracer.event(
         level,
@@ -374,6 +524,7 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         vec![
             ("job", FieldValue::U64(id)),
             ("execute_us", FieldValue::U64(execute_us)),
+            ("attempts", FieldValue::U64(u64::from(attempts))),
         ],
     );
     // Render the merged trace now: the ring buffer may evict these spans
@@ -383,9 +534,10 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         prep_used.as_deref().map(|p| &p.compiled.compiled),
     );
 
-    let mut reg = shared.registry.lock().unwrap();
-    let rec = reg.get_mut(&id).expect("running job has a record");
+    let mut reg = shared.reg();
+    let Some(rec) = reg.get_mut(&id) else { return };
     rec.execute_us = Some(execute_us);
+    rec.attempts = attempts;
     rec.trace_json = Some(Arc::new(trace_json));
     match outcome {
         Ok((artifact, hit)) => {
@@ -393,7 +545,11 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
             rec.cache_hit = Some(hit);
             rec.artifact = Some(artifact);
         }
-        Err(msg) => {
+        Err(JobFailure::TimedOut(msg)) => {
+            rec.status = JobStatus::TimedOut;
+            rec.error = Some(msg);
+        }
+        Err(JobFailure::Failed(msg)) => {
             rec.status = JobStatus::Failed;
             rec.error = Some(msg);
         }
@@ -404,22 +560,24 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
 /// prefix (compile → built-in profile → map) from the stage cache when the
 /// same spec — under any metric mode — was prepared before. Prefix stage
 /// timings are recorded into the stage histograms once, when built; the
-/// metric/assembly stages are recorded on every execution.
+/// metric/assembly stages are recorded on every execution. The `ctx`
+/// carries the job deadline and seed into the per-stage checkpoints.
 fn run_staged(
     shared: &Shared,
     spec: &AnalysisJob,
-) -> Result<(ProfileReport, Arc<PreparedStages>), String> {
+    ctx: &RunCtx,
+) -> Result<(ProfileReport, Arc<PreparedStages>), ProofError> {
     let skey = spec.stage_cache_key();
     let prep = match shared.stage_cache.get(&skey) {
         Some(prep) => prep,
         None => {
-            let prep = Arc::new(spec.prepare().map_err(|e| e.to_string())?);
+            let prep = Arc::new(spec.prepare_ctx(ctx)?);
             shared.stage_hists.record(&prep.trace.stages);
             shared.stage_cache.insert(skey, Arc::clone(&prep));
             prep
         }
     };
-    let report = run_metric_stages(&prep, spec.mode);
+    let report = run_metric_stages_ctx(&prep, spec.mode, ctx)?;
     shared.stage_hists.record(
         report
             .trace
@@ -430,14 +588,34 @@ fn run_staged(
     Ok((report, prep))
 }
 
+/// Why a submission was not accepted; maps to the HTTP reply.
+enum SubmitError {
+    /// Shutdown in progress — 503, do not retry against this instance.
+    ShuttingDown,
+    /// Bounded queue is full — 429 with `Retry-After` (backpressure).
+    QueueFull,
+}
+
+impl SubmitError {
+    fn reply(&self, shared: &Shared) -> (u16, String, Option<u64>) {
+        match self {
+            SubmitError::ShuttingDown => (503, error_body("server is shutting down"), None),
+            SubmitError::QueueFull => {
+                shared.rejected_total.inc();
+                (429, error_body("job queue is full"), Some(RETRY_AFTER_S))
+            }
+        }
+    }
+}
+
 /// Register + enqueue one parsed job. Returns `(job id, trace id)`.
 fn submit(
     shared: &Shared,
     spec: AnalysisJob,
     group: Option<u64>,
-) -> Result<(u64, u64), &'static str> {
+) -> Result<(u64, u64), SubmitError> {
     if !shared.running.load(Ordering::SeqCst) {
-        return Err("server is shutting down");
+        return Err(SubmitError::ShuttingDown);
     }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     let trace = proof_obs::new_trace_id();
@@ -454,11 +632,13 @@ fn submit(
         submitted: Instant::now(),
         queue_wait_us: None,
         execute_us: None,
+        attempts: 0,
+        timeout_ms: None,
     };
-    shared.registry.lock().unwrap().insert(id, record);
+    shared.reg().insert(id, record);
     if shared.queue.try_push(id).is_err() {
-        shared.registry.lock().unwrap().remove(&id);
-        return Err("job queue is full");
+        shared.reg().remove(&id);
+        return Err(SubmitError::QueueFull);
     }
     Ok((id, trace))
 }
@@ -478,7 +658,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             return;
         }
     };
-    let (status, body) = route(shared, &request);
+    let (status, body, retry_after_s) = route(shared, &request);
     access_log(shared, &peer, &request.method, &request.path, status);
     // The Prometheus exposition is the one non-JSON response body.
     let content_type = if request.path == "/metrics" && status == 200 && body.starts_with('#') {
@@ -486,7 +666,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     } else {
         "application/json"
     };
-    let _ = write_response_typed(&mut stream, status, content_type, &body);
+    let _ = write_response_full(&mut stream, status, content_type, retry_after_s, &body);
 }
 
 /// One structured access-log event per request (stderr when `PROOF_LOG`
@@ -509,13 +689,18 @@ fn error_body(msg: &str) -> String {
     Value::Object(m).to_string()
 }
 
-fn route(shared: &Shared, req: &Request) -> (u16, String) {
+fn route(shared: &Shared, req: &Request) -> (u16, String, Option<u64>) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    // The submission endpoints are the only ones that backpressure (and so
+    // the only ones that attach Retry-After).
     match (req.method.as_str(), segments.as_slice()) {
-        ("POST", ["jobs"]) => post_job(shared, &req.body),
+        ("POST", ["jobs"]) => return post_job(shared, &req.body),
+        ("POST", ["sweep"]) => return post_sweep(shared, &req.body),
+        _ => {}
+    }
+    let (status, body) = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["jobs", id]) => get_job(shared, id),
         ("GET", ["jobs", id, "report"]) => get_report(shared, id),
-        ("POST", ["sweep"]) => post_sweep(shared, &req.body),
         ("GET", ["sweep", gid]) => get_sweep(shared, gid),
         ("GET", ["trace", tid]) => get_trace(shared, tid),
         ("GET", ["metrics"]) => (200, metrics_body(shared, &req.query)),
@@ -523,17 +708,18 @@ fn route(shared: &Shared, req: &Request) -> (u16, String) {
         ("GET", ["healthz"]) => (200, r#"{"status":"ok"}"#.to_string()),
         ("GET" | "POST", _) => (404, error_body("no such endpoint")),
         _ => (405, error_body("method not allowed")),
-    }
+    };
+    (status, body, None)
 }
 
-fn post_job(shared: &Shared, body: &str) -> (u16, String) {
+fn post_job(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {
     let value: Value = match serde_json::from_str(body) {
         Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), None),
     };
     let spec = match AnalysisJob::from_value(&value) {
         Ok(s) => s,
-        Err(e) => return (400, error_body(&e)),
+        Err(e) => return (400, error_body(&e), None),
     };
     match submit(shared, spec, None) {
         Ok((id, trace)) => {
@@ -542,9 +728,9 @@ fn post_job(shared: &Shared, body: &str) -> (u16, String) {
             m.insert("key".to_string(), Value::from(spec.cache_key()));
             m.insert("trace".to_string(), Value::from(trace));
             m.insert("status".to_string(), Value::from("queued"));
-            (201, Value::Object(m).to_string())
+            (201, Value::Object(m).to_string(), None)
         }
-        Err(e) => (503, error_body(e)),
+        Err(e) => e.reply(shared),
     }
 }
 
@@ -556,7 +742,7 @@ fn get_job(shared: &Shared, id: &str) -> (u16, String) {
     let Some(id) = parse_id(id) else {
         return (400, error_body("job id must be an integer"));
     };
-    let reg = shared.registry.lock().unwrap();
+    let reg = shared.reg();
     match reg.get(&id) {
         Some(rec) => (200, rec.to_value(id).to_string()),
         None => (404, error_body("no such job")),
@@ -567,7 +753,7 @@ fn get_report(shared: &Shared, id: &str) -> (u16, String) {
     let Some(id) = parse_id(id) else {
         return (400, error_body("job id must be an integer"));
     };
-    let reg = shared.registry.lock().unwrap();
+    let reg = shared.reg();
     match reg.get(&id) {
         None => (404, error_body("no such job")),
         Some(rec) => match (rec.status, &rec.artifact) {
@@ -575,6 +761,10 @@ fn get_report(shared: &Shared, id: &str) -> (u16, String) {
             (JobStatus::Failed, _) => (
                 500,
                 error_body(rec.error.as_deref().unwrap_or("job failed")),
+            ),
+            (JobStatus::TimedOut, _) => (
+                504,
+                error_body(rec.error.as_deref().unwrap_or("job deadline exceeded")),
             ),
             _ => (409, error_body("job not finished yet")),
         },
@@ -588,7 +778,7 @@ fn get_trace(shared: &Shared, tid: &str) -> (u16, String) {
     let Some(tid) = parse_id(tid) else {
         return (400, error_body("trace id must be an integer"));
     };
-    let reg = shared.registry.lock().unwrap();
+    let reg = shared.reg();
     match reg.values().find(|r| r.trace == tid) {
         None => (404, error_body("no such trace")),
         Some(rec) => match &rec.trace_json {
@@ -650,46 +840,51 @@ fn sweep_grid(body: &Value) -> Result<Vec<Value>, String> {
     Ok(grid)
 }
 
-fn post_sweep(shared: &Shared, body: &str) -> (u16, String) {
+fn post_sweep(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {
     let value: Value = match serde_json::from_str(body) {
         Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), None),
     };
     let grid = match sweep_grid(&value) {
         Ok(g) => g,
-        Err(e) => return (400, error_body(&e)),
+        Err(e) => return (400, error_body(&e), None),
     };
     // validate the whole grid before enqueueing anything
     let mut specs = Vec::with_capacity(grid.len());
     for point in &grid {
         match AnalysisJob::from_value(point) {
             Ok(s) => specs.push(s),
-            Err(e) => return (400, error_body(&e)),
+            Err(e) => return (400, error_body(&e), None),
         }
     }
     if shared.queue.capacity() - shared.queue.depth() < specs.len() {
-        return (503, error_body("job queue cannot hold the whole sweep"));
+        shared.rejected_total.inc();
+        return (
+            429,
+            error_body("job queue cannot hold the whole sweep"),
+            Some(RETRY_AFTER_S),
+        );
     }
     let group = shared.next_group.fetch_add(1, Ordering::SeqCst);
     let mut ids = Vec::with_capacity(specs.len());
     for spec in specs {
         match submit(shared, spec, Some(group)) {
             Ok((id, _)) => ids.push(Value::from(id)),
-            Err(e) => return (503, error_body(e)),
+            Err(e) => return e.reply(shared),
         }
     }
     let mut m = Map::new();
     m.insert("group".to_string(), Value::from(group));
     m.insert("submitted".to_string(), Value::from(ids.len()));
     m.insert("jobs".to_string(), Value::Array(ids));
-    (201, Value::Object(m).to_string())
+    (201, Value::Object(m).to_string(), None)
 }
 
 fn get_sweep(shared: &Shared, gid: &str) -> (u16, String) {
     let Some(gid) = parse_id(gid) else {
         return (400, error_body("sweep group id must be an integer"));
     };
-    let reg = shared.registry.lock().unwrap();
+    let reg = shared.reg();
     let mut members: Vec<(u64, &JobRecord)> = reg
         .iter()
         .filter(|(_, r)| r.group == Some(gid))
@@ -711,6 +906,10 @@ fn get_sweep(shared: &Shared, gid: &str) -> (u16, String) {
     m.insert("done".to_string(), Value::from(count(JobStatus::Done)));
     m.insert("failed".to_string(), Value::from(count(JobStatus::Failed)));
     m.insert(
+        "timed_out".to_string(),
+        Value::from(count(JobStatus::TimedOut)),
+    );
+    m.insert(
         "jobs".to_string(),
         Value::Array(members.iter().map(|(id, r)| r.to_value(*id)).collect()),
     );
@@ -727,7 +926,7 @@ fn metrics_body(shared: &Shared, query: &str) -> String {
 
     let mut jobs = Map::new();
     {
-        let reg = shared.registry.lock().unwrap();
+        let reg = shared.reg();
         let count = |s: JobStatus| reg.values().filter(|r| r.status == s).count();
         jobs.insert("total".to_string(), Value::from(reg.len()));
         jobs.insert("queued".to_string(), Value::from(count(JobStatus::Queued)));
@@ -737,6 +936,10 @@ fn metrics_body(shared: &Shared, query: &str) -> String {
         );
         jobs.insert("done".to_string(), Value::from(count(JobStatus::Done)));
         jobs.insert("failed".to_string(), Value::from(count(JobStatus::Failed)));
+        jobs.insert(
+            "timed_out".to_string(),
+            Value::from(count(JobStatus::TimedOut)),
+        );
     }
 
     let mut latency = Map::new();
@@ -784,7 +987,7 @@ fn metrics_body(shared: &Shared, query: &str) -> String {
 fn prometheus_body(shared: &Shared) -> String {
     let mut snap = shared.metrics.snapshot();
 
-    let reg = shared.registry.lock().unwrap();
+    let reg = shared.reg();
     let jobs = |s: JobStatus| reg.values().filter(|r| r.status == s).count() as u64;
     let workers = shared.worker_metrics.snapshot();
     let cache = shared.cache.stats();
@@ -792,6 +995,10 @@ fn prometheus_body(shared: &Shared) -> String {
     snap.counters.extend([
         ("jobs_done_total".to_string(), jobs(JobStatus::Done)),
         ("jobs_failed_total".to_string(), jobs(JobStatus::Failed)),
+        (
+            "jobs_timed_out_total".to_string(),
+            jobs(JobStatus::TimedOut),
+        ),
         ("jobs_submitted_total".to_string(), reg.len() as u64),
         ("jobs_executed_total".to_string(), workers.jobs_executed),
         ("cache_hits_total".to_string(), cache.hits),

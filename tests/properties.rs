@@ -243,7 +243,7 @@ proptest! {
         let flavor = BackendFlavor::TrtLike;
         let prep = prepare_stages(&g, &platform, flavor, &cfg).unwrap();
         for mode in [MetricMode::Predicted, MetricMode::Measured] {
-            let staged = run_metric_stages(&prep, mode);
+            let staged = run_metric_stages(&prep, mode).unwrap();
             let fresh = profile_model(&g, &platform, flavor, &cfg, mode).unwrap();
             prop_assert_eq!(&staged, &fresh);
             prop_assert_eq!(staged.to_json(), fresh.to_json());
