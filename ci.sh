@@ -117,4 +117,66 @@ kill "$serve_pid" 2>/dev/null || true
 trap - EXIT
 rm -f "$serve_log"
 
+echo "==> proof fleet smoke (two daemons, merged sweep byte-identical to single-node)"
+log_a="$(mktemp)"; log_b="$(mktemp)"
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_a" 2>&1 &
+pid_a=$!
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_b" 2>&1 &
+pid_b=$!
+trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true' EXIT
+for log in "$log_a" "$log_b"; do
+    for _ in $(seq 50); do
+        grep -q "listening on" "$log" && break
+        sleep 0.1
+    done
+done
+addr_a="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_a" | head -n1)"
+addr_b="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_b" | head -n1)"
+
+fleet_spec=(--models mobilenetv2-0.5 --platforms a100 --batches 1,2 --seed 7)
+./target/release/proof fleet sweep --nodes "${addr_a},${addr_b}" "${fleet_spec[@]}" \
+    --out /tmp/proof_ci_fleet_a.json --metrics-out /tmp/proof_ci_fleet_m.json 2>/dev/null
+./target/release/proof fleet sweep --in-process "${fleet_spec[@]}" \
+    --out /tmp/proof_ci_fleet_b.json 2>/dev/null
+cmp /tmp/proof_ci_fleet_a.json /tmp/proof_ci_fleet_b.json
+kill "$pid_a" "$pid_b" 2>/dev/null || true
+trap - EXIT
+rm -f "$log_a" "$log_b"
+
+echo "==> proof fleet fault smoke (one panicking daemon, sweep reschedules and still matches)"
+# daemon A panics at the compile stage for every job of this sweep's seed;
+# the coordinator must shift A's shards to the clean daemon B and the
+# merged artifact must not change by a byte
+log_a="$(mktemp)"; log_b="$(mktemp)"
+PROOF_FAULT="compile:panic@7" \
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_a" 2>&1 &
+pid_a=$!
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_b" 2>&1 &
+pid_b=$!
+trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true' EXIT
+for log in "$log_a" "$log_b"; do
+    for _ in $(seq 50); do
+        grep -q "listening on" "$log" && break
+        sleep 0.1
+    done
+done
+addr_a="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_a" | head -n1)"
+addr_b="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_b" | head -n1)"
+
+./target/release/proof fleet sweep --nodes "${addr_a},${addr_b}" "${fleet_spec[@]}" \
+    --out /tmp/proof_ci_fleet_f.json --metrics-out /tmp/proof_ci_fleet_fm.json 2>/dev/null
+cmp /tmp/proof_ci_fleet_f.json /tmp/proof_ci_fleet_b.json
+python3 - <<'EOF'
+import json
+m = json.load(open("/tmp/proof_ci_fleet_fm.json"))
+resched = m["counters"]["fleet_rescheduled"]
+assert resched > 0, f"expected rescheduling off the panicking daemon, counters: {m['counters']}"
+assert m["counters"]["fleet_completed"] == 2, m["counters"]
+print(f"  fleet fault OK: {resched} reschedule(s), counters {m['counters']}")
+EOF
+kill "$pid_a" "$pid_b" 2>/dev/null || true
+trap - EXIT
+rm -f "$log_a" "$log_b" /tmp/proof_ci_fleet_a.json /tmp/proof_ci_fleet_b.json \
+    /tmp/proof_ci_fleet_f.json /tmp/proof_ci_fleet_m.json /tmp/proof_ci_fleet_fm.json
+
 echo "CI OK"

@@ -14,6 +14,10 @@
 //! proof serve [--addr 127.0.0.1:7878] [--workers 2] [--cache-budget-mb 64]
 //!             [--cache-dir DIR] [--queue-cap 256]
 //!             [--job-timeout MS] [--job-retries N]
+//! proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2
+//!                   [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode M]
+//!                   [--seed N] [--out FILE] [--metrics-out FILE] [--in-process]
+//! proof fleet serve [--addr 127.0.0.1:7979] (--nodes IP:PORT,... | --local N)
 //! ```
 
 use proof_core::report::{chart_to_csv, profile_summary};
@@ -29,7 +33,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--in-process]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -37,7 +41,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BOOLEAN_FLAGS: &[&str] = &["trace"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "in-process"];
 
 /// Parse `--key value` pairs (and valueless boolean flags) after the
 /// subcommand.
@@ -428,6 +432,175 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     }
 }
 
+/// Split a comma-separated flag value, dropping empty pieces.
+fn csv(flags: &HashMap<String, String>, key: &str) -> Vec<String> {
+    flags
+        .get(key)
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Build the grid spec shared by both fleet verbs from `--models`,
+/// `--platforms`, and the optional axes.
+fn fleet_grid_spec(flags: &HashMap<String, String>) -> proof_core::GridSpec {
+    let batches = flags
+        .get("batches")
+        .map(|v| {
+            v.split(',')
+                .map(|b| b.trim().parse().expect("batches"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1]);
+    let spec = proof_core::GridSpec {
+        models: csv(flags, "models"),
+        backends: csv(flags, "backends"),
+        platforms: csv(flags, "platforms"),
+        dtypes: csv(flags, "precisions"),
+        batches,
+        mode: flags.get("mode").cloned(),
+        seed: flags
+            .get("seed")
+            .map(|s| s.parse().expect("seed"))
+            .unwrap_or(proof_core::DEFAULT_GRID_SEED),
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid grid: {e}");
+        usage();
+    }
+    spec
+}
+
+/// Build the fleet topology from `--nodes addr,...` and/or `--local N`.
+fn fleet_config(flags: &HashMap<String, String>) -> proof_fleet::FleetConfig {
+    let mut config = proof_fleet::FleetConfig::default();
+    for addr in csv(flags, "nodes") {
+        match addr.parse() {
+            Ok(a) => config.nodes.push(a),
+            Err(_) => {
+                eprintln!("--nodes entries must be IP:PORT, got {addr}");
+                usage();
+            }
+        }
+    }
+    if let Some(n) = flags.get("local") {
+        config.local_daemons = n.parse().expect("local");
+    }
+    if let Some(w) = flags.get("workers") {
+        config.local_workers = w.parse().expect("workers");
+    }
+    if let Some(ms) = flags.get("shard-timeout-ms") {
+        config.dispatcher.shard_timeout =
+            std::time::Duration::from_millis(ms.parse().expect("shard-timeout-ms"));
+    }
+    if config.nodes.is_empty() && config.local_daemons == 0 {
+        eprintln!("fleet needs --nodes and/or --local");
+        usage();
+    }
+    config
+}
+
+fn cmd_fleet_sweep(flags: HashMap<String, String>) -> ExitCode {
+    let spec = fleet_grid_spec(&flags);
+    // --in-process: the single-node library reference (no HTTP, no
+    // scheduling) — the bytes a fleet run must reproduce
+    let merged = if flags.contains_key("in-process") {
+        match proof_fleet::run_grid_local(&spec) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("grid failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut fleet = match proof_fleet::Fleet::start(fleet_config(&flags)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot start fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let run = match fleet.run_grid(&spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "fleet: {} cells over {} nodes ({} dispatched, {} rescheduled, {} probes)",
+            run.outcome.results.len(),
+            run.nodes.len(),
+            run.outcome.dispatched,
+            run.outcome.rescheduled,
+            run.outcome.probes
+        );
+        if let Some(path) = flags.get("metrics-out") {
+            std::fs::write(path, fleet.metrics_json()).expect("write metrics");
+            eprintln!("wrote {path}");
+        }
+        fleet.shutdown();
+        run.merged
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &merged).expect("write out");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{merged}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_fleet_serve(flags: HashMap<String, String>) -> ExitCode {
+    let fleet = match proof_fleet::Fleet::start(fleet_config(&flags)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot start fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nodes = fleet.node_addrs();
+    let mut config = proof_fleet::FleetServerConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    let server = match proof_fleet::FleetServer::start(fleet, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start coordinator: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "proof-fleet coordinating {} node(s) on http://{}\nnodes: {}\nendpoints: POST /grid, GET /nodes, GET /metrics[?format=prometheus], GET /healthz",
+        nodes.len(),
+        server.addr(),
+        nodes
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    // serve until the process is terminated
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("sweep") => cmd_fleet_sweep(parse_flags(&args[1..])),
+        Some("serve") => cmd_fleet_serve(parse_flags(&args[1..])),
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -438,6 +611,7 @@ fn main() -> ExitCode {
         Some("memory") => cmd_memory(parse_flags(&args[1..])),
         Some("headroom") => cmd_headroom(parse_flags(&args[1..])),
         Some("serve") => return cmd_serve(parse_flags(&args[1..])),
+        Some("fleet") => return cmd_fleet(&args[1..]),
         _ => usage(),
     }
     ExitCode::SUCCESS

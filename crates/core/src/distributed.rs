@@ -348,6 +348,96 @@ mod tests {
     }
 
     #[test]
+    fn one_stage_cut_vector_is_empty_and_spans_cover_everything() {
+        let w = vec![3.0; 17];
+        let cuts = balanced_cuts(&w, 1);
+        assert!(cuts.is_empty(), "k=1 needs no cuts");
+        assert_eq!(spans(&cuts, 17), vec![(0, 17)]);
+        // k == n degenerates to one node per stage
+        let w = vec![1.0, 1.0, 1.0];
+        let cuts = balanced_cuts(&w, 3);
+        assert_eq!(cuts.len(), 2);
+        assert_eq!(spans(&cuts, 3).len(), 3);
+        for (lo, hi) in spans(&cuts, 3) {
+            assert!(hi > lo, "no empty stage");
+        }
+    }
+
+    #[test]
+    fn more_devices_than_graph_nodes_clamps_to_node_count() {
+        // a 2-node graph offered 4 devices must produce 2 stages, not 4
+        let mut b = proof_ir::GraphBuilder::new("tiny-pipeline");
+        let x = b.input("x", &[1, 3, 8, 8], DType::F32);
+        let y = b.conv("conv1", x, 16, 3, 1, 1, 1, true);
+        let y = b.relu("relu1", y);
+        b.output(y);
+        let g = b.finish();
+        assert_eq!(g.node_count(), 2);
+        let dev = PlatformId::A100.spec();
+        let pipe = profile_pipeline(
+            &g,
+            &[dev.clone(), dev.clone(), dev.clone(), dev.clone()],
+            BackendFlavor::TrtLike,
+            &cfg(),
+            Interconnect::pcie4(),
+        )
+        .unwrap();
+        assert_eq!(pipe.stages.len(), 2);
+        assert_eq!(pipe.stages[0].node_count, 1);
+        assert_eq!(pipe.stages[1].node_count, 1);
+        assert_eq!(pipe.stages[1].transfer_ms, 0.0, "last stage ships nothing");
+        assert!(pipe.throughput_per_s > 0.0);
+    }
+
+    #[test]
+    fn local_search_never_worsens_the_simulated_bottleneck() {
+        // recompute the initial balanced partition exactly as
+        // profile_pipeline does, simulate its bottleneck, and check the
+        // searched result is no worse
+        let g = ModelId::ResNet50.build(32);
+        let devices = [PlatformId::A100.spec(), PlatformId::Rtx4090.spec()];
+        let link = Interconnect::pcie4();
+        let session = cfg();
+        let n = g.nodes.len();
+        let k = devices.len().min(n);
+        let analysis = AnalyzeRepr::new(&g, session.precision);
+        let weights: Vec<f64> = (0..n as NodeId)
+            .map(|id| {
+                let c = analysis.node_cost(id);
+                c.flops as f64 / 1e9 + c.memory_bytes() as f64 / 1e8
+            })
+            .collect();
+        let initial = balanced_cuts(&weights, k);
+        let mut initial_bottleneck = 0.0f64;
+        for (d, &(lo, hi)) in spans(&initial, n).iter().enumerate() {
+            let members: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
+            let stage = extract_subgraph(&g, &members, "probe").unwrap();
+            let r = profile_model(
+                &stage,
+                &devices[d],
+                BackendFlavor::TrtLike,
+                &session,
+                MetricMode::Predicted,
+            )
+            .unwrap();
+            let egress = boundary_out_bytes(&g, &members, session.precision);
+            let t = r.total_latency_ms
+                + if d + 1 < k {
+                    link.transfer_ms(egress)
+                } else {
+                    0.0
+                };
+            initial_bottleneck = initial_bottleneck.max(t);
+        }
+        let pipe = profile_pipeline(&g, &devices, BackendFlavor::TrtLike, &session, link).unwrap();
+        assert!(
+            pipe.bottleneck_ms <= initial_bottleneck * (1.0 + 1e-9),
+            "search worsened the bottleneck: {} > {initial_bottleneck}",
+            pipe.bottleneck_ms
+        );
+    }
+
+    #[test]
     fn single_device_pipeline_degenerates_gracefully() {
         let g = ModelId::ShuffleNetV2x05.build(4);
         let dev = PlatformId::A100.spec();

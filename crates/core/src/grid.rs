@@ -1,0 +1,521 @@
+//! Profiling *grid specs* and deterministic result merging — the shared
+//! vocabulary between a fleet coordinator and its worker daemons.
+//!
+//! A [`GridSpec`] names the cross product of the paper's evaluation axes
+//! (model × backend × platform × precision × batch, Tables 3–5) under one
+//! metric mode and seed. [`GridSpec::cells`] expands it into *canonically
+//! ordered* [`GridCell`]s — the order depends only on the spec, never on
+//! which node ran which cell — and [`merge_cells`] reassembles per-cell
+//! report JSON into one combined artifact. Because every per-cell report is
+//! already byte-deterministic for a given spec and seed, and the merge
+//! orders cells canonically and serializes through sorted-key JSON, the
+//! merged artifact is **byte-identical** no matter how the grid was sharded
+//! across nodes (or whether it ran on a single daemon).
+
+use crate::pipeline::ProofError;
+use crate::profile::ProfileReport;
+use crate::sweep::{BatchSweep, SweepPoint};
+use serde_json::{Map, Value};
+
+/// Largest cell count a single grid may expand to (mirrors the serve
+/// daemon's sweep cap).
+pub const MAX_GRID_CELLS: usize = 4096;
+
+/// A profiling grid: every axis is a list, optional axes (`backends`,
+/// `dtypes`, `mode`) default to the worker-side defaults when empty/None.
+/// Axis order within each list is preserved — the canonical cell order is a
+/// function of the spec as given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSpec {
+    pub models: Vec<String>,
+    /// Empty → each cell omits `backend` (worker picks the platform-native
+    /// flavor).
+    pub backends: Vec<String>,
+    pub platforms: Vec<String>,
+    /// Empty → each cell omits `dtype` (worker default).
+    pub dtypes: Vec<String>,
+    pub batches: Vec<u64>,
+    /// `None` → worker default (`predicted`).
+    pub mode: Option<String>,
+    pub seed: u64,
+}
+
+/// One point of the grid — exactly the fields of a `POST /jobs` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridCell {
+    pub model: String,
+    pub backend: Option<String>,
+    pub platform: String,
+    pub dtype: Option<String>,
+    pub batch: u64,
+    pub mode: Option<String>,
+    pub seed: u64,
+}
+
+impl GridCell {
+    /// The job-spec JSON object this cell submits to a worker daemon.
+    pub fn to_job_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("model".to_string(), Value::from(self.model.as_str()));
+        if let Some(b) = &self.backend {
+            m.insert("backend".to_string(), Value::from(b.as_str()));
+        }
+        m.insert("hardware".to_string(), Value::from(self.platform.as_str()));
+        if let Some(d) = &self.dtype {
+            m.insert("dtype".to_string(), Value::from(d.as_str()));
+        }
+        m.insert("batch".to_string(), Value::from(self.batch));
+        if let Some(mo) = &self.mode {
+            m.insert("mode".to_string(), Value::from(mo.as_str()));
+        }
+        m.insert("seed".to_string(), Value::from(self.seed));
+        Value::Object(m)
+    }
+}
+
+fn str_list(obj: &Map<String, Value>, scalar: &str, list: &str) -> Result<Vec<String>, ProofError> {
+    let values = match (obj.get(list), obj.get(scalar)) {
+        // a lone string under the plural spelling is accepted as a
+        // one-element axis (this also serves aliases like `hardware`,
+        // which have a single spelling for both shapes)
+        (Some(Value::String(_)), _) => vec![obj.get(list).unwrap().clone()],
+        (Some(v), _) => {
+            let arr = v.as_array().ok_or_else(|| {
+                ProofError::InvalidSpec(format!("field '{list}' must be an array"))
+            })?;
+            arr.clone()
+        }
+        (None, Some(v)) => vec![v.clone()],
+        (None, None) => return Ok(Vec::new()),
+    };
+    values
+        .iter()
+        .map(|v| {
+            v.as_str().map(str::to_string).ok_or_else(|| {
+                ProofError::InvalidSpec(format!("'{scalar}' entries must be strings, got {v}"))
+            })
+        })
+        .collect()
+}
+
+impl GridSpec {
+    /// Parse the coordinator's grid-spec JSON. Scalar and plural spellings
+    /// are both accepted per axis (`model`/`models`, ...), plus the serve
+    /// daemon's aliases `hardware` and `precision(s)`.
+    pub fn from_value(v: &Value) -> Result<GridSpec, ProofError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| ProofError::InvalidSpec("grid spec must be a JSON object".into()))?;
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "model"
+                    | "models"
+                    | "backend"
+                    | "backends"
+                    | "platform"
+                    | "platforms"
+                    | "hardware"
+                    | "dtype"
+                    | "dtypes"
+                    | "precision"
+                    | "precisions"
+                    | "batch"
+                    | "batches"
+                    | "mode"
+                    | "seed"
+            ) {
+                return Err(ProofError::InvalidSpec(format!(
+                    "unknown field '{key}' in grid spec"
+                )));
+            }
+        }
+        let models = str_list(obj, "model", "models")?;
+        let backends = str_list(obj, "backend", "backends")?;
+        let mut platforms = str_list(obj, "platform", "platforms")?;
+        if platforms.is_empty() {
+            platforms = str_list(obj, "hardware", "hardware")?;
+        }
+        let mut dtypes = str_list(obj, "dtype", "dtypes")?;
+        if dtypes.is_empty() {
+            dtypes = str_list(obj, "precision", "precisions")?;
+        }
+        let batches = match (obj.get("batches"), obj.get("batch")) {
+            (Some(v), _) => v
+                .as_array()
+                .ok_or_else(|| ProofError::InvalidSpec("field 'batches' must be an array".into()))?
+                .iter()
+                .map(|b| {
+                    b.as_u64().ok_or_else(|| {
+                        ProofError::InvalidSpec(format!("batch entries must be integers, got {b}"))
+                    })
+                })
+                .collect::<Result<Vec<u64>, ProofError>>()?,
+            (None, Some(v)) => vec![v.as_u64().ok_or_else(|| {
+                ProofError::InvalidSpec(format!("field 'batch' must be an integer, got {v}"))
+            })?],
+            (None, None) => vec![1],
+        };
+        let mode = match obj.get("mode") {
+            None | Some(Value::Null) => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(other) => {
+                return Err(ProofError::InvalidSpec(format!(
+                    "field 'mode' must be a string, got {other}"
+                )))
+            }
+        };
+        let seed = match obj.get("seed") {
+            None | Some(Value::Null) => crate::grid::DEFAULT_GRID_SEED,
+            Some(v) => v.as_u64().ok_or_else(|| {
+                ProofError::InvalidSpec(format!(
+                    "field 'seed' must be a non-negative integer, got {v}"
+                ))
+            })?,
+        };
+        let spec = GridSpec {
+            models,
+            backends,
+            platforms,
+            dtypes,
+            batches,
+            mode,
+            seed,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural validation (axis presence and grid size; slug validity is
+    /// checked by the worker-spec parser when cells become jobs).
+    pub fn validate(&self) -> Result<(), ProofError> {
+        if self.models.is_empty() {
+            return Err(ProofError::InvalidSpec(
+                "grid spec needs at least one model".into(),
+            ));
+        }
+        if self.platforms.is_empty() {
+            return Err(ProofError::InvalidSpec(
+                "grid spec needs at least one platform".into(),
+            ));
+        }
+        if self.batches.is_empty() {
+            return Err(ProofError::InvalidSpec(
+                "grid spec needs at least one batch size".into(),
+            ));
+        }
+        if self.cell_count() > MAX_GRID_CELLS {
+            return Err(ProofError::InvalidSpec(format!(
+                "grid expands to {} cells, larger than {MAX_GRID_CELLS}",
+                self.cell_count()
+            )));
+        }
+        Ok(())
+    }
+
+    /// How many cells [`GridSpec::cells`] will produce.
+    pub fn cell_count(&self) -> usize {
+        self.models.len()
+            * self.backends.len().max(1)
+            * self.platforms.len()
+            * self.dtypes.len().max(1)
+            * self.batches.len()
+    }
+
+    /// Expand into cells in **canonical order**: model-major, then
+    /// platform, backend, dtype, batch — each axis in spec order. The shard
+    /// id of a cell is its index in this expansion.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let opt = |axis: &[String]| -> Vec<Option<String>> {
+            if axis.is_empty() {
+                vec![None]
+            } else {
+                axis.iter().map(|s| Some(s.clone())).collect()
+            }
+        };
+        let backends = opt(&self.backends);
+        let dtypes = opt(&self.dtypes);
+        let mut out = Vec::with_capacity(self.cell_count());
+        for model in &self.models {
+            for platform in &self.platforms {
+                for backend in &backends {
+                    for dtype in &dtypes {
+                        for &batch in &self.batches {
+                            out.push(GridCell {
+                                model: model.clone(),
+                                backend: backend.clone(),
+                                platform: platform.clone(),
+                                dtype: dtype.clone(),
+                                batch,
+                                mode: self.mode.clone(),
+                                seed: self.seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The spec as a canonical JSON object (sorted keys via the `Map`
+    /// backing; optional axes serialized as `null` when defaulted).
+    pub fn to_value(&self) -> Value {
+        let strs = |v: &[String]| Value::Array(v.iter().map(|s| Value::from(s.as_str())).collect());
+        let mut m = Map::new();
+        m.insert("models".to_string(), strs(&self.models));
+        m.insert(
+            "backends".to_string(),
+            if self.backends.is_empty() {
+                Value::Null
+            } else {
+                strs(&self.backends)
+            },
+        );
+        m.insert("platforms".to_string(), strs(&self.platforms));
+        m.insert(
+            "dtypes".to_string(),
+            if self.dtypes.is_empty() {
+                Value::Null
+            } else {
+                strs(&self.dtypes)
+            },
+        );
+        m.insert(
+            "batches".to_string(),
+            Value::Array(self.batches.iter().map(|&b| Value::from(b)).collect()),
+        );
+        m.insert(
+            "mode".to_string(),
+            self.mode.as_deref().map(Value::from).unwrap_or(Value::Null),
+        );
+        m.insert("seed".to_string(), Value::from(self.seed));
+        Value::Object(m)
+    }
+
+    /// Whether the grid is a pure batch sweep of one configuration (single
+    /// model/platform/backend/dtype, the batch axis free) — the case where
+    /// the merged artifact also carries a derived [`BatchSweep`].
+    pub fn is_batch_sweep(&self) -> bool {
+        self.models.len() == 1
+            && self.platforms.len() == 1
+            && self.backends.len() <= 1
+            && self.dtypes.len() <= 1
+    }
+}
+
+/// Default seed for grid runs (same default as the serve daemon's job spec,
+/// duplicated here so proof-core does not depend on proof-serve).
+pub const DEFAULT_GRID_SEED: u64 = 0xC0FFEE;
+
+/// Merge per-cell report JSON into the combined grid artifact.
+///
+/// `reports` pairs each shard id (index into [`GridSpec::cells`]) with the
+/// worker-produced report JSON for that cell, in **any** order — the merge
+/// sorts them canonically. Every shard must appear exactly once; a missing
+/// or duplicate shard is an error, never a silently partial document.
+///
+/// The document is `{"cells": [...], "grid": ..., "sweep": ...}` with
+/// sorted keys throughout, so its bytes depend only on (spec, per-cell
+/// report bytes) — not on node count, dispatch order, or retry history.
+pub fn merge_cells(spec: &GridSpec, reports: &[(usize, String)]) -> Result<String, ProofError> {
+    let cells = spec.cells();
+    let mut slots: Vec<Option<&str>> = vec![None; cells.len()];
+    for (shard, json) in reports {
+        let slot = slots.get_mut(*shard).ok_or_else(|| {
+            ProofError::InvalidSpec(format!(
+                "shard {shard} out of range for a {}-cell grid",
+                cells.len()
+            ))
+        })?;
+        if slot.is_some() {
+            return Err(ProofError::InvalidSpec(format!(
+                "shard {shard} reported twice"
+            )));
+        }
+        *slot = Some(json.as_str());
+    }
+    let mut cell_values = Vec::with_capacity(cells.len());
+    let mut parsed = Vec::with_capacity(cells.len());
+    for (shard, (cell, slot)) in cells.iter().zip(&slots).enumerate() {
+        let json = slot.ok_or_else(|| {
+            ProofError::InvalidSpec(format!("shard {shard} missing from the merge"))
+        })?;
+        let report: Value = serde_json::from_str(json)
+            .map_err(|e| ProofError::Serialize(format!("shard {shard} report: {e}")))?;
+        parsed.push(json);
+        let mut m = Map::new();
+        m.insert("report".to_string(), report);
+        m.insert("spec".to_string(), cell.to_job_value());
+        cell_values.push(Value::Object(m));
+    }
+    let sweep = if spec.is_batch_sweep() && cells.len() > 1 {
+        batch_sweep_from_reports(&parsed)?
+    } else {
+        None
+    };
+    let mut doc = Map::new();
+    doc.insert("cells".to_string(), Value::Array(cell_values));
+    doc.insert("grid".to_string(), spec.to_value());
+    doc.insert(
+        "sweep".to_string(),
+        match sweep {
+            Some(s) => serde_json::to_value(&s),
+            None => Value::Null,
+        },
+    );
+    Ok(Value::Object(doc).to_string())
+}
+
+/// Derive a [`BatchSweep`] from the per-batch reports of a single-config
+/// grid, computing each point exactly as [`crate::sweep::sweep_batches`]
+/// does so the curve is interchangeable with a direct sweep.
+fn batch_sweep_from_reports(reports: &[&str]) -> Result<Option<BatchSweep>, ProofError> {
+    let mut points = Vec::with_capacity(reports.len());
+    let mut model = String::new();
+    let mut platform = String::new();
+    for json in reports {
+        let r = ProfileReport::from_json(json)
+            .map_err(|e| ProofError::Serialize(format!("sweep cell report: {e}")))?;
+        model = r.model.clone();
+        platform = r.platform.clone();
+        points.push(SweepPoint {
+            batch: r.batch,
+            latency_ms: r.total_latency_ms,
+            throughput_per_s: r.throughput_per_s(),
+            achieved_gflops: r.achieved_gflops(),
+        });
+    }
+    points.sort_by_key(|p| p.batch);
+    Ok(Some(BatchSweep {
+        model,
+        platform,
+        points,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec {
+            models: vec!["resnet-50".into(), "vit-tiny".into()],
+            backends: vec![],
+            platforms: vec!["a100".into()],
+            dtypes: vec!["fp16".into()],
+            batches: vec![1, 4],
+            mode: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn expansion_is_canonical_and_counts_match() {
+        let s = spec();
+        let cells = s.cells();
+        assert_eq!(cells.len(), s.cell_count());
+        assert_eq!(cells.len(), 4);
+        // model-major, batch-minor
+        assert_eq!(cells[0].model, "resnet-50");
+        assert_eq!(cells[0].batch, 1);
+        assert_eq!(cells[1].batch, 4);
+        assert_eq!(cells[2].model, "vit-tiny");
+        // empty backend axis → omitted from the job spec
+        assert!(cells[0].backend.is_none());
+        let job = cells[0].to_job_value();
+        assert!(job.as_object().unwrap().get("backend").is_none());
+        assert_eq!(job["hardware"], "a100");
+        assert_eq!(job["seed"], 7u64);
+    }
+
+    #[test]
+    fn from_value_accepts_scalar_and_plural_spellings() {
+        let a = GridSpec::from_value(
+            &serde_json::from_str(
+                r#"{"models":["resnet-50"],"platform":"a100","batches":[1,2],"seed":3}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let b = GridSpec::from_value(
+            &serde_json::from_str(
+                r#"{"model":"resnet-50","hardware":"a100","batches":[1,2],"seed":3}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cells().len(), 2);
+        // precision alias feeds the dtype axis
+        let c = GridSpec::from_value(
+            &serde_json::from_str(
+                r#"{"model":"resnet-50","platform":"a100","precisions":["fp16","fp32"]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.dtypes, vec!["fp16".to_string(), "fp32".to_string()]);
+        assert_eq!(c.batches, vec![1]);
+        assert_eq!(c.seed, DEFAULT_GRID_SEED);
+    }
+
+    #[test]
+    fn from_value_rejects_malformed_specs() {
+        for bad in [
+            r#"{"platform":"a100"}"#,                                  // no model
+            r#"{"model":"resnet-50"}"#,                                // no platform
+            r#"{"model":"resnet-50","platform":"a100","batches":[]}"#, // empty axis
+            r#"{"model":"resnet-50","platform":"a100","bogus":1}"#,    // unknown field
+            r#"{"models":[1],"platform":"a100"}"#,                     // non-string entry
+        ] {
+            let v: Value = serde_json::from_str(bad).unwrap();
+            assert!(GridSpec::from_value(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn merge_requires_exactly_one_report_per_shard() {
+        let s = spec();
+        let fake = |i: usize| (i, format!(r#"{{"cell":{i}}}"#));
+        // missing shard 3
+        let partial: Vec<_> = (0..3).map(fake).collect();
+        assert!(merge_cells(&s, &partial).is_err());
+        // duplicate shard
+        let mut dup: Vec<_> = (0..4).map(fake).collect();
+        dup.push(fake(0));
+        assert!(merge_cells(&s, &dup).is_err());
+        // out of range
+        let mut oob: Vec<_> = (0..4).map(fake).collect();
+        oob.push(fake(9));
+        assert!(merge_cells(&s, &oob).is_err());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let s = spec();
+        let fake = |i: usize| (i, format!(r#"{{"cell":{i}}}"#));
+        let forward: Vec<_> = (0..4).map(fake).collect();
+        let reverse: Vec<_> = (0..4).rev().map(fake).collect();
+        let a = merge_cells(&s, &forward).unwrap();
+        let b = merge_cells(&s, &reverse).unwrap();
+        assert_eq!(a, b, "merge must not depend on report arrival order");
+        // cells land in canonical order inside the document
+        let doc: Value = serde_json::from_str(&a).unwrap();
+        let cells = doc["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0]["report"]["cell"], 0u64);
+        assert_eq!(cells[3]["report"]["cell"], 3u64);
+        assert_eq!(doc["grid"]["seed"], 7u64);
+        // a 2-model grid is not a batch sweep
+        assert!(doc["sweep"].is_null());
+    }
+
+    #[test]
+    fn batch_sweep_grid_detection() {
+        let mut s = spec();
+        assert!(!s.is_batch_sweep());
+        s.models = vec!["resnet-50".into()];
+        assert!(s.is_batch_sweep());
+    }
+}

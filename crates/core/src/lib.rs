@@ -15,6 +15,8 @@
 //!   artifacts, per-stage spans/timings, and the unified [`ProofError`],
 //! - [`trace_export`] — merged Chrome-trace export (stage spans + kernel
 //!   timeline on one clock),
+//! - [`grid`] — profiling grid specs (model × backend × platform ×
+//!   precision × batch) and deterministic multi-node result merging,
 //! - `profile` — the top-level profiler driver (predicted or measured),
 //! - `peak` — achieved-roofline-peak measurement via a pseudo model,
 //! - `report` / `viewer` — text/CSV reports and SVG roofline charts.
@@ -23,6 +25,7 @@ pub mod analysis;
 pub mod cost;
 pub mod distributed;
 pub mod fused;
+pub mod grid;
 pub mod headroom;
 pub mod html;
 pub mod mapping;
@@ -41,6 +44,7 @@ pub use analysis::AnalyzeRepr;
 pub use cost::{op_cost, op_cost_with, CostEstimate, CostOptions, FlopTable};
 pub use distributed::{profile_pipeline, Interconnect, PipelineReport, StageReport};
 pub use fused::{FuseError, Group, GroupId, OptimizedRepr, ReorderLayer};
+pub use grid::{merge_cells, GridCell, GridSpec, DEFAULT_GRID_SEED, MAX_GRID_CELLS};
 pub use headroom::{analyze_headroom, HeadroomReport, LayerHeadroom};
 pub use html::html_report;
 pub use mapping::{map_layers, MappedLayer, Mapping};

@@ -1,0 +1,236 @@
+//! The coordinator's view of one worker daemon: a thin typed wrapper over
+//! `proof_serve::client` that turns HTTP status codes into the outcomes the
+//! dispatcher schedules on.
+//!
+//! Every call is bounded by the fleet's per-request timeout, so a wedged
+//! node surfaces as [`WorkerError::Unreachable`] instead of hanging the
+//! dispatch loop. Backpressure (429/503 that outlives the retry budget)
+//! is its own variant — the node is alive, just saturated — and a job the
+//! worker itself reports as failed/timed-out is a third: the *shard* needs
+//! a different node, not this node declared dead on one bad job alone.
+
+use proof_serve::client::{request_full_timeout, request_with_retry_timeout, RetryPolicy};
+use serde_json::Value;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// What `GET /healthz` reports: liveness plus the load signals used for
+/// least-loaded dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHealth {
+    pub queue_depth: u64,
+    pub queue_capacity: u64,
+    pub workers: u64,
+    pub in_flight: u64,
+}
+
+/// Why a worker interaction did not produce the asked-for result.
+#[derive(Debug, Clone)]
+pub enum WorkerError {
+    /// Transport-level failure: refused, timed out, or died mid-response.
+    /// The node is suspect.
+    Unreachable(String),
+    /// The node kept backpressuring (429/503) past the retry budget; it is
+    /// alive but saturated — back off, don't bury it.
+    Busy { retry_after_s: Option<u64> },
+    /// The worker accepted the job but reported it failed or timed out.
+    JobFailed(String),
+    /// Any other unexpected HTTP reply or malformed body.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Unreachable(e) => write!(f, "unreachable: {e}"),
+            WorkerError::Busy { retry_after_s } => {
+                write!(f, "busy (retry-after {retry_after_s:?}s)")
+            }
+            WorkerError::JobFailed(e) => write!(f, "job failed: {e}"),
+            WorkerError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+/// Lifecycle of a submitted job, from `GET /jobs/<id>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobPoll {
+    /// Queued or running — keep polling.
+    Pending,
+    /// Finished; the report is ready to fetch.
+    Done,
+    /// The worker gave up on it (failed or deadline-expired).
+    Failed(String),
+}
+
+/// A handle to one worker daemon.
+#[derive(Debug, Clone)]
+pub struct WorkerClient {
+    pub addr: SocketAddr,
+    /// Per-request transport bound (connect + each read/write).
+    pub timeout: Duration,
+    /// Backpressure retry schedule (seed-keyed, deterministic).
+    pub retry: RetryPolicy,
+}
+
+impl WorkerClient {
+    pub fn new(addr: SocketAddr, timeout: Duration, seed: u64) -> WorkerClient {
+        WorkerClient {
+            addr,
+            timeout,
+            retry: RetryPolicy::new(seed),
+        }
+    }
+
+    fn io_err(e: std::io::Error) -> WorkerError {
+        WorkerError::Unreachable(e.to_string())
+    }
+
+    fn parse(body: &str) -> Result<Value, WorkerError> {
+        serde_json::from_str(body).map_err(|e| WorkerError::Protocol(format!("bad JSON: {e}")))
+    }
+
+    /// `GET /healthz` — one bounded attempt, no retries: a probe that needs
+    /// a retry schedule is already the answer.
+    pub fn probe(&self) -> Result<WorkerHealth, WorkerError> {
+        let r = request_full_timeout(self.addr, "GET", "/healthz", None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        if r.status != 200 {
+            return Err(WorkerError::Protocol(format!(
+                "healthz returned {}",
+                r.status
+            )));
+        }
+        let v = Self::parse(&r.body)?;
+        let field = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        Ok(WorkerHealth {
+            queue_depth: field("queue_depth"),
+            queue_capacity: field("queue_capacity"),
+            workers: field("workers"),
+            in_flight: field("in_flight"),
+        })
+    }
+
+    /// `POST /jobs` with backpressure retries; returns the job id.
+    pub fn submit(&self, job: &Value) -> Result<u64, WorkerError> {
+        let body = job.to_string();
+        let r = request_with_retry_timeout(
+            self.addr,
+            "POST",
+            "/jobs",
+            Some(&body),
+            &self.retry,
+            Some(self.timeout),
+        )
+        .map_err(Self::io_err)?;
+        match r.status {
+            201 => Self::parse(&r.body)?
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| WorkerError::Protocol("submission reply without id".into())),
+            429 | 503 => Err(WorkerError::Busy {
+                retry_after_s: r.retry_after_s,
+            }),
+            s => Err(WorkerError::Protocol(format!(
+                "submission returned {s}: {}",
+                r.body
+            ))),
+        }
+    }
+
+    /// `GET /jobs/<id>` — current lifecycle state.
+    pub fn poll(&self, id: u64) -> Result<JobPoll, WorkerError> {
+        let path = format!("/jobs/{id}");
+        let r = request_full_timeout(self.addr, "GET", &path, None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        if r.status != 200 {
+            return Err(WorkerError::Protocol(format!(
+                "job status returned {}: {}",
+                r.status, r.body
+            )));
+        }
+        let v = Self::parse(&r.body)?;
+        let status = v.get("status").and_then(Value::as_str).unwrap_or("");
+        let error = || {
+            v.get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error")
+                .to_string()
+        };
+        match status {
+            "queued" | "running" => Ok(JobPoll::Pending),
+            "done" => Ok(JobPoll::Done),
+            "failed" | "timed_out" => Ok(JobPoll::Failed(error())),
+            other => Err(WorkerError::Protocol(format!("unknown job status {other}"))),
+        }
+    }
+
+    /// `GET /jobs/<id>/report` — the finished artifact, byte-exact.
+    pub fn report(&self, id: u64) -> Result<String, WorkerError> {
+        let path = format!("/jobs/{id}/report");
+        let r = request_full_timeout(self.addr, "GET", &path, None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        match r.status {
+            200 => Ok(r.body),
+            500 | 504 => Err(WorkerError::JobFailed(r.body)),
+            s => Err(WorkerError::Protocol(format!("report returned {s}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proof_serve::{ServeConfig, Server};
+
+    fn local_server() -> Server {
+        Server::start(ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn probe_reads_the_load_signals() {
+        let server = local_server();
+        let c = WorkerClient::new(server.addr(), Duration::from_secs(5), 1);
+        let h = c.probe().unwrap();
+        assert_eq!(h.workers, 2);
+        assert!(h.queue_capacity > 0);
+        assert_eq!(h.in_flight, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_poll_report_round_trip() {
+        let server = local_server();
+        let c = WorkerClient::new(server.addr(), Duration::from_secs(5), 1);
+        let job: Value =
+            serde_json::from_str(r#"{"model":"mobilenetv2-0.5","hardware":"a100","batch":1}"#)
+                .unwrap();
+        let id = c.submit(&job).unwrap();
+        let mut polls = 0;
+        loop {
+            match c.poll(id).unwrap() {
+                JobPoll::Done => break,
+                JobPoll::Pending => {
+                    polls += 1;
+                    assert!(polls < 2_000, "job never finished");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                JobPoll::Failed(e) => panic!("job failed: {e}"),
+            }
+        }
+        let report = c.report(id).unwrap();
+        assert!(report.contains("\"model\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unreachable_node_is_reported_as_unreachable() {
+        // bind-then-drop gives an address that refuses connections
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let c = WorkerClient::new(addr, Duration::from_millis(200), 1);
+        assert!(matches!(c.probe(), Err(WorkerError::Unreachable(_))));
+    }
+}

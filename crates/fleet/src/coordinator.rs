@@ -1,0 +1,331 @@
+//! The coordinator: node set + dispatch loop + merge, behind one handle.
+//!
+//! A [`Fleet`] owns the worker registry (remote daemons by address and/or
+//! embedded in-process `proof-serve` daemons for self-contained operation),
+//! the `proof-obs` tracer/metrics the whole run reports through, and the
+//! dispatcher. [`Fleet::run_grid`] takes a [`GridSpec`] to a merged
+//! artifact; [`run_grid_local`] is the in-process single-node reference
+//! producing the byte-identical document without any HTTP — the
+//! determinism contract the integration tests and CI smoke pin down.
+
+use crate::client::WorkerClient;
+use crate::dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters};
+use crate::merger::merge_run;
+use crate::planner::plan_shards;
+use crate::registry::{NodeRegistry, NodeSnapshot};
+use proof_core::{GridSpec, ProofError};
+use proof_obs::export::prometheus_text;
+use proof_obs::{MetricsRegistry, RingCollector, Tracer};
+use proof_serve::AnalysisJob;
+use serde_json::{Map, Value};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a fleet run could not produce its artifact.
+#[derive(Debug, Clone)]
+pub enum FleetError {
+    /// The registry is empty — nothing to dispatch to.
+    NoNodes,
+    /// Every node is dead (and unrevivable by probes so far) with shards
+    /// still unresolved.
+    AllNodesDead { unresolved: usize },
+    /// One shard burned through its attempt budget across nodes.
+    ShardFailed {
+        shard: usize,
+        attempts: u32,
+        last_error: String,
+    },
+    /// The grid spec or the merge rejected the run.
+    Grid(ProofError),
+    /// Starting an embedded daemon failed.
+    Io(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoNodes => write!(f, "no worker nodes configured"),
+            FleetError::AllNodesDead { unresolved } => {
+                write!(f, "all nodes dead with {unresolved} shards unresolved")
+            }
+            FleetError::ShardFailed {
+                shard,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "shard {shard} failed after {attempts} attempts: {last_error}"
+            ),
+            FleetError::Grid(e) => write!(f, "{e}"),
+            FleetError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<ProofError> for FleetError {
+    fn from(e: ProofError) -> FleetError {
+        FleetError::Grid(e)
+    }
+}
+
+/// Fleet topology and tuning.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Remote worker daemons, by address.
+    pub nodes: Vec<SocketAddr>,
+    /// Embedded in-process daemons to start alongside (0 for remote-only).
+    pub local_daemons: usize,
+    /// Worker threads per embedded daemon.
+    pub local_workers: usize,
+    /// Transport bound for every worker request.
+    pub request_timeout: Duration,
+    /// Consecutive failures that kill a node.
+    pub node_fail_threshold: u32,
+    /// Seed for the clients' backpressure-retry jitter (independent of the
+    /// grid seed; does not affect artifact bytes).
+    pub client_seed: u64,
+    pub dispatcher: DispatcherConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            nodes: Vec::new(),
+            local_daemons: 0,
+            local_workers: 2,
+            request_timeout: Duration::from_secs(10),
+            node_fail_threshold: 2,
+            client_seed: 0x5EED,
+            dispatcher: DispatcherConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Self-contained topology: `n` embedded local daemons, no remotes.
+    pub fn local(n: usize) -> FleetConfig {
+        FleetConfig {
+            local_daemons: n,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Remote topology: dispatch to the given daemons.
+    pub fn remote(nodes: Vec<SocketAddr>) -> FleetConfig {
+        FleetConfig {
+            nodes,
+            ..FleetConfig::default()
+        }
+    }
+}
+
+/// The result of one grid run.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// The merged artifact — byte-identical to [`run_grid_local`] of the
+    /// same spec.
+    pub merged: String,
+    /// Per-run dispatch accounting.
+    pub outcome: DispatchOutcome,
+    /// Node states after the run.
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+/// Coordinator handle: registry + embedded daemons + observability.
+pub struct Fleet {
+    config: FleetConfig,
+    registry: NodeRegistry,
+    embedded: Vec<proof_serve::Server>,
+    tracer: Arc<Tracer>,
+    ring: Arc<RingCollector>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Fleet {
+    /// Start embedded daemons (if any) and register every node. Fails if
+    /// the resulting registry would be empty or a daemon cannot bind.
+    pub fn start(config: FleetConfig) -> Result<Fleet, FleetError> {
+        if config.nodes.is_empty() && config.local_daemons == 0 {
+            return Err(FleetError::NoNodes);
+        }
+        let mut embedded = Vec::new();
+        let mut addrs = config.nodes.clone();
+        for _ in 0..config.local_daemons {
+            let server = proof_serve::Server::start(proof_serve::ServeConfig {
+                workers: config.local_workers,
+                ..proof_serve::ServeConfig::default()
+            })
+            .map_err(|e| FleetError::Io(format!("cannot start embedded daemon: {e}")))?;
+            addrs.push(server.addr());
+            embedded.push(server);
+        }
+        let clients = addrs
+            .iter()
+            .map(|&addr| WorkerClient::new(addr, config.request_timeout, config.client_seed))
+            .collect();
+        let registry = NodeRegistry::new(clients, config.node_fail_threshold);
+        let (tracer, ring) = proof_obs::shared_ring_tracer();
+        Ok(Fleet {
+            config,
+            registry,
+            embedded,
+            tracer,
+            ring,
+            metrics: Arc::new(MetricsRegistry::new()),
+        })
+    }
+
+    /// Addresses of every registered node (embedded daemons included).
+    pub fn node_addrs(&self) -> Vec<SocketAddr> {
+        self.registry
+            .snapshot()
+            .iter()
+            .map(|s| s.addr.parse().expect("registry stores socket addrs"))
+            .collect()
+    }
+
+    /// Run one grid to the merged artifact. The run is traced as a
+    /// `fleet_run` span tree on the shared ring tracer; counters land on
+    /// [`Fleet::metrics`].
+    pub fn run_grid(&mut self, spec: &GridSpec) -> Result<FleetRun, FleetError> {
+        let plan = plan_shards(spec)?;
+        let trace = proof_obs::new_trace_id();
+        let mut root = self.tracer.span_in(trace, "fleet_run");
+        root.field("cells", plan.cells as u64);
+        root.field("nodes", self.registry.len() as u64);
+        root.field("seed", spec.seed);
+        let dispatcher = Dispatcher::new(
+            self.config.dispatcher.clone(),
+            FleetCounters::register(&self.metrics),
+            Arc::clone(&self.tracer),
+            trace,
+        );
+        let outcome = dispatcher.run(&plan, &mut self.registry);
+        root.finish();
+        let outcome = outcome?;
+        let merged = merge_run(spec, &outcome.results)?;
+        let nodes = self.registry.snapshot();
+        // mirror per-node lifetime counters into the registry as gauges so
+        // the Prometheus exposition carries them alongside fleet_* counters
+        for (i, n) in nodes.iter().enumerate() {
+            self.metrics
+                .gauge(&format!("node{i}_dispatched"))
+                .set(n.dispatched as f64);
+            self.metrics
+                .gauge(&format!("node{i}_completed"))
+                .set(n.completed as f64);
+            self.metrics
+                .gauge(&format!("node{i}_failures"))
+                .set(n.failures as f64);
+        }
+        Ok(FleetRun {
+            merged,
+            outcome,
+            nodes,
+        })
+    }
+
+    /// Fleet metrics as JSON: the registry snapshot plus per-node state.
+    pub fn metrics_json(&self) -> String {
+        let snap = self.metrics.snapshot();
+        let mut m = Map::new();
+        let mut counters = Map::new();
+        for (name, v) in &snap.counters {
+            counters.insert(name.clone(), Value::from(*v));
+        }
+        m.insert("counters".to_string(), Value::Object(counters));
+        let mut gauges = Map::new();
+        for (name, v) in &snap.gauges {
+            gauges.insert(name.clone(), Value::from(*v));
+        }
+        m.insert("gauges".to_string(), Value::Object(gauges));
+        m.insert(
+            "nodes".to_string(),
+            Value::Array(
+                self.registry
+                    .snapshot()
+                    .iter()
+                    .map(NodeSnapshot::to_value)
+                    .collect(),
+            ),
+        );
+        Value::Object(m).to_string()
+    }
+
+    /// Fleet metrics in Prometheus exposition format (`proof_fleet_`
+    /// prefix).
+    pub fn metrics_prometheus(&self) -> String {
+        prometheus_text(&self.metrics.snapshot(), "proof_fleet_")
+    }
+
+    /// Current per-node registry view.
+    pub fn nodes(&self) -> Vec<NodeSnapshot> {
+        self.registry.snapshot()
+    }
+
+    /// The shared metrics registry (counters survive across runs).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The ring collector behind the fleet tracer (span inspection).
+    pub fn ring(&self) -> &Arc<RingCollector> {
+        &self.ring
+    }
+
+    /// Shut down embedded daemons (drains their queues first). Remote
+    /// nodes are untouched.
+    pub fn shutdown(self) {
+        for server in self.embedded {
+            server.shutdown();
+        }
+    }
+}
+
+/// The single-node, in-process reference: execute every cell in canonical
+/// order through the library pipeline and merge. No HTTP, no scheduling —
+/// just the determinism baseline a fleet run must reproduce byte-for-byte.
+pub fn run_grid_local(spec: &GridSpec) -> Result<String, ProofError> {
+    spec.validate()?;
+    let mut results = Vec::new();
+    for (id, cell) in spec.cells().into_iter().enumerate() {
+        let job = AnalysisJob::from_value(&cell.to_job_value()).map_err(ProofError::InvalidSpec)?;
+        let report = job.execute()?;
+        results.push((id, report.try_to_json()?));
+    }
+    proof_core::merge_cells(spec, &results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(json: &str) -> GridSpec {
+        GridSpec::from_value(&serde_json::from_str(json).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_topology_is_rejected() {
+        assert!(matches!(
+            Fleet::start(FleetConfig::default()),
+            Err(FleetError::NoNodes)
+        ));
+    }
+
+    #[test]
+    fn local_reference_merges_every_cell() {
+        let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":11}"#);
+        let merged = run_grid_local(&s).unwrap();
+        let v: Value = serde_json::from_str(&merged).unwrap();
+        assert_eq!(v["cells"].as_array().unwrap().len(), 2);
+        assert!(
+            v["sweep"].as_object().is_some(),
+            "single-model batch grid is a sweep"
+        );
+        // determinism: a second run is byte-identical
+        assert_eq!(merged, run_grid_local(&s).unwrap());
+    }
+}

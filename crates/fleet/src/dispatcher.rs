@@ -1,0 +1,375 @@
+//! The dispatch loop: pending shards → least-loaded nodes → collected
+//! reports, with fault-aware rescheduling.
+//!
+//! Single-threaded by design — worker daemons provide the parallelism; the
+//! coordinator only needs to keep every node's in-flight window full. One
+//! pass of the loop (1) probes dead nodes so a restarted daemon rejoins,
+//! (2) dispatches pending shards to the least-loaded live node under the
+//! per-node in-flight cap, (3) polls in-flight jobs and resolves them:
+//! completed reports are collected, while worker-reported failures, shard
+//! timeouts, and transport errors send the shard back to the queue
+//! (charging the node) until its attempt budget runs out.
+//!
+//! Rescheduling never loses work and never duplicates results: a shard is
+//! either pending, in flight on exactly one node, or resolved, and results
+//! are slotted by canonical shard id so the merge cannot double-count a
+//! job that was rescheduled after the original node silently finished it.
+
+use crate::client::{JobPoll, WorkerError};
+use crate::coordinator::FleetError;
+use crate::planner::{Shard, ShardPlan};
+use crate::registry::{NodeRegistry, NodeState};
+use proof_obs::{Counter, FieldValue, Level, MetricsRegistry, Tracer};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Dispatch-loop tuning. Defaults suit local daemons; raise the timeouts
+/// for real networks.
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// Max unresolved shards submitted to one node at a time.
+    pub max_in_flight_per_node: usize,
+    /// Wall-clock budget for one shard on one node, submission to report;
+    /// past it the shard is rescheduled and the node charged.
+    pub shard_timeout: Duration,
+    /// Pause between dispatch-loop passes when nothing resolved.
+    pub poll_interval: Duration,
+    /// How often dead nodes are re-probed for revival.
+    pub probe_interval: Duration,
+    /// Total attempts one shard may consume across all nodes.
+    pub max_shard_attempts: u32,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            max_in_flight_per_node: 2,
+            shard_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(5),
+            probe_interval: Duration::from_millis(250),
+            max_shard_attempts: 3,
+        }
+    }
+}
+
+/// Fleet-level counters on the shared metrics registry (`GET /metrics` on
+/// the coordinator renders them; per-node counters live in the
+/// [`NodeRegistry`] snapshot).
+pub struct FleetCounters {
+    pub dispatched: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub rescheduled: Arc<Counter>,
+    pub shard_failures: Arc<Counter>,
+    pub probes: Arc<Counter>,
+    pub probe_failures: Arc<Counter>,
+}
+
+impl FleetCounters {
+    pub fn register(registry: &MetricsRegistry) -> FleetCounters {
+        FleetCounters {
+            dispatched: registry.counter("fleet_dispatched"),
+            completed: registry.counter("fleet_completed"),
+            rescheduled: registry.counter("fleet_rescheduled"),
+            shard_failures: registry.counter("fleet_shard_failures"),
+            probes: registry.counter("fleet_probes"),
+            probe_failures: registry.counter("fleet_probe_failures"),
+        }
+    }
+}
+
+/// What one grid run did, beyond the reports themselves. Counts are
+/// per-run (the [`FleetCounters`] accumulate across runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// `(shard id, report JSON)` for every cell, unordered.
+    pub results: Vec<(usize, String)>,
+    pub dispatched: u64,
+    pub rescheduled: u64,
+    pub probes: u64,
+    pub probe_failures: u64,
+}
+
+struct InFlight {
+    shard: Shard,
+    attempts: u32,
+    node: usize,
+    job_id: u64,
+    deadline: Instant,
+}
+
+struct PendingShard {
+    shard: Shard,
+    /// Dispatch attempts already consumed.
+    attempts: u32,
+    last_error: Option<String>,
+}
+
+/// The dispatch loop itself. Owns tuning, counters, and the trace context;
+/// borrow the [`NodeRegistry`] per run.
+pub struct Dispatcher {
+    pub config: DispatcherConfig,
+    counters: FleetCounters,
+    tracer: Arc<Tracer>,
+    trace: u64,
+}
+
+impl Dispatcher {
+    pub fn new(
+        config: DispatcherConfig,
+        counters: FleetCounters,
+        tracer: Arc<Tracer>,
+        trace: u64,
+    ) -> Dispatcher {
+        Dispatcher {
+            config,
+            counters,
+            tracer,
+            trace,
+        }
+    }
+
+    /// Run the plan to completion. Fails fast when every node is dead with
+    /// work still pending, or when one shard exhausts its attempt budget.
+    pub fn run(
+        &self,
+        plan: &ShardPlan,
+        registry: &mut NodeRegistry,
+    ) -> Result<DispatchOutcome, FleetError> {
+        if registry.is_empty() {
+            return Err(FleetError::NoNodes);
+        }
+        let mut outcome = DispatchOutcome::default();
+        let mut pending: VecDeque<PendingShard> = plan
+            .shards
+            .iter()
+            .cloned()
+            .map(|shard| PendingShard {
+                shard,
+                attempts: 0,
+                last_error: None,
+            })
+            .collect();
+        let mut inflight: Vec<InFlight> = Vec::new();
+        let mut last_probe: Vec<Instant> = Vec::new();
+
+        // opening probe: seed health and the per-run load picture
+        for i in 0..registry.len() {
+            self.probe(registry, i, &mut outcome);
+            last_probe.push(Instant::now());
+        }
+
+        while !pending.is_empty() || !inflight.is_empty() {
+            let now = Instant::now();
+            // revive pass: dead nodes get re-probed on the probe cadence
+            for (i, last) in last_probe.iter_mut().enumerate() {
+                if registry.node(i).state == NodeState::Dead
+                    && now.duration_since(*last) >= self.config.probe_interval
+                {
+                    self.probe(registry, i, &mut outcome);
+                    *last = Instant::now();
+                }
+            }
+
+            self.dispatch_pending(registry, &mut pending, &mut inflight, &mut outcome)?;
+
+            if !pending.is_empty() && inflight.is_empty() && registry.alive() == 0 {
+                return Err(FleetError::AllNodesDead {
+                    unresolved: pending.len(),
+                });
+            }
+
+            let resolved =
+                self.poll_inflight(registry, &mut pending, &mut inflight, &mut outcome)?;
+            if !resolved {
+                std::thread::sleep(self.config.poll_interval);
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn probe(&self, registry: &mut NodeRegistry, i: usize, outcome: &mut DispatchOutcome) {
+        let client = registry.client(i).clone();
+        let healthy = client.probe().is_ok();
+        registry.note_probe(i, healthy);
+        self.counters.probes.inc();
+        outcome.probes += 1;
+        if !healthy {
+            self.counters.probe_failures.inc();
+            outcome.probe_failures += 1;
+            self.tracer.event(
+                Level::Warn,
+                "proof_fleet",
+                format!("probe of {} failed", client.addr),
+                vec![("node", FieldValue::U64(i as u64))],
+            );
+        }
+    }
+
+    /// Push pending shards onto live nodes until the queue drains or every
+    /// node is at its cap / backing off.
+    fn dispatch_pending(
+        &self,
+        registry: &mut NodeRegistry,
+        pending: &mut VecDeque<PendingShard>,
+        inflight: &mut Vec<InFlight>,
+        outcome: &mut DispatchOutcome,
+    ) -> Result<(), FleetError> {
+        while !pending.is_empty() {
+            let now = Instant::now();
+            let Some(node) = registry.pick_least_loaded(self.config.max_in_flight_per_node, now)
+            else {
+                return Ok(()); // every node busy, dead, or backing off
+            };
+            let mut entry = pending.pop_front().expect("non-empty");
+            if entry.attempts >= self.config.max_shard_attempts {
+                self.counters.shard_failures.inc();
+                return Err(FleetError::ShardFailed {
+                    shard: entry.shard.id,
+                    attempts: entry.attempts,
+                    last_error: entry.last_error.unwrap_or_else(|| "unknown".to_string()),
+                });
+            }
+            let client = registry.client(node).clone();
+            match client.submit(&entry.shard.cell.to_job_value()) {
+                Ok(job_id) => {
+                    registry.note_dispatch(node);
+                    self.counters.dispatched.inc();
+                    outcome.dispatched += 1;
+                    entry.attempts += 1;
+                    self.tracer.event(
+                        Level::Debug,
+                        "proof_fleet",
+                        format!("shard {} -> {} (job {job_id})", entry.shard.id, client.addr),
+                        vec![
+                            ("shard", FieldValue::U64(entry.shard.id as u64)),
+                            ("attempt", FieldValue::U64(u64::from(entry.attempts))),
+                        ],
+                    );
+                    inflight.push(InFlight {
+                        shard: entry.shard,
+                        attempts: entry.attempts,
+                        node,
+                        job_id,
+                        deadline: now + self.config.shard_timeout,
+                    });
+                }
+                Err(WorkerError::Busy { retry_after_s }) => {
+                    let hold = Duration::from_secs(retry_after_s.unwrap_or(1).max(1));
+                    registry.note_backoff(node, now + hold, false);
+                    pending.push_front(entry); // not an attempt, not a failure
+                }
+                Err(e) => {
+                    registry.note_failure(node, false);
+                    self.tracer.event(
+                        Level::Warn,
+                        "proof_fleet",
+                        format!("submit to {} failed: {e}", client.addr),
+                        vec![("shard", FieldValue::U64(entry.shard.id as u64))],
+                    );
+                    entry.last_error = Some(e.to_string());
+                    // the shard is being re-queued onto the survivors
+                    self.counters.rescheduled.inc();
+                    outcome.rescheduled += 1;
+                    pending.push_front(entry);
+                    if registry.alive() == 0 && inflight.is_empty() {
+                        return Err(FleetError::AllNodesDead {
+                            unresolved: pending.len(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Poll every in-flight job once. Returns whether anything resolved
+    /// (completed or rescheduled) this pass.
+    fn poll_inflight(
+        &self,
+        registry: &mut NodeRegistry,
+        pending: &mut VecDeque<PendingShard>,
+        inflight: &mut Vec<InFlight>,
+        outcome: &mut DispatchOutcome,
+    ) -> Result<bool, FleetError> {
+        let mut resolved_any = false;
+        let mut i = 0;
+        while i < inflight.len() {
+            let now = Instant::now();
+            let entry = &inflight[i];
+            let client = registry.client(entry.node).clone();
+            // `None` keeps the job in flight; `Some` resolves this slot.
+            let resolution: Option<Result<String, String>> = match client.poll(entry.job_id) {
+                Ok(JobPoll::Pending) => {
+                    if now >= entry.deadline {
+                        Some(Err(format!(
+                            "shard timeout after {:?} on {}",
+                            self.config.shard_timeout, client.addr
+                        )))
+                    } else {
+                        None
+                    }
+                }
+                Ok(JobPoll::Done) => match client.report(entry.job_id) {
+                    Ok(body) => Some(Ok(body)),
+                    Err(e) => Some(Err(e.to_string())),
+                },
+                Ok(JobPoll::Failed(msg)) => Some(Err(msg)),
+                // a GET backpressured — node alive, just saturated; retry
+                Err(WorkerError::Busy { .. }) => None,
+                // unreachable or protocol breakage (e.g. restarted daemon
+                // that lost the job registry): node died mid-job
+                Err(e) => Some(Err(e.to_string())),
+            };
+            match resolution {
+                None => i += 1,
+                Some(Ok(report)) => {
+                    let entry = inflight.swap_remove(i);
+                    registry.note_success(entry.node);
+                    self.counters.completed.inc();
+                    let mut span = self.tracer.span_in(self.trace, "fleet_shard");
+                    span.field("shard", entry.shard.id as u64);
+                    span.field("node", entry.node as u64);
+                    span.field("attempts", u64::from(entry.attempts));
+                    span.field("status", "done");
+                    span.finish();
+                    outcome.results.push((entry.shard.id, report));
+                    resolved_any = true;
+                }
+                Some(Err(why)) => {
+                    let entry = inflight.swap_remove(i);
+                    registry.note_failure(entry.node, true);
+                    self.tracer.event(
+                        Level::Warn,
+                        "proof_fleet",
+                        format!(
+                            "shard {} on node {} rescheduling: {why}",
+                            entry.shard.id, entry.node
+                        ),
+                        vec![
+                            ("shard", FieldValue::U64(entry.shard.id as u64)),
+                            ("node", FieldValue::U64(entry.node as u64)),
+                        ],
+                    );
+                    if entry.attempts >= self.config.max_shard_attempts {
+                        self.counters.shard_failures.inc();
+                        return Err(FleetError::ShardFailed {
+                            shard: entry.shard.id,
+                            attempts: entry.attempts,
+                            last_error: why,
+                        });
+                    }
+                    self.counters.rescheduled.inc();
+                    outcome.rescheduled += 1;
+                    pending.push_back(PendingShard {
+                        shard: entry.shard,
+                        attempts: entry.attempts,
+                        last_error: Some(why),
+                    });
+                    resolved_any = true;
+                }
+            }
+        }
+        Ok(resolved_any)
+    }
+}

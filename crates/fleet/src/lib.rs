@@ -1,0 +1,50 @@
+//! proof-fleet: a sharded multi-node profiling coordinator.
+//!
+//! PRoof's evaluation is a large grid — models × backends × platforms ×
+//! precisions × batch sizes (paper Tables 3–5) — and a single `proof-serve`
+//! daemon works through it one bounded queue at a time. This crate scales
+//! that grid out: a [`GridSpec`](proof_core::GridSpec) is expanded into
+//! canonically ordered shards ([`planner`]), dispatched least-loaded over
+//! the existing HTTP JSON API to a registry of worker daemons
+//! ([`registry`], [`client`], [`dispatcher`]), and the per-cell reports are
+//! reassembled ([`merger`]) into one combined artifact that is
+//! **byte-identical** to a single-node run of the same spec and seed.
+//!
+//! Fault model: a node that times out, keeps answering 429/5xx past its
+//! retry budget, or dies mid-job has its shards requeued onto surviving
+//! nodes; health probes revive nodes that come back. Every decision is
+//! counted on a `proof-obs` metrics registry and traced as a fleet span
+//! tree, so `GET /metrics` on the coordinator ([`server`]) shows dispatch,
+//! reschedule, and probe activity per node.
+//!
+//! ```no_run
+//! use proof_fleet::{Fleet, FleetConfig};
+//! use proof_core::GridSpec;
+//!
+//! let spec = GridSpec::from_value(
+//!     &serde_json::from_str(r#"{"model":"resnet-50","platform":"a100","batches":[1,2,4]}"#)
+//!         .unwrap(),
+//! )
+//! .unwrap();
+//! // coordinator + two embedded local daemons
+//! let mut fleet = Fleet::start(FleetConfig::local(2)).unwrap();
+//! let run = fleet.run_grid(&spec).unwrap();
+//! assert!(run.merged.contains("\"cells\""));
+//! fleet.shutdown();
+//! ```
+
+pub mod client;
+pub mod coordinator;
+pub mod dispatcher;
+pub mod merger;
+pub mod planner;
+pub mod registry;
+pub mod server;
+
+pub use client::{JobPoll, WorkerClient, WorkerError, WorkerHealth};
+pub use coordinator::{run_grid_local, Fleet, FleetConfig, FleetError, FleetRun};
+pub use dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters};
+pub use merger::{merge_run, MergeSummary};
+pub use planner::{plan_shards, Shard, ShardPlan};
+pub use registry::{NodeRegistry, NodeSnapshot, NodeState};
+pub use server::{FleetServer, FleetServerConfig};

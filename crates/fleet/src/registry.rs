@@ -1,0 +1,291 @@
+//! The node registry: per-worker state the dispatcher schedules against.
+//!
+//! Nodes move `Healthy → Suspect → Dead` as failures accumulate and back to
+//! `Healthy` on a successful probe or request — death is never final, a
+//! restarted daemon rejoins the fleet at the next probe. Backpressure is
+//! tracked separately from failure: a 429 with `Retry-After` sets a
+//! backoff deadline that temporarily removes the node from dispatch
+//! without counting against its health.
+
+use crate::client::WorkerClient;
+use serde_json::{Map, Value};
+use std::time::Instant;
+
+/// Scheduling health of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    Healthy,
+    /// At least one recent failure; still dispatchable, next probe decides.
+    Suspect,
+    /// Past the consecutive-failure threshold; skipped by dispatch until a
+    /// probe succeeds.
+    Dead,
+}
+
+impl NodeState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeState::Healthy => "healthy",
+            NodeState::Suspect => "suspect",
+            NodeState::Dead => "dead",
+        }
+    }
+}
+
+/// One registered worker and its scheduling state.
+pub struct Node {
+    pub client: WorkerClient,
+    pub state: NodeState,
+    /// Shards currently submitted to this node and not yet resolved.
+    pub in_flight: usize,
+    /// Failures since the last success (any kind the dispatcher charges
+    /// to the node).
+    pub consecutive_failures: u32,
+    /// Dispatch holdoff from backpressure (429 `Retry-After`).
+    pub backoff_until: Option<Instant>,
+    // lifetime counters, surfaced via /metrics and the run summary
+    pub dispatched: u64,
+    pub completed: u64,
+    pub failures: u64,
+}
+
+/// Point-in-time, JSON-ready view of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    pub addr: String,
+    pub state: NodeState,
+    pub in_flight: usize,
+    pub dispatched: u64,
+    pub completed: u64,
+    pub failures: u64,
+}
+
+impl NodeSnapshot {
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("addr".to_string(), Value::from(self.addr.as_str()));
+        m.insert("state".to_string(), Value::from(self.state.as_str()));
+        m.insert("in_flight".to_string(), Value::from(self.in_flight as u64));
+        m.insert("dispatched".to_string(), Value::from(self.dispatched));
+        m.insert("completed".to_string(), Value::from(self.completed));
+        m.insert("failures".to_string(), Value::from(self.failures));
+        Value::Object(m)
+    }
+}
+
+/// The fleet's worker set. Indexes are stable for the registry's lifetime;
+/// the dispatcher addresses nodes by index.
+pub struct NodeRegistry {
+    nodes: Vec<Node>,
+    /// Consecutive failures that turn a node `Dead`.
+    fail_threshold: u32,
+}
+
+impl NodeRegistry {
+    pub fn new(clients: Vec<WorkerClient>, fail_threshold: u32) -> NodeRegistry {
+        NodeRegistry {
+            nodes: clients
+                .into_iter()
+                .map(|client| Node {
+                    client,
+                    state: NodeState::Healthy,
+                    in_flight: 0,
+                    consecutive_failures: 0,
+                    backoff_until: None,
+                    dispatched: 0,
+                    completed: 0,
+                    failures: 0,
+                })
+                .collect(),
+            fail_threshold: fail_threshold.max(1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    pub fn client(&self, i: usize) -> &WorkerClient {
+        &self.nodes[i].client
+    }
+
+    /// Nodes not currently `Dead`.
+    pub fn alive(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state != NodeState::Dead)
+            .count()
+    }
+
+    /// Pick the dispatch target: the non-dead, non-backing-off node with
+    /// the fewest in-flight shards, capped at `max_in_flight` each. Ties
+    /// break by index, so the choice is deterministic for a given state.
+    pub fn pick_least_loaded(&self, max_in_flight: usize, now: Instant) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state != NodeState::Dead)
+            .filter(|(_, n)| n.in_flight < max_in_flight)
+            .filter(|(_, n)| n.backoff_until.is_none_or(|t| t <= now))
+            .min_by_key(|(i, n)| (n.in_flight, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// A shard was submitted to node `i`.
+    pub fn note_dispatch(&mut self, i: usize) {
+        let n = &mut self.nodes[i];
+        n.in_flight += 1;
+        n.dispatched += 1;
+    }
+
+    /// A shard on node `i` resolved successfully.
+    pub fn note_success(&mut self, i: usize) {
+        let n = &mut self.nodes[i];
+        n.in_flight = n.in_flight.saturating_sub(1);
+        n.completed += 1;
+        n.consecutive_failures = 0;
+        n.backoff_until = None;
+        n.state = NodeState::Healthy;
+    }
+
+    /// A shard on node `i` failed in a way charged to the node (transport
+    /// error, worker-reported failure, shard timeout). Crossing the
+    /// threshold kills the node.
+    pub fn note_failure(&mut self, i: usize, shard_was_in_flight: bool) {
+        let threshold = self.fail_threshold;
+        let n = &mut self.nodes[i];
+        if shard_was_in_flight {
+            n.in_flight = n.in_flight.saturating_sub(1);
+        }
+        n.failures += 1;
+        n.consecutive_failures += 1;
+        n.state = if n.consecutive_failures >= threshold {
+            NodeState::Dead
+        } else {
+            NodeState::Suspect
+        };
+    }
+
+    /// Backpressure from node `i`: hold dispatch until `until`, without
+    /// charging the node's health.
+    pub fn note_backoff(&mut self, i: usize, until: Instant, shard_was_in_flight: bool) {
+        let n = &mut self.nodes[i];
+        if shard_was_in_flight {
+            n.in_flight = n.in_flight.saturating_sub(1);
+        }
+        n.backoff_until = Some(until);
+    }
+
+    /// A health probe of node `i` came back: success revives the node,
+    /// failure is charged like any other.
+    pub fn note_probe(&mut self, i: usize, healthy: bool) {
+        if healthy {
+            let n = &mut self.nodes[i];
+            n.consecutive_failures = 0;
+            n.state = NodeState::Healthy;
+        } else {
+            self.note_failure(i, false);
+        }
+    }
+
+    pub fn snapshot(&self) -> Vec<NodeSnapshot> {
+        self.nodes
+            .iter()
+            .map(|n| NodeSnapshot {
+                addr: n.client.addr.to_string(),
+                state: n.state,
+                in_flight: n.in_flight,
+                dispatched: n.dispatched,
+                completed: n.completed,
+                failures: n.failures,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registry(n: usize) -> NodeRegistry {
+        let clients = (0..n)
+            .map(|i| {
+                WorkerClient::new(
+                    format!("127.0.0.1:{}", 40_000 + i).parse().unwrap(),
+                    Duration::from_secs(1),
+                    7,
+                )
+            })
+            .collect();
+        NodeRegistry::new(clients, 2)
+    }
+
+    #[test]
+    fn least_loaded_pick_prefers_idle_nodes_and_respects_the_cap() {
+        let mut r = registry(3);
+        let now = Instant::now();
+        assert_eq!(r.pick_least_loaded(2, now), Some(0), "ties break by index");
+        r.note_dispatch(0);
+        assert_eq!(r.pick_least_loaded(2, now), Some(1));
+        r.note_dispatch(1);
+        r.note_dispatch(2);
+        assert_eq!(r.pick_least_loaded(2, now), Some(0));
+        r.note_dispatch(0);
+        // node 0 is at the cap now
+        assert_eq!(r.pick_least_loaded(2, now), Some(1));
+        assert_eq!(r.pick_least_loaded(1, now), None, "all at cap 1");
+    }
+
+    #[test]
+    fn failures_kill_a_node_and_a_probe_revives_it() {
+        let mut r = registry(2);
+        let now = Instant::now();
+        r.note_failure(0, false);
+        assert_eq!(r.node(0).state, NodeState::Suspect);
+        r.note_failure(0, false);
+        assert_eq!(r.node(0).state, NodeState::Dead);
+        assert_eq!(r.alive(), 1);
+        assert_eq!(r.pick_least_loaded(2, now), Some(1), "dead node skipped");
+        r.note_probe(0, true);
+        assert_eq!(r.node(0).state, NodeState::Healthy);
+        assert_eq!(r.alive(), 2);
+    }
+
+    #[test]
+    fn backoff_holds_dispatch_without_hurting_health() {
+        let mut r = registry(1);
+        let now = Instant::now();
+        r.note_backoff(0, now + Duration::from_secs(60), false);
+        assert_eq!(r.pick_least_loaded(2, now), None, "backing off");
+        assert_eq!(r.node(0).state, NodeState::Healthy, "health untouched");
+        assert_eq!(
+            r.pick_least_loaded(2, now + Duration::from_secs(61)),
+            Some(0),
+            "deadline passed"
+        );
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut r = registry(1);
+        r.note_dispatch(0);
+        r.note_failure(0, true);
+        r.note_dispatch(0);
+        r.note_success(0);
+        r.note_failure(0, false);
+        assert_eq!(
+            r.node(0).state,
+            NodeState::Suspect,
+            "streak restarted after success, one failure is not death"
+        );
+    }
+}

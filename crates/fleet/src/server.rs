@@ -1,0 +1,268 @@
+//! The coordinator's own HTTP surface: submit grids and watch the fleet.
+//!
+//! Endpoints:
+//!
+//! - `POST /grid` — run a grid spec to completion and return the merged
+//!   artifact (synchronous; grid runs serialize on the coordinator).
+//! - `GET /healthz` — coordinator liveness + node counts.
+//! - `GET /nodes` — per-node registry snapshot.
+//! - `GET /metrics[?format=prometheus]` — fleet counters; the metrics
+//!   registry is shared outside the run lock, so counters stay readable
+//!   *during* a grid run (a CI smoke can watch `fleet_rescheduled` move
+//!   while shards are still in flight).
+//!
+//! Reuses `proof_serve::http` wholesale — same parser, same caps, same
+//! single-request connections.
+
+use crate::coordinator::{Fleet, FleetError};
+use proof_core::GridSpec;
+use proof_obs::export::prometheus_text;
+use proof_obs::MetricsRegistry;
+use proof_serve::http::{read_request, write_response, write_response_typed, Request};
+use serde_json::{Map, Value};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Coordinator HTTP configuration.
+#[derive(Debug, Clone)]
+pub struct FleetServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+}
+
+impl Default for FleetServerConfig {
+    fn default() -> Self {
+        FleetServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+struct SharedFleet {
+    fleet: Mutex<Fleet>,
+    /// Cloned out of the fleet so metrics never block on a running grid.
+    metrics: Arc<MetricsRegistry>,
+    node_count: usize,
+}
+
+/// A running coordinator server. Owns the [`Fleet`] (and so its embedded
+/// daemons).
+pub struct FleetServer {
+    addr: SocketAddr,
+    shared: Arc<SharedFleet>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl FleetServer {
+    pub fn start(fleet: Fleet, config: FleetServerConfig) -> std::io::Result<FleetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(SharedFleet {
+            metrics: Arc::clone(fleet.metrics()),
+            node_count: fleet.nodes().len(),
+            fleet: Mutex::new(fleet),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    // thread-per-connection: grid runs hold the fleet lock,
+                    // everything else answers concurrently
+                    std::thread::spawn(move || handle(&shared, stream));
+                }
+            })
+        };
+        Ok(FleetServer {
+            addr,
+            shared,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join the acceptor, and shut down the fleet's
+    /// embedded daemons. In-flight grid runs finish first (they hold the
+    /// fleet lock).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the acceptor
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Ok(fleet) = Arc::try_unwrap(self.shared)
+            .map_err(|_| ())
+            .map(|s| s.fleet.into_inner().unwrap_or_else(|e| e.into_inner()))
+        {
+            fleet.shutdown();
+        }
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    let mut m = Map::new();
+    m.insert("error".to_string(), Value::from(msg));
+    Value::Object(m).to_string()
+}
+
+fn handle(shared: &SharedFleet, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(Some(r)) => r,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = write_response(&mut stream, 400, &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let (status, body, content_type) = route(shared, &request);
+    let _ = write_response_typed(&mut stream, status, content_type, &body);
+}
+
+fn route(shared: &SharedFleet, req: &Request) -> (u16, String, &'static str) {
+    const JSON: &str = "application/json";
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (200, healthz_body(shared), JSON),
+        ("GET", ["metrics"]) if req.query == "format=prometheus" => (
+            200,
+            prometheus_text(&shared.metrics.snapshot(), "proof_fleet_"),
+            "text/plain; version=0.0.4",
+        ),
+        ("GET", ["metrics"]) => (200, metrics_body(shared), JSON),
+        ("GET", ["nodes"]) => match shared.fleet.try_lock() {
+            Ok(fleet) => (
+                200,
+                Value::Array(fleet.nodes().iter().map(|n| n.to_value()).collect()).to_string(),
+                JSON,
+            ),
+            Err(_) => (503, error_body("grid run in progress"), JSON),
+        },
+        ("POST", ["grid"]) => post_grid(shared, &req.body),
+        ("GET" | "POST", _) => (404, error_body("no such endpoint"), JSON),
+        _ => (405, error_body("method not allowed"), JSON),
+    }
+}
+
+fn healthz_body(shared: &SharedFleet) -> String {
+    let mut m = Map::new();
+    m.insert("status".to_string(), Value::from("ok"));
+    m.insert("nodes".to_string(), Value::from(shared.node_count as u64));
+    match shared.fleet.try_lock() {
+        Ok(fleet) => {
+            m.insert(
+                "alive".to_string(),
+                Value::from(
+                    fleet
+                        .nodes()
+                        .iter()
+                        .filter(|n| n.state != crate::registry::NodeState::Dead)
+                        .count() as u64,
+                ),
+            );
+            m.insert("running".to_string(), Value::from(false));
+        }
+        Err(_) => {
+            m.insert("running".to_string(), Value::from(true));
+        }
+    }
+    Value::Object(m).to_string()
+}
+
+fn metrics_body(shared: &SharedFleet) -> String {
+    // full view (with per-node snapshot) when idle; counters-only while a
+    // grid run holds the fleet lock
+    if let Ok(fleet) = shared.fleet.try_lock() {
+        return fleet.metrics_json();
+    }
+    let snap = shared.metrics.snapshot();
+    let mut counters = Map::new();
+    for (name, v) in &snap.counters {
+        counters.insert(name.clone(), Value::from(*v));
+    }
+    let mut m = Map::new();
+    m.insert("counters".to_string(), Value::Object(counters));
+    m.insert("running".to_string(), Value::from(true));
+    Value::Object(m).to_string()
+}
+
+fn post_grid(shared: &SharedFleet, body: &str) -> (u16, String, &'static str) {
+    const JSON: &str = "application/json";
+    let value: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), JSON),
+    };
+    let spec = match GridSpec::from_value(&value) {
+        Ok(s) => s,
+        Err(e) => return (400, error_body(&e.to_string()), JSON),
+    };
+    let mut fleet = shared.fleet.lock().unwrap_or_else(|e| e.into_inner());
+    match fleet.run_grid(&spec) {
+        Ok(run) => (200, run.merged, JSON),
+        Err(e @ FleetError::Grid(_)) => (400, error_body(&e.to_string()), JSON),
+        Err(e) => (500, error_body(&e.to_string()), JSON),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::{run_grid_local, FleetConfig};
+    use proof_serve::client::{get, post};
+
+    #[test]
+    fn coordinator_surface_round_trip() {
+        let fleet = Fleet::start(FleetConfig::local(1)).unwrap();
+        let server = FleetServer::start(fleet, FleetServerConfig::default()).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["status"], "ok");
+        assert_eq!(v["nodes"].as_u64(), Some(1));
+
+        let spec_json = r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":4}"#;
+        let (status, merged) = post(addr, "/grid", spec_json).unwrap();
+        assert_eq!(status, 200, "{merged}");
+        let spec = GridSpec::from_value(&serde_json::from_str(spec_json).unwrap()).unwrap();
+        assert_eq!(
+            merged,
+            run_grid_local(&spec).unwrap(),
+            "served artifact matches the in-process reference byte-for-byte"
+        );
+
+        let (status, nodes) = get(addr, "/nodes").unwrap();
+        assert_eq!(status, 200);
+        let nodes: Value = serde_json::from_str(&nodes).unwrap();
+        assert_eq!(nodes.as_array().unwrap().len(), 1);
+
+        let (status, metrics) = get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let m: Value = serde_json::from_str(&metrics).unwrap();
+        assert_eq!(m["counters"]["fleet_completed"].as_u64(), Some(2));
+
+        let (status, prom) = get(addr, "/metrics?format=prometheus").unwrap();
+        assert_eq!(status, 200);
+        assert!(prom.contains("proof_fleet_fleet_completed"), "{prom}");
+
+        let (status, _) = post(addr, "/grid", "{").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+}

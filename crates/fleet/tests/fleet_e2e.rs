@@ -1,0 +1,219 @@
+//! End-to-end fleet tests: the determinism contract (merged artifact
+//! byte-identical to the single-node reference regardless of topology) and
+//! fault-aware rescheduling against dead, wedged, and dying nodes.
+
+use proof_core::GridSpec;
+use proof_fleet::{run_grid_local, DispatcherConfig, Fleet, FleetConfig, NodeState};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+fn spec(json: &str) -> GridSpec {
+    GridSpec::from_value(&serde_json::from_str(json).unwrap()).unwrap()
+}
+
+/// An address that refuses every connection: bind, record, drop.
+fn refused_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap()
+}
+
+/// A worker that looks alive exactly once, accepts every job, and never
+/// finishes any of them: the first `GET /healthz` reports healthy (so the
+/// registry trusts it), `POST /jobs` returns a job id, `GET /jobs/<id>`
+/// says `running` forever, and every later health probe fails — the shape
+/// of a daemon that wedged mid-job.
+fn stuck_worker() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut healthz_served = false;
+        for stream in listener.incoming() {
+            let Ok(mut s) = stream else { continue };
+            let mut head = Vec::new();
+            let mut byte = [0u8; 1];
+            while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+                match s.read(&mut byte) {
+                    Ok(1) => head.push(byte[0]),
+                    _ => break,
+                }
+            }
+            let head = String::from_utf8_lossy(&head).to_string();
+            let line = head.lines().next().unwrap_or("").to_string();
+            if let Some(len) = head.lines().find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+            }) {
+                let mut body = vec![0u8; len.min(1 << 20)];
+                let _ = s.read_exact(&mut body);
+            }
+            let (status, body) = if line.starts_with("GET /healthz") {
+                if healthz_served {
+                    (500, r#"{"error":"wedged"}"#)
+                } else {
+                    healthz_served = true;
+                    (
+                        200,
+                        r#"{"status":"ok","queue_depth":0,"queue_capacity":64,"workers":1,"in_flight":0}"#,
+                    )
+                }
+            } else if line.starts_with("POST /jobs") {
+                (201, r#"{"id":1,"status":"queued"}"#)
+            } else if line.starts_with("GET /jobs/") {
+                (200, r#"{"status":"running"}"#)
+            } else {
+                (404, r#"{"error":"no route"}"#)
+            };
+            let _ = write!(
+                s,
+                "HTTP/1.1 {status} X\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        }
+    });
+    addr
+}
+
+#[test]
+fn merged_report_is_byte_identical_across_topologies() {
+    let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,4],"seed":13}"#);
+    let reference = run_grid_local(&s).unwrap();
+
+    let mut one = Fleet::start(FleetConfig::local(1)).unwrap();
+    let run1 = one.run_grid(&s).unwrap();
+    one.shutdown();
+    assert_eq!(
+        run1.merged, reference,
+        "1-node fleet differs from local reference"
+    );
+
+    let mut two = Fleet::start(FleetConfig::local(2)).unwrap();
+    let run2 = two.run_grid(&s).unwrap();
+    two.shutdown();
+    assert_eq!(
+        run2.merged, reference,
+        "2-node fleet differs from local reference"
+    );
+    assert_eq!(run2.outcome.results.len(), 3);
+    assert_eq!(
+        run2.outcome.rescheduled, 0,
+        "healthy fleet should not reschedule"
+    );
+    // both nodes were probed at run start
+    assert!(run2.outcome.probes >= 2);
+}
+
+#[test]
+fn dead_node_shards_reschedule_onto_survivors() {
+    let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":7}"#);
+    let reference = run_grid_local(&s).unwrap();
+
+    let config = FleetConfig {
+        nodes: vec![refused_addr()],
+        local_daemons: 1,
+        request_timeout: Duration::from_millis(500),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::start(config).unwrap();
+    let run = fleet.run_grid(&s).unwrap();
+
+    assert_eq!(
+        run.merged, reference,
+        "fault path changed the artifact bytes"
+    );
+    assert!(
+        run.outcome.rescheduled >= 1,
+        "dead node never triggered a reschedule"
+    );
+    assert!(
+        run.outcome.probe_failures >= 1,
+        "dead node never failed a probe"
+    );
+    assert!(
+        run.nodes.iter().any(|n| n.state == NodeState::Dead),
+        "refusing node should be marked dead: {:?}",
+        run.nodes
+    );
+    // the counters the coordinator exports carry the same story
+    let metrics: Value = serde_json::from_str(&fleet.metrics_json()).unwrap();
+    assert!(metrics["counters"]["fleet_rescheduled"].as_u64().unwrap() >= 1);
+    assert!(
+        metrics["counters"]["fleet_probe_failures"]
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn wedged_node_times_out_and_shards_complete_elsewhere() {
+    let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":21}"#);
+    let reference = run_grid_local(&s).unwrap();
+
+    let config = FleetConfig {
+        nodes: vec![stuck_worker()],
+        local_daemons: 1,
+        request_timeout: Duration::from_millis(500),
+        dispatcher: DispatcherConfig {
+            shard_timeout: Duration::from_millis(1500),
+            max_shard_attempts: 5,
+            ..DispatcherConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::start(config).unwrap();
+    let run = fleet.run_grid(&s).unwrap();
+    fleet.shutdown();
+
+    assert_eq!(
+        run.merged, reference,
+        "timeout path changed the artifact bytes"
+    );
+    assert!(
+        run.outcome.rescheduled >= 1,
+        "wedged node's shard should have been rescheduled after its timeout"
+    );
+    assert_eq!(
+        run.outcome.results.len(),
+        2,
+        "every cell must still resolve"
+    );
+}
+
+#[test]
+fn node_killed_mid_run_still_produces_the_complete_report() {
+    let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,4,8],"seed":3}"#);
+    let reference = run_grid_local(&s).unwrap();
+
+    let a = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
+    let b = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
+    let mut fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
+
+    // kill node B as soon as the fleet has finished its first shard, so the
+    // tail of the run sees a node that died mid-grid
+    let completed = fleet.metrics().counter("fleet_completed");
+    let killer = std::thread::spawn(move || {
+        while completed.get() == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        b.shutdown();
+    });
+
+    let run = fleet.run_grid(&s).unwrap();
+    killer.join().unwrap();
+    a.shutdown();
+    fleet.shutdown();
+
+    assert_eq!(
+        run.merged, reference,
+        "mid-run node death changed the artifact bytes"
+    );
+    assert_eq!(
+        run.outcome.results.len(),
+        4,
+        "every cell must still resolve"
+    );
+}

@@ -1,20 +1,18 @@
-//! Minimal HTTP/1.1 support over `std::net`: just enough request parsing
-//! and response writing for the JSON API, plus a tiny blocking client used
-//! by the CLI walkthroughs and the integration tests.
+//! Minimal HTTP/1.1 server support over `std::net`: just enough request
+//! parsing and response writing for the JSON API. The matching blocking
+//! client lives in [`crate::client`] and reuses the same capped readers.
 //!
 //! Every read from the peer is capped (`MAX_HEADER_BYTES` for the request
 //! line + headers, `MAX_BODY_BYTES` for bodies) **while reading**, not
 //! after: an earlier version buffered an arbitrarily long request line via
 //! `read_line` before checking any limit, which let a single connection
-//! exhaust memory. The client side mirrors the same caps, and
-//! [`RetryPolicy`] adds deterministic (seed-keyed) exponential backoff that
-//! honors `Retry-After` from a backpressuring server.
+//! exhaust memory.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-const MAX_HEADER_BYTES: usize = 16 * 1024;
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed request. Bodies are read eagerly (Content-Length only; no
 /// chunked encoding — every client this daemon targets sends sized bodies).
@@ -32,7 +30,7 @@ pub struct Request {
 /// `budget` bytes. Returns the number of bytes consumed; `Ok(0)` means
 /// clean EOF before any byte. Errors as soon as the budget is exhausted
 /// without buffering the oversized line.
-fn read_line_capped<R: BufRead>(
+pub(crate) fn read_line_capped<R: BufRead>(
     reader: &mut R,
     buf: &mut Vec<u8>,
     budget: usize,
@@ -123,7 +121,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
     }))
 }
 
-fn bad(msg: &str) -> std::io::Error {
+pub(crate) fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
@@ -186,201 +184,6 @@ pub fn write_response_full(
     stream.flush()
 }
 
-/// A client response: status, body, and the parsed `Retry-After` seconds
-/// if the server sent one.
-#[derive(Debug, Clone)]
-pub struct Response {
-    pub status: u16,
-    pub body: String,
-    pub retry_after_s: Option<u64>,
-}
-
-/// Blocking one-shot client: send `method path` with an optional JSON body,
-/// return `(status, body)`.
-pub fn request(
-    addr: std::net::SocketAddr,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> std::io::Result<(u16, String)> {
-    let r = request_full(addr, method, path, body)?;
-    Ok((r.status, r.body))
-}
-
-/// [`request`] keeping the response headers the retry layer needs. Reads
-/// are capped like the server side: headers to `MAX_HEADER_BYTES`, body to
-/// `MAX_BODY_BYTES` whether or not the server declared a length.
-pub fn request_full(
-    addr: std::net::SocketAddr,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> std::io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-
-    let mut reader = BufReader::new(stream);
-    let mut budget = MAX_HEADER_BYTES;
-    let mut raw_status = Vec::new();
-    let n = read_line_capped(&mut reader, &mut raw_status, budget)?;
-    if n == 0 {
-        return Err(bad("connection closed before status line"));
-    }
-    budget -= n;
-    let status_line = String::from_utf8(raw_status).map_err(|_| bad("status line is not UTF-8"))?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("malformed status line"))?;
-    let mut content_length = None;
-    let mut retry_after_s = None;
-    loop {
-        let mut raw = Vec::new();
-        let n = read_line_capped(&mut reader, &mut raw, budget)?;
-        if n == 0 {
-            return Err(bad("connection closed inside headers"));
-        }
-        budget -= n;
-        let line = String::from_utf8(raw).map_err(|_| bad("header is not UTF-8"))?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
-            } else if name.eq_ignore_ascii_case("retry-after") {
-                retry_after_s = value.trim().parse::<u64>().ok();
-            }
-        }
-    }
-    let mut body = String::new();
-    match content_length {
-        Some(n) if n > MAX_BODY_BYTES => return Err(bad("body too large")),
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf)?;
-            body = String::from_utf8(buf).map_err(|_| bad("body is not UTF-8"))?;
-        }
-        None => {
-            let mut limited = reader.take(MAX_BODY_BYTES as u64 + 1);
-            limited.read_to_string(&mut body)?;
-            if body.len() > MAX_BODY_BYTES {
-                return Err(bad("body too large"));
-            }
-        }
-    }
-    Ok(Response {
-        status,
-        body,
-        retry_after_s,
-    })
-}
-
-/// `GET path` convenience wrapper.
-pub fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
-    request(addr, "GET", path, None)
-}
-
-/// `POST path` convenience wrapper.
-pub fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
-    request(addr, "POST", path, Some(body))
-}
-
-/// Deterministic retry schedule for 429/503 backpressure: exponential
-/// backoff with seed-keyed jitter. Given the same seed the delay sequence
-/// is byte-for-byte reproducible, so tests and CI scripts that exercise
-/// backpressure stay deterministic; a `Retry-After` hint from the server
-/// raises (never lowers under) the computed delay.
-#[derive(Debug, Clone, Copy)]
-pub struct RetryPolicy {
-    /// Retries after the first attempt (0 = one attempt total).
-    pub max_retries: u32,
-    /// Base delay for the first retry; doubles each retry.
-    pub base_ms: u64,
-    /// Ceiling for any single delay (pre-`Retry-After`).
-    pub max_delay_ms: u64,
-    /// Jitter key; same seed → same delays.
-    pub seed: u64,
-}
-
-impl RetryPolicy {
-    pub fn new(seed: u64) -> RetryPolicy {
-        RetryPolicy {
-            max_retries: 5,
-            base_ms: 25,
-            max_delay_ms: 2_000,
-            seed,
-        }
-    }
-
-    /// The delay before retry `attempt` (1-based), ignoring `Retry-After`:
-    /// `base * 2^(attempt-1)`, capped, plus 0–25% deterministic jitter.
-    pub fn delay_ms(&self, attempt: u32) -> u64 {
-        let exp = self
-            .base_ms
-            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(32))
-            .min(self.max_delay_ms);
-        let jitter = proof_obs::fault::mix64(self.seed ^ u64::from(attempt)) % (exp / 4 + 1);
-        exp + jitter
-    }
-
-    /// The delay actually slept before retry `attempt`, honoring the
-    /// server's `Retry-After` hint (seconds) as a floor.
-    pub fn effective_delay_ms(&self, attempt: u32, retry_after_s: Option<u64>) -> u64 {
-        let hinted = retry_after_s.map_or(0, |s| s.saturating_mul(1_000));
-        self.delay_ms(attempt).max(hinted)
-    }
-}
-
-/// [`request`] with retries on 429/503 (and connect errors), backing off
-/// per `policy`. Returns the last response once it is not retryable or
-/// retries are exhausted.
-pub fn request_with_retry(
-    addr: std::net::SocketAddr,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-    policy: &RetryPolicy,
-) -> std::io::Result<(u16, String)> {
-    let mut attempt = 0u32;
-    loop {
-        match request_full(addr, method, path, body) {
-            Ok(r) if (r.status == 429 || r.status == 503) && attempt < policy.max_retries => {
-                attempt += 1;
-                let ms = policy.effective_delay_ms(attempt, r.retry_after_s);
-                std::thread::sleep(std::time::Duration::from_millis(ms));
-            }
-            Ok(r) => return Ok((r.status, r.body)),
-            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => return Err(e),
-            Err(_) if attempt < policy.max_retries => {
-                attempt += 1;
-                let ms = policy.effective_delay_ms(attempt, None);
-                std::thread::sleep(std::time::Duration::from_millis(ms));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// `POST path` with backpressure-aware retries.
-pub fn post_with_retry(
-    addr: std::net::SocketAddr,
-    path: &str,
-    body: &str,
-    policy: &RetryPolicy,
-) -> std::io::Result<(u16, String)> {
-    request_with_retry(addr, "POST", path, Some(body), policy)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,44 +213,5 @@ mod tests {
         let mut r = Cursor::new(Vec::new());
         let mut buf = Vec::new();
         assert_eq!(read_line_capped(&mut r, &mut buf, 16).unwrap(), 0);
-    }
-
-    #[test]
-    fn retry_delays_are_deterministic_and_exponential() {
-        let p = RetryPolicy::new(42);
-        let a: Vec<u64> = (1..=4).map(|i| p.delay_ms(i)).collect();
-        let b: Vec<u64> = (1..=4).map(|i| p.delay_ms(i)).collect();
-        assert_eq!(a, b, "same seed, same schedule");
-        // exponential base under the jitter: delay(i) within [base*2^(i-1), base*2^(i-1)*1.25]
-        for (i, &d) in a.iter().enumerate() {
-            let base = p.base_ms << i;
-            assert!(d >= base && d <= base + base / 4, "attempt {i}: {d}");
-        }
-        let q = RetryPolicy::new(43);
-        assert_ne!(
-            (1..=4).map(|i| q.delay_ms(i)).collect::<Vec<_>>(),
-            a,
-            "different seed, different jitter"
-        );
-    }
-
-    #[test]
-    fn retry_after_is_a_floor_not_a_cap() {
-        let p = RetryPolicy::new(7);
-        assert_eq!(p.effective_delay_ms(1, Some(3)), 3_000.max(p.delay_ms(1)));
-        assert_eq!(p.effective_delay_ms(1, None), p.delay_ms(1));
-        // a tiny hint never lowers the computed backoff
-        assert!(p.effective_delay_ms(2, Some(0)) >= p.delay_ms(2));
-    }
-
-    #[test]
-    fn delay_caps_at_max() {
-        let p = RetryPolicy {
-            max_retries: 10,
-            base_ms: 100,
-            max_delay_ms: 400,
-            seed: 1,
-        };
-        assert!(p.delay_ms(10) <= 400 + 100, "capped plus <=25% jitter");
     }
 }

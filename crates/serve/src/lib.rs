@@ -11,13 +11,14 @@
 //!
 //! let server = Server::start(ServeConfig::default()).unwrap();
 //! let body = r#"{"model":"resnet-50","hardware":"a100","batch":8}"#;
-//! let (status, reply) = proof_serve::http::post(server.addr(), "/jobs", body).unwrap();
+//! let (status, reply) = proof_serve::client::post(server.addr(), "/jobs", body).unwrap();
 //! assert_eq!(status, 201);
 //! println!("{reply}");
 //! server.shutdown(); // drains every accepted job first
 //! ```
 
 pub mod cache;
+pub mod client;
 pub mod http;
 pub mod job;
 pub mod metrics;
@@ -26,7 +27,7 @@ pub mod server;
 pub mod stage_cache;
 
 pub use cache::{ArtifactCache, CacheStats, Lookup};
-pub use http::{Response, RetryPolicy};
+pub use client::{Response, RetryPolicy};
 pub use job::{AnalysisJob, DEFAULT_SEED};
 pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, WorkerMetrics, WorkerSnapshot};
 pub use queue::JobQueue;

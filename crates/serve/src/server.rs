@@ -705,11 +705,31 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, Option<u64>) {
         ("GET", ["trace", tid]) => get_trace(shared, tid),
         ("GET", ["metrics"]) => (200, metrics_body(shared, &req.query)),
         ("GET", ["models"]) => (200, models_body()),
-        ("GET", ["healthz"]) => (200, r#"{"status":"ok"}"#.to_string()),
+        ("GET", ["healthz"]) => (200, healthz_body(shared)),
         ("GET" | "POST", _) => (404, error_body("no such endpoint")),
         _ => (405, error_body("method not allowed")),
     };
     (status, body, None)
+}
+
+/// The fleet probe target: liveness plus the load signals a coordinator
+/// needs for least-loaded dispatch — queue depth/capacity, worker count,
+/// and workers busy right now.
+fn healthz_body(shared: &Shared) -> String {
+    let workers = shared.worker_metrics.snapshot();
+    let mut m = Map::new();
+    m.insert("status".to_string(), Value::from("ok"));
+    m.insert(
+        "queue_depth".to_string(),
+        Value::from(shared.queue.depth() as u64),
+    );
+    m.insert(
+        "queue_capacity".to_string(),
+        Value::from(shared.queue.capacity() as u64),
+    );
+    m.insert("workers".to_string(), Value::from(workers.count as u64));
+    m.insert("in_flight".to_string(), Value::from(workers.busy));
+    Value::Object(m).to_string()
 }
 
 fn post_job(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {

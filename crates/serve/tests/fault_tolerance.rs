@@ -6,7 +6,7 @@
 //! The installed plan is process-global, so every test serializes on one
 //! mutex and clears the plan on exit (panic included) via a drop guard.
 
-use proof_serve::http::{get, post, post_with_retry, request_full, RetryPolicy};
+use proof_serve::client::{get, post, post_with_retry, request_full, RetryPolicy};
 use proof_serve::{ServeConfig, Server};
 use std::net::SocketAddr;
 use std::sync::{Mutex, MutexGuard};

@@ -1,7 +1,7 @@
 //! Observability of a live daemon: per-job trace ids, the merged
 //! Chrome-trace endpoint, and the Prometheus metrics exposition.
 
-use proof_serve::http::{get, post};
+use proof_serve::client::{get, post};
 use proof_serve::{ServeConfig, Server};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};

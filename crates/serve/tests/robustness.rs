@@ -4,7 +4,7 @@
 //! unbounded request-line read (memory-exhaustion DoS) and the
 //! empty-batch-sweep panic.
 
-use proof_serve::http::get;
+use proof_serve::client::get;
 use proof_serve::{ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -108,7 +108,7 @@ fn non_utf8_body_is_a_400() {
 fn empty_batch_sweep_is_a_400_not_a_panic() {
     let server = boot();
     let addr = server.addr();
-    let (status, body) = proof_serve::http::post(
+    let (status, body) = proof_serve::client::post(
         addr,
         "/sweep",
         r#"{"model":"resnet-50","hardware":"a100","batches":[]}"#,
@@ -123,7 +123,7 @@ fn empty_batch_sweep_is_a_400_not_a_panic() {
 fn zero_timeout_is_a_400() {
     let server = boot();
     let addr = server.addr();
-    let (status, body) = proof_serve::http::post(
+    let (status, body) = proof_serve::client::post(
         addr,
         "/jobs",
         r#"{"model":"resnet-50","hardware":"a100","timeout_ms":0}"#,

@@ -5,7 +5,7 @@ use proof_hw::PlatformId;
 use proof_ir::DType;
 use proof_models::ModelId;
 use proof_runtime::{BackendFlavor, SessionConfig};
-use proof_serve::http::{get, post};
+use proof_serve::client::{get, post};
 use proof_serve::{ServeConfig, Server};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -270,5 +270,5 @@ fn api_error_paths() {
 }
 
 fn request_delete(addr: SocketAddr) -> std::io::Result<(u16, String)> {
-    proof_serve::http::request(addr, "DELETE", "/jobs/1", None)
+    proof_serve::client::request(addr, "DELETE", "/jobs/1", None)
 }

@@ -22,6 +22,7 @@
 //! ```
 pub use proof_core as core;
 pub use proof_counters as counters;
+pub use proof_fleet as fleet;
 pub use proof_hw as hw;
 pub use proof_ir as ir;
 pub use proof_models as models;
