@@ -179,4 +179,69 @@ trap - EXIT
 rm -f "$log_a" "$log_b" /tmp/proof_ci_fleet_a.json /tmp/proof_ci_fleet_b.json \
     /tmp/proof_ci_fleet_f.json /tmp/proof_ci_fleet_m.json /tmp/proof_ci_fleet_fm.json
 
+echo "==> proof fleet warm-peer cache smoke (fresh node served from a warm peer's cache)"
+# warm a two-daemon fleet (publish-on-build leaves both nodes holding both
+# cells), kill one node, bring up a cold replacement, and re-run the sweep
+# through the coordinator: the fresh node must serve its shard from the
+# surviving warm peer (remote-tier hits > 0) and the merged artifact must
+# stay byte-identical to the single-node reference
+log_a="$(mktemp)"; log_b="$(mktemp)"; log_c="$(mktemp)"; log_f="$(mktemp)"
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_a" 2>&1 &
+pid_a=$!
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_b" 2>&1 &
+pid_b=$!
+trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true' EXIT
+for log in "$log_a" "$log_b"; do
+    for _ in $(seq 50); do
+        grep -q "listening on" "$log" && break
+        sleep 0.1
+    done
+done
+addr_a="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_a" | head -n1)"
+addr_b="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_b" | head -n1)"
+
+./target/release/proof fleet sweep --nodes "${addr_a},${addr_b}" "${fleet_spec[@]}" \
+    --out /tmp/proof_ci_cache_warm.json 2>/dev/null
+./target/release/proof fleet sweep --in-process "${fleet_spec[@]}" \
+    --out /tmp/proof_ci_cache_ref.json 2>/dev/null
+cmp /tmp/proof_ci_cache_warm.json /tmp/proof_ci_cache_ref.json
+
+kill "$pid_a" 2>/dev/null || true
+./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_c" 2>&1 &
+pid_c=$!
+trap 'kill "$pid_a" "$pid_b" "$pid_c" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "listening on" "$log_c" && break
+    sleep 0.1
+done
+addr_c="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_c" | head -n1)"
+
+./target/release/proof fleet serve --addr 127.0.0.1:0 --nodes "${addr_c},${addr_b}" >"$log_f" 2>&1 &
+pid_f=$!
+trap 'kill "$pid_a" "$pid_b" "$pid_c" "$pid_f" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "coordinating" "$log_f" && break
+    sleep 0.1
+done
+coord_addr="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_f" | head -n1)"
+
+curl -sf -X POST "http://${coord_addr}/grid" \
+    -d '{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":7}' \
+    -o /tmp/proof_ci_cache_fresh.json
+cmp /tmp/proof_ci_cache_fresh.json /tmp/proof_ci_cache_ref.json
+curl -sf "http://${coord_addr}/metrics?format=prometheus" -o /tmp/proof_ci_cache_prom.txt
+python3 - <<'EOF'
+hits = None
+for line in open("/tmp/proof_ci_cache_prom.txt"):
+    if line.startswith("proof_fleet_fleet_cache_remote_hits "):
+        hits = int(float(line.split()[1]))
+assert hits is not None, "fleet_cache_remote_hits missing from prometheus export"
+assert hits > 0, "fresh node never hit the warm peer's cache"
+print(f"  warm-peer cache OK: {hits} remote-tier hit(s)")
+EOF
+kill "$pid_b" "$pid_c" "$pid_f" 2>/dev/null || true
+trap - EXIT
+rm -f "$log_a" "$log_b" "$log_c" "$log_f" /tmp/proof_ci_cache_warm.json \
+    /tmp/proof_ci_cache_ref.json /tmp/proof_ci_cache_fresh.json /tmp/proof_ci_cache_prom.txt
+
 echo "CI OK"

@@ -14,9 +14,11 @@
 //! proof serve [--addr 127.0.0.1:7878] [--workers 2] [--cache-budget-mb 64]
 //!             [--cache-dir DIR] [--queue-cap 256]
 //!             [--job-timeout MS] [--job-retries N]
+//!             [--peer-cache IP:PORT,...] [--peer-timeout-ms 2000]
 //! proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2
 //!                   [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode M]
 //!                   [--seed N] [--out FILE] [--metrics-out FILE] [--in-process]
+//!                   [--peer-cache on|off]
 //! proof fleet serve [--addr 127.0.0.1:7979] (--nodes IP:PORT,... | --local N)
 //! ```
 
@@ -33,7 +35,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--in-process]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N] [--peer-cache IP:PORT,...] [--peer-timeout-ms MS]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--in-process] [--peer-cache on|off]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N] [--peer-cache on|off]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -414,6 +416,18 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
     if let Some(n) = flags.get("job-retries") {
         config.max_retries = n.parse().expect("job-retries");
     }
+    for addr in csv(&flags, "peer-cache") {
+        match addr.parse() {
+            Ok(a) => config.peer_cache.push(a),
+            Err(_) => {
+                eprintln!("--peer-cache entries must be IP:PORT, got {addr}");
+                usage();
+            }
+        }
+    }
+    if let Some(ms) = flags.get("peer-timeout-ms") {
+        config.peer_timeout_ms = ms.parse().expect("peer-timeout-ms");
+    }
     let workers = config.workers;
     let server = match proof_serve::Server::start(config) {
         Ok(s) => s,
@@ -423,7 +437,7 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
         }
     };
     println!(
-        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /trace/<trace-id>, GET /metrics[?format=prometheus], GET /models",
+        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /cache/<key>, PUT /cache/<key>, POST /cache/peers, GET /trace/<trace-id>, GET /metrics[?format=prometheus], GET /models",
         server.addr()
     );
     // serve until the process is terminated
@@ -497,6 +511,16 @@ fn fleet_config(flags: &HashMap<String, String>) -> proof_fleet::FleetConfig {
     if let Some(ms) = flags.get("shard-timeout-ms") {
         config.dispatcher.shard_timeout =
             std::time::Duration::from_millis(ms.parse().expect("shard-timeout-ms"));
+    }
+    if let Some(v) = flags.get("peer-cache") {
+        config.advertise_peer_cache = match v.as_str() {
+            "on" => true,
+            "off" => false,
+            other => {
+                eprintln!("--peer-cache must be on|off, got {other}");
+                usage();
+            }
+        };
     }
     if config.nodes.is_empty() && config.local_daemons == 0 {
         eprintln!("fleet needs --nodes and/or --local");

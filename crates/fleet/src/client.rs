@@ -165,6 +165,54 @@ impl WorkerClient {
         }
     }
 
+    /// `POST /cache/peers` — advertise the other nodes' cache endpoints so
+    /// this worker's tiered store can serve rescheduled shards from a warm
+    /// peer instead of re-simulating.
+    pub fn advertise_peers(&self, peers: &[SocketAddr]) -> Result<u64, WorkerError> {
+        let body = {
+            let list: Vec<Value> = peers.iter().map(|a| Value::from(a.to_string())).collect();
+            let mut m = serde_json::Map::new();
+            m.insert("peers".to_string(), Value::Array(list));
+            Value::Object(m).to_string()
+        };
+        let r = request_full_timeout(
+            self.addr,
+            "POST",
+            "/cache/peers",
+            Some(&body),
+            Some(self.timeout),
+        )
+        .map_err(Self::io_err)?;
+        if r.status != 200 {
+            return Err(WorkerError::Protocol(format!(
+                "peer advertisement returned {}: {}",
+                r.status, r.body
+            )));
+        }
+        Self::parse(&r.body)?
+            .get("peers")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| WorkerError::Protocol("advertisement reply without peers".into()))
+    }
+
+    /// `GET /metrics` — the worker's lifetime remote-tier hit count, for
+    /// the coordinator's `fleet_cache_remote_hits` aggregation.
+    pub fn cache_remote_hits(&self) -> Result<u64, WorkerError> {
+        let r = request_full_timeout(self.addr, "GET", "/metrics", None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        if r.status != 200 {
+            return Err(WorkerError::Protocol(format!(
+                "metrics returned {}",
+                r.status
+            )));
+        }
+        Self::parse(&r.body)?
+            .get("cache")
+            .and_then(|c| c.get("remote_hits"))
+            .and_then(Value::as_u64)
+            .ok_or_else(|| WorkerError::Protocol("metrics without cache.remote_hits".into()))
+    }
+
     /// `GET /jobs/<id>/report` — the finished artifact, byte-exact.
     pub fn report(&self, id: u64) -> Result<String, WorkerError> {
         let path = format!("/jobs/{id}/report");

@@ -87,6 +87,12 @@ pub struct FleetConfig {
     /// Seed for the clients' backpressure-retry jitter (independent of the
     /// grid seed; does not affect artifact bytes).
     pub client_seed: u64,
+    /// Advertise every node's cache endpoint to every other node before a
+    /// run (and scrape per-node remote-tier hits into
+    /// `fleet_cache_remote_hits` after it), so rescheduled or re-run
+    /// shards are served from warm peers. Artifact bytes are identical
+    /// either way — this only changes where they come from.
+    pub advertise_peer_cache: bool,
     pub dispatcher: DispatcherConfig,
 }
 
@@ -99,6 +105,7 @@ impl Default for FleetConfig {
             request_timeout: Duration::from_secs(10),
             node_fail_threshold: 2,
             client_seed: 0x5EED,
+            advertise_peer_cache: true,
             dispatcher: DispatcherConfig::default(),
         }
     }
@@ -168,13 +175,17 @@ impl Fleet {
             .collect();
         let registry = NodeRegistry::new(clients, config.node_fail_threshold);
         let (tracer, ring) = proof_obs::shared_ring_tracer();
+        let metrics = Arc::new(MetricsRegistry::new());
+        // pre-register so the exposition carries the zero value even
+        // before (or without) any peer-cache traffic
+        metrics.counter("fleet_cache_remote_hits");
         Ok(Fleet {
             config,
             registry,
             embedded,
             tracer,
             ring,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
         })
     }
 
@@ -197,14 +208,35 @@ impl Fleet {
         root.field("cells", plan.cells as u64);
         root.field("nodes", self.registry.len() as u64);
         root.field("seed", spec.seed);
+        // wire every node's remote cache tier to its peers before any
+        // shard lands, and remember each node's remote-hit count so the
+        // post-run scrape can attribute this run's deltas
+        let remote_hits_before = if self.config.advertise_peer_cache {
+            self.advertise_peer_caches();
+            self.scrape_remote_hits()
+        } else {
+            Vec::new()
+        };
+        let mut dispatcher_config = self.config.dispatcher.clone();
+        dispatcher_config.advertise_peer_cache &= self.config.advertise_peer_cache;
         let dispatcher = Dispatcher::new(
-            self.config.dispatcher.clone(),
+            dispatcher_config,
             FleetCounters::register(&self.metrics),
             Arc::clone(&self.tracer),
             trace,
         );
         let outcome = dispatcher.run(&plan, &mut self.registry);
         root.finish();
+        if self.config.advertise_peer_cache {
+            let after = self.scrape_remote_hits();
+            let mut delta = 0u64;
+            for (before, after) in remote_hits_before.iter().zip(&after) {
+                if let (Some(b), Some(a)) = (before, after) {
+                    delta += a.saturating_sub(*b);
+                }
+            }
+            self.metrics.counter("fleet_cache_remote_hits").add(delta);
+        }
         let outcome = outcome?;
         let merged = merge_run(spec, &outcome.results)?;
         let nodes = self.registry.snapshot();
@@ -226,6 +258,43 @@ impl Fleet {
             outcome,
             nodes,
         })
+    }
+
+    /// Tell every node about every *other* node's cache endpoint
+    /// (best-effort — an unreachable node just misses the refresh and gets
+    /// re-advertised when a probe revives it).
+    fn advertise_peer_caches(&self) {
+        let n = self.registry.len();
+        if n < 2 {
+            return;
+        }
+        let addrs: Vec<SocketAddr> = (0..n).map(|i| self.registry.client(i).addr).collect();
+        for i in 0..n {
+            let peers: Vec<SocketAddr> = addrs
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a)
+                .collect();
+            match self.registry.client(i).advertise_peers(&peers) {
+                Ok(_) => self.metrics.counter("fleet_peer_advertisements").inc(),
+                Err(e) => self.tracer.event(
+                    proof_obs::Level::Warn,
+                    "proof_fleet",
+                    format!("peer-cache advertisement to {} failed: {e}", addrs[i]),
+                    Vec::new(),
+                ),
+            }
+        }
+    }
+
+    /// Each node's lifetime remote-tier hit counter (`None` for nodes that
+    /// cannot answer), index-aligned with the registry.
+    fn scrape_remote_hits(&self) -> Vec<Option<u64>> {
+        (0..self.registry.len())
+            .map(|i| self.registry.client(i).cache_remote_hits().ok())
+            .collect()
     }
 
     /// Fleet metrics as JSON: the registry snapshot plus per-node state.

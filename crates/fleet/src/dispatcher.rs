@@ -39,6 +39,10 @@ pub struct DispatcherConfig {
     pub probe_interval: Duration,
     /// Total attempts one shard may consume across all nodes.
     pub max_shard_attempts: u32,
+    /// Re-advertise the other nodes' cache endpoints to a node that comes
+    /// back from the dead, so a restarted (cold) daemon serves its next
+    /// shard from a warm peer's remote tier instead of re-simulating.
+    pub advertise_peer_cache: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -49,6 +53,7 @@ impl Default for DispatcherConfig {
             poll_interval: Duration::from_millis(5),
             probe_interval: Duration::from_millis(250),
             max_shard_attempts: 3,
+            advertise_peer_cache: true,
         }
     }
 }
@@ -190,6 +195,7 @@ impl Dispatcher {
 
     fn probe(&self, registry: &mut NodeRegistry, i: usize, outcome: &mut DispatchOutcome) {
         let client = registry.client(i).clone();
+        let was_dead = registry.node(i).state == NodeState::Dead;
         let healthy = client.probe().is_ok();
         registry.note_probe(i, healthy);
         self.counters.probes.inc();
@@ -203,6 +209,24 @@ impl Dispatcher {
                 format!("probe of {} failed", client.addr),
                 vec![("node", FieldValue::U64(i as u64))],
             );
+        } else if was_dead && self.config.advertise_peer_cache && registry.len() > 1 {
+            // a revived node is likely a restarted (cold) daemon: re-point
+            // its remote cache tier at the surviving warm peers
+            let peers: Vec<std::net::SocketAddr> = (0..registry.len())
+                .filter(|&j| j != i)
+                .map(|j| registry.client(j).addr)
+                .collect();
+            if let Err(e) = client.advertise_peers(&peers) {
+                self.tracer.event(
+                    Level::Warn,
+                    "proof_fleet",
+                    format!(
+                        "peer-cache advertisement to revived {} failed: {e}",
+                        client.addr
+                    ),
+                    vec![("node", FieldValue::U64(i as u64))],
+                );
+            }
         }
     }
 

@@ -183,6 +183,54 @@ fn wedged_node_times_out_and_shards_complete_elsewhere() {
     );
 }
 
+/// A fresh node joining a fleet with a warm peer serves its shards from
+/// the peer's cache instead of re-simulating: the coordinator advertises
+/// peer endpoints, the new node's tiered store walks to the remote tier,
+/// and the merged artifact stays byte-identical to the cold reference.
+#[test]
+fn fresh_node_pulls_shards_from_warm_peer_cache() {
+    let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":7}"#);
+    let reference = run_grid_local(&s).unwrap();
+
+    // warm two daemons: each builds one shard and publishes it to the
+    // other, so both end up holding both cells
+    let a = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
+    let b = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
+    let b_addr = b.addr();
+    let mut warmup = Fleet::start(FleetConfig::remote(vec![a.addr(), b_addr])).unwrap();
+    let warm_run = warmup.run_grid(&s).unwrap();
+    warmup.shutdown();
+    assert_eq!(warm_run.merged, reference);
+    a.shutdown();
+
+    // a fresh cold node replaces A; its shard must come from warm B
+    let c = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
+    let mut fleet = Fleet::start(FleetConfig::remote(vec![c.addr(), b_addr])).unwrap();
+    let run = fleet.run_grid(&s).unwrap();
+
+    assert_eq!(
+        run.merged, reference,
+        "remote-tier hits changed the artifact bytes"
+    );
+    let metrics: Value = serde_json::from_str(&fleet.metrics_json()).unwrap();
+    assert!(
+        metrics["counters"]["fleet_cache_remote_hits"]
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "fresh node never hit the warm peer's cache: {metrics}"
+    );
+    assert!(
+        metrics["counters"]["fleet_peer_advertisements"]
+            .as_u64()
+            .unwrap()
+            >= 2
+    );
+    fleet.shutdown();
+    c.shutdown();
+    b.shutdown();
+}
+
 #[test]
 fn node_killed_mid_run_still_produces_the_complete_report() {
     let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,4,8],"seed":3}"#);

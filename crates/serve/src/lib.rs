@@ -6,6 +6,11 @@
 //! content-addresses every artifact by the stable hash of its canonical job
 //! spec — identical submissions cost exactly one simulation.
 //!
+//! Artifacts live in a `proof-store` [`TieredStore`] (memory LRU → disk →
+//! remote peers); the daemon exposes its local tiers to other daemons via
+//! `GET/PUT /cache/<key>`, so a fleet of proof-serve nodes shares one
+//! logical cache.
+//!
 //! ```no_run
 //! use proof_serve::{Server, ServeConfig};
 //!
@@ -17,19 +22,20 @@
 //! server.shutdown(); // drains every accepted job first
 //! ```
 
-pub mod cache;
 pub mod client;
 pub mod http;
 pub mod job;
 pub mod metrics;
+pub mod peer;
 pub mod queue;
 pub mod server;
 pub mod stage_cache;
 
-pub use cache::{ArtifactCache, CacheStats, Lookup};
 pub use client::{Response, RetryPolicy};
 pub use job::{AnalysisJob, DEFAULT_SEED};
 pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, WorkerMetrics, WorkerSnapshot};
+pub use peer::HttpPeer;
+pub use proof_store::{ArtifactKey, HitTier, Lookup, StoreStats, TieredStore};
 pub use queue::JobQueue;
 pub use server::{JobStatus, ServeConfig, Server, ShutdownReport};
-pub use stage_cache::{StageCache, StageCacheStats};
+pub use stage_cache::{StageCache, StageCacheStats, StageGuard, StageLookup};

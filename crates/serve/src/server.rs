@@ -6,12 +6,12 @@
 //! the queue, and joins the workers — which drain every queued and
 //! in-flight job before exiting, so no accepted job is ever dropped.
 
-use crate::cache::{ArtifactCache, Lookup};
 use crate::http::{read_request, write_response, write_response_full, Request};
 use crate::job::AnalysisJob;
 use crate::metrics::{hist_value, Histogram, StageHistograms, WorkerMetrics};
+use crate::peer::HttpPeer;
 use crate::queue::JobQueue;
-use crate::stage_cache::StageCache;
+use crate::stage_cache::{StageCache, StageLookup};
 use proof_core::{
     merged_chrome_trace, run_metric_stages_ctx, PipelineStage, PreparedStages, ProfileReport,
     ProofError, RunCtx,
@@ -19,6 +19,7 @@ use proof_core::{
 use proof_models::ModelId;
 use proof_obs::export::prometheus_text;
 use proof_obs::{Counter, FieldValue, Level, MetricsRegistry, RingCollector, Tracer};
+use proof_store::{ArtifactKey, HitTier, Lookup, StoreConfig, TieredStore};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +63,12 @@ pub struct ServeConfig {
     /// Base delay of the worker's retry backoff (doubles per retry, with
     /// seed-keyed jitter so reruns are reproducible).
     pub retry_base_ms: u64,
+    /// Peer daemons whose caches back this daemon's remote tier. More can
+    /// arrive at runtime via `POST /cache/peers` (fleet advertisement).
+    pub peer_cache: Vec<SocketAddr>,
+    /// Per-request bound on peer cache traffic — a slow peer must cost
+    /// less than the rebuild it is trying to save.
+    pub peer_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +83,8 @@ impl Default for ServeConfig {
             job_timeout_ms: None,
             max_retries: 2,
             retry_base_ms: 25,
+            peer_cache: Vec::new(),
+            peer_timeout_ms: 2000,
         }
     }
 }
@@ -115,6 +124,9 @@ struct JobRecord {
     trace: u64,
     /// Whether the artifact came from the cache (set when finished).
     cache_hit: Option<bool>,
+    /// Which tier served a hit (`"memory"`/`"disk"`/`"remote"`), or
+    /// `"built"` on a miss; `None` until the job finishes.
+    cache_tier: Option<&'static str>,
     error: Option<String>,
     artifact: Option<Arc<String>>,
     /// Merged Chrome-trace JSON, rendered eagerly when the job finishes (the
@@ -146,6 +158,10 @@ impl JobRecord {
         m.insert(
             "cache_hit".to_string(),
             self.cache_hit.map(Value::from).unwrap_or(Value::Null),
+        );
+        m.insert(
+            "cache_tier".to_string(),
+            self.cache_tier.map(Value::from).unwrap_or(Value::Null),
         );
         m.insert(
             "error".to_string(),
@@ -210,7 +226,7 @@ struct Shared {
     registry: Mutex<HashMap<u64, JobRecord>>,
     next_id: AtomicU64,
     next_group: AtomicU64,
-    cache: ArtifactCache,
+    cache: TieredStore,
     stage_cache: StageCache,
     worker_metrics: WorkerMetrics,
     /// The process-shared ring tracer: job spans land here, and the
@@ -235,6 +251,8 @@ struct Shared {
     job_timeout_ms: Option<u64>,
     max_retries: u32,
     retry_base_ms: u64,
+    /// Timeout applied to peers added at runtime via `POST /cache/peers`.
+    peer_timeout: Duration,
     running: AtomicBool,
     conns: ConnGate,
 }
@@ -270,12 +288,23 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let (tracer, ring) = proof_obs::shared_ring_tracer();
         let metrics = MetricsRegistry::new();
+        let peer_timeout = Duration::from_millis(config.peer_timeout_ms.max(1));
+        let cache = TieredStore::new(
+            StoreConfig {
+                memory_budget_bytes: config.cache_budget_bytes,
+                disk_dir: config.cache_dir.clone(),
+            },
+            &metrics,
+        )?;
+        for &peer in &config.peer_cache {
+            cache.add_peer(Arc::new(HttpPeer::new(peer, peer_timeout)));
+        }
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             registry: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             next_group: AtomicU64::new(1),
-            cache: ArtifactCache::new(config.cache_budget_bytes, config.cache_dir.clone())?,
+            cache,
             stage_cache: StageCache::new(config.stage_cache_capacity),
             worker_metrics: WorkerMetrics::new(config.workers.max(1)),
             tracer,
@@ -293,6 +322,7 @@ impl Server {
             job_timeout_ms: config.job_timeout_ms,
             max_retries: config.max_retries,
             retry_base_ms: config.retry_base_ms,
+            peer_timeout,
             running: AtomicBool::new(true),
             conns: ConnGate::default(),
         });
@@ -448,63 +478,68 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     // export can merge the kernel timeline of the compiled model.
     let mut prep_used: Option<Arc<PreparedStages>> = None;
     let mut attempts = 0u32;
+    let akey = ArtifactKey::new(&key).expect("cache_key emits valid artifact keys");
     // Single-flight: concurrent identical jobs wait here and then hit.
-    let outcome: Result<(Arc<String>, bool), JobFailure> = match shared.cache.lookup_or_begin(&key)
-    {
-        Lookup::Hit(artifact) => Ok((artifact, true)),
-        Lookup::Miss(guard) => {
-            // Panic isolation + transient retry. `catch_unwind` converts a
-            // panicking stage into a per-job failure (the daemon and its
-            // sibling jobs keep running); transient errors retry with
-            // deterministic backoff, timeouts and permanent errors do not.
-            let run = loop {
-                attempts += 1;
-                match catch_unwind(AssertUnwindSafe(|| run_staged(shared, &spec, &ctx))) {
-                    Err(payload) => {
-                        shared.panics_total.inc();
-                        break Err(JobFailure::Failed(format!(
-                            "panicked: {}",
-                            panic_message(payload.as_ref())
-                        )));
+    // A hit can come from any tier — memory, disk, or a fleet peer's cache.
+    let outcome: Result<(Arc<String>, Option<HitTier>), JobFailure> =
+        match shared.cache.lookup_or_begin(&akey) {
+            Lookup::Hit(artifact, tier) => Ok((artifact, Some(tier))),
+            Lookup::Miss(guard) => {
+                // Panic isolation + transient retry. `catch_unwind` converts a
+                // panicking stage into a per-job failure (the daemon and its
+                // sibling jobs keep running); transient errors retry with
+                // deterministic backoff, timeouts and permanent errors do not.
+                let run = loop {
+                    attempts += 1;
+                    match catch_unwind(AssertUnwindSafe(|| run_staged(shared, &spec, &ctx))) {
+                        Err(payload) => {
+                            shared.panics_total.inc();
+                            break Err(JobFailure::Failed(format!(
+                                "panicked: {}",
+                                panic_message(payload.as_ref())
+                            )));
+                        }
+                        Ok(Ok(ok)) => break Ok(ok),
+                        Ok(Err(e)) if e.is_timeout() => {
+                            shared.timeouts_total.inc();
+                            break Err(JobFailure::TimedOut(e.to_string()));
+                        }
+                        Ok(Err(e)) if e.is_transient() && attempts <= shared.max_retries => {
+                            shared.retries_total.inc();
+                            std::thread::sleep(Duration::from_millis(backoff_ms(
+                                shared.retry_base_ms,
+                                attempts,
+                                spec.seed,
+                            )));
+                        }
+                        Ok(Err(e)) => break Err(JobFailure::Failed(e.to_string())),
                     }
-                    Ok(Ok(ok)) => break Ok(ok),
-                    Ok(Err(e)) if e.is_timeout() => {
-                        shared.timeouts_total.inc();
-                        break Err(JobFailure::TimedOut(e.to_string()));
+                };
+                match run {
+                    Ok((report, prep)) => {
+                        prep_used = Some(prep);
+                        // try_to_json instead of to_json: a non-finite value
+                        // fails the job instead of aborting the worker thread.
+                        match report.try_to_json() {
+                            Ok(json) => Ok((guard.fulfill(json), None)),
+                            Err(e) => Err(JobFailure::Failed(e.to_string())),
+                        }
                     }
-                    Ok(Err(e)) if e.is_transient() && attempts <= shared.max_retries => {
-                        shared.retries_total.inc();
-                        std::thread::sleep(Duration::from_millis(backoff_ms(
-                            shared.retry_base_ms,
-                            attempts,
-                            spec.seed,
-                        )));
-                    }
-                    Ok(Err(e)) => break Err(JobFailure::Failed(e.to_string())),
+                    // dropping the guard lets a coalesced waiter retry the build
+                    Err(f) => Err(f),
                 }
-            };
-            match run {
-                Ok((report, prep)) => {
-                    prep_used = Some(prep);
-                    // try_to_json instead of to_json: a non-finite value
-                    // fails the job instead of aborting the worker thread.
-                    match report.try_to_json() {
-                        Ok(json) => Ok((guard.fulfill(json), false)),
-                        Err(e) => Err(JobFailure::Failed(e.to_string())),
-                    }
-                }
-                // dropping the guard lets a coalesced waiter retry the build
-                Err(f) => Err(f),
             }
-        }
-    };
+        };
     let execute_us = exec_start.elapsed().as_micros() as u64;
     shared.hist_execute.record_us(execute_us);
     shared
         .hist_total
         .record_us(submitted.elapsed().as_micros() as u64);
 
-    span.field("cache_hit", matches!(outcome, Ok((_, true))));
+    span.field("cache_hit", matches!(outcome, Ok((_, Some(_)))));
+    if let Ok((_, tier)) = &outcome {
+        span.field("cache_tier", tier.map(|t| t.as_str()).unwrap_or("built"));
+    }
     let status = match &outcome {
         Ok(_) => "done",
         Err(JobFailure::TimedOut(_)) => "timed_out",
@@ -540,9 +575,10 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     rec.attempts = attempts;
     rec.trace_json = Some(Arc::new(trace_json));
     match outcome {
-        Ok((artifact, hit)) => {
+        Ok((artifact, tier)) => {
             rec.status = JobStatus::Done;
-            rec.cache_hit = Some(hit);
+            rec.cache_hit = Some(tier.is_some());
+            rec.cache_tier = Some(tier.map(|t| t.as_str()).unwrap_or("built"));
             rec.artifact = Some(artifact);
         }
         Err(JobFailure::TimedOut(msg)) => {
@@ -568,13 +604,16 @@ fn run_staged(
     ctx: &RunCtx,
 ) -> Result<(ProfileReport, Arc<PreparedStages>), ProofError> {
     let skey = spec.stage_cache_key();
-    let prep = match shared.stage_cache.get(&skey) {
-        Some(prep) => prep,
-        None => {
+    // Single-flight: concurrent misses on one prefix coalesce onto a
+    // single prepare. A failed prepare drops the guard (releasing any
+    // waiters to build themselves); a panic unwinds through here and the
+    // guard's Drop does the same.
+    let prep = match shared.stage_cache.lookup_or_begin(&skey) {
+        StageLookup::Hit(prep) => prep,
+        StageLookup::Miss(guard) => {
             let prep = Arc::new(spec.prepare_ctx(ctx)?);
             shared.stage_hists.record(&prep.trace.stages);
-            shared.stage_cache.insert(skey, Arc::clone(&prep));
-            prep
+            guard.fulfill(prep)
         }
     };
     let report = run_metric_stages_ctx(&prep, spec.mode, ctx)?;
@@ -626,6 +665,7 @@ fn submit(
         group,
         trace,
         cache_hit: None,
+        cache_tier: None,
         error: None,
         artifact: None,
         trace_json: None,
@@ -703,10 +743,13 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, Option<u64>) {
         ("GET", ["jobs", id, "report"]) => get_report(shared, id),
         ("GET", ["sweep", gid]) => get_sweep(shared, gid),
         ("GET", ["trace", tid]) => get_trace(shared, tid),
+        ("GET", ["cache", key]) => get_cache(shared, key),
+        ("PUT", ["cache", key]) => put_cache(shared, key, &req.body),
+        ("POST", ["cache", "peers"]) => post_cache_peers(shared, &req.body),
         ("GET", ["metrics"]) => (200, metrics_body(shared, &req.query)),
         ("GET", ["models"]) => (200, models_body()),
         ("GET", ["healthz"]) => (200, healthz_body(shared)),
-        ("GET" | "POST", _) => (404, error_body("no such endpoint")),
+        ("GET" | "POST" | "PUT", _) => (404, error_body("no such endpoint")),
         _ => (405, error_body("method not allowed")),
     };
     (status, body, None)
@@ -806,6 +849,72 @@ fn get_trace(shared: &Shared, tid: &str) -> (u16, String) {
             None => (409, error_body("job not finished yet")),
         },
     }
+}
+
+/// `GET /cache/<key>` — the peer-cache read surface. Serves only the
+/// *local* tiers (memory, then disk): a peer asking us must never make us
+/// ask our own peers, or two cold nodes would chase each other's remote
+/// tiers for a key neither has.
+fn get_cache(shared: &Shared, key: &str) -> (u16, String) {
+    let key = match ArtifactKey::new(key) {
+        Ok(k) => k,
+        Err(e) => return (400, error_body(&e)),
+    };
+    match shared.cache.get_local(&key) {
+        Some(artifact) => (200, artifact.as_str().to_string()),
+        None => (404, error_body("no such cache entry")),
+    }
+}
+
+/// `PUT /cache/<key>` — the peer-cache write surface (publish-on-build
+/// replication). The body must parse as JSON; anything else is rejected so
+/// a confused peer cannot poison the local tiers.
+fn put_cache(shared: &Shared, key: &str, body: &str) -> (u16, String) {
+    let key = match ArtifactKey::new(key) {
+        Ok(k) => k,
+        Err(e) => return (400, error_body(&e)),
+    };
+    match shared.cache.insert_local(&key, body.to_string()) {
+        Ok(bytes) => {
+            let mut m = Map::new();
+            m.insert("key".to_string(), Value::from(key.as_str()));
+            m.insert("bytes".to_string(), Value::from(bytes as u64));
+            (201, Value::Object(m).to_string())
+        }
+        Err(e) => (400, error_body(&e.to_string())),
+    }
+}
+
+/// `POST /cache/peers` — fleet advertisement: `{"peers":["ip:port",...]}`
+/// attaches (or refreshes) peer cache endpoints on the remote tier.
+fn post_cache_peers(shared: &Shared, body: &str) -> (u16, String) {
+    let value: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+    };
+    let Some(peers) = value.get("peers").and_then(Value::as_array) else {
+        return (
+            400,
+            error_body("body must be {\"peers\": [\"ip:port\", ...]}"),
+        );
+    };
+    let mut added = 0u64;
+    for peer in peers {
+        let Some(addr) = peer.as_str().and_then(|s| s.parse::<SocketAddr>().ok()) else {
+            return (400, error_body(&format!("invalid peer address: {peer}")));
+        };
+        shared
+            .cache
+            .add_peer(Arc::new(HttpPeer::new(addr, shared.peer_timeout)));
+        added += 1;
+    }
+    let mut m = Map::new();
+    m.insert("added".to_string(), Value::from(added));
+    m.insert(
+        "peers".to_string(),
+        Value::from(shared.cache.peer_count() as u64),
+    );
+    (200, Value::Object(m).to_string())
 }
 
 /// Expand a sweep request into its model × batch × dtype grid.
@@ -1012,6 +1121,11 @@ fn prometheus_body(shared: &Shared) -> String {
     let workers = shared.worker_metrics.snapshot();
     let cache = shared.cache.stats();
     let stage_cache = shared.stage_cache.stats();
+    // Per-tier cache counters (cache_memory_hits_total, cache_disk_hits_total,
+    // cache_remote_hits_total, cache_misses_total, cache_evictions_total, ...)
+    // are registered live on the registry by the store, so the snapshot
+    // already carries them; only the aggregate and non-registry series are
+    // derived here.
     snap.counters.extend([
         ("jobs_done_total".to_string(), jobs(JobStatus::Done)),
         ("jobs_failed_total".to_string(), jobs(JobStatus::Failed)),
@@ -1022,9 +1136,6 @@ fn prometheus_body(shared: &Shared) -> String {
         ("jobs_submitted_total".to_string(), reg.len() as u64),
         ("jobs_executed_total".to_string(), workers.jobs_executed),
         ("cache_hits_total".to_string(), cache.hits),
-        ("cache_misses_total".to_string(), cache.misses),
-        ("cache_evictions_total".to_string(), cache.evictions),
-        ("cache_disk_hits_total".to_string(), cache.disk_hits),
         ("stage_cache_hits_total".to_string(), stage_cache.hits),
         ("stage_cache_misses_total".to_string(), stage_cache.misses),
         (
@@ -1043,6 +1154,7 @@ fn prometheus_body(shared: &Shared) -> String {
         ("cache_entries".to_string(), cache.entries as f64),
         ("cache_bytes".to_string(), cache.bytes as f64),
         ("cache_budget_bytes".to_string(), cache.budget_bytes as f64),
+        ("cache_peers".to_string(), cache.peers as f64),
         (
             "stage_cache_entries".to_string(),
             stage_cache.entries as f64,

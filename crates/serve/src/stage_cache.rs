@@ -7,18 +7,20 @@
 //! different mode (or re-running a sweep grid in the other mode) re-executes
 //! only the metric and assembly stages.
 //!
-//! Unlike the artifact cache this holds live Rust structs, not JSON, and is
-//! purely in-memory with a bounded entry count (FIFO eviction — prefix
-//! reuse is bursty and short-lived, so recency tracking buys little).
-//! Concurrent misses on the same key may build the prefix twice; both
-//! builds are deterministic and identical, so the race is benign and only
-//! costs the duplicated work.
+//! Unlike the artifact store this holds live Rust structs, not JSON, and is
+//! purely in-memory with a bounded entry count. It is built from the same
+//! proof-store components as the artifact tier: a [`MemoryLru`] weighed
+//! 1-per-entry (O(log n) recency instead of the old FIFO ring) and a
+//! [`KeyedFlight`] single-flighting the builds — concurrent misses on one
+//! key now coalesce onto a single prepare instead of racing to build the
+//! prefix twice.
 
 use proof_core::PreparedStages;
+use proof_obs::Counter;
+use proof_store::{Claim, FlightGuard, KeyedFlight, MemoryLru};
 use serde::Serialize;
-use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Counters exposed through `GET /metrics` as `stage_cache`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -29,67 +31,90 @@ pub struct StageCacheStats {
     pub capacity: usize,
 }
 
-struct Inner {
-    map: HashMap<String, Arc<PreparedStages>>,
-    /// Insertion order, for FIFO eviction.
-    order: VecDeque<String>,
+/// The two outcomes of [`StageCache::lookup_or_begin`].
+pub enum StageLookup<'a> {
+    /// A cached prefix (either already present or filled by a coalesced
+    /// builder this caller waited on).
+    Hit(Arc<PreparedStages>),
+    /// This caller owns the build; fulfill (or drop, on failure) the guard.
+    Miss(StageGuard<'a>),
 }
 
-/// Bounded map of prefix key → shared [`PreparedStages`].
+/// Exclusive right to build one prefix. Dropping without
+/// [`StageGuard::fulfill`] (prepare failed or panicked) releases the
+/// waiters to claim the build themselves.
+pub struct StageGuard<'a> {
+    cache: &'a StageCache,
+    key: String,
+    guard: Option<FlightGuard<'a>>,
+}
+
+impl StageGuard<'_> {
+    /// Insert the built prefix and wake coalesced waiters.
+    pub fn fulfill(mut self, prep: Arc<PreparedStages>) -> Arc<PreparedStages> {
+        self.cache.lru.insert(&self.key, Arc::clone(&prep));
+        if let Some(g) = self.guard.take() {
+            g.complete();
+        }
+        prep
+    }
+}
+
+/// Bounded, single-flighted map of prefix key → shared [`PreparedStages`].
 pub struct StageCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    lru: MemoryLru<PreparedStages>,
+    flight: KeyedFlight,
     hits: AtomicU64,
     misses: AtomicU64,
+    capacity: usize,
 }
 
 impl StageCache {
     pub fn new(capacity: usize) -> StageCache {
+        let capacity = capacity.max(1);
         StageCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
-            capacity: capacity.max(1),
+            // entry-weighed LRU; evictions are uninteresting here, so the
+            // counter stays private to the cache
+            lru: MemoryLru::new(capacity, |_| 1, Arc::new(Counter::default())),
+            flight: KeyedFlight::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            capacity,
         }
     }
 
-    /// Look up a prefix; counts a hit or a miss.
-    pub fn get(&self, key: &str) -> Option<Arc<PreparedStages>> {
-        let inner = self.inner.lock().unwrap();
-        match inner.map.get(key) {
-            Some(prep) => {
+    /// Look up a prefix, coalescing concurrent builders: exactly one caller
+    /// per key gets [`StageLookup::Miss`] at a time; everyone else blocks
+    /// until the build resolves and then hits.
+    pub fn lookup_or_begin(&self, key: &str) -> StageLookup<'_> {
+        loop {
+            if let Some(prep) = self.lru.get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(prep))
+                return StageLookup::Hit(prep);
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+            let guard = match self.flight.claim(key) {
+                Claim::Claimed(g) => g,
+                Claim::Released => continue,
+            };
+            if let Some(prep) = self.lru.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                guard.complete();
+                return StageLookup::Hit(prep);
             }
-        }
-    }
-
-    /// Insert a freshly built prefix, evicting the oldest entry when full.
-    pub fn insert(&self, key: String, prep: Arc<PreparedStages>) {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.map.insert(key.clone(), prep).is_none() {
-            inner.order.push_back(key);
-            while inner.order.len() > self.capacity {
-                if let Some(old) = inner.order.pop_front() {
-                    inner.map.remove(&old);
-                }
-            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return StageLookup::Miss(StageGuard {
+                cache: self,
+                key: key.to_string(),
+                guard: Some(guard),
+            });
         }
     }
 
     pub fn stats(&self) -> StageCacheStats {
-        let inner = self.inner.lock().unwrap();
         StageCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: inner.map.len(),
+            entries: self.lru.entries(),
             capacity: self.capacity,
         }
     }
@@ -99,45 +124,96 @@ impl StageCache {
 mod tests {
     use super::*;
     use crate::job::AnalysisJob;
+    use std::sync::atomic::AtomicUsize;
 
     fn prep(spec: &str) -> Arc<PreparedStages> {
         let job = AnalysisJob::from_value(&serde_json::from_str(spec).unwrap()).unwrap();
         Arc::new(job.prepare().unwrap())
     }
 
+    fn fill(c: &StageCache, key: &str, p: &Arc<PreparedStages>) {
+        match c.lookup_or_begin(key) {
+            StageLookup::Miss(g) => {
+                g.fulfill(Arc::clone(p));
+            }
+            StageLookup::Hit(_) => panic!("expected a miss for {key}"),
+        }
+    }
+
     #[test]
     fn get_insert_and_counters() {
         let c = StageCache::new(4);
-        assert!(c.get("k").is_none());
         let p = prep(r#"{"model":"mobilenetv2-0.5","hardware":"a100"}"#);
-        c.insert("k".to_string(), Arc::clone(&p));
-        let got = c.get("k").unwrap();
-        assert!(Arc::ptr_eq(&got, &p));
+        fill(&c, "k", &p);
+        match c.lookup_or_begin("k") {
+            StageLookup::Hit(got) => assert!(Arc::ptr_eq(&got, &p)),
+            StageLookup::Miss(_) => panic!("must hit after fulfill"),
+        }
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
 
     #[test]
-    fn evicts_fifo_beyond_capacity() {
+    fn evicts_lru_beyond_capacity() {
         let c = StageCache::new(2);
         let p = prep(r#"{"model":"mobilenetv2-0.5","hardware":"a100"}"#);
         for k in ["a", "b", "c"] {
-            c.insert(k.to_string(), Arc::clone(&p));
+            fill(&c, k, &p);
         }
-        assert!(c.get("a").is_none(), "oldest entry must be evicted");
-        assert!(c.get("b").is_some());
-        assert!(c.get("c").is_some());
+        assert!(
+            matches!(c.lookup_or_begin("a"), StageLookup::Miss(_)),
+            "oldest entry must be evicted"
+        );
+        assert!(matches!(c.lookup_or_begin("b"), StageLookup::Hit(_)));
+        assert!(matches!(c.lookup_or_begin("c"), StageLookup::Hit(_)));
         assert_eq!(c.stats().entries, 2);
     }
 
     #[test]
-    fn reinserting_same_key_does_not_grow_order() {
-        let c = StageCache::new(2);
+    fn concurrent_misses_build_once() {
+        let c = Arc::new(StageCache::new(4));
         let p = prep(r#"{"model":"mobilenetv2-0.5","hardware":"a100"}"#);
-        c.insert("a".to_string(), Arc::clone(&p));
-        c.insert("a".to_string(), Arc::clone(&p));
-        c.insert("b".to_string(), Arc::clone(&p));
-        assert!(c.get("a").is_some());
-        assert!(c.get("b").is_some());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let p = Arc::clone(&p);
+                let builds = Arc::clone(&builds);
+                std::thread::spawn(move || match c.lookup_or_begin("shared") {
+                    StageLookup::Hit(_) => {}
+                    StageLookup::Miss(g) => {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(15));
+                        g.fulfill(p);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "the double-build race is closed"
+        );
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (5, 1));
+    }
+
+    #[test]
+    fn failed_build_releases_waiters() {
+        let c = Arc::new(StageCache::new(4));
+        let guard = match c.lookup_or_begin("doomed") {
+            StageLookup::Miss(g) => g,
+            StageLookup::Hit(_) => panic!(),
+        };
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || matches!(c.lookup_or_begin("doomed"), StageLookup::Miss(_)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard); // prepare failed
+        assert!(waiter.join().unwrap(), "waiter gets its own build claim");
     }
 }

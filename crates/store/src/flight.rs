@@ -1,0 +1,168 @@
+//! Single-flight build coordination, decoupled from any particular cache.
+//!
+//! `KeyedFlight` answers one question: "am I the builder for this key, or
+//! is someone else already on it?" The store uses it to coalesce artifact
+//! builds; the stage-prefix cache reuses the same guard to close its old
+//! double-build race. Crucially the flight set holds *no* artifact state —
+//! after a wake-up the caller re-checks its own cache, so a builder that
+//! dies (guard dropped without `complete`) just releases the waiters to
+//! race for the claim again.
+
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+
+/// A set of in-flight keys with blocking claim semantics.
+#[derive(Default)]
+pub struct KeyedFlight {
+    pending: Mutex<HashSet<String>>,
+    cond: Condvar,
+}
+
+/// The outcome of [`KeyedFlight::claim`].
+pub enum Claim<'a> {
+    /// This caller owns the build. Fulfilling or dropping the guard wakes
+    /// every waiter.
+    Claimed(FlightGuard<'a>),
+    /// Another caller held the key and has since released it (completed or
+    /// abandoned). Re-check the cache and claim again if still missing.
+    Released,
+}
+
+impl KeyedFlight {
+    pub fn new() -> KeyedFlight {
+        KeyedFlight::default()
+    }
+
+    /// Claim `key` for building. If another thread already holds it, block
+    /// until that claim resolves and return [`Claim::Released`] — the caller
+    /// must then re-check its cache, because the previous holder may have
+    /// completed (value now cached) or abandoned (value still missing).
+    pub fn claim(&self, key: &str) -> Claim<'_> {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if pending.insert(key.to_string()) {
+            return Claim::Claimed(FlightGuard {
+                flight: self,
+                key: key.to_string(),
+                done: false,
+            });
+        }
+        while pending.contains(key) {
+            pending = self.cond.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+        Claim::Released
+    }
+
+    fn release(&self, key: &str) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        pending.remove(key);
+        self.cond.notify_all();
+    }
+}
+
+/// Ownership of one in-flight key. Dropping without [`FlightGuard::complete`]
+/// still releases waiters (abandoned build — e.g. the builder panicked).
+pub struct FlightGuard<'a> {
+    flight: &'a KeyedFlight,
+    key: String,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Mark the build finished and wake waiters. Identical to dropping,
+    /// but explicit at call sites where completion is the happy path.
+    pub fn complete(mut self) {
+        self.done = true;
+        self.flight.release(&self.key);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.flight.release(&self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn first_claim_wins_then_waiters_see_released() {
+        let flight = Arc::new(KeyedFlight::new());
+        let claims = Arc::new(AtomicUsize::new(0));
+        let released = Arc::new(AtomicUsize::new(0));
+        let guard = match flight.claim("k") {
+            Claim::Claimed(g) => g,
+            Claim::Released => panic!("first claim must win"),
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let flight = Arc::clone(&flight);
+                let claims = Arc::clone(&claims);
+                let released = Arc::clone(&released);
+                std::thread::spawn(move || match flight.claim("k") {
+                    Claim::Claimed(g) => {
+                        claims.fetch_add(1, Ordering::SeqCst);
+                        g.complete();
+                    }
+                    Claim::Released => {
+                        released.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        guard.complete();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // after the owner completes, late waiters all observe Released
+        // (none were waiting on a *new* claim for the same key here because
+        // every waiter returns Released without reclaiming)
+        assert_eq!(
+            claims.load(Ordering::SeqCst) + released.load(Ordering::SeqCst),
+            4
+        );
+        assert!(
+            released.load(Ordering::SeqCst) >= 1,
+            "someone must have waited"
+        );
+    }
+
+    #[test]
+    fn abandoned_claim_releases_waiters() {
+        let flight = Arc::new(KeyedFlight::new());
+        let guard = match flight.claim("k") {
+            Claim::Claimed(g) => g,
+            Claim::Released => panic!(),
+        };
+        let waiter = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || matches!(flight.claim("k"), Claim::Released))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard); // abandoned, not completed
+        assert!(waiter.join().unwrap(), "drop must wake waiters");
+        // the key is free again
+        assert!(matches!(flight.claim("k"), Claim::Claimed(_)));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_contend() {
+        let flight = KeyedFlight::new();
+        let a = match flight.claim("a") {
+            Claim::Claimed(g) => g,
+            Claim::Released => panic!(),
+        };
+        // claiming "b" while "a" is held must not block
+        match flight.claim("b") {
+            Claim::Claimed(b) => b.complete(),
+            Claim::Released => panic!(),
+        }
+        a.complete();
+    }
+}

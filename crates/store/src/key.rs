@@ -1,0 +1,93 @@
+//! Canonical artifact addressing.
+//!
+//! Every tier — memory, disk, remote peer — speaks the same key type, so a
+//! key that is safe as a `HashMap` entry is also safe as a filename on the
+//! disk tier and as a URL path segment on the peer-cache HTTP surface.
+//! Validation happens once, at the boundary where a string becomes a key;
+//! everything downstream can treat the inner string as trusted.
+
+use std::fmt;
+
+/// Longest accepted key. Generous for content hashes (16 hex chars) and
+/// stage-prefix keys (`model|backend|platform|batch|dtype|seed`), tight
+/// enough that a hostile peer cannot feed us unbounded filenames.
+pub const MAX_KEY_LEN: usize = 128;
+
+/// A validated cache key: 1..=128 ASCII characters drawn from
+/// `[A-Za-z0-9._|-]`, not starting with `.`. The charset covers FNV hex
+/// digests, model slugs like `mobilenetv2-0.5`, and `|`-joined stage keys,
+/// while excluding `/`, `..`-style traversal openers, whitespace, and
+/// anything needing URL escaping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey(String);
+
+impl ArtifactKey {
+    /// Validate and wrap a raw string.
+    pub fn new(raw: &str) -> Result<ArtifactKey, String> {
+        if raw.is_empty() {
+            return Err("artifact key must not be empty".to_string());
+        }
+        if raw.len() > MAX_KEY_LEN {
+            return Err(format!(
+                "artifact key exceeds {MAX_KEY_LEN} bytes ({} given)",
+                raw.len()
+            ));
+        }
+        if raw.starts_with('.') {
+            return Err("artifact key must not start with '.'".to_string());
+        }
+        for c in raw.chars() {
+            if !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '|')) {
+                return Err(format!("artifact key contains invalid character {c:?}"));
+            }
+        }
+        Ok(ArtifactKey(raw.to_string()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for ArtifactKey {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_content_hashes_and_stage_keys() {
+        assert!(ArtifactKey::new("9f86d081884c7d65").is_ok());
+        assert!(ArtifactKey::new("mobilenetv2-0.5|trt|a100|8|fp16|7").is_ok());
+        assert!(ArtifactKey::new("a_b-c.d|e").is_ok());
+    }
+
+    #[test]
+    fn rejects_traversal_and_junk() {
+        assert!(ArtifactKey::new("").is_err());
+        assert!(ArtifactKey::new("../../etc/passwd").is_err());
+        assert!(ArtifactKey::new(".hidden").is_err());
+        assert!(ArtifactKey::new("a/b").is_err());
+        assert!(ArtifactKey::new("a b").is_err());
+        assert!(ArtifactKey::new("a\nb").is_err());
+        assert!(ArtifactKey::new(&"x".repeat(MAX_KEY_LEN + 1)).is_err());
+        assert!(ArtifactKey::new(&"x".repeat(MAX_KEY_LEN)).is_ok());
+    }
+
+    #[test]
+    fn key_round_trips_as_str() {
+        let k = ArtifactKey::new("deadbeef01234567").unwrap();
+        assert_eq!(k.as_str(), "deadbeef01234567");
+        assert_eq!(k.to_string(), "deadbeef01234567");
+    }
+}

@@ -1,0 +1,272 @@
+//! In-memory LRU with sequence-number recency.
+//!
+//! The old serve cache kept a `VecDeque` recency list and linearly scanned
+//! it on every hit to move the key to the back — O(n) per touch. Here each
+//! entry carries a monotonically increasing sequence number and a
+//! `BTreeMap<seq, key>` orders the keys; a touch is remove-old-seq +
+//! insert-new-seq, O(log n), and eviction pops the smallest sequence.
+//!
+//! The map is generic over the cached value so the artifact store
+//! (`MemoryLru<String>`, weighed in bytes) and the stage-prefix cache
+//! (weighed per entry) share one implementation — and one recency fix.
+
+use crate::key::ArtifactKey;
+use crate::tier::{CacheTier, TierError};
+use proof_obs::Counter;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+struct Entry<V> {
+    value: Arc<V>,
+    seq: u64,
+    weight: usize,
+}
+
+struct Inner<V> {
+    entries: HashMap<String, Entry<V>>,
+    /// Recency order: smallest sequence = least recently used.
+    recency: BTreeMap<u64, String>,
+    next_seq: u64,
+    weight: usize,
+}
+
+/// A weight-budgeted LRU. `weigher` maps a value to its cost against
+/// `budget` (bytes for artifacts, 1-per-entry for capacity-counted caches).
+pub struct MemoryLru<V> {
+    inner: Mutex<Inner<V>>,
+    budget: usize,
+    weigher: fn(&V) -> usize,
+    evictions: Arc<Counter>,
+}
+
+impl<V> MemoryLru<V> {
+    pub fn new(budget: usize, weigher: fn(&V) -> usize, evictions: Arc<Counter>) -> MemoryLru<V> {
+        MemoryLru {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                recency: BTreeMap::new(),
+                next_seq: 0,
+                weight: 0,
+            }),
+            budget,
+            weigher,
+            evictions,
+        }
+    }
+
+    /// Fetch and touch: a hit moves the key to most-recently-used in
+    /// O(log n).
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let next_seq = inner.next_seq;
+        inner.next_seq += 1;
+        let entry = inner.entries.get_mut(key)?;
+        let old_seq = entry.seq;
+        entry.seq = next_seq;
+        let value = Arc::clone(&entry.value);
+        inner.recency.remove(&old_seq);
+        inner.recency.insert(next_seq, key.to_string());
+        Some(value)
+    }
+
+    /// Insert (or replace) and evict least-recently-used entries until the
+    /// weight budget holds. The just-inserted key is never evicted, even
+    /// when it alone exceeds the budget — a too-big artifact still serves
+    /// the request that built it.
+    pub fn insert(&self, key: &str, value: Arc<V>) {
+        let weight = (self.weigher)(&value);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if let Some(old) = inner
+            .entries
+            .insert(key.to_string(), Entry { value, seq, weight })
+        {
+            inner.recency.remove(&old.seq);
+            inner.weight -= old.weight;
+        }
+        inner.recency.insert(seq, key.to_string());
+        inner.weight += weight;
+        while inner.weight > self.budget && inner.entries.len() > 1 {
+            let (&victim_seq, _) = inner
+                .recency
+                .iter()
+                .next()
+                .expect("recency tracks every entry");
+            if victim_seq == seq {
+                // the newest entry is the only other candidate logic could
+                // pick; never evict what we just inserted
+                break;
+            }
+            let victim_key = inner
+                .recency
+                .remove(&victim_seq)
+                .expect("victim seq present");
+            let victim = inner
+                .entries
+                .remove(&victim_key)
+                .expect("recency and entries agree");
+            inner.weight -= victim.weight;
+            self.evictions.inc();
+        }
+    }
+
+    pub fn entries(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Current total weight (bytes for the artifact tier).
+    pub fn weight(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).weight
+    }
+
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+/// The memory tier of the artifact store: byte-weighed `MemoryLru<String>`.
+pub struct MemoryTier {
+    lru: MemoryLru<String>,
+}
+
+impl MemoryTier {
+    pub fn new(budget_bytes: usize, evictions: Arc<Counter>) -> MemoryTier {
+        MemoryTier {
+            lru: MemoryLru::new(budget_bytes, |v: &String| v.len(), evictions),
+        }
+    }
+
+    /// Shared-ownership fetch (avoids re-cloning artifact bytes per hit).
+    pub fn get_arc(&self, key: &ArtifactKey) -> Option<Arc<String>> {
+        self.lru.get(key.as_str())
+    }
+
+    pub fn insert_arc(&self, key: &ArtifactKey, value: Arc<String>) {
+        self.lru.insert(key.as_str(), value);
+    }
+
+    pub fn entries(&self) -> usize {
+        self.lru.entries()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.lru.weight()
+    }
+
+    pub fn budget_bytes(&self) -> usize {
+        self.lru.budget()
+    }
+}
+
+impl CacheTier for MemoryTier {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn get(&self, key: &ArtifactKey) -> Result<Option<String>, TierError> {
+        Ok(self.get_arc(key).map(|v| (*v).clone()))
+    }
+
+    fn put(&self, key: &ArtifactKey, artifact: &str) -> Result<(), TierError> {
+        self.insert_arc(key, Arc::new(artifact.to_string()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru(budget: usize) -> (MemoryLru<String>, Arc<Counter>) {
+        let evictions = Arc::new(Counter::default());
+        (
+            MemoryLru::new(budget, |v: &String| v.len(), Arc::clone(&evictions)),
+            evictions,
+        )
+    }
+
+    #[test]
+    fn touch_protects_recently_used_entries() {
+        // budget 20, three 8-byte entries: inserting "c" overflows; "a" was
+        // touched after "b", so "b" is the LRU victim
+        let (lru, evictions) = lru(20);
+        lru.insert("a", Arc::new("x".repeat(8)));
+        lru.insert("b", Arc::new("y".repeat(8)));
+        assert!(lru.get("a").is_some());
+        lru.insert("c", Arc::new("z".repeat(8)));
+        assert_eq!(evictions.get(), 1);
+        assert_eq!(lru.entries(), 2);
+        assert!(lru.get("b").is_none(), "b was least recently used");
+        assert!(lru.get("a").is_some());
+        assert!(lru.get("c").is_some());
+    }
+
+    #[test]
+    fn oversized_insert_survives_alone() {
+        let (lru, _) = lru(4);
+        lru.insert("big", Arc::new("x".repeat(100)));
+        assert!(
+            lru.get("big").is_some(),
+            "just-inserted key is never evicted"
+        );
+        assert_eq!(lru.entries(), 1);
+        // the next insert evicts the oversized one
+        lru.insert("small", Arc::new("y".repeat(2)));
+        assert!(lru.get("big").is_none());
+        assert!(lru.get("small").is_some());
+    }
+
+    #[test]
+    fn replace_updates_weight_without_double_counting() {
+        let (lru, evictions) = lru(100);
+        lru.insert("k", Arc::new("x".repeat(10)));
+        assert_eq!(lru.weight(), 10);
+        lru.insert("k", Arc::new("y".repeat(30)));
+        assert_eq!(lru.weight(), 30);
+        assert_eq!(lru.entries(), 1);
+        assert_eq!(evictions.get(), 0);
+    }
+
+    #[test]
+    fn recency_order_matches_access_history_at_scale() {
+        // deep history: every entry touched in a scrambled order; evictions
+        // must pop exactly the access order, proving the seq index tracks
+        // touches (the old VecDeque scan got this right but at O(n) a hit)
+        let (lru, _) = lru(usize::MAX);
+        for i in 0..64 {
+            lru.insert(&format!("k{i}"), Arc::new("v".to_string()));
+        }
+        // touch in reverse so k63 becomes LRU and k0 MRU
+        for i in (0..64).rev() {
+            assert!(lru.get(&format!("k{i}")).is_some());
+        }
+        let evictions = Arc::new(Counter::default());
+        let tight: MemoryLru<String> =
+            MemoryLru::new(2, |v: &String| v.len(), Arc::clone(&evictions));
+        tight.insert("a", Arc::new("1".to_string()));
+        tight.insert("b", Arc::new("2".to_string()));
+        assert!(tight.get("a").is_some()); // a now MRU
+        tight.insert("c", Arc::new("3".to_string()));
+        assert!(tight.get("b").is_none(), "b evicted as LRU");
+        assert!(tight.get("a").is_some());
+    }
+
+    #[test]
+    fn memory_tier_round_trips_through_trait() {
+        let tier = MemoryTier::new(1 << 20, Arc::new(Counter::default()));
+        let key = ArtifactKey::new("abc123").unwrap();
+        assert_eq!(CacheTier::get(&tier, &key), Ok(None));
+        CacheTier::put(&tier, &key, r#"{"v":1}"#).unwrap();
+        assert_eq!(
+            CacheTier::get(&tier, &key),
+            Ok(Some(r#"{"v":1}"#.to_string()))
+        );
+        assert_eq!(tier.name(), "memory");
+        assert_eq!(tier.bytes(), 7);
+    }
+}

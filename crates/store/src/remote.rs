@@ -1,0 +1,204 @@
+//! Remote-peer tier: other nodes' caches, reached through an injected
+//! client.
+//!
+//! The store crate knows nothing about HTTP — callers hand it
+//! [`PeerClient`] implementations (proof-serve provides one over its own
+//! `/cache/<key>` surface) and the tier handles fan-out, validation, and
+//! degradation. Every peer failure mode — connection refused, mid-transfer
+//! death, corrupt bytes, 429 shedding — is counted and treated as a miss:
+//! a broken peer can cost a rebuild, never a failed job.
+
+use crate::key::ArtifactKey;
+use crate::tier::{validate_artifact, CacheTier, TierError};
+use proof_obs::Counter;
+use std::sync::{Arc, Mutex};
+
+/// Transport abstraction for one peer's cache endpoint.
+pub trait PeerClient: Send + Sync {
+    /// Stable identity for dedup and logs (e.g. `"10.0.0.2:7878"`).
+    fn endpoint(&self) -> String;
+    /// Fetch an artifact from the peer. `Ok(None)` means the peer answered
+    /// and does not have it.
+    fn fetch(&self, key: &ArtifactKey) -> Result<Option<String>, TierError>;
+    /// Offer an artifact to the peer (best-effort replication).
+    fn publish(&self, key: &ArtifactKey, artifact: &str) -> Result<(), TierError>;
+}
+
+/// Degradation counters shared with the store's metrics registry.
+pub struct RemoteCounters {
+    /// Peer unreachable or died mid-transfer.
+    pub errors: Arc<Counter>,
+    /// Peer shedding load (429/503).
+    pub busy: Arc<Counter>,
+    /// Peer returned bytes that do not parse.
+    pub corrupt: Arc<Counter>,
+}
+
+/// The remote tier: an updatable set of peers, probed in order on a local
+/// miss. First valid answer wins.
+pub struct RemoteTier {
+    peers: Mutex<Vec<Arc<dyn PeerClient>>>,
+    counters: RemoteCounters,
+}
+
+impl RemoteTier {
+    pub fn new(counters: RemoteCounters) -> RemoteTier {
+        RemoteTier {
+            peers: Mutex::new(Vec::new()),
+            counters,
+        }
+    }
+
+    /// Add a peer; replaces any existing peer with the same endpoint (the
+    /// fleet re-advertises the full set on topology changes).
+    pub fn add_peer(&self, peer: Arc<dyn PeerClient>) {
+        let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let endpoint = peer.endpoint();
+        peers.retain(|p| p.endpoint() != endpoint);
+        peers.push(peer);
+    }
+
+    pub fn peer_count(&self) -> usize {
+        self.peers.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn peer_endpoints(&self) -> Vec<String> {
+        self.peers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|p| p.endpoint())
+            .collect()
+    }
+
+    fn snapshot(&self) -> Vec<Arc<dyn PeerClient>> {
+        self.peers.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Best-effort replication of a freshly built artifact to every peer.
+    /// Returns how many peers accepted it.
+    pub fn publish(&self, key: &ArtifactKey, artifact: &str) -> usize {
+        let mut accepted = 0;
+        for peer in self.snapshot() {
+            match peer.publish(key, artifact) {
+                Ok(()) => accepted += 1,
+                Err(TierError::Busy) => self.counters.busy.inc(),
+                Err(_) => self.counters.errors.inc(),
+            }
+        }
+        accepted
+    }
+}
+
+impl CacheTier for RemoteTier {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    /// Walk the peers; the first well-formed artifact wins. Failures are
+    /// counted per kind and skipped — exhausting all peers is a miss.
+    fn get(&self, key: &ArtifactKey) -> Result<Option<String>, TierError> {
+        for peer in self.snapshot() {
+            match peer.fetch(key) {
+                Ok(Some(artifact)) => {
+                    if validate_artifact(&artifact) {
+                        return Ok(Some(artifact));
+                    }
+                    self.counters.corrupt.inc();
+                }
+                Ok(None) => {}
+                Err(TierError::Busy) => self.counters.busy.inc(),
+                Err(_) => self.counters.errors.inc(),
+            }
+        }
+        Ok(None)
+    }
+
+    fn put(&self, key: &ArtifactKey, artifact: &str) -> Result<(), TierError> {
+        self.publish(key, artifact);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakePeer {
+        endpoint: String,
+        response: Result<Option<String>, TierError>,
+    }
+
+    impl PeerClient for FakePeer {
+        fn endpoint(&self) -> String {
+            self.endpoint.clone()
+        }
+        fn fetch(&self, _key: &ArtifactKey) -> Result<Option<String>, TierError> {
+            self.response.clone()
+        }
+        fn publish(&self, _key: &ArtifactKey, _artifact: &str) -> Result<(), TierError> {
+            self.response.clone().map(|_| ())
+        }
+    }
+
+    fn counters() -> RemoteCounters {
+        RemoteCounters {
+            errors: Arc::new(Counter::default()),
+            busy: Arc::new(Counter::default()),
+            corrupt: Arc::new(Counter::default()),
+        }
+    }
+
+    fn peer(endpoint: &str, response: Result<Option<String>, TierError>) -> Arc<dyn PeerClient> {
+        Arc::new(FakePeer {
+            endpoint: endpoint.to_string(),
+            response,
+        })
+    }
+
+    #[test]
+    fn first_valid_answer_wins_over_failures() {
+        let tier = RemoteTier::new(counters());
+        let key = ArtifactKey::new("k1").unwrap();
+        tier.add_peer(peer("a", Err(TierError::Unavailable("down".into()))));
+        tier.add_peer(peer("b", Ok(Some("not json".to_string()))));
+        tier.add_peer(peer("c", Err(TierError::Busy)));
+        tier.add_peer(peer("d", Ok(Some(r#"{"v":1}"#.to_string()))));
+        assert_eq!(tier.get(&key), Ok(Some(r#"{"v":1}"#.to_string())));
+        assert_eq!(tier.counters.errors.get(), 1);
+        assert_eq!(tier.counters.corrupt.get(), 1);
+        assert_eq!(tier.counters.busy.get(), 1);
+    }
+
+    #[test]
+    fn all_peers_failing_is_a_clean_miss() {
+        let tier = RemoteTier::new(counters());
+        let key = ArtifactKey::new("k2").unwrap();
+        tier.add_peer(peer("a", Err(TierError::Unavailable("down".into()))));
+        tier.add_peer(peer("b", Err(TierError::Busy)));
+        assert_eq!(tier.get(&key), Ok(None), "degradation, not propagation");
+    }
+
+    #[test]
+    fn re_advertised_endpoint_replaces_the_old_peer() {
+        let tier = RemoteTier::new(counters());
+        tier.add_peer(peer("a", Ok(None)));
+        tier.add_peer(peer("b", Ok(None)));
+        tier.add_peer(peer("a", Ok(Some(r#"{"v":2}"#.to_string()))));
+        assert_eq!(tier.peer_count(), 2, "same endpoint deduplicates");
+        let key = ArtifactKey::new("k3").unwrap();
+        assert_eq!(tier.get(&key), Ok(Some(r#"{"v":2}"#.to_string())));
+    }
+
+    #[test]
+    fn publish_counts_acceptance_and_failures() {
+        let tier = RemoteTier::new(counters());
+        let key = ArtifactKey::new("k4").unwrap();
+        tier.add_peer(peer("a", Ok(None)));
+        tier.add_peer(peer("b", Err(TierError::Busy)));
+        tier.add_peer(peer("c", Err(TierError::Unavailable("x".into()))));
+        assert_eq!(tier.publish(&key, r#"{"v":3}"#), 1);
+        assert_eq!(tier.counters.busy.get(), 1);
+        assert_eq!(tier.counters.errors.get(), 1);
+    }
+}

@@ -29,3 +29,4 @@ pub use proof_models as models;
 pub use proof_obs as obs;
 pub use proof_runtime as runtime;
 pub use proof_serve as serve;
+pub use proof_store as store;
