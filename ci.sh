@@ -244,4 +244,51 @@ trap - EXIT
 rm -f "$log_a" "$log_b" "$log_c" "$log_f" /tmp/proof_ci_cache_warm.json \
     /tmp/proof_ci_cache_ref.json /tmp/proof_ci_cache_fresh.json /tmp/proof_ci_cache_prom.txt
 
+echo "==> proof fleet trace smoke (merged cross-node trace, byte-reproducible)"
+# each run gets its own pair of fresh single-worker daemons (cold caches
+# and sequential execution keep each node's span structure deterministic);
+# the merged fleet trace must carry spans from both node tracks and
+# reproduce byte-for-byte across two runs of the same spec/seed/topology
+run_fleet_trace() {
+    out="$1"
+    log_a="$(mktemp)"; log_b="$(mktemp)"
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_a" 2>&1 &
+    pid_a=$!
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_b" 2>&1 &
+    pid_b=$!
+    trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true' EXIT
+    for log in "$log_a" "$log_b"; do
+        for _ in $(seq 50); do
+            grep -q "listening on" "$log" && break
+            sleep 0.1
+        done
+    done
+    addr_a="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_a" | head -n1)"
+    addr_b="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_b" | head -n1)"
+    ./target/release/proof fleet sweep --nodes "${addr_a},${addr_b}" "${fleet_spec[@]}" \
+        --out /dev/null --trace-out "$out" 2>/dev/null
+    kill "$pid_a" "$pid_b" 2>/dev/null || true
+    trap - EXIT
+    rm -f "$log_a" "$log_b"
+}
+run_fleet_trace /tmp/proof_ci_fleet_t1.json
+run_fleet_trace /tmp/proof_ci_fleet_t2.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("/tmp/proof_ci_fleet_t1.json"))
+events = doc["traceEvents"]
+names = {e["name"] for e in events}
+assert "fleet_run" in names and "fleet_shard" in names, sorted(names)
+pids = {e["pid"] for e in events}
+assert {1, 2, 3} <= pids, f"expected coordinator + two node tracks, got pids {sorted(pids)}"
+run = next(e for e in events if e["name"] == "fleet_run")
+shards = [e for e in events if e["name"] == "fleet_shard"]
+assert shards and all(s["args"]["parent"] == run["args"]["span"] for s in shards)
+jobs = [e for e in events if e["name"] == "job"]
+assert len(jobs) == 2 and {j["pid"] for j in jobs} == {2, 3}, jobs
+print(f"  fleet trace OK: {len(events)} spans across {len(pids)} tracks")
+EOF
+cmp /tmp/proof_ci_fleet_t1.json /tmp/proof_ci_fleet_t2.json
+rm -f /tmp/proof_ci_fleet_t1.json /tmp/proof_ci_fleet_t2.json
+
 echo "CI OK"

@@ -17,8 +17,8 @@
 //!             [--peer-cache IP:PORT,...] [--peer-timeout-ms 2000]
 //! proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2
 //!                   [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode M]
-//!                   [--seed N] [--out FILE] [--metrics-out FILE] [--in-process]
-//!                   [--peer-cache on|off]
+//!                   [--seed N] [--out FILE] [--metrics-out FILE] [--trace-out FILE]
+//!                   [--in-process] [--peer-cache on|off]
 //! proof fleet serve [--addr 127.0.0.1:7979] (--nodes IP:PORT,... | --local N)
 //! ```
 
@@ -35,7 +35,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N] [--peer-cache IP:PORT,...] [--peer-timeout-ms MS]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--in-process] [--peer-cache on|off]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N] [--peer-cache on|off]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N] [--peer-cache IP:PORT,...] [--peer-timeout-ms MS]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--trace-out FILE] [--in-process] [--peer-cache on|off]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N] [--peer-cache on|off]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -437,7 +437,7 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
         }
     };
     println!(
-        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /cache/<key>, PUT /cache/<key>, POST /cache/peers, GET /trace/<trace-id>, GET /metrics[?format=prometheus], GET /models",
+        "proof-serve listening on http://{} ({workers} workers)\nendpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/report, POST /sweep, GET /sweep/<id>, GET /cache/<key>, PUT /cache/<key>, POST /cache/peers, GET /trace/<trace-id>[?format=spans], GET /metrics[?format=prometheus], GET /debug/events, GET /models",
         server.addr()
     );
     // serve until the process is terminated
@@ -534,6 +534,12 @@ fn cmd_fleet_sweep(flags: HashMap<String, String>) -> ExitCode {
     // --in-process: the single-node library reference (no HTTP, no
     // scheduling) — the bytes a fleet run must reproduce
     let merged = if flags.contains_key("in-process") {
+        if flags.contains_key("trace-out") {
+            // the merged fleet trace is a cross-node document; the
+            // in-process reference has no nodes to merge
+            eprintln!("--trace-out needs a fleet run; drop --in-process");
+            return ExitCode::FAILURE;
+        }
         match proof_fleet::run_grid_local(&spec) {
             Ok(m) => m,
             Err(e) => {
@@ -566,6 +572,13 @@ fn cmd_fleet_sweep(flags: HashMap<String, String>) -> ExitCode {
         );
         if let Some(path) = flags.get("metrics-out") {
             std::fs::write(path, fleet.metrics_json()).expect("write metrics");
+            eprintln!("wrote {path}");
+        }
+        // the merged cross-node Chrome trace: coordinator track + one
+        // process track per node, Perfetto-loadable, byte-reproducible
+        // for a fixed spec/seed/topology
+        if let Some(path) = flags.get("trace-out") {
+            std::fs::write(path, &run.trace_json).expect("write trace");
             eprintln!("wrote {path}");
         }
         fleet.shutdown();
@@ -602,7 +615,7 @@ fn cmd_fleet_serve(flags: HashMap<String, String>) -> ExitCode {
         }
     };
     println!(
-        "proof-fleet coordinating {} node(s) on http://{}\nnodes: {}\nendpoints: POST /grid, GET /nodes, GET /metrics[?format=prometheus], GET /healthz",
+        "proof-fleet coordinating {} node(s) on http://{}\nnodes: {}\nendpoints: POST /grid, GET /grid/trace, GET /nodes, GET /metrics[?format=prometheus], GET /debug/events, GET /healthz",
         nodes.len(),
         server.addr(),
         nodes

@@ -9,7 +9,7 @@
 //! worker itself reports as failed/timed-out is a third: the *shard* needs
 //! a different node, not this node declared dead on one bad job alone.
 
-use proof_serve::client::{request_full_timeout, request_with_retry_timeout, RetryPolicy};
+use proof_serve::client::{request_full_timeout, request_with_retry_timeout_headers, RetryPolicy};
 use serde_json::Value;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -113,14 +113,32 @@ impl WorkerClient {
 
     /// `POST /jobs` with backpressure retries; returns the job id.
     pub fn submit(&self, job: &Value) -> Result<u64, WorkerError> {
+        self.submit_traced(job, None)
+    }
+
+    /// [`WorkerClient::submit`] carrying the coordinator's distributed
+    /// trace context as an `X-Proof-Trace: <trace>:<parent span>` header,
+    /// so the worker executes the job inside the fleet's trace instead of
+    /// allocating its own.
+    pub fn submit_traced(
+        &self,
+        job: &Value,
+        trace: Option<(u64, u64)>,
+    ) -> Result<u64, WorkerError> {
         let body = job.to_string();
-        let r = request_with_retry_timeout(
+        let header_value = trace.map(|(t, s)| format!("{t}:{s}"));
+        let headers: Vec<(&str, &str)> = header_value
+            .as_deref()
+            .map(|v| vec![("X-Proof-Trace", v)])
+            .unwrap_or_default();
+        let r = request_with_retry_timeout_headers(
             self.addr,
             "POST",
             "/jobs",
             Some(&body),
             &self.retry,
             Some(self.timeout),
+            &headers,
         )
         .map_err(Self::io_err)?;
         match r.status {
@@ -211,6 +229,41 @@ impl WorkerClient {
             .and_then(|c| c.get("remote_hits"))
             .and_then(Value::as_u64)
             .ok_or_else(|| WorkerError::Protocol("metrics without cache.remote_hits".into()))
+    }
+
+    /// `GET /trace/<trace>?format=spans` — the worker's raw span records
+    /// for one trace, for the coordinator's cross-node merge. `Ok(None)`
+    /// when the worker holds no spans for that trace (it executed no shard
+    /// of the run, or its ring already evicted them).
+    pub fn fetch_trace_spans(&self, trace: u64) -> Result<Option<Value>, WorkerError> {
+        let path = format!("/trace/{trace}?format=spans");
+        let r = request_full_timeout(self.addr, "GET", &path, None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        match r.status {
+            200 => Ok(Some(Self::parse(&r.body)?)),
+            404 => Ok(None),
+            s => Err(WorkerError::Protocol(format!("trace fetch returned {s}"))),
+        }
+    }
+
+    /// `GET /metrics?format=prometheus` — the worker's full text
+    /// exposition, for the coordinator's federated scrape.
+    pub fn scrape_prometheus(&self) -> Result<String, WorkerError> {
+        let r = request_full_timeout(
+            self.addr,
+            "GET",
+            "/metrics?format=prometheus",
+            None,
+            Some(self.timeout),
+        )
+        .map_err(Self::io_err)?;
+        if r.status != 200 {
+            return Err(WorkerError::Protocol(format!(
+                "metrics scrape returned {}",
+                r.status
+            )));
+        }
+        Ok(r.body)
     }
 
     /// `GET /jobs/<id>/report` — the finished artifact, byte-exact.

@@ -13,9 +13,12 @@ use crate::dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCoun
 use crate::merger::merge_run;
 use crate::planner::plan_shards;
 use crate::registry::{NodeRegistry, NodeSnapshot};
+use crate::trace::merge_fleet_trace;
 use proof_core::{GridSpec, ProofError};
-use proof_obs::export::prometheus_text;
-use proof_obs::{MetricsRegistry, RingCollector, Tracer};
+use proof_obs::export::{federate_prometheus, prometheus_text};
+use proof_obs::{
+    FieldValue, FlightRecorder, MetricsRegistry, RingCollector, Tracer, DEFAULT_FLIGHT_CAPACITY,
+};
 use proof_serve::AnalysisJob;
 use serde_json::{Map, Value};
 use std::net::SocketAddr;
@@ -139,6 +142,11 @@ pub struct FleetRun {
     pub outcome: DispatchOutcome,
     /// Node states after the run.
     pub nodes: Vec<NodeSnapshot>,
+    /// The merged cross-node Chrome-trace document: the synthesized
+    /// coordinator track plus each node's re-anchored span subtree
+    /// (see [`crate::trace`]). Byte-deterministic for a given spec, seed,
+    /// and topology.
+    pub trace_json: String,
 }
 
 /// Coordinator handle: registry + embedded daemons + observability.
@@ -149,6 +157,8 @@ pub struct Fleet {
     tracer: Arc<Tracer>,
     ring: Arc<RingCollector>,
     metrics: Arc<MetricsRegistry>,
+    flight: Arc<FlightRecorder>,
+    last_trace: Option<String>,
 }
 
 impl Fleet {
@@ -186,6 +196,8 @@ impl Fleet {
             tracer,
             ring,
             metrics,
+            flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
+            last_trace: None,
         })
     }
 
@@ -205,9 +217,19 @@ impl Fleet {
         let plan = plan_shards(spec)?;
         let trace = proof_obs::new_trace_id();
         let mut root = self.tracer.span_in(trace, "fleet_run");
+        let root_id = root.id();
         root.field("cells", plan.cells as u64);
         root.field("nodes", self.registry.len() as u64);
         root.field("seed", spec.seed);
+        self.flight.record(
+            "run",
+            format!("grid run started: {} shards", plan.shards.len()),
+            vec![
+                ("trace", FieldValue::U64(trace)),
+                ("shards", FieldValue::U64(plan.shards.len() as u64)),
+                ("seed", FieldValue::U64(spec.seed)),
+            ],
+        );
         // wire every node's remote cache tier to its peers before any
         // shard lands, and remember each node's remote-hit count so the
         // post-run scrape can attribute this run's deltas
@@ -224,6 +246,9 @@ impl Fleet {
             FleetCounters::register(&self.metrics),
             Arc::clone(&self.tracer),
             trace,
+            root_id,
+            Arc::clone(&self.metrics),
+            Arc::clone(&self.flight),
         );
         let outcome = dispatcher.run(&plan, &mut self.registry);
         root.finish();
@@ -239,6 +264,42 @@ impl Fleet {
         }
         let outcome = outcome?;
         let merged = merge_run(spec, &outcome.results)?;
+        // cross-node trace assembly: pull each node's raw span listing for
+        // this run's trace (best-effort — a node that restarted or evicted
+        // the trace just contributes no track) and merge it with the
+        // dispatch record into one deterministic document
+        let node_docs: Vec<(usize, String, Value)> = (0..self.registry.len())
+            .filter_map(|i| {
+                let client = self.registry.client(i);
+                match client.fetch_trace_spans(trace) {
+                    Ok(Some(doc)) => Some((i, client.addr.to_string(), doc)),
+                    Ok(None) => None,
+                    Err(e) => {
+                        self.tracer.event(
+                            proof_obs::Level::Warn,
+                            "proof_fleet",
+                            format!("trace fetch from {} failed: {e}", client.addr),
+                            Vec::new(),
+                        );
+                        None
+                    }
+                }
+            })
+            .collect();
+        let trace_json = merge_fleet_trace(&outcome.shards, self.registry.len(), &node_docs);
+        self.last_trace = Some(trace_json.clone());
+        self.flight.record(
+            "run",
+            format!(
+                "grid run finished: {} shards, {} rescheduled",
+                outcome.shards.len(),
+                outcome.rescheduled
+            ),
+            vec![
+                ("trace", FieldValue::U64(trace)),
+                ("completed", FieldValue::U64(outcome.results.len() as u64)),
+            ],
+        );
         let nodes = self.registry.snapshot();
         // mirror per-node lifetime counters into the registry as gauges so
         // the Prometheus exposition carries them alongside fleet_* counters
@@ -257,6 +318,7 @@ impl Fleet {
             merged,
             outcome,
             nodes,
+            trace_json,
         })
     }
 
@@ -328,6 +390,38 @@ impl Fleet {
     /// prefix).
     pub fn metrics_prometheus(&self) -> String {
         prometheus_text(&self.metrics.snapshot(), "proof_fleet_")
+    }
+
+    /// The coordinator's own exposition plus every reachable node's
+    /// scraped exposition federated under a `node="<addr>"` label — one
+    /// scrape endpoint for the whole fleet. Unreachable nodes are skipped
+    /// (the coordinator's own `proof_fleet_` series still report them).
+    pub fn metrics_prometheus_federated(&self) -> String {
+        let mut out = self.metrics_prometheus();
+        let scraped: Vec<(String, String)> = (0..self.registry.len())
+            .filter_map(|i| {
+                let client = self.registry.client(i);
+                client
+                    .scrape_prometheus()
+                    .ok()
+                    .map(|body| (client.addr.to_string(), body))
+            })
+            .collect();
+        if !scraped.is_empty() {
+            out.push_str(&federate_prometheus(&scraped));
+        }
+        out
+    }
+
+    /// The merged cross-node trace document of the most recent grid run.
+    pub fn last_trace(&self) -> Option<&str> {
+        self.last_trace.as_deref()
+    }
+
+    /// The coordinator's flight recorder: a bounded ring of structured
+    /// scheduling events (dispatches, reschedules, health transitions).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// Current per-node registry view.

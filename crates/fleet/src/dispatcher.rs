@@ -19,7 +19,7 @@ use crate::client::{JobPoll, WorkerError};
 use crate::coordinator::FleetError;
 use crate::planner::{Shard, ShardPlan};
 use crate::registry::{NodeRegistry, NodeState};
-use proof_obs::{Counter, FieldValue, Level, MetricsRegistry, Tracer};
+use proof_obs::{Counter, FieldValue, FlightRecorder, Level, MetricsRegistry, Tracer};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,12 +83,30 @@ impl FleetCounters {
     }
 }
 
+/// Where one shard finally resolved: the node, the worker-side job id, and
+/// how many dispatch attempts it consumed. This is the join key for the
+/// cross-node trace merge — the worker's job span carries the same job id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Canonical shard (cell) index.
+    pub shard: usize,
+    /// Registry index of the node that completed it.
+    pub node: usize,
+    /// The completing node's job id for this shard.
+    pub job_id: u64,
+    /// Dispatch attempts consumed across all nodes.
+    pub attempts: u32,
+}
+
 /// What one grid run did, beyond the reports themselves. Counts are
 /// per-run (the [`FleetCounters`] accumulate across runs).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DispatchOutcome {
     /// `(shard id, report JSON)` for every cell, unordered.
     pub results: Vec<(usize, String)>,
+    /// Per-shard completion records, in completion order (unordered with
+    /// respect to shard ids).
+    pub shards: Vec<ShardReport>,
     pub dispatched: u64,
     pub rescheduled: u64,
     pub probes: u64,
@@ -101,6 +119,8 @@ struct InFlight {
     node: usize,
     job_id: u64,
     deadline: Instant,
+    /// Submission time, for the per-node shard-latency histogram.
+    started: Instant,
 }
 
 struct PendingShard {
@@ -117,6 +137,14 @@ pub struct Dispatcher {
     counters: FleetCounters,
     tracer: Arc<Tracer>,
     trace: u64,
+    /// The `fleet_run` root span id, propagated to workers as the
+    /// `X-Proof-Trace` parent so their job spans join the fleet trace.
+    parent_span: u64,
+    /// Registry for the per-node `node<i>_shard_us` latency histograms.
+    metrics: Arc<MetricsRegistry>,
+    /// Flight recorder shared with the coordinator: dispatches,
+    /// reschedules, and node health transitions land here.
+    flight: Arc<FlightRecorder>,
 }
 
 impl Dispatcher {
@@ -125,12 +153,35 @@ impl Dispatcher {
         counters: FleetCounters,
         tracer: Arc<Tracer>,
         trace: u64,
+        parent_span: u64,
+        metrics: Arc<MetricsRegistry>,
+        flight: Arc<FlightRecorder>,
     ) -> Dispatcher {
         Dispatcher {
             config,
             counters,
             tracer,
             trace,
+            parent_span,
+            metrics,
+            flight,
+        }
+    }
+
+    /// Record a flight event when `before` differs from node `i`'s current
+    /// health state.
+    fn note_health_transition(&self, registry: &NodeRegistry, i: usize, before: NodeState) {
+        let now = registry.node(i).state;
+        if now != before {
+            self.flight.record(
+                "health",
+                format!("node {i} {} -> {}", before.as_str(), now.as_str()),
+                vec![
+                    ("node", FieldValue::U64(i as u64)),
+                    ("from", FieldValue::Str(before.as_str().to_string())),
+                    ("to", FieldValue::Str(now.as_str().to_string())),
+                ],
+            );
         }
     }
 
@@ -157,6 +208,13 @@ impl Dispatcher {
             .collect();
         let mut inflight: Vec<InFlight> = Vec::new();
         let mut last_probe: Vec<Instant> = Vec::new();
+
+        // pre-register every node's shard-latency histogram so the
+        // federated exposition carries the series even before (or without)
+        // completions on that node
+        for i in 0..registry.len() {
+            self.metrics.histogram(&format!("node{i}_shard_us"));
+        }
 
         // opening probe: seed health and the per-run load picture
         for i in 0..registry.len() {
@@ -195,9 +253,11 @@ impl Dispatcher {
 
     fn probe(&self, registry: &mut NodeRegistry, i: usize, outcome: &mut DispatchOutcome) {
         let client = registry.client(i).clone();
-        let was_dead = registry.node(i).state == NodeState::Dead;
+        let state_before = registry.node(i).state;
+        let was_dead = state_before == NodeState::Dead;
         let healthy = client.probe().is_ok();
         registry.note_probe(i, healthy);
+        self.note_health_transition(registry, i, state_before);
         self.counters.probes.inc();
         outcome.probes += 1;
         if !healthy {
@@ -255,7 +315,10 @@ impl Dispatcher {
                 });
             }
             let client = registry.client(node).clone();
-            match client.submit(&entry.shard.cell.to_job_value()) {
+            match client.submit_traced(
+                &entry.shard.cell.to_job_value(),
+                Some((self.trace, self.parent_span)),
+            ) {
                 Ok(job_id) => {
                     registry.note_dispatch(node);
                     self.counters.dispatched.inc();
@@ -270,12 +333,23 @@ impl Dispatcher {
                             ("attempt", FieldValue::U64(u64::from(entry.attempts))),
                         ],
                     );
+                    self.flight.record(
+                        "dispatch",
+                        format!("shard {} -> node {node} (job {job_id})", entry.shard.id),
+                        vec![
+                            ("shard", FieldValue::U64(entry.shard.id as u64)),
+                            ("node", FieldValue::U64(node as u64)),
+                            ("job", FieldValue::U64(job_id)),
+                            ("attempt", FieldValue::U64(u64::from(entry.attempts))),
+                        ],
+                    );
                     inflight.push(InFlight {
                         shard: entry.shard,
                         attempts: entry.attempts,
                         node,
                         job_id,
                         deadline: now + self.config.shard_timeout,
+                        started: now,
                     });
                 }
                 Err(WorkerError::Busy { retry_after_s }) => {
@@ -284,12 +358,22 @@ impl Dispatcher {
                     pending.push_front(entry); // not an attempt, not a failure
                 }
                 Err(e) => {
+                    let state_before = registry.node(node).state;
                     registry.note_failure(node, false);
+                    self.note_health_transition(registry, node, state_before);
                     self.tracer.event(
                         Level::Warn,
                         "proof_fleet",
                         format!("submit to {} failed: {e}", client.addr),
                         vec![("shard", FieldValue::U64(entry.shard.id as u64))],
+                    );
+                    self.flight.record(
+                        "reschedule",
+                        format!("shard {} submit to node {node} failed: {e}", entry.shard.id),
+                        vec![
+                            ("shard", FieldValue::U64(entry.shard.id as u64)),
+                            ("node", FieldValue::U64(node as u64)),
+                        ],
                     );
                     entry.last_error = Some(e.to_string());
                     // the shard is being re-queued onto the survivors
@@ -351,18 +435,45 @@ impl Dispatcher {
                     let entry = inflight.swap_remove(i);
                     registry.note_success(entry.node);
                     self.counters.completed.inc();
+                    let shard_us = entry
+                        .started
+                        .elapsed()
+                        .as_micros()
+                        .min(u128::from(u64::MAX)) as u64;
+                    self.metrics
+                        .histogram(&format!("node{}_shard_us", entry.node))
+                        .record_us(shard_us);
                     let mut span = self.tracer.span_in(self.trace, "fleet_shard");
                     span.field("shard", entry.shard.id as u64);
                     span.field("node", entry.node as u64);
                     span.field("attempts", u64::from(entry.attempts));
                     span.field("status", "done");
                     span.finish();
+                    outcome.shards.push(ShardReport {
+                        shard: entry.shard.id,
+                        node: entry.node,
+                        job_id: entry.job_id,
+                        attempts: entry.attempts,
+                    });
                     outcome.results.push((entry.shard.id, report));
                     resolved_any = true;
                 }
                 Some(Err(why)) => {
                     let entry = inflight.swap_remove(i);
+                    let state_before = registry.node(entry.node).state;
                     registry.note_failure(entry.node, true);
+                    self.note_health_transition(registry, entry.node, state_before);
+                    self.flight.record(
+                        "reschedule",
+                        format!(
+                            "shard {} on node {} rescheduling: {why}",
+                            entry.shard.id, entry.node
+                        ),
+                        vec![
+                            ("shard", FieldValue::U64(entry.shard.id as u64)),
+                            ("node", FieldValue::U64(entry.node as u64)),
+                        ],
+                    );
                     self.tracer.event(
                         Level::Warn,
                         "proof_fleet",

@@ -40,11 +40,13 @@ pub mod merger;
 pub mod planner;
 pub mod registry;
 pub mod server;
+pub mod trace;
 
 pub use client::{JobPoll, WorkerClient, WorkerError, WorkerHealth};
 pub use coordinator::{run_grid_local, Fleet, FleetConfig, FleetError, FleetRun};
-pub use dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters};
+pub use dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters, ShardReport};
 pub use merger::{merge_run, MergeSummary};
 pub use planner::{plan_shards, Shard, ShardPlan};
 pub use registry::{NodeRegistry, NodeSnapshot, NodeState};
 pub use server::{FleetServer, FleetServerConfig};
+pub use trace::merge_fleet_trace;

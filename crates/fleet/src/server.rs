@@ -4,26 +4,42 @@
 //!
 //! - `POST /grid` — run a grid spec to completion and return the merged
 //!   artifact (synchronous; grid runs serialize on the coordinator).
-//! - `GET /healthz` — coordinator liveness + node counts.
+//! - `GET /grid/trace` — the merged cross-node Chrome-trace document of
+//!   the most recent run (Perfetto-loadable).
+//! - `GET /healthz` — coordinator liveness, version, uptime, node counts,
+//!   and the fleet-wide cache-tier summary aggregated from the nodes.
 //! - `GET /nodes` — per-node registry snapshot.
-//! - `GET /metrics[?format=prometheus]` — fleet counters; the metrics
-//!   registry is shared outside the run lock, so counters stay readable
-//!   *during* a grid run (a CI smoke can watch `fleet_rescheduled` move
-//!   while shards are still in flight).
+//! - `GET /metrics[?format=prometheus]` — fleet counters; the Prometheus
+//!   form federates every reachable node's own exposition under a
+//!   `node="<addr>"` label, so one scrape covers the whole fleet. The
+//!   metrics registry and node addresses are shared outside the run lock,
+//!   so both forms stay readable *during* a grid run (a CI smoke can watch
+//!   `fleet_rescheduled` move while shards are still in flight).
+//! - `GET /debug/events` — the coordinator's flight recorder: the bounded
+//!   ring of scheduling events (dispatches, reschedules, node health
+//!   transitions) for post-mortems.
 //!
 //! Reuses `proof_serve::http` wholesale — same parser, same caps, same
 //! single-request connections.
 
 use crate::coordinator::{Fleet, FleetError};
 use proof_core::GridSpec;
-use proof_obs::export::prometheus_text;
-use proof_obs::MetricsRegistry;
+use proof_obs::export::{federate_prometheus, prometheus_text};
+use proof_obs::{FieldValue, FlightRecorder, MetricsRegistry};
+use proof_serve::client::request_full_timeout;
 use proof_serve::http::{read_request, write_response, write_response_typed, Request};
 use serde_json::{Map, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Transport bound for the coordinator's lock-free node scrapes
+/// (federated metrics, healthz cache aggregation). Short on purpose: an
+/// unreachable node should cost one bounded connect attempt, not stall
+/// the scrape.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Coordinator HTTP configuration.
 #[derive(Debug, Clone)]
@@ -44,7 +60,12 @@ struct SharedFleet {
     fleet: Mutex<Fleet>,
     /// Cloned out of the fleet so metrics never block on a running grid.
     metrics: Arc<MetricsRegistry>,
+    /// Same story for the flight recorder and node addresses: readable
+    /// while a grid run holds the fleet lock.
+    flight: Arc<FlightRecorder>,
+    node_addrs: Vec<SocketAddr>,
     node_count: usize,
+    started: Instant,
 }
 
 /// A running coordinator server. Owns the [`Fleet`] (and so its embedded
@@ -62,7 +83,10 @@ impl FleetServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(SharedFleet {
             metrics: Arc::clone(fleet.metrics()),
+            flight: Arc::clone(fleet.flight()),
+            node_addrs: fleet.node_addrs(),
             node_count: fleet.nodes().len(),
+            started: Instant::now(),
             fleet: Mutex::new(fleet),
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -138,10 +162,18 @@ fn route(shared: &SharedFleet, req: &Request) -> (u16, String, &'static str) {
         ("GET", ["healthz"]) => (200, healthz_body(shared), JSON),
         ("GET", ["metrics"]) if req.query == "format=prometheus" => (
             200,
-            prometheus_text(&shared.metrics.snapshot(), "proof_fleet_"),
+            federated_prometheus_body(shared),
             "text/plain; version=0.0.4",
         ),
         ("GET", ["metrics"]) => (200, metrics_body(shared), JSON),
+        ("GET", ["grid", "trace"]) => match shared.fleet.try_lock() {
+            Ok(fleet) => match fleet.last_trace() {
+                Some(trace) => (200, trace.to_string(), JSON),
+                None => (404, error_body("no grid run yet"), JSON),
+            },
+            Err(_) => (503, error_body("grid run in progress"), JSON),
+        },
+        ("GET", ["debug", "events"]) => (200, shared.flight.to_json(), JSON),
         ("GET", ["nodes"]) => match shared.fleet.try_lock() {
             Ok(fleet) => (
                 200,
@@ -156,10 +188,84 @@ fn route(shared: &SharedFleet, req: &Request) -> (u16, String, &'static str) {
     }
 }
 
+/// The coordinator's own `proof_fleet_` exposition followed by every
+/// reachable node's exposition federated under a `node="<addr>"` label.
+/// Lock-free: scrapes go straight to the node addresses, so the endpoint
+/// answers mid-run.
+fn federated_prometheus_body(shared: &SharedFleet) -> String {
+    let mut out = prometheus_text(&shared.metrics.snapshot(), "proof_fleet_");
+    let scraped: Vec<(String, String)> = shared
+        .node_addrs
+        .iter()
+        .filter_map(|&addr| {
+            request_full_timeout(
+                addr,
+                "GET",
+                "/metrics?format=prometheus",
+                None,
+                Some(SCRAPE_TIMEOUT),
+            )
+            .ok()
+            .filter(|r| r.status == 200)
+            .map(|r| (addr.to_string(), r.body))
+        })
+        .collect();
+    if !scraped.is_empty() {
+        out.push_str(&federate_prometheus(&scraped));
+    }
+    out
+}
+
+/// Sum every reachable node's `/healthz` cache-tier summary into one
+/// fleet-wide view; `nodes_reporting` says how many answered.
+fn aggregate_node_cache(shared: &SharedFleet) -> Value {
+    let mut totals = [
+        ("memory_hits", 0u64),
+        ("disk_hits", 0u64),
+        ("remote_hits", 0u64),
+        ("misses", 0u64),
+    ];
+    let mut reporting = 0u64;
+    for &addr in &shared.node_addrs {
+        let Ok(r) = request_full_timeout(addr, "GET", "/healthz", None, Some(SCRAPE_TIMEOUT))
+        else {
+            continue;
+        };
+        if r.status != 200 {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(&r.body) else {
+            continue;
+        };
+        let Some(cache) = v.get("cache") else {
+            continue;
+        };
+        reporting += 1;
+        for (k, total) in totals.iter_mut() {
+            *total += cache.get(k).and_then(Value::as_u64).unwrap_or(0);
+        }
+    }
+    let mut c = Map::new();
+    c.insert("nodes_reporting".to_string(), Value::from(reporting));
+    for (k, total) in totals {
+        c.insert(k.to_string(), Value::from(total));
+    }
+    Value::Object(c)
+}
+
 fn healthz_body(shared: &SharedFleet) -> String {
     let mut m = Map::new();
     m.insert("status".to_string(), Value::from("ok"));
+    m.insert(
+        "version".to_string(),
+        Value::from(env!("CARGO_PKG_VERSION")),
+    );
+    m.insert(
+        "uptime_s".to_string(),
+        Value::from(shared.started.elapsed().as_secs()),
+    );
     m.insert("nodes".to_string(), Value::from(shared.node_count as u64));
+    m.insert("cache".to_string(), aggregate_node_cache(shared));
     match shared.fleet.try_lock() {
         Ok(fleet) => {
             m.insert(
@@ -212,7 +318,14 @@ fn post_grid(shared: &SharedFleet, body: &str) -> (u16, String, &'static str) {
     match fleet.run_grid(&spec) {
         Ok(run) => (200, run.merged, JSON),
         Err(e @ FleetError::Grid(_)) => (400, error_body(&e.to_string()), JSON),
-        Err(e) => (500, error_body(&e.to_string()), JSON),
+        Err(e) => {
+            shared.flight.record(
+                "grid",
+                format!("grid run failed: {e}"),
+                vec![("http_status", FieldValue::U64(500))],
+            );
+            (500, error_body(&e.to_string()), JSON)
+        }
     }
 }
 
@@ -233,6 +346,14 @@ mod tests {
         let v: Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["status"], "ok");
         assert_eq!(v["nodes"].as_u64(), Some(1));
+        assert_eq!(v["version"], env!("CARGO_PKG_VERSION"));
+        assert!(v["uptime_s"].as_u64().is_some());
+        assert_eq!(v["cache"]["nodes_reporting"].as_u64(), Some(1));
+        assert!(v["cache"]["misses"].as_u64().is_some());
+
+        // before any run there is no merged trace to serve
+        let (status, _) = get(addr, "/grid/trace").unwrap();
+        assert_eq!(status, 404);
 
         let spec_json = r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":4}"#;
         let (status, merged) = post(addr, "/grid", spec_json).unwrap();
@@ -257,6 +378,37 @@ mod tests {
         let (status, prom) = get(addr, "/metrics?format=prometheus").unwrap();
         assert_eq!(status, 200);
         assert!(prom.contains("proof_fleet_fleet_completed"), "{prom}");
+        // the federated section carries the node's own series labeled by
+        // its address
+        assert!(
+            prom.contains("proof_serve_jobs_done_total{node=\""),
+            "{prom}"
+        );
+
+        // the merged cross-node trace is now served, with the synthesized
+        // coordinator track and the node's own process track
+        let (status, trace) = get(addr, "/grid/trace").unwrap();
+        assert_eq!(status, 200);
+        let t: Value = serde_json::from_str(&trace).unwrap();
+        let events = t["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["name"] == "fleet_run"));
+        assert!(
+            events.iter().any(|e| e["pid"].as_u64() == Some(2)),
+            "node track present: {trace}"
+        );
+
+        // the flight recorder saw the run start and finish
+        let (status, events) = get(addr, "/debug/events").unwrap();
+        assert_eq!(status, 200);
+        let ev: Value = serde_json::from_str(&events).unwrap();
+        let kinds: Vec<&str> = ev["events"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e["kind"].as_str())
+            .collect();
+        assert!(kinds.contains(&"run"), "{events}");
+        assert!(kinds.contains(&"dispatch"), "{events}");
 
         let (status, _) = post(addr, "/grid", "{").unwrap();
         assert_eq!(status, 400);

@@ -1,0 +1,411 @@
+//! Cross-node trace merging: one Perfetto/Chrome-trace document for a whole
+//! fleet run, assembled from the coordinator's dispatch record and each
+//! worker's raw span listing (`GET /trace/<id>?format=spans`).
+//!
+//! The merged document is **byte-deterministic** for a given spec, seed,
+//! and topology, which takes three deliberate moves:
+//!
+//! 1. **The coordinator track is synthesized, not sampled.** The live
+//!    `fleet_shard` spans are opened in completion-observation order, which
+//!    races across nodes; instead the coordinator track is rebuilt from the
+//!    [`ShardReport`]s on a unit-step logical timeline — `fleet_run` covers
+//!    the whole run, shard `k` (in canonical shard order) occupies its own
+//!    slot inside it.
+//! 2. **Node tracks are re-anchored and renumbered.** Each node's spans are
+//!    sorted by (logical start, id), shifted so the node's first span
+//!    starts at 0, and every span id is renumbered into one collision-free
+//!    global sequence — raw ids come from per-process allocators and would
+//!    differ run to run.
+//! 3. **Run-varying fields are dropped or resolved.** `addr` (an ephemeral
+//!    port) and `remote_parent` (a coordinator-process span id) never reach
+//!    the output: the job id is resolved to its canonical `shard` index and
+//!    the job span is re-parented onto the synthesized `fleet_shard`.
+//!
+//! Tracks: the coordinator is pid 1; node `i` is pid `2 + i`, so every node
+//! renders as its own process row in Perfetto.
+
+use crate::dispatcher::ShardReport;
+use proof_obs::export::{chrome_trace_json, TraceEvent};
+use proof_obs::FieldValue;
+use serde_json::Value;
+
+/// pid of the synthesized coordinator track.
+pub const COORDINATOR_PID: u32 = 1;
+
+/// pid of node `i`'s track.
+pub fn node_pid(node: usize) -> u32 {
+    2 + node as u32
+}
+
+/// One parsed span out of a worker's `?format=spans` listing.
+struct NodeSpan {
+    id: u64,
+    parent: u64,
+    name: String,
+    start_us: f64,
+    end_us: f64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+fn field_from_value(v: &Value) -> FieldValue {
+    if let Some(n) = v.as_u64() {
+        FieldValue::U64(n)
+    } else if let Some(n) = v.as_i64() {
+        FieldValue::I64(n)
+    } else if let Some(b) = v.as_bool() {
+        FieldValue::Bool(b)
+    } else if let Some(x) = v.as_f64() {
+        FieldValue::F64(x)
+    } else if let Some(s) = v.as_str() {
+        FieldValue::Str(s.to_string())
+    } else {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+fn parse_spans(doc: &Value) -> Vec<NodeSpan> {
+    let Some(arr) = doc.get("spans").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    let mut spans: Vec<NodeSpan> = arr
+        .iter()
+        .filter_map(|s| {
+            Some(NodeSpan {
+                id: s.get("id")?.as_u64()?,
+                parent: s.get("parent").and_then(Value::as_u64).unwrap_or(0),
+                name: s.get("name")?.as_str()?.to_string(),
+                start_us: s.get("start_us").and_then(Value::as_f64).unwrap_or(0.0),
+                end_us: s.get("end_us").and_then(Value::as_f64).unwrap_or(0.0),
+                fields: s
+                    .get("fields")
+                    .and_then(Value::as_object)
+                    .map(|m| {
+                        m.iter()
+                            .map(|(k, v)| (k.clone(), field_from_value(v)))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            })
+        })
+        .collect();
+    spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.id.cmp(&b.id)));
+    spans
+}
+
+fn field_u64(fields: &[(String, FieldValue)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        FieldValue::U64(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(fields: &'a [(String, FieldValue)], key: &str) -> Option<&'a str> {
+    fields.iter().find_map(|(k, v)| match v {
+        FieldValue::Str(s) if k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Merge one fleet run into a Chrome-trace document.
+///
+/// - `shards`: the run's completion records (any order; sorted internally
+///   by canonical shard id).
+/// - `nodes_total`: registry size, recorded on the `fleet_run` slice.
+/// - `node_docs`: `(node index, node address, spans listing)` per node that
+///   answered the post-run trace fetch. The address filters span ownership:
+///   embedded daemons share one process-wide ring, so a listing can contain
+///   spans executed by a *different* daemon of the same process.
+pub fn merge_fleet_trace(
+    shards: &[ShardReport],
+    nodes_total: usize,
+    node_docs: &[(usize, String, Value)],
+) -> String {
+    let mut ordered: Vec<ShardReport> = shards.to_vec();
+    ordered.sort_by_key(|r| r.shard);
+    let n = ordered.len();
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut next_id: u64 = 1;
+
+    // --- coordinator track: synthesized unit-step timeline ---
+    let run_id = next_id;
+    next_id += 1;
+    events.push(TraceEvent {
+        name: "fleet_run".to_string(),
+        cat: "fleet",
+        pid: COORDINATOR_PID,
+        tid: 0,
+        ts_us: 0.0,
+        dur_us: (2 * n + 2) as f64,
+        args: vec![
+            ("span".to_string(), FieldValue::U64(run_id)),
+            ("parent".to_string(), FieldValue::U64(0)),
+            ("shards".to_string(), FieldValue::U64(n as u64)),
+            ("nodes".to_string(), FieldValue::U64(nodes_total as u64)),
+        ],
+    });
+    // (node, worker job id) -> the synthesized fleet_shard's exported id
+    // and canonical shard index; the join key for re-parenting job spans
+    let mut shard_anchor: Vec<((usize, u64), (u64, usize))> = Vec::new();
+    for (k, report) in ordered.iter().enumerate() {
+        let id = next_id;
+        next_id += 1;
+        shard_anchor.push(((report.node, report.job_id), (id, report.shard)));
+        events.push(TraceEvent {
+            name: "fleet_shard".to_string(),
+            cat: "fleet",
+            pid: COORDINATOR_PID,
+            tid: 0,
+            ts_us: (2 * k + 1) as f64,
+            dur_us: 1.0,
+            args: vec![
+                ("span".to_string(), FieldValue::U64(id)),
+                ("parent".to_string(), FieldValue::U64(run_id)),
+                ("shard".to_string(), FieldValue::U64(report.shard as u64)),
+                ("node".to_string(), FieldValue::U64(report.node as u64)),
+                (
+                    "attempts".to_string(),
+                    FieldValue::U64(u64::from(report.attempts)),
+                ),
+            ],
+        });
+    }
+    let anchor = |node: usize, job: u64| -> Option<(u64, usize)> {
+        shard_anchor
+            .iter()
+            .find(|(key, _)| *key == (node, job))
+            .map(|(_, v)| *v)
+    };
+
+    // --- node tracks, in node-index order ---
+    let mut docs: Vec<&(usize, String, Value)> = node_docs.iter().collect();
+    docs.sort_by_key(|(i, _, _)| *i);
+    for (node, addr, doc) in docs {
+        let spans = parse_spans(doc);
+        // ownership pass: keep job spans this daemon executed for this run,
+        // plus every span whose parent chain leads to one (spans are sorted
+        // by logical start, so parents precede their children)
+        let mut kept: Vec<&NodeSpan> = Vec::new();
+        let mut kept_ids: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for s in &spans {
+            let owned_job = s.name == "job"
+                && field_str(&s.fields, "addr") == Some(addr.as_str())
+                && field_u64(&s.fields, "job").is_some_and(|job| anchor(*node, job).is_some());
+            if owned_job || kept_ids.contains(&s.parent) {
+                kept_ids.insert(s.id);
+                kept.push(s);
+            }
+        }
+        if kept.is_empty() {
+            continue;
+        }
+        let t0 = kept
+            .iter()
+            .map(|s| s.start_us)
+            .fold(f64::INFINITY, f64::min);
+        // renumber into the global sequence, in (start, id) order
+        let local: std::collections::HashMap<u64, u64> = kept
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, next_id + i as u64))
+            .collect();
+        next_id += kept.len() as u64;
+        for s in &kept {
+            let job = field_u64(&s.fields, "job").and_then(|job| anchor(*node, job));
+            let parent = match local.get(&s.parent) {
+                Some(&p) => p,
+                // a job span roots its node-local subtree; re-parent it
+                // onto the coordinator's synthesized fleet_shard
+                None => job.map(|(anchor_id, _)| anchor_id).unwrap_or(0),
+            };
+            let mut args = vec![
+                ("span".to_string(), FieldValue::U64(local[&s.id])),
+                ("parent".to_string(), FieldValue::U64(parent)),
+            ];
+            if let Some((_, shard)) = job {
+                args.push(("shard".to_string(), FieldValue::U64(shard as u64)));
+            }
+            args.extend(
+                s.fields
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "job" | "addr" | "remote_parent"))
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+            events.push(TraceEvent {
+                name: s.name.clone(),
+                cat: "pipeline",
+                pid: node_pid(*node),
+                tid: 0,
+                ts_us: s.start_us - t0,
+                dur_us: s.end_us - s.start_us,
+                args,
+            });
+        }
+    }
+    chrome_trace_json(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn report(shard: usize, node: usize, job_id: u64) -> ShardReport {
+        ShardReport {
+            shard,
+            node,
+            job_id,
+            attempts: 1,
+        }
+    }
+
+    fn node_doc(addr: &str, job_id: u64, base_id: u64, start: f64) -> Value {
+        json!({
+            "trace": 7,
+            "spans": [
+                {
+                    "id": base_id,
+                    "parent": 0,
+                    "name": "job",
+                    "start_us": start,
+                    "end_us": (start + 10.0),
+                    "wall_us": 123.4,
+                    "fields": {"job": job_id, "addr": addr, "remote_parent": 99, "status": "done"}
+                },
+                {
+                    "id": (base_id + 1),
+                    "parent": base_id,
+                    "name": "compile",
+                    "start_us": (start + 1.0),
+                    "end_us": (start + 2.0),
+                    "wall_us": 55.0,
+                    "fields": {}
+                }
+            ]
+        })
+    }
+
+    #[test]
+    fn merge_synthesizes_a_deterministic_coordinator_track() {
+        // same run observed with different completion orders and different
+        // raw span ids must merge byte-identically
+        let a = merge_fleet_trace(
+            &[report(1, 1, 4), report(0, 0, 9)],
+            2,
+            &[
+                (
+                    0,
+                    "127.0.0.1:1000".into(),
+                    node_doc("127.0.0.1:1000", 9, 50, 0.0),
+                ),
+                (
+                    1,
+                    "127.0.0.1:2000".into(),
+                    node_doc("127.0.0.1:2000", 4, 80, 0.0),
+                ),
+            ],
+        );
+        let b = merge_fleet_trace(
+            &[report(0, 0, 9), report(1, 1, 4)],
+            2,
+            &[
+                (
+                    1,
+                    "127.0.0.1:9000".into(),
+                    node_doc("127.0.0.1:9000", 4, 700, 5.0),
+                ),
+                (
+                    0,
+                    "127.0.0.1:8000".into(),
+                    node_doc("127.0.0.1:8000", 9, 300, 2.0),
+                ),
+            ],
+        );
+        assert_eq!(
+            a, b,
+            "merge must not depend on observation order or raw ids"
+        );
+
+        let doc: Value = serde_json::from_str(&a).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // coordinator track: fleet_run + 2 fleet_shard, then 2 spans/node
+        assert_eq!(events.len(), 3 + 4);
+        let run = events.iter().find(|e| e["name"] == "fleet_run").unwrap();
+        assert_eq!(run["pid"].as_u64(), Some(1));
+        assert_eq!(run["args"]["shards"].as_u64(), Some(2));
+        let shard_spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["name"] == "fleet_shard")
+            .collect();
+        assert_eq!(shard_spans.len(), 2);
+        for s in &shard_spans {
+            assert_eq!(s["args"]["parent"], run["args"]["span"]);
+        }
+        // each node renders as its own process track
+        let pids: std::collections::BTreeSet<u64> =
+            events.iter().map(|e| e["pid"].as_u64().unwrap()).collect();
+        assert_eq!(pids, [1u64, 2, 3].into_iter().collect());
+        // job spans are re-parented onto their fleet_shard, carry the
+        // canonical shard index, and drop the run-varying fields
+        for job in events.iter().filter(|e| e["name"] == "job") {
+            let parent = &job["args"]["parent"];
+            let anchor = shard_spans
+                .iter()
+                .find(|s| s["args"]["span"] == *parent)
+                .expect("job parented onto a fleet_shard");
+            assert_eq!(anchor["args"]["shard"], job["args"]["shard"]);
+            assert!(job["args"]["addr"].is_null());
+            assert!(job["args"]["remote_parent"].is_null());
+            assert!(job["args"]["job"].is_null());
+            assert_eq!(job["args"]["status"], "done");
+        }
+        // stage spans stay children of their job span
+        let compile = events.iter().find(|e| e["name"] == "compile").unwrap();
+        let job_ids: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["name"] == "job")
+            .map(|e| &e["args"]["span"])
+            .collect();
+        assert!(job_ids.contains(&&compile["args"]["parent"]));
+    }
+
+    #[test]
+    fn shared_process_listings_are_filtered_by_address() {
+        // two embedded daemons share one ring: each listing contains both
+        // daemons' spans (with colliding job ids); the addr field decides
+        let both = json!({
+            "trace": 7,
+            "spans": [
+                node_doc("127.0.0.1:1", 1, 10, 0.0)["spans"][0].clone(),
+                node_doc("127.0.0.1:1", 1, 10, 0.0)["spans"][1].clone(),
+                node_doc("127.0.0.1:2", 1, 20, 0.0)["spans"][0].clone(),
+                node_doc("127.0.0.1:2", 1, 20, 0.0)["spans"][1].clone(),
+            ]
+        });
+        let merged = merge_fleet_trace(
+            &[report(0, 0, 1), report(1, 1, 1)],
+            2,
+            &[
+                (0, "127.0.0.1:1".into(), both.clone()),
+                (1, "127.0.0.1:2".into(), both),
+            ],
+        );
+        let doc: Value = serde_json::from_str(&merged).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // no duplication: each node track carries exactly its own 2 spans
+        assert_eq!(
+            events.iter().filter(|e| e["pid"] == 2).count(),
+            2,
+            "{merged}"
+        );
+        assert_eq!(events.iter().filter(|e| e["pid"] == 3).count(), 2);
+    }
+
+    #[test]
+    fn empty_run_is_still_a_valid_document() {
+        let merged = merge_fleet_trace(&[], 0, &[]);
+        let doc: Value = serde_json::from_str(&merged).unwrap();
+        // just the fleet_run slice
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 1);
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::metrics::RegistrySnapshot;
 use crate::span::{FieldValue, SpanRecord};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON literal: backslash, quote, the common control
@@ -38,7 +38,7 @@ pub struct TraceEvent {
     pub args: Vec<(String, FieldValue)>,
 }
 
-fn arg_json(value: &FieldValue) -> String {
+pub(crate) fn arg_json(value: &FieldValue) -> String {
     match value {
         FieldValue::U64(n) => n.to_string(),
         FieldValue::I64(n) => n.to_string(),
@@ -146,24 +146,46 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// Escape a Prometheus label *value*: backslash, double quote, and line
+/// feed, per the text exposition format (version 0.0.4).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render a registry snapshot as Prometheus text exposition (version
-/// 0.0.4). Histograms emit cumulative `_bucket{le=...}` series capped by
-/// `le="+Inf"`, plus `_sum` and `_count`. `prefix` namespaces every metric
-/// (e.g. `proof_serve_`).
+/// 0.0.4). Every series gets a `# HELP`/`# TYPE` header pair. Histograms
+/// emit cumulative `_bucket{le=...}` series capped by `le="+Inf"`, plus
+/// `_sum` and `_count`. `prefix` namespaces every metric (e.g.
+/// `proof_serve_`).
 pub fn prometheus_text(snap: &RegistrySnapshot, prefix: &str) -> String {
     let mut out = String::new();
     for (name, value) in &snap.counters {
         let n = sanitize_metric_name(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# HELP {n} Monotonically increasing counter.");
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {value}");
     }
     for (name, value) in &snap.gauges {
         let n = sanitize_metric_name(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# HELP {n} Last-value gauge.");
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {value}");
     }
     for (name, h) in &snap.histograms {
         let n = sanitize_metric_name(&format!("{prefix}{name}"));
+        let _ = writeln!(
+            out,
+            "# HELP {n} Log2-bucketed latency histogram (microseconds)."
+        );
         let _ = writeln!(out, "# TYPE {n} histogram");
         let mut cumulative = 0u64;
         for &(le, count) in &h.buckets {
@@ -173,6 +195,108 @@ pub fn prometheus_text(snap: &RegistrySnapshot, prefix: &str) -> String {
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum_us);
         let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// Merge several scraped Prometheus expositions into one document, tagging
+/// every sample with a `node` label naming its source (escaped per the
+/// exposition format). Families are grouped (one `# HELP`/`# TYPE` header
+/// each, first source wins on wording) and emitted name-sorted; within a
+/// family, samples keep source order, so federation over a fixed node list
+/// is deterministic for deterministic inputs.
+pub fn federate_prometheus(sources: &[(String, String)]) -> String {
+    #[derive(Default)]
+    struct Family {
+        help: Option<String>,
+        kind: Option<String>,
+        samples: Vec<String>,
+    }
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (node, text) in sources {
+        let node_esc = escape_label_value(node);
+        // the family the most recent # TYPE/# HELP header opened; histogram
+        // `_bucket`/`_sum`/`_count` samples attach to it
+        let mut current = String::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                if let Some((name, help)) = rest.split_once(' ') {
+                    current = name.to_string();
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.help.is_none() {
+                        fam.help = Some(help.to_string());
+                    }
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, kind)) = rest.split_once(' ') {
+                    current = name.to_string();
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.kind.is_none() {
+                        fam.kind = Some(kind.to_string());
+                    }
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let brace = line.find('{');
+            let space = line.find(' ');
+            let name_end = match (brace, space) {
+                (Some(b), Some(s)) => b.min(s),
+                (Some(b), None) => b,
+                (None, Some(s)) => s,
+                (None, None) => continue,
+            };
+            let name = &line[..name_end];
+            let rewritten = match brace.filter(|&b| b == name_end) {
+                Some(b) => {
+                    let inner = &line[b + 1..];
+                    if inner.starts_with('}') {
+                        format!("{name}{{node=\"{node_esc}\"{inner}")
+                    } else {
+                        format!("{name}{{node=\"{node_esc}\",{inner}")
+                    }
+                }
+                None => format!("{name}{{node=\"{node_esc}\"}}{}", &line[name_end..]),
+            };
+            let family_name = if !current.is_empty()
+                && (name == current
+                    || name
+                        .strip_prefix(current.as_str())
+                        .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count")))
+            {
+                current.clone()
+            } else {
+                name.to_string()
+            };
+            families
+                .entry(family_name)
+                .or_default()
+                .samples
+                .push(rewritten);
+        }
+    }
+    let mut out = String::new();
+    for (name, fam) in &families {
+        if fam.samples.is_empty() {
+            continue;
+        }
+        if let Some(help) = &fam.help {
+            let _ = writeln!(out, "# HELP {name} {help}");
+        }
+        if let Some(kind) = &fam.kind {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+        for sample in &fam.samples {
+            let _ = writeln!(out, "{sample}");
+        }
     }
     out
 }
@@ -278,5 +402,115 @@ mod tests {
         assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
         assert_eq!(sanitize_metric_name("bad name-µ"), "bad_name__");
         assert_eq!(sanitize_metric_name("9lead"), "_lead");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_newlines_backslashes() {
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("127.0.0.1:8080"), "127.0.0.1:8080");
+    }
+
+    /// Strip a sample line down to its family name: drop labels/value, then
+    /// histogram suffixes.
+    fn family_of(sample: &str) -> String {
+        let series = sample
+            .split(['{', ' '])
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stem) = series.strip_suffix(suffix) {
+                return stem.to_string();
+            }
+        }
+        series
+    }
+
+    #[test]
+    fn every_exported_series_has_help_and_type() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs_total").add(1);
+        reg.gauge("queue_depth").set(2.0);
+        reg.histogram("exec_us").record_us(5);
+        let text = prometheus_text(&reg.snapshot(), "proof_");
+        let mut helped = std::collections::HashSet::new();
+        let mut typed = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(rest.split(' ').next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap().to_string());
+            } else if !line.is_empty() {
+                let family = family_of(line);
+                assert!(helped.contains(&family), "no # HELP before sample {line:?}");
+                assert!(typed.contains(&family), "no # TYPE before sample {line:?}");
+            }
+        }
+        assert_eq!(helped.len(), 3);
+        assert_eq!(typed.len(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us");
+        for us in [1, 2, 3, 50, 5000, 1 << 20] {
+            h.record_us(us);
+        }
+        let text = prometheus_text(&reg.snapshot(), "proof_");
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("proof_lat_us_bucket{le=\"") {
+                let count: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(
+                    count >= last,
+                    "bucket counts must be non-decreasing: {line}"
+                );
+                last = count;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines >= 2, "expected several bucket lines");
+        assert_eq!(last, 6, "+Inf bucket must equal the total count");
+    }
+
+    #[test]
+    fn federation_injects_node_labels_and_groups_families() {
+        let a = "# HELP proof_serve_jobs_total Monotonically increasing counter.\n\
+                 # TYPE proof_serve_jobs_total counter\n\
+                 proof_serve_jobs_total 3\n\
+                 # HELP proof_serve_exec_us Log2-bucketed latency histogram (microseconds).\n\
+                 # TYPE proof_serve_exec_us histogram\n\
+                 proof_serve_exec_us_bucket{le=\"2\"} 1\n\
+                 proof_serve_exec_us_bucket{le=\"+Inf\"} 1\n\
+                 proof_serve_exec_us_sum 1\n\
+                 proof_serve_exec_us_count 1\n";
+        let b = "# TYPE proof_serve_jobs_total counter\nproof_serve_jobs_total 5\n";
+        let merged = federate_prometheus(&[
+            ("127.0.0.1:1\"\n".to_string(), a.to_string()),
+            ("127.0.0.1:2".to_string(), b.to_string()),
+        ]);
+        // one header pair per family, samples from both nodes grouped under it
+        assert_eq!(
+            merged
+                .matches("# TYPE proof_serve_jobs_total counter")
+                .count(),
+            1
+        );
+        assert!(merged.contains("proof_serve_jobs_total{node=\"127.0.0.1:1\\\"\\n\"} 3"));
+        assert!(merged.contains("proof_serve_jobs_total{node=\"127.0.0.1:2\"} 5"));
+        // existing labels keep their place after the injected node label
+        assert!(
+            merged.contains("proof_serve_exec_us_bucket{node=\"127.0.0.1:1\\\"\\n\",le=\"2\"} 1")
+        );
+        // histogram sub-series stay grouped with their family header
+        let type_pos = merged.find("# TYPE proof_serve_exec_us histogram").unwrap();
+        let sum_pos = merged.find("proof_serve_exec_us_sum").unwrap();
+        assert!(type_pos < sum_pos);
+        // family order is name-sorted: exec_us before jobs_total
+        assert!(sum_pos < merged.find("proof_serve_jobs_total{").unwrap());
     }
 }

@@ -1,0 +1,213 @@
+//! Flight recorder: a bounded ring of recent structured operational events
+//! (dispatches, reschedules, health transitions, cache-tier hits) kept by
+//! long-running daemons. Unlike spans — which describe planned, traced
+//! work — the recorder captures the last N things that *happened*, so a
+//! crash or a stuck run can be reconstructed post-hoc: servers expose it at
+//! `GET /debug/events` and dump it to stderr when a panic is caught.
+
+use crate::export::{arg_json, json_escape};
+use crate::span::FieldValue;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity: enough for the recent history of a busy daemon
+/// without unbounded growth.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// One recorded operational event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (1-based, never reused), so consumers can
+    /// tell how much history the ring has shed.
+    pub seq: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Event kind, e.g. `dispatch`, `reschedule`, `node_health`, `panic`.
+    pub kind: &'static str,
+    pub message: String,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+struct FlightInner {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+/// A thread-safe bounded ring of [`FlightEvent`]s; recording past capacity
+/// evicts the oldest entry and bumps the dropped count.
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(FlightInner {
+                next_seq: 1,
+                dropped: 0,
+                events: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Record an event now. Lock poisoning is ignored — the recorder is a
+    /// best-effort debugging aid and must never take a daemon down.
+    pub fn record(
+        &self,
+        kind: &'static str,
+        message: impl Into<String>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        let mut inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(FlightEvent {
+            seq,
+            unix_ms,
+            kind,
+            message: message.into(),
+            fields,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.events.iter().cloned().collect()
+    }
+
+    /// How many events the ring has evicted so far.
+    pub fn dropped(&self) -> u64 {
+        match self.inner.lock() {
+            Ok(inner) => inner.dropped,
+            Err(poisoned) => poisoned.into_inner().dropped,
+        }
+    }
+
+    /// Render the ring as a JSON document:
+    /// `{"dropped":N,"events":[{seq,unix_ms,kind,message,fields},...]}`.
+    pub fn to_json(&self) -> String {
+        let (dropped, events) = {
+            let inner = match self.inner.lock() {
+                Ok(inner) => inner,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            (
+                inner.dropped,
+                inner.events.iter().cloned().collect::<Vec<_>>(),
+            )
+        };
+        let mut out = format!("{{\"dropped\":{dropped},\"events\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"unix_ms\":{},\"kind\":\"{}\",\"message\":\"{}\",\"fields\":{{",
+                e.seq,
+                e.unix_ms,
+                json_escape(e.kind),
+                json_escape(&e.message)
+            );
+            for (j, (key, value)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(key), arg_json(value));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Dump the retained events to stderr, oldest first — called from panic
+    /// paths so the history leading up to the failure survives in the log.
+    pub fn dump_stderr(&self, reason: &str) {
+        let events = self.snapshot();
+        eprintln!(
+            "[proof flight] dumping {} recent event(s) ({reason}; {} older dropped)",
+            events.len(),
+            self.dropped()
+        );
+        for e in events {
+            let mut line = format!("[proof flight #{} {}] {}", e.seq, e.kind, e.message);
+            for (key, value) in &e.fields {
+                let _ = write!(line, " {key}={value:?}");
+            }
+            eprintln!("{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_latest_and_counts_drops() {
+        let rec = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            rec.record(
+                "tick",
+                format!("event {i}"),
+                vec![("i", FieldValue::U64(i))],
+            );
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 4);
+        assert_eq!(events[1].seq, 5);
+        assert_eq!(events[1].message, "event 4");
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn json_export_is_valid_and_escaped() {
+        let rec = FlightRecorder::new(8);
+        rec.record(
+            "dispatch",
+            "shard \"0\"\nto node",
+            vec![
+                ("node", FieldValue::U64(1)),
+                ("addr", FieldValue::Str("127.0.0.1:80".to_string())),
+            ],
+        );
+        let v: serde_json::Value = serde_json::from_str(&rec.to_json()).expect("valid JSON");
+        assert_eq!(v["dropped"].as_u64(), Some(0));
+        let events = v["events"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["kind"], "dispatch");
+        assert_eq!(events[0]["message"], "shard \"0\"\nto node");
+        assert_eq!(events[0]["fields"]["node"].as_u64(), Some(1));
+        assert_eq!(events[0]["fields"]["addr"], "127.0.0.1:80");
+    }
+
+    #[test]
+    fn empty_recorder_exports_empty_document() {
+        let rec = FlightRecorder::new(4);
+        let v: serde_json::Value = serde_json::from_str(&rec.to_json()).unwrap();
+        assert_eq!(v["events"].as_array().unwrap().len(), 0);
+        rec.dump_stderr("test"); // must not panic on empty
+    }
+}

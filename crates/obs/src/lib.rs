@@ -15,6 +15,9 @@
 //! - **events** — leveled log lines ([`Level`]) that reach stderr when the
 //!   `PROOF_LOG` environment variable admits the level, and the collector
 //!   when one is enabled.
+//! - **flight recorder** — a bounded ring of recent structured operational
+//!   events ([`FlightRecorder`]) that daemons expose at `GET /debug/events`
+//!   and dump to stderr when a panic is caught.
 //! - **fault injection** — a deterministic, seed-scopeable [`FaultPlan`]
 //!   (`PROOF_FAULT` env or [`fault::install`]) that can make any named
 //!   site panic, stall, or fail transiently, so robustness machinery
@@ -30,6 +33,7 @@ pub mod clock;
 pub mod collector;
 pub mod export;
 pub mod fault;
+pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod tracer;
@@ -37,6 +41,7 @@ pub mod tracer;
 pub use collector::{Collector, NoopCollector, RingCollector};
 pub use export::TraceEvent;
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };

@@ -25,7 +25,7 @@ struct HistInner {
 
 /// Snapshot: only non-empty buckets, as `(le_us, count)` pairs with
 /// cumulative-friendly upper bounds.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum_us: u64,
@@ -33,6 +33,27 @@ pub struct HistogramSnapshot {
     pub mean_us: f64,
     /// `[upper_bound_us, count]` per occupied log2 bucket, ascending.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (clamped to `0.0..=1.0`) in microseconds
+    /// from the log2 buckets: the upper bound of the bucket holding the
+    /// target rank, clamped to the observed maximum — exact to within one
+    /// power of two. Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(le, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                return le.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
 }
 
 impl Default for Histogram {
@@ -208,6 +229,23 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), s.count);
         assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::default();
+        // 98 fast samples in [1,2), one at ~1ms, one at ~1s
+        for _ in 0..98 {
+            h.record_us(1);
+        }
+        h.record_us(1000);
+        h.record_us(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_us(0.5), 2); // p50 in the first bucket
+        assert_eq!(s.quantile_us(0.99), 1024); // p99 reaches the 1ms bucket
+        assert_eq!(s.quantile_us(1.0), 1_000_000); // p100 clamps to max
+        assert_eq!(s.quantile_us(0.0), 2); // rank floors at 1
+        assert_eq!(HistogramSnapshot::default().quantile_us(0.5), 0);
     }
 
     #[test]

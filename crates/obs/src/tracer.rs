@@ -129,11 +129,32 @@ impl Tracer {
 }
 
 /// The stderr threshold from `PROOF_LOG`, re-read on every call so tests
-/// and long-lived daemons pick up changes.
+/// and long-lived daemons pick up changes. Level names are matched
+/// case-insensitively; an unrecognized name is rejected (stderr logging
+/// stays off) with a one-time warning rather than silently defaulting.
 pub fn stderr_level() -> Option<Level> {
-    std::env::var("PROOF_LOG")
-        .ok()
-        .and_then(|v| Level::parse(&v))
+    let raw = std::env::var("PROOF_LOG").ok()?;
+    let (level, unknown) = classify_proof_log(&raw);
+    if unknown {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "[proof warn obs] unknown PROOF_LOG level {raw:?}; expected \
+                 error|warn|info|debug (case-insensitive) — stderr logging stays off"
+            );
+        });
+    }
+    level
+}
+
+/// Classify a raw `PROOF_LOG` value: the parsed level (if any) and whether
+/// the value is a non-empty string that failed to parse (i.e. worth a
+/// warning — an empty/whitespace value just means "unset").
+fn classify_proof_log(raw: &str) -> (Option<Level>, bool) {
+    match Level::parse(raw) {
+        Some(level) => (Some(level), false),
+        None => (None, !raw.trim().is_empty()),
+    }
 }
 
 fn stderr_allows(level: Level) -> bool {
@@ -245,6 +266,18 @@ mod tests {
         assert_eq!(rec.fields, vec![("answer", FieldValue::U64(42))]);
         assert!(rec.wall_us >= 0.0);
         assert!(!tracer.collector_enabled());
+    }
+
+    #[test]
+    fn proof_log_values_classify_case_insensitively_and_flag_unknowns() {
+        assert_eq!(classify_proof_log("DEBUG"), (Some(Level::Debug), false));
+        assert_eq!(classify_proof_log("  Warn "), (Some(Level::Warn), false));
+        // unknown non-empty values are rejected and flagged for the warning
+        assert_eq!(classify_proof_log("verbose"), (None, true));
+        assert_eq!(classify_proof_log("2"), (None, true));
+        // empty/whitespace means "unset": no level, no warning
+        assert_eq!(classify_proof_log(""), (None, false));
+        assert_eq!(classify_proof_log("   "), (None, false));
     }
 
     #[test]

@@ -61,6 +61,21 @@ pub fn request_full_timeout(
     body: Option<&str>,
     timeout: Option<Duration>,
 ) -> std::io::Result<Response> {
+    request_full_timeout_headers(addr, method, path, body, timeout, &[])
+}
+
+/// [`request_full_timeout`] with caller-supplied extra request headers —
+/// the fleet dispatcher uses this to attach `X-Proof-Trace` context to
+/// shard submissions. Header names and values must be single-line; they are
+/// sent verbatim.
+pub fn request_full_timeout_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Option<Duration>,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<Response> {
     let mut stream = match timeout {
         Some(d) => TcpStream::connect_timeout(&addr, d)?,
         None => TcpStream::connect(addr)?,
@@ -68,8 +83,12 @@ pub fn request_full_timeout(
     stream.set_read_timeout(timeout)?;
     stream.set_write_timeout(timeout)?;
     let body = body.unwrap_or("");
+    let extra: String = extra_headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -220,9 +239,23 @@ pub fn request_with_retry_timeout(
     policy: &RetryPolicy,
     timeout: Option<Duration>,
 ) -> std::io::Result<Response> {
+    request_with_retry_timeout_headers(addr, method, path, body, policy, timeout, &[])
+}
+
+/// [`request_with_retry_timeout`] with extra request headers carried on
+/// every attempt (e.g. `X-Proof-Trace` context on fleet submissions).
+pub fn request_with_retry_timeout_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+    timeout: Option<Duration>,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<Response> {
     let mut attempt = 0u32;
     loop {
-        match request_full_timeout(addr, method, path, body, timeout) {
+        match request_full_timeout_headers(addr, method, path, body, timeout, extra_headers) {
             Ok(r) if (r.status == 429 || r.status == 503) && attempt < policy.max_retries => {
                 attempt += 1;
                 let ms = policy.effective_delay_ms(attempt, r.retry_after_s);

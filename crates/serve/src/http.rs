@@ -24,6 +24,23 @@ pub struct Request {
     /// Raw query string (no '?'), empty if absent.
     pub query: String,
     pub body: String,
+    /// Parsed `X-Proof-Trace: <trace>:<span>` header, if present and
+    /// well-formed: the caller's (trace id, parent span id) context that
+    /// dispatched work should adopt. Malformed values are ignored — trace
+    /// context is observability metadata and must never fail a request.
+    pub trace_parent: Option<(u64, u64)>,
+}
+
+/// Parse an `X-Proof-Trace` header value: two decimal u64s as
+/// `<trace>:<span>`, trace non-zero.
+pub fn parse_trace_header(value: &str) -> Option<(u64, u64)> {
+    let (trace, span) = value.trim().split_once(':')?;
+    let trace: u64 = trace.trim().parse().ok()?;
+    let span: u64 = span.trim().parse().ok()?;
+    if trace == 0 {
+        return None;
+    }
+    Some((trace, span))
 }
 
 /// Read one `\n`-terminated line into `buf`, consuming at most
@@ -82,6 +99,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
         _ => return Err(bad("malformed request line")),
     };
     let mut content_length = 0usize;
+    let mut trace_parent = None;
     loop {
         let mut raw = Vec::new();
         let n = read_line_capped(&mut reader, &mut raw, budget)?;
@@ -100,6 +118,8 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
                     .trim()
                     .parse()
                     .map_err(|_| bad("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("x-proof-trace") {
+                trace_parent = parse_trace_header(value);
             }
         }
     }
@@ -118,6 +138,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
         path,
         query,
         body,
+        trace_parent,
     }))
 }
 
@@ -213,5 +234,17 @@ mod tests {
         let mut r = Cursor::new(Vec::new());
         let mut buf = Vec::new();
         assert_eq!(read_line_capped(&mut r, &mut buf, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn trace_header_parses_or_is_ignored() {
+        assert_eq!(parse_trace_header("42:7"), Some((42, 7)));
+        assert_eq!(parse_trace_header(" 42 : 7 "), Some((42, 7)));
+        assert_eq!(parse_trace_header("42:0"), Some((42, 0)));
+        // malformed or zero-trace values are dropped, never an error
+        assert_eq!(parse_trace_header("0:7"), None);
+        assert_eq!(parse_trace_header("42"), None);
+        assert_eq!(parse_trace_header("a:b"), None);
+        assert_eq!(parse_trace_header(""), None);
     }
 }

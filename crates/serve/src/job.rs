@@ -16,11 +16,13 @@ use serde_json::{Map, Value};
 pub const DEFAULT_SEED: u64 = 0xC0FFEE;
 
 /// Fully-resolved job specification. Two specs that differ in any field —
-/// including `seed` — get distinct cache keys. `timeout_ms` is the one
-/// exception: it is execution metadata (how long the submitter will wait),
-/// not artifact identity, so it is deliberately excluded from the canonical
-/// spec and every cache key — the same work under a different deadline must
-/// still coalesce onto one simulation.
+/// including `seed` — get distinct cache keys. `timeout_ms` and
+/// `trace_parent` are the exceptions: they are execution/observability
+/// metadata (how long the submitter will wait; which distributed trace the
+/// work belongs to), not artifact identity, so they are deliberately
+/// excluded from the canonical spec and every cache key — the same work
+/// under a different deadline or trace must still coalesce onto one
+/// simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisJob {
     pub model: ModelId,
@@ -32,6 +34,10 @@ pub struct AnalysisJob {
     pub seed: u64,
     /// Per-job deadline override; `None` defers to the server default.
     pub timeout_ms: Option<u64>,
+    /// Distributed trace context from the submitter (`"trace:span"` in the
+    /// spec, mirroring the `X-Proof-Trace` header): the job records its
+    /// spans under this trace id instead of allocating a fresh one.
+    pub trace_parent: Option<(u64, u64)>,
 }
 
 /// Canonical CLI-style token for a platform (round-trips via
@@ -113,6 +119,7 @@ impl AnalysisJob {
                     | "mode"
                     | "seed"
                     | "timeout_ms"
+                    | "trace_parent"
             ) {
                 return Err(format!("unknown field '{key}' in job spec"));
             }
@@ -148,6 +155,13 @@ impl AnalysisJob {
         if timeout_ms == Some(0) {
             return Err("timeout_ms must be positive".to_string());
         }
+        let trace_parent = match str_field(obj, "trace_parent")? {
+            Some(s) => Some(
+                crate::http::parse_trace_header(s)
+                    .ok_or_else(|| format!("bad trace_parent '{s}' (expected 'trace:span')"))?,
+            ),
+            None => None,
+        };
         Ok(AnalysisJob {
             model,
             backend,
@@ -157,12 +171,14 @@ impl AnalysisJob {
             mode,
             seed,
             timeout_ms,
+            trace_parent,
         })
     }
 
     /// The fully-resolved spec as a JSON object (canonical tokens, all
     /// defaults filled in). Keys serialize sorted, so this is canonical.
-    /// `timeout_ms` is excluded on purpose — see the type docs.
+    /// `timeout_ms` and `trace_parent` are excluded on purpose — see the
+    /// type docs.
     pub fn to_value(&self) -> Value {
         let mut m = Map::new();
         m.insert("model".to_string(), Value::String(self.model.slug().into()));
@@ -284,6 +300,23 @@ mod tests {
         assert_eq!(a.cache_key(), b.cache_key());
         assert_eq!(a.canonical_json(), b.canonical_json());
         assert!(parse(r#"{"model":"resnet-50","hardware":"a100","timeout_ms":0}"#).is_err());
+    }
+
+    #[test]
+    fn trace_parent_is_observability_metadata_not_identity() {
+        // the same work dispatched under different distributed traces must
+        // share one artifact: trace_parent stays out of the canonical spec
+        let a = parse(r#"{"model":"resnet-50","hardware":"a100","trace_parent":"42:7"}"#).unwrap();
+        let b = parse(r#"{"model":"resnet-50","hardware":"a100"}"#).unwrap();
+        assert_eq!(a.trace_parent, Some((42, 7)));
+        assert_eq!(b.trace_parent, None);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_eq!(a.stage_cache_key(), b.stage_cache_key());
+        // malformed context in the body is a spec error (unlike the header,
+        // which is transport metadata and silently dropped)
+        assert!(parse(r#"{"model":"resnet-50","hardware":"a100","trace_parent":"nope"}"#).is_err());
+        assert!(parse(r#"{"model":"resnet-50","hardware":"a100","trace_parent":"0:7"}"#).is_err());
     }
 
     #[test]

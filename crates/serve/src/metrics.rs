@@ -24,6 +24,11 @@ pub fn hist_value(snap: &HistogramSnapshot) -> Value {
     m.insert("sum_us".to_string(), Value::from(snap.sum_us));
     m.insert("max_us".to_string(), Value::from(snap.max_us));
     m.insert("mean_us".to_string(), Value::from(snap.mean_us));
+    // quantile estimates from the log2 buckets (exact to within one power
+    // of two); the Prometheus exposition is unchanged — scrapers derive
+    // quantiles from the cumulative buckets themselves
+    m.insert("p50_us".to_string(), Value::from(snap.quantile_us(0.5)));
+    m.insert("p99_us".to_string(), Value::from(snap.quantile_us(0.99)));
     m.insert(
         "buckets".to_string(),
         Value::Array(
@@ -175,6 +180,8 @@ mod tests {
         assert_eq!(v["count"].as_u64(), Some(2));
         assert_eq!(v["sum_us"].as_u64(), Some(8));
         assert_eq!(v["mean_us"].as_f64(), Some(4.0));
+        assert_eq!(v["p50_us"].as_u64(), Some(4)); // 3 lands in [2,4)
+        assert_eq!(v["p99_us"].as_u64(), Some(5)); // clamped to max_us
         let buckets = v["buckets"].as_array().unwrap();
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].as_array().unwrap()[0].as_u64(), Some(4));

@@ -18,7 +18,10 @@ use proof_core::{
 };
 use proof_models::ModelId;
 use proof_obs::export::prometheus_text;
-use proof_obs::{Counter, FieldValue, Level, MetricsRegistry, RingCollector, Tracer};
+use proof_obs::{
+    Counter, FieldValue, FlightRecorder, Level, MetricsRegistry, RingCollector, Tracer,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use proof_store::{ArtifactKey, HitTier, Lookup, StoreConfig, TieredStore};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
@@ -120,8 +123,15 @@ struct JobRecord {
     status: JobStatus,
     group: Option<u64>,
     /// Observability trace id: every span the job's execution opens carries
-    /// it, and `GET /trace/<id>` renders the collected result.
+    /// it, and `GET /trace/<id>` renders the collected result. Locally
+    /// allocated unless the submitter supplied trace context (job-spec
+    /// `trace_parent` or `X-Proof-Trace` header), in which case the job
+    /// adopts the caller's trace id.
     trace: u64,
+    /// The submitter's parent span id when the trace was adopted; recorded
+    /// as a `remote_parent` field on the job span so a cross-node merge can
+    /// re-parent this subtree under the dispatching span.
+    remote_parent: Option<u64>,
     /// Whether the artifact came from the cache (set when finished).
     cache_hit: Option<bool>,
     /// Which tier served a hit (`"memory"`/`"disk"`/`"remote"`), or
@@ -150,6 +160,10 @@ impl JobRecord {
         m.insert("spec".to_string(), self.spec.to_value());
         m.insert("key".to_string(), Value::from(self.key.as_str()));
         m.insert("trace".to_string(), Value::from(self.trace));
+        m.insert(
+            "remote_parent".to_string(),
+            self.remote_parent.map(Value::from).unwrap_or(Value::Null),
+        );
         m.insert("status".to_string(), Value::from(self.status.as_str()));
         m.insert(
             "group".to_string(),
@@ -253,6 +267,17 @@ struct Shared {
     retry_base_ms: u64,
     /// Timeout applied to peers added at runtime via `POST /cache/peers`.
     peer_timeout: Duration,
+    /// Flight recorder: recent submissions, completions, retries, rejects,
+    /// and cache-tier outcomes, served at `GET /debug/events` and dumped to
+    /// stderr when a worker catches a panic.
+    flight: Arc<FlightRecorder>,
+    /// The bound address, recorded on every job span: the ring tracer is
+    /// process-wide, so when several daemons share one process (embedded
+    /// fleet nodes) this field is what attributes a span subtree to the
+    /// daemon that actually executed it.
+    local_addr: SocketAddr,
+    /// Process start, for the `/healthz` uptime report.
+    started: Instant,
     running: AtomicBool,
     conns: ConnGate,
 }
@@ -323,6 +348,9 @@ impl Server {
             max_retries: config.max_retries,
             retry_base_ms: config.retry_base_ms,
             peer_timeout,
+            flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
+            local_addr,
+            started: Instant::now(),
             running: AtomicBool::new(true),
             conns: ConnGate::default(),
         });
@@ -448,7 +476,7 @@ fn backoff_ms(base: u64, retry: u32, seed: u64) -> u64 {
 
 fn execute_job(shared: &Arc<Shared>, id: u64) {
     let timeout_ms;
-    let (spec, key, submitted, trace_id) = {
+    let (spec, key, submitted, trace_id, remote_parent) = {
         let mut reg = shared.reg();
         // A missing record means the registry was mutated out from under
         // the queue (should not happen); skip rather than kill the worker.
@@ -459,7 +487,13 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         let wait_us = rec.submitted.elapsed().as_micros() as u64;
         rec.queue_wait_us = Some(wait_us);
         shared.hist_queue_wait.record_us(wait_us);
-        (rec.spec, rec.key.clone(), rec.submitted, rec.trace)
+        (
+            rec.spec,
+            rec.key.clone(),
+            rec.submitted,
+            rec.trace,
+            rec.remote_parent,
+        )
     };
     // The deadline counts from submission: a job that starved in the queue
     // past its budget fails fast at the first pipeline checkpoint.
@@ -474,6 +508,15 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     // the global facade) nest under it because they run on this thread.
     let mut span = shared.tracer.span_in(trace_id, "job");
     span.field("job", id);
+    // The ring tracer is process-wide: when several daemons share a process
+    // the bound address is what ties this span subtree to this daemon.
+    span.field("addr", shared.local_addr.to_string());
+    // The dispatching span on the remote coordinator, if this job adopted a
+    // caller's trace: a cross-node merge resolves it against the caller's
+    // spans (process-local span ids cannot be compared directly).
+    if let Some(parent) = remote_parent {
+        span.field("remote_parent", parent);
+    }
     // The prepared prefix used for this execution (if any), so the trace
     // export can merge the kernel timeline of the compiled model.
     let mut prep_used: Option<Arc<PreparedStages>> = None;
@@ -494,10 +537,16 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
                     match catch_unwind(AssertUnwindSafe(|| run_staged(shared, &spec, &ctx))) {
                         Err(payload) => {
                             shared.panics_total.inc();
-                            break Err(JobFailure::Failed(format!(
-                                "panicked: {}",
-                                panic_message(payload.as_ref())
-                            )));
+                            let msg = panic_message(payload.as_ref());
+                            shared.flight.record(
+                                "panic",
+                                format!("job {id} panicked: {msg}"),
+                                vec![("job", FieldValue::U64(id))],
+                            );
+                            // the recorder's whole purpose: the history
+                            // leading up to a panic survives in the log
+                            shared.flight.dump_stderr("worker caught a panic");
+                            break Err(JobFailure::Failed(format!("panicked: {msg}")));
                         }
                         Ok(Ok(ok)) => break Ok(ok),
                         Ok(Err(e)) if e.is_timeout() => {
@@ -506,6 +555,14 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
                         }
                         Ok(Err(e)) if e.is_transient() && attempts <= shared.max_retries => {
                             shared.retries_total.inc();
+                            shared.flight.record(
+                                "retry",
+                                format!("job {id} retrying transient failure: {e}"),
+                                vec![
+                                    ("job", FieldValue::U64(id)),
+                                    ("attempt", FieldValue::U64(u64::from(attempts))),
+                                ],
+                            );
                             std::thread::sleep(Duration::from_millis(backoff_ms(
                                 shared.retry_base_ms,
                                 attempts,
@@ -562,10 +619,32 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
             ("attempts", FieldValue::U64(u64::from(attempts))),
         ],
     );
+    let tier = match &outcome {
+        Ok((_, tier)) => tier.map(|t| t.as_str()).unwrap_or("built"),
+        Err(_) => "none",
+    };
+    shared.flight.record(
+        "job",
+        format!("job {id} {status}"),
+        vec![
+            ("job", FieldValue::U64(id)),
+            ("status", FieldValue::Str(status.to_string())),
+            ("cache_tier", FieldValue::Str(tier.to_string())),
+            ("execute_us", FieldValue::U64(execute_us)),
+        ],
+    );
     // Render the merged trace now: the ring buffer may evict these spans
-    // long before a client asks for them.
+    // long before a client asks for them. `addr` (ephemeral port) and
+    // `remote_parent` (a foreign process-local span id) vary run to run, so
+    // they stay out of the byte-reproducible chrome export; the raw
+    // `?format=spans` listing keeps both for cross-node merging.
+    let mut trace_spans = shared.ring.trace_spans(trace_id);
+    for s in &mut trace_spans {
+        s.fields
+            .retain(|(k, _)| *k != "addr" && *k != "remote_parent");
+    }
     let trace_json = merged_chrome_trace(
-        &shared.ring.trace_spans(trace_id),
+        &trace_spans,
         prep_used.as_deref().map(|p| &p.compiled.compiled),
     );
 
@@ -641,6 +720,11 @@ impl SubmitError {
             SubmitError::ShuttingDown => (503, error_body("server is shutting down"), None),
             SubmitError::QueueFull => {
                 shared.rejected_total.inc();
+                shared.flight.record(
+                    "reject",
+                    "submission bounced: queue full",
+                    vec![("queue_depth", FieldValue::U64(shared.queue.depth() as u64))],
+                );
                 (429, error_body("job queue is full"), Some(RETRY_AFTER_S))
             }
         }
@@ -648,22 +732,30 @@ impl SubmitError {
 }
 
 /// Register + enqueue one parsed job. Returns `(job id, trace id)`.
+/// `trace_ctx` is the submitter's distributed trace context: the job-spec
+/// `trace_parent` field wins, then the transport-level `X-Proof-Trace`
+/// header, then a locally allocated trace id.
 fn submit(
     shared: &Shared,
     spec: AnalysisJob,
     group: Option<u64>,
+    trace_ctx: Option<(u64, u64)>,
 ) -> Result<(u64, u64), SubmitError> {
     if !shared.running.load(Ordering::SeqCst) {
         return Err(SubmitError::ShuttingDown);
     }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
-    let trace = proof_obs::new_trace_id();
+    let (trace, remote_parent) = match spec.trace_parent.or(trace_ctx) {
+        Some((trace, span)) => (trace, Some(span)),
+        None => (proof_obs::new_trace_id(), None),
+    };
     let record = JobRecord {
         spec,
         key: spec.cache_key(),
         status: JobStatus::Queued,
         group,
         trace,
+        remote_parent,
         cache_hit: None,
         cache_tier: None,
         error: None,
@@ -680,6 +772,15 @@ fn submit(
         shared.reg().remove(&id);
         return Err(SubmitError::QueueFull);
     }
+    shared.flight.record(
+        "submit",
+        format!("job {id} queued"),
+        vec![
+            ("job", FieldValue::U64(id)),
+            ("trace", FieldValue::U64(trace)),
+            ("adopted_trace", FieldValue::Bool(remote_parent.is_some())),
+        ],
+    );
     Ok((id, trace))
 }
 
@@ -734,21 +835,22 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, Option<u64>) {
     // The submission endpoints are the only ones that backpressure (and so
     // the only ones that attach Retry-After).
     match (req.method.as_str(), segments.as_slice()) {
-        ("POST", ["jobs"]) => return post_job(shared, &req.body),
-        ("POST", ["sweep"]) => return post_sweep(shared, &req.body),
+        ("POST", ["jobs"]) => return post_job(shared, &req.body, req.trace_parent),
+        ("POST", ["sweep"]) => return post_sweep(shared, &req.body, req.trace_parent),
         _ => {}
     }
     let (status, body) = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["jobs", id]) => get_job(shared, id),
         ("GET", ["jobs", id, "report"]) => get_report(shared, id),
         ("GET", ["sweep", gid]) => get_sweep(shared, gid),
-        ("GET", ["trace", tid]) => get_trace(shared, tid),
+        ("GET", ["trace", tid]) => get_trace(shared, tid, &req.query),
         ("GET", ["cache", key]) => get_cache(shared, key),
         ("PUT", ["cache", key]) => put_cache(shared, key, &req.body),
         ("POST", ["cache", "peers"]) => post_cache_peers(shared, &req.body),
         ("GET", ["metrics"]) => (200, metrics_body(shared, &req.query)),
         ("GET", ["models"]) => (200, models_body()),
         ("GET", ["healthz"]) => (200, healthz_body(shared)),
+        ("GET", ["debug", "events"]) => (200, shared.flight.to_json()),
         ("GET" | "POST" | "PUT", _) => (404, error_body("no such endpoint")),
         _ => (405, error_body("method not allowed")),
     };
@@ -757,11 +859,20 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, Option<u64>) {
 
 /// The fleet probe target: liveness plus the load signals a coordinator
 /// needs for least-loaded dispatch — queue depth/capacity, worker count,
-/// and workers busy right now.
+/// and workers busy right now — plus uptime, build version, and a per-tier
+/// cache hit/miss summary for operators eyeballing a node.
 fn healthz_body(shared: &Shared) -> String {
     let workers = shared.worker_metrics.snapshot();
     let mut m = Map::new();
     m.insert("status".to_string(), Value::from("ok"));
+    m.insert(
+        "version".to_string(),
+        Value::from(env!("CARGO_PKG_VERSION")),
+    );
+    m.insert(
+        "uptime_s".to_string(),
+        Value::from(shared.started.elapsed().as_secs()),
+    );
     m.insert(
         "queue_depth".to_string(),
         Value::from(shared.queue.depth() as u64),
@@ -772,10 +883,33 @@ fn healthz_body(shared: &Shared) -> String {
     );
     m.insert("workers".to_string(), Value::from(workers.count as u64));
     m.insert("in_flight".to_string(), Value::from(workers.busy));
+    m.insert("cache".to_string(), cache_tier_summary(shared));
     Value::Object(m).to_string()
 }
 
-fn post_job(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {
+/// Per-tier cache hit counters plus the shared miss count, read from the
+/// registry instruments the tiered store keeps live.
+fn cache_tier_summary(shared: &Shared) -> Value {
+    let mut m = Map::new();
+    for (label, counter) in [
+        ("memory_hits", "cache_memory_hits_total"),
+        ("disk_hits", "cache_disk_hits_total"),
+        ("remote_hits", "cache_remote_hits_total"),
+        ("misses", "cache_misses_total"),
+    ] {
+        m.insert(
+            label.to_string(),
+            Value::from(shared.metrics.counter(counter).get()),
+        );
+    }
+    Value::Object(m)
+}
+
+fn post_job(
+    shared: &Shared,
+    body: &str,
+    trace_ctx: Option<(u64, u64)>,
+) -> (u16, String, Option<u64>) {
     let value: Value = match serde_json::from_str(body) {
         Ok(v) => v,
         Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), None),
@@ -784,7 +918,7 @@ fn post_job(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {
         Ok(s) => s,
         Err(e) => return (400, error_body(&e), None),
     };
-    match submit(shared, spec, None) {
+    match submit(shared, spec, None, trace_ctx) {
         Ok((id, trace)) => {
             let mut m = Map::new();
             m.insert("id".to_string(), Value::from(id));
@@ -837,10 +971,21 @@ fn get_report(shared: &Shared, id: &str) -> (u16, String) {
 /// `GET /trace/<trace-id>` — the merged Chrome-trace JSON of a finished
 /// job's execution (pipeline-stage spans + kernel timeline on one clock).
 /// The id is the `trace` field of the job-submission reply and job status.
-fn get_trace(shared: &Shared, tid: &str) -> (u16, String) {
+///
+/// `?format=spans` returns the raw span records of the trace from the ring
+/// collector instead: `{"trace":id,"spans":[...]}`, sorted by logical start
+/// time. This is the cross-node merge surface — a fleet coordinator that
+/// propagated its trace id into dispatched jobs pulls every node's share of
+/// the trace here and re-assembles one document, which a pre-rendered
+/// per-job chrome trace could not support (an adopted trace spans many
+/// jobs).
+fn get_trace(shared: &Shared, tid: &str, query: &str) -> (u16, String) {
     let Some(tid) = parse_id(tid) else {
         return (400, error_body("trace id must be an integer"));
     };
+    if query.split('&').any(|kv| kv == "format=spans") {
+        return trace_spans_body(shared, tid);
+    }
     let reg = shared.reg();
     match reg.values().find(|r| r.trace == tid) {
         None => (404, error_body("no such trace")),
@@ -849,6 +994,47 @@ fn get_trace(shared: &Shared, tid: &str) -> (u16, String) {
             None => (409, error_body("job not finished yet")),
         },
     }
+}
+
+fn field_value_json(v: &FieldValue) -> Value {
+    match v {
+        FieldValue::U64(n) => Value::from(*n),
+        FieldValue::I64(n) => Value::from(*n),
+        FieldValue::F64(x) if x.is_finite() => Value::from(*x),
+        FieldValue::F64(_) => Value::Null,
+        FieldValue::Bool(b) => Value::from(*b),
+        FieldValue::Str(s) => Value::from(s.as_str()),
+    }
+}
+
+/// The `?format=spans` body: every span of `tid` still held by the ring,
+/// sorted by (logical start, id) so the listing is deterministic.
+fn trace_spans_body(shared: &Shared, tid: u64) -> (u16, String) {
+    let mut spans = shared.ring.trace_spans(tid);
+    if spans.is_empty() {
+        return (404, error_body("no such trace"));
+    }
+    spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.id.cmp(&b.id)));
+    let mut arr = Vec::with_capacity(spans.len());
+    for s in &spans {
+        let mut m = Map::new();
+        m.insert("id".to_string(), Value::from(s.id));
+        m.insert("parent".to_string(), Value::from(s.parent));
+        m.insert("name".to_string(), Value::from(s.name));
+        m.insert("start_us".to_string(), Value::from(s.start_us));
+        m.insert("end_us".to_string(), Value::from(s.end_us));
+        m.insert("wall_us".to_string(), Value::from(s.wall_us));
+        let mut fields = Map::new();
+        for (k, v) in &s.fields {
+            fields.insert(k.to_string(), field_value_json(v));
+        }
+        m.insert("fields".to_string(), Value::Object(fields));
+        arr.push(Value::Object(m));
+    }
+    let mut m = Map::new();
+    m.insert("trace".to_string(), Value::from(tid));
+    m.insert("spans".to_string(), Value::Array(arr));
+    (200, Value::Object(m).to_string())
 }
 
 /// `GET /cache/<key>` — the peer-cache read surface. Serves only the
@@ -969,7 +1155,11 @@ fn sweep_grid(body: &Value) -> Result<Vec<Value>, String> {
     Ok(grid)
 }
 
-fn post_sweep(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {
+fn post_sweep(
+    shared: &Shared,
+    body: &str,
+    trace_ctx: Option<(u64, u64)>,
+) -> (u16, String, Option<u64>) {
     let value: Value = match serde_json::from_str(body) {
         Ok(v) => v,
         Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), None),
@@ -997,7 +1187,7 @@ fn post_sweep(shared: &Shared, body: &str) -> (u16, String, Option<u64>) {
     let group = shared.next_group.fetch_add(1, Ordering::SeqCst);
     let mut ids = Vec::with_capacity(specs.len());
     for spec in specs {
-        match submit(shared, spec, Some(group)) {
+        match submit(shared, spec, Some(group), trace_ctx) {
             Ok((id, _)) => ids.push(Value::from(id)),
             Err(e) => return e.reply(shared),
         }

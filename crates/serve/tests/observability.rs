@@ -112,6 +112,98 @@ fn traces_are_byte_identical_across_fresh_servers() {
 }
 
 #[test]
+fn jobs_adopt_the_submitters_trace_context() {
+    let server = boot(1);
+    let addr = server.addr();
+
+    // submit under an external trace context via the X-Proof-Trace header
+    let reply = proof_serve::client::request_full_timeout_headers(
+        addr,
+        "POST",
+        "/jobs",
+        Some(SPEC),
+        None,
+        &[("X-Proof-Trace", "424242:9")],
+    )
+    .unwrap();
+    assert_eq!(reply.status, 201, "{}", reply.body);
+    let v: serde_json::Value = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(
+        v["trace"].as_u64(),
+        Some(424242),
+        "job adopted the submitted trace id"
+    );
+    let id = v["id"].as_u64().unwrap();
+    let status_doc = wait_done(addr, id);
+    assert_eq!(status_doc["trace"].as_u64(), Some(424242));
+    assert_eq!(
+        status_doc["remote_parent"].as_u64(),
+        Some(9),
+        "status records the submitter's parent span id"
+    );
+
+    // the raw span listing for the adopted trace carries the linkage fields
+    let (status, body) = get(addr, "/trace/424242?format=spans").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc["trace"].as_u64(), Some(424242));
+    let spans = doc["spans"].as_array().unwrap();
+    assert!(!spans.is_empty());
+    let job_span = spans
+        .iter()
+        .find(|s| s["name"] == "job")
+        .expect("job span in listing");
+    assert_eq!(job_span["fields"]["job"].as_u64(), Some(id));
+    assert_eq!(job_span["fields"]["remote_parent"].as_u64(), Some(9));
+    // deterministic ordering: (start_us, id) non-decreasing
+    let starts: Vec<f64> = spans
+        .iter()
+        .map(|s| s["start_us"].as_f64().unwrap())
+        .collect();
+    assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+
+    // a locally-submitted job still allocates its own trace id
+    let (status, reply) = post(addr, "/jobs", SPEC).unwrap();
+    assert_eq!(status, 201, "{reply}");
+    let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+    assert_ne!(v["trace"].as_u64(), Some(424242));
+    let local = wait_done(addr, v["id"].as_u64().unwrap());
+    assert!(local["remote_parent"].is_null());
+}
+
+#[test]
+fn healthz_and_flight_recorder_expose_runtime_state() {
+    let server = boot(1);
+    let addr = server.addr();
+    run_one_job(addr, SPEC);
+
+    let (status, body) = get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["status"], "ok");
+    assert_eq!(v["version"].as_str(), Some(env!("CARGO_PKG_VERSION")));
+    assert!(v["uptime_s"].as_u64().is_some());
+    for tier in ["memory_hits", "disk_hits", "remote_hits", "misses"] {
+        assert!(
+            v["cache"][tier].as_u64().is_some(),
+            "healthz cache summary missing {tier}: {body}"
+        );
+    }
+
+    let (status, body) = get(addr, "/debug/events").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["dropped"].as_u64(), Some(0));
+    let events = v["events"].as_array().unwrap();
+    let kinds: Vec<&str> = events.iter().filter_map(|e| e["kind"].as_str()).collect();
+    assert!(kinds.contains(&"submit"), "flight recorder saw the submit");
+    assert!(kinds.contains(&"job"), "flight recorder saw the completion");
+    // seq numbers are strictly increasing
+    let seqs: Vec<u64> = events.iter().map(|e| e["seq"].as_u64().unwrap()).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
 fn prometheus_exposition_covers_the_registry_and_derived_series() {
     let server = boot(1);
     let addr = server.addr();
@@ -124,7 +216,7 @@ fn prometheus_exposition_covers_the_registry_and_derived_series() {
     for line in text.lines() {
         if line.starts_with('#') {
             assert!(
-                line.starts_with("# TYPE proof_serve_"),
+                line.starts_with("# TYPE proof_serve_") || line.starts_with("# HELP proof_serve_"),
                 "bad comment: {line}"
             );
             continue;
