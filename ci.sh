@@ -291,4 +291,48 @@ EOF
 cmp /tmp/proof_ci_fleet_t1.json /tmp/proof_ci_fleet_t2.json
 rm -f /tmp/proof_ci_fleet_t1.json /tmp/proof_ci_fleet_t2.json
 
+echo "==> proof fleet heterogeneous smoke (weighted scheduler favours the fast node)"
+# fast daemon: 2 workers, no faults; slow daemon: 1 worker, every shard
+# stalls 600 ms at the metrics stage. Under --sched weighted the EWMA and
+# the advertised worker count must route most of the sweep to the fast
+# daemon — and the merged artifact must still match the in-process
+# reference byte-for-byte (scheduling never touches artifact bytes)
+log_a="$(mktemp)"; log_b="$(mktemp)"
+./target/release/proof serve --addr 127.0.0.1:0 --workers 2 >"$log_a" 2>&1 &
+pid_a=$!
+PROOF_FAULT="metrics:stall:600" \
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_b" 2>&1 &
+pid_b=$!
+trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true' EXIT
+for log in "$log_a" "$log_b"; do
+    for _ in $(seq 50); do
+        grep -q "listening on" "$log" && break
+        sleep 0.1
+    done
+done
+addr_a="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_a" | head -n1)"
+addr_b="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_b" | head -n1)"
+
+hetero_spec=(--models mobilenetv2-0.5 --platforms a100 --batches 1,2,3,4,5,6,7,8,9,10 --seed 23)
+./target/release/proof fleet sweep --nodes "${addr_a},${addr_b}" --sched weighted "${hetero_spec[@]}" \
+    --out /tmp/proof_ci_hetero.json --metrics-out /tmp/proof_ci_hetero_m.json 2>/dev/null
+./target/release/proof fleet sweep --in-process "${hetero_spec[@]}" \
+    --out /tmp/proof_ci_hetero_ref.json 2>/dev/null
+cmp /tmp/proof_ci_hetero.json /tmp/proof_ci_hetero_ref.json
+python3 - <<'EOF'
+import json
+m = json.load(open("/tmp/proof_ci_hetero_m.json"))
+fast, slow = m["nodes"][0], m["nodes"][1]
+assert fast["completed"] + slow["completed"] == 10, m["nodes"]
+assert fast["completed"] > slow["completed"], \
+    f"weighted dispatch did not favour the fast node: {m['nodes']}"
+picks = m["counters"]["fleet_weighted_picks"]
+assert picks >= 10, f"expected every dispatch through the weighted picker, counters: {m['counters']}"
+print(f"  hetero fleet OK: fast {fast['completed']}, slow {slow['completed']}, {picks} weighted pick(s)")
+EOF
+kill "$pid_a" "$pid_b" 2>/dev/null || true
+trap - EXIT
+rm -f "$log_a" "$log_b" /tmp/proof_ci_hetero.json /tmp/proof_ci_hetero_m.json \
+    /tmp/proof_ci_hetero_ref.json
+
 echo "CI OK"

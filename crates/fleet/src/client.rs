@@ -9,13 +9,17 @@
 //! worker itself reports as failed/timed-out is a third: the *shard* needs
 //! a different node, not this node declared dead on one bad job alone.
 
+use proof_obs::{FieldValue, Level};
 use proof_serve::client::{request_full_timeout, request_with_retry_timeout_headers, RetryPolicy};
 use serde_json::Value;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-/// What `GET /healthz` reports: liveness plus the load signals used for
-/// least-loaded dispatch.
+/// What `GET /healthz` reports: liveness plus the load signals the
+/// weighted scheduler scores on. `workers` and `queue_capacity` are
+/// floored at 1 by [`WorkerClient::probe`] (a zero would erase the node
+/// from the weighted score or zero its in-flight cap).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerHealth {
     pub queue_depth: u64,
@@ -63,6 +67,40 @@ pub enum JobPoll {
     Failed(String),
 }
 
+// One-time-warning latches for malformed healthz capacity signals, per
+// process: the condition repeats on every probe cadence and would
+// otherwise flood the event stream.
+static WARNED_WORKERS: AtomicBool = AtomicBool::new(false);
+static WARNED_QUEUE_CAP: AtomicBool = AtomicBool::new(false);
+
+/// Read a capacity signal (`workers`, `queue_capacity`) from a healthz
+/// body, flooring it at 1: a missing or zero value would make weighted
+/// dispatch score the node as zero-capacity and silently starve it. The
+/// first malformed sighting per process emits a `Warn` naming the field.
+fn capacity_signal(v: &Value, addr: SocketAddr, key: &str, warned: &AtomicBool) -> u64 {
+    match v.get(key).and_then(Value::as_u64) {
+        Some(n) if n >= 1 => n,
+        got => {
+            if !warned.swap(true, Ordering::Relaxed) {
+                let what = if got.is_some() { "zero" } else { "no" };
+                proof_obs::event(
+                    Level::Warn,
+                    "proof_fleet",
+                    format!(
+                        "healthz from {addr} advertises {what} {key}; flooring at 1 so \
+                         weighted dispatch cannot starve the node"
+                    ),
+                    vec![
+                        ("field", FieldValue::Str(key.to_string())),
+                        ("node_addr", FieldValue::Str(addr.to_string())),
+                    ],
+                );
+            }
+            1
+        }
+    }
+}
+
 /// A handle to one worker daemon.
 #[derive(Debug, Clone)]
 pub struct WorkerClient {
@@ -105,8 +143,8 @@ impl WorkerClient {
         let field = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
         Ok(WorkerHealth {
             queue_depth: field("queue_depth"),
-            queue_capacity: field("queue_capacity"),
-            workers: field("workers"),
+            queue_capacity: capacity_signal(&v, self.addr, "queue_capacity", &WARNED_QUEUE_CAP),
+            workers: capacity_signal(&v, self.addr, "workers", &WARNED_WORKERS),
             in_flight: field("in_flight"),
         })
     }
@@ -131,12 +169,22 @@ impl WorkerClient {
             .as_deref()
             .map(|v| vec![("X-Proof-Trace", v)])
             .unwrap_or_default();
+        // zero in-client retries: the shared retry helper sleeps the
+        // server's Retry-After hint as a floor, so a node advertising a
+        // long holdoff would block the single-threaded dispatch loop for
+        // minutes inside this call. Backpressure scheduling belongs to
+        // the dispatcher — a 429/503 surfaces immediately as `Busy` and
+        // the registry holds the node off while other nodes keep working.
+        let submit_policy = RetryPolicy {
+            max_retries: 0,
+            ..self.retry
+        };
         let r = request_with_retry_timeout_headers(
             self.addr,
             "POST",
             "/jobs",
             Some(&body),
-            &self.retry,
+            &submit_policy,
             Some(self.timeout),
             &headers,
         )
@@ -161,6 +209,14 @@ impl WorkerClient {
         let path = format!("/jobs/{id}");
         let r = request_full_timeout(self.addr, "GET", &path, None, Some(self.timeout))
             .map_err(Self::io_err)?;
+        // a backpressured status GET means the node is alive but
+        // saturated — the dispatcher must keep the shard's deadline
+        // ticking, not treat this as protocol breakage
+        if r.status == 429 || r.status == 503 {
+            return Err(WorkerError::Busy {
+                retry_after_s: r.retry_after_s,
+            });
+        }
         if r.status != 200 {
             return Err(WorkerError::Protocol(format!(
                 "job status returned {}: {}",
@@ -273,6 +329,9 @@ impl WorkerClient {
             .map_err(Self::io_err)?;
         match r.status {
             200 => Ok(r.body),
+            429 | 503 => Err(WorkerError::Busy {
+                retry_after_s: r.retry_after_s,
+            }),
             500 | 504 => Err(WorkerError::JobFailed(r.body)),
             s => Err(WorkerError::Protocol(format!("report returned {s}"))),
         }
@@ -322,6 +381,38 @@ mod tests {
         let report = c.report(id).unwrap();
         assert!(report.contains("\"model\""));
         server.shutdown();
+    }
+
+    #[test]
+    fn probe_floors_missing_or_zero_capacity_signals_at_one() {
+        // a healthz body with no `workers` and a zero `queue_capacity`
+        // must not zero the load signals — weighted dispatch would score
+        // the node as zero-capacity and starve it
+        use std::io::{Read, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let mut s = stream;
+                let mut buf = [0u8; 4096];
+                let _ = s.read(&mut buf);
+                let body = r#"{"status":"ok","queue_depth":3,"queue_capacity":0,"in_flight":1}"#;
+                let _ = s.write_all(
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+            }
+        });
+        let c = WorkerClient::new(addr, Duration::from_secs(2), 1);
+        let h = c.probe().unwrap();
+        assert_eq!(h.workers, 1, "missing workers floors at 1");
+        assert_eq!(h.queue_capacity, 1, "zero queue_capacity floors at 1");
+        assert_eq!(h.queue_depth, 3, "depth passes through untouched");
+        assert_eq!(h.in_flight, 1);
     }
 
     #[test]

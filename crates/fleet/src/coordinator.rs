@@ -187,8 +187,9 @@ impl Fleet {
         let (tracer, ring) = proof_obs::shared_ring_tracer();
         let metrics = Arc::new(MetricsRegistry::new());
         // pre-register so the exposition carries the zero value even
-        // before (or without) any peer-cache traffic
+        // before (or without) any peer-cache traffic or weighted dispatch
         metrics.counter("fleet_cache_remote_hits");
+        metrics.counter("fleet_weighted_picks");
         Ok(Fleet {
             config,
             registry,

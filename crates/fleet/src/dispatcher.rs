@@ -1,14 +1,17 @@
-//! The dispatch loop: pending shards → least-loaded nodes → collected
-//! reports, with fault-aware rescheduling.
+//! The dispatch loop: pending shards → capacity/latency-weighted nodes →
+//! collected reports, with fault-aware rescheduling.
 //!
 //! Single-threaded by design — worker daemons provide the parallelism; the
 //! coordinator only needs to keep every node's in-flight window full. One
-//! pass of the loop (1) probes dead nodes so a restarted daemon rejoins,
-//! (2) dispatches pending shards to the least-loaded live node under the
-//! per-node in-flight cap, (3) polls in-flight jobs and resolves them:
-//! completed reports are collected, while worker-reported failures, shard
-//! timeouts, and transport errors send the shard back to the queue
-//! (charging the node) until its attempt budget runs out.
+//! pass of the loop (1) probes every node on a cadence — refreshing its
+//! advertised load signals and reviving restarted daemons, (2) dispatches
+//! pending shards to the node with the best estimated completion time
+//! (`(in_flight + 1) × latency-EWMA ÷ workers`; see
+//! [`crate::registry::SchedPolicy`]) under its capacity-scaled in-flight
+//! cap, (3) polls in-flight jobs and resolves them: completed reports are
+//! collected, while worker-reported failures, shard timeouts, and
+//! transport errors send the shard back to the queue (charging the node)
+//! until its attempt budget runs out.
 //!
 //! Rescheduling never loses work and never duplicates results: a shard is
 //! either pending, in flight on exactly one node, or resolved, and results
@@ -18,7 +21,7 @@
 use crate::client::{JobPoll, WorkerError};
 use crate::coordinator::FleetError;
 use crate::planner::{Shard, ShardPlan};
-use crate::registry::{NodeRegistry, NodeState};
+use crate::registry::{NodeRegistry, NodeState, SchedPolicy};
 use proof_obs::{Counter, FieldValue, FlightRecorder, Level, MetricsRegistry, Tracer};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -28,14 +31,21 @@ use std::time::{Duration, Instant};
 /// for real networks.
 #[derive(Debug, Clone)]
 pub struct DispatcherConfig {
-    /// Max unresolved shards submitted to one node at a time.
+    /// How the next node is picked for a pending shard. Weighted (the
+    /// default) scores estimated completion time from advertised worker
+    /// counts and observed shard latency; least-loaded is the legacy
+    /// homogeneous-fleet policy.
+    pub policy: SchedPolicy,
+    /// Base limit on unresolved shards submitted to one node at a time.
+    /// The weighted policy scales it by the node's advertised workers.
     pub max_in_flight_per_node: usize,
     /// Wall-clock budget for one shard on one node, submission to report;
     /// past it the shard is rescheduled and the node charged.
     pub shard_timeout: Duration,
     /// Pause between dispatch-loop passes when nothing resolved.
     pub poll_interval: Duration,
-    /// How often dead nodes are re-probed for revival.
+    /// How often every node is re-probed: dead nodes for revival, live
+    /// ones to refresh the advertised load signals the scheduler uses.
     pub probe_interval: Duration,
     /// Total attempts one shard may consume across all nodes.
     pub max_shard_attempts: u32,
@@ -48,6 +58,7 @@ pub struct DispatcherConfig {
 impl Default for DispatcherConfig {
     fn default() -> Self {
         DispatcherConfig {
+            policy: SchedPolicy::default(),
             max_in_flight_per_node: 2,
             shard_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(5),
@@ -68,6 +79,9 @@ pub struct FleetCounters {
     pub shard_failures: Arc<Counter>,
     pub probes: Arc<Counter>,
     pub probe_failures: Arc<Counter>,
+    /// Dispatch decisions made by the weighted scheduler (0 under
+    /// `--sched least-loaded`).
+    pub weighted_picks: Arc<Counter>,
 }
 
 impl FleetCounters {
@@ -79,6 +93,7 @@ impl FleetCounters {
             shard_failures: registry.counter("fleet_shard_failures"),
             probes: registry.counter("fleet_probes"),
             probe_failures: registry.counter("fleet_probe_failures"),
+            weighted_picks: registry.counter("fleet_weighted_picks"),
         }
     }
 }
@@ -209,11 +224,12 @@ impl Dispatcher {
         let mut inflight: Vec<InFlight> = Vec::new();
         let mut last_probe: Vec<Instant> = Vec::new();
 
-        // pre-register every node's shard-latency histogram so the
-        // federated exposition carries the series even before (or without)
-        // completions on that node
+        // pre-register every node's shard-latency histogram and EWMA
+        // gauge so the federated exposition carries the series even
+        // before (or without) completions on that node
         for i in 0..registry.len() {
             self.metrics.histogram(&format!("node{i}_shard_us"));
+            self.metrics.gauge(&format!("node{i}_ewma_us"));
         }
 
         // opening probe: seed health and the per-run load picture
@@ -224,11 +240,11 @@ impl Dispatcher {
 
         while !pending.is_empty() || !inflight.is_empty() {
             let now = Instant::now();
-            // revive pass: dead nodes get re-probed on the probe cadence
+            // probe pass on the cadence, for every node: dead ones so a
+            // restarted daemon rejoins, live ones so the scheduler's
+            // advertised load signals (workers, queue capacity) stay fresh
             for (i, last) in last_probe.iter_mut().enumerate() {
-                if registry.node(i).state == NodeState::Dead
-                    && now.duration_since(*last) >= self.config.probe_interval
-                {
+                if now.duration_since(*last) >= self.config.probe_interval {
                     self.probe(registry, i, &mut outcome);
                     *last = Instant::now();
                 }
@@ -255,7 +271,11 @@ impl Dispatcher {
         let client = registry.client(i).clone();
         let state_before = registry.node(i).state;
         let was_dead = state_before == NodeState::Dead;
-        let healthy = client.probe().is_ok();
+        let health = client.probe();
+        let healthy = health.is_ok();
+        if let Ok(h) = &health {
+            registry.note_health(i, h);
+        }
         registry.note_probe(i, healthy);
         self.note_health_transition(registry, i, state_before);
         self.counters.probes.inc();
@@ -301,10 +321,18 @@ impl Dispatcher {
     ) -> Result<(), FleetError> {
         while !pending.is_empty() {
             let now = Instant::now();
-            let Some(node) = registry.pick_least_loaded(self.config.max_in_flight_per_node, now)
+            let Some(node) =
+                registry.pick_node(self.config.policy, self.config.max_in_flight_per_node, now)
             else {
-                return Ok(()); // every node busy, dead, or backing off
+                // every node busy, dead, or backing off — or the weighted
+                // policy is holding the shard for the projected-fastest
+                // node rather than feeding a slower one
+                return Ok(());
             };
+            if self.config.policy == SchedPolicy::Weighted {
+                self.counters.weighted_picks.inc();
+            }
+            let est_us = registry.est_shard_us(node);
             let mut entry = pending.pop_front().expect("non-empty");
             if entry.attempts >= self.config.max_shard_attempts {
                 self.counters.shard_failures.inc();
@@ -341,6 +369,11 @@ impl Dispatcher {
                             ("node", FieldValue::U64(node as u64)),
                             ("job", FieldValue::U64(job_id)),
                             ("attempt", FieldValue::U64(u64::from(entry.attempts))),
+                            (
+                                "policy",
+                                FieldValue::Str(self.config.policy.as_str().to_string()),
+                            ),
+                            ("est_us", FieldValue::U64(est_us)),
                         ],
                     );
                     inflight.push(InFlight {
@@ -400,38 +433,60 @@ impl Dispatcher {
         inflight: &mut Vec<InFlight>,
         outcome: &mut DispatchOutcome,
     ) -> Result<bool, FleetError> {
+        // `Keep` leaves the job in flight; the other arms resolve it.
+        enum Resolution {
+            Keep,
+            Done(String),
+            Fail { why: String, timed_out: bool },
+        }
         let mut resolved_any = false;
         let mut i = 0;
         while i < inflight.len() {
             let now = Instant::now();
             let entry = &inflight[i];
             let client = registry.client(entry.node).clone();
-            // `None` keeps the job in flight; `Some` resolves this slot.
-            let resolution: Option<Result<String, String>> = match client.poll(entry.job_id) {
-                Ok(JobPoll::Pending) => {
-                    if now >= entry.deadline {
-                        Some(Err(format!(
-                            "shard timeout after {:?} on {}",
-                            self.config.shard_timeout, client.addr
-                        )))
-                    } else {
-                        None
-                    }
-                }
+            let resolution = match client.poll(entry.job_id) {
                 Ok(JobPoll::Done) => match client.report(entry.job_id) {
-                    Ok(body) => Some(Ok(body)),
-                    Err(e) => Some(Err(e.to_string())),
+                    Ok(body) => Resolution::Done(body),
+                    // the report GET itself backpressured: the artifact
+                    // exists, fetch it next pass (deadline still applies)
+                    Err(WorkerError::Busy { .. }) => Resolution::Keep,
+                    Err(e) => Resolution::Fail {
+                        why: e.to_string(),
+                        timed_out: false,
+                    },
                 },
-                Ok(JobPoll::Failed(msg)) => Some(Err(msg)),
-                // a GET backpressured — node alive, just saturated; retry
-                Err(WorkerError::Busy { .. }) => None,
+                Ok(JobPoll::Failed(msg)) => Resolution::Fail {
+                    why: msg,
+                    timed_out: false,
+                },
+                // still running, or the status GET backpressured (node
+                // alive, just saturated) — either way the shard stays in
+                // flight and its deadline keeps ticking below
+                Ok(JobPoll::Pending) | Err(WorkerError::Busy { .. }) => Resolution::Keep,
                 // unreachable or protocol breakage (e.g. restarted daemon
                 // that lost the job registry): node died mid-job
-                Err(e) => Some(Err(e.to_string())),
+                Err(e) => Resolution::Fail {
+                    why: e.to_string(),
+                    timed_out: false,
+                },
+            };
+            // the deadline governs every non-resolving outcome: a node
+            // that answers only 429s must still release its shard at
+            // `shard_timeout`, exactly like one that stays Pending
+            let resolution = match resolution {
+                Resolution::Keep if now >= entry.deadline => Resolution::Fail {
+                    why: format!(
+                        "shard timeout after {:?} on {}",
+                        self.config.shard_timeout, client.addr
+                    ),
+                    timed_out: true,
+                },
+                r => r,
             };
             match resolution {
-                None => i += 1,
-                Some(Ok(report)) => {
+                Resolution::Keep => i += 1,
+                Resolution::Done(report) => {
                     let entry = inflight.swap_remove(i);
                     registry.note_success(entry.node);
                     self.counters.completed.inc();
@@ -443,6 +498,10 @@ impl Dispatcher {
                     self.metrics
                         .histogram(&format!("node{}_shard_us", entry.node))
                         .record_us(shard_us);
+                    let ewma = registry.note_latency(entry.node, shard_us);
+                    self.metrics
+                        .gauge(&format!("node{}_ewma_us", entry.node))
+                        .set(ewma);
                     let mut span = self.tracer.span_in(self.trace, "fleet_shard");
                     span.field("shard", entry.shard.id as u64);
                     span.field("node", entry.node as u64);
@@ -458,11 +517,27 @@ impl Dispatcher {
                     outcome.results.push((entry.shard.id, report));
                     resolved_any = true;
                 }
-                Some(Err(why)) => {
+                Resolution::Fail { why, timed_out } => {
                     let entry = inflight.swap_remove(i);
                     let state_before = registry.node(entry.node).state;
                     registry.note_failure(entry.node, true);
                     self.note_health_transition(registry, entry.node, state_before);
+                    if timed_out {
+                        // charge the full elapsed time to the node's
+                        // latency estimate — without this a wedged-but-
+                        // healthy node keeps winning weighted picks and
+                        // burns the shard's whole attempt budget
+                        let elapsed_us = entry
+                            .started
+                            .elapsed()
+                            .as_micros()
+                            .min(u128::from(u64::MAX))
+                            as u64;
+                        let ewma = registry.note_latency(entry.node, elapsed_us);
+                        self.metrics
+                            .gauge(&format!("node{}_ewma_us", entry.node))
+                            .set(ewma);
+                    }
                     self.flight.record(
                         "reschedule",
                         format!(

@@ -4,11 +4,15 @@
 //! precisions × batch sizes (paper Tables 3–5) — and a single `proof-serve`
 //! daemon works through it one bounded queue at a time. This crate scales
 //! that grid out: a [`GridSpec`](proof_core::GridSpec) is expanded into
-//! canonically ordered shards ([`planner`]), dispatched least-loaded over
-//! the existing HTTP JSON API to a registry of worker daemons
-//! ([`registry`], [`client`], [`dispatcher`]), and the per-cell reports are
-//! reassembled ([`merger`]) into one combined artifact that is
-//! **byte-identical** to a single-node run of the same spec and seed.
+//! canonically ordered shards ([`planner`]), dispatched over the existing
+//! HTTP JSON API to a registry of worker daemons ([`registry`], [`client`],
+//! [`dispatcher`]) — by default capacity/latency-weighted
+//! ([`registry::SchedPolicy`]): each candidate is scored by estimated
+//! completion time from its advertised worker count and an EWMA of
+//! observed shard latency, so heterogeneous fleets keep fast nodes fed —
+//! and the per-cell reports are reassembled ([`merger`]) into one combined
+//! artifact that is **byte-identical** to a single-node run of the same
+//! spec and seed, regardless of scheduler choice.
 //!
 //! Fault model: a node that times out, keeps answering 429/5xx past its
 //! retry budget, or dies mid-job has its shards requeued onto surviving
@@ -47,6 +51,6 @@ pub use coordinator::{run_grid_local, Fleet, FleetConfig, FleetError, FleetRun};
 pub use dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters, ShardReport};
 pub use merger::{merge_run, MergeSummary};
 pub use planner::{plan_shards, Shard, ShardPlan};
-pub use registry::{NodeRegistry, NodeSnapshot, NodeState};
+pub use registry::{NodeRegistry, NodeSnapshot, NodeState, SchedPolicy};
 pub use server::{FleetServer, FleetServerConfig};
 pub use trace::merge_fleet_trace;

@@ -8,7 +8,9 @@
 //!   the most recent run (Perfetto-loadable).
 //! - `GET /healthz` — coordinator liveness, version, uptime, node counts,
 //!   and the fleet-wide cache-tier summary aggregated from the nodes.
-//! - `GET /nodes` — per-node registry snapshot.
+//! - `GET /nodes` — per-node registry snapshot: health state, in-flight,
+//!   advertised worker count, shard-latency EWMA (`ewma_us`, once
+//!   observed), and lifetime dispatch counters.
 //! - `GET /metrics[?format=prometheus]` — fleet counters; the Prometheus
 //!   form federates every reachable node's own exposition under a
 //!   `node="<addr>"` label, so one scrape covers the whole fleet. The

@@ -1,0 +1,269 @@
+//! Dispatcher regression tests for the liveness bugs fixed alongside the
+//! weighted scheduler:
+//!
+//! 1. a saturated node whose status GETs answer only 429 must release its
+//!    shard at the deadline (the old `poll_inflight` skipped the deadline
+//!    check on `WorkerError::Busy` and held the shard forever);
+//! 2. a node that 429'd with a long `Retry-After`, died, and was
+//!    probe-revived must receive dispatches immediately (the old
+//!    `note_probe` left the pre-death holdoff in place).
+//!
+//! Both tests run the dispatcher in a worker thread behind a watchdog:
+//! pre-fix, each scenario wedges the dispatch loop forever, which shows up
+//! here as a watchdog timeout instead of a hung test suite.
+
+use proof_core::GridSpec;
+use proof_fleet::{run_grid_local, DispatcherConfig, Fleet, FleetConfig, FleetError, FleetRun};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn spec(json: &str) -> GridSpec {
+    GridSpec::from_value(&serde_json::from_str(json).unwrap()).unwrap()
+}
+
+/// Serve one scripted HTTP exchange: read the request head (and drain the
+/// body), hand the request line to `respond`, write the reply.
+fn serve_scripted(
+    listener: TcpListener,
+    respond: impl Fn(&str) -> (u16, String, Vec<(&'static str, String)>) + Send + 'static,
+) {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut s) = stream else { continue };
+            let mut head = Vec::new();
+            let mut byte = [0u8; 1];
+            while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+                match s.read(&mut byte) {
+                    Ok(1) => head.push(byte[0]),
+                    _ => break,
+                }
+            }
+            let head = String::from_utf8_lossy(&head).to_string();
+            let line = head.lines().next().unwrap_or("").to_string();
+            if let Some(len) = head.lines().find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+            }) {
+                let mut body = vec![0u8; len.min(1 << 20)];
+                let _ = s.read_exact(&mut body);
+            }
+            let (status, body, extra) = respond(&line);
+            let mut headers = String::new();
+            for (k, v) in &extra {
+                headers.push_str(&format!("{k}: {v}\r\n"));
+            }
+            let _ = write!(
+                s,
+                "HTTP/1.1 {status} X\r\ncontent-type: application/json\r\n{headers}content-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        }
+    });
+}
+
+/// A worker that accepts every job but answers every status GET with 429 —
+/// alive and healthy by every probe, yet the shard can never resolve on
+/// it. The shape of a daemon wedged behind admission control.
+fn busy_poller_worker() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let next_id = AtomicU64::new(1);
+    serve_scripted(listener, move |line| {
+        if line.starts_with("GET /healthz") {
+            (
+                200,
+                r#"{"status":"ok","queue_depth":0,"queue_capacity":64,"workers":1,"in_flight":1}"#
+                    .to_string(),
+                vec![],
+            )
+        } else if line.starts_with("POST /jobs") {
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            (201, format!(r#"{{"id":{id},"status":"queued"}}"#), vec![])
+        } else if line.starts_with("GET /jobs/") {
+            (
+                429,
+                r#"{"error":"saturated"}"#.to_string(),
+                vec![("Retry-After", "1".to_string())],
+            )
+        } else if line.starts_with("POST /cache/peers") {
+            (200, r#"{"peers":1}"#.to_string(), vec![])
+        } else {
+            (404, r#"{"error":"no route"}"#.to_string(), vec![])
+        }
+    });
+    addr
+}
+
+/// Run `fleet.run_grid` on a worker thread behind a watchdog: pre-fix both
+/// regression scenarios wedge the dispatch loop forever, and a wedged test
+/// should fail loudly rather than hang the suite.
+fn run_with_watchdog(
+    mut fleet: Fleet,
+    s: GridSpec,
+    budget: Duration,
+) -> Result<FleetRun, FleetError> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = fleet.run_grid(&s);
+        fleet.shutdown();
+        let _ = tx.send(result);
+    });
+    rx.recv_timeout(budget)
+        .expect("dispatcher wedged: run_grid never returned within the watchdog budget")
+}
+
+#[test]
+fn node_answering_only_429s_releases_its_shard_at_the_deadline() {
+    let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":31}"#);
+    let reference = run_grid_local(&s).unwrap();
+
+    let config = FleetConfig {
+        nodes: vec![busy_poller_worker()],
+        local_daemons: 1,
+        request_timeout: Duration::from_millis(500),
+        dispatcher: DispatcherConfig {
+            shard_timeout: Duration::from_millis(800),
+            max_shard_attempts: 5,
+            ..DispatcherConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::start(config).unwrap();
+    let run = run_with_watchdog(fleet, s, Duration::from_secs(60)).unwrap();
+
+    assert_eq!(
+        run.merged, reference,
+        "429-wedged node changed the artifact bytes"
+    );
+    assert_eq!(run.outcome.results.len(), 2, "every cell must resolve");
+    assert!(
+        run.outcome.rescheduled >= 1,
+        "the shard stuck behind 429s was never rescheduled at its deadline"
+    );
+}
+
+/// A worker that is healthy forever, accepts jobs up to the dispatcher's
+/// cap, and never finishes any of them — it keeps the run (and its pending
+/// queue) alive while the node under test dies and revives.
+fn sponge_worker() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let next_id = AtomicU64::new(1);
+    serve_scripted(listener, move |line| {
+        if line.starts_with("GET /healthz") {
+            (
+                200,
+                r#"{"status":"ok","queue_depth":0,"queue_capacity":64,"workers":1,"in_flight":0}"#
+                    .to_string(),
+                vec![],
+            )
+        } else if line.starts_with("POST /jobs") {
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            (201, format!(r#"{{"id":{id},"status":"queued"}}"#), vec![])
+        } else if line.starts_with("GET /jobs/") {
+            (200, r#"{"status":"running"}"#.to_string(), vec![])
+        } else if line.starts_with("POST /cache/peers") {
+            (200, r#"{"peers":1}"#.to_string(), vec![])
+        } else {
+            (404, r#"{"error":"no route"}"#.to_string(), vec![])
+        }
+    });
+    addr
+}
+
+/// A worker scripted through the revival scenario: healthy once, then its
+/// first submission 429s with a 60 s `Retry-After`; two probe failures
+/// kill it; every later probe succeeds (the daemon "restarted"). Jobs
+/// accepted after revival fail instantly so the run ends without needing
+/// real reports — the assertion is about *when* dispatch resumes.
+fn dying_then_revived_worker() -> (SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let submits = Arc::new(AtomicU64::new(0));
+    let submits_in = Arc::clone(&submits);
+    let healthz_count = AtomicU64::new(0);
+    let next_id = AtomicU64::new(1);
+    serve_scripted(listener, move |line| {
+        if line.starts_with("GET /healthz") {
+            let n = healthz_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == 2 || n == 3 {
+                (500, r#"{"error":"dying"}"#.to_string(), vec![])
+            } else {
+                (
+                    200,
+                    r#"{"status":"ok","queue_depth":0,"queue_capacity":64,"workers":1,"in_flight":0}"#
+                        .to_string(),
+                    vec![],
+                )
+            }
+        } else if line.starts_with("POST /jobs") {
+            let n = submits_in.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == 1 {
+                (
+                    429,
+                    r#"{"error":"full"}"#.to_string(),
+                    vec![("Retry-After", "60".to_string())],
+                )
+            } else {
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                (201, format!(r#"{{"id":{id},"status":"queued"}}"#), vec![])
+            }
+        } else if line.starts_with("GET /jobs/") {
+            (
+                200,
+                r#"{"status":"failed","error":"scripted failure"}"#.to_string(),
+                vec![],
+            )
+        } else if line.starts_with("POST /cache/peers") {
+            (200, r#"{"peers":0}"#.to_string(), vec![])
+        } else {
+            (404, r#"{"error":"no route"}"#.to_string(), vec![])
+        }
+    });
+    (addr, submits)
+}
+
+#[test]
+fn revived_node_with_a_stale_backoff_dispatches_immediately() {
+    // the node under test 429s its first submission with Retry-After: 60,
+    // dies, and is probe-revived ~150 ms in; the sponge peer keeps the
+    // run alive (and the pending queue full) throughout. Post-fix, the
+    // revived node sees its second submission within the probe cadence;
+    // pre-fix the stale 60 s holdoff keeps it undispatchable and the
+    // deadline below fires.
+    let s =
+        spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,3,4,5,6],"seed":5}"#);
+    let (addr, submits) = dying_then_revived_worker();
+    let config = FleetConfig {
+        nodes: vec![addr, sponge_worker()],
+        request_timeout: Duration::from_millis(500),
+        dispatcher: DispatcherConfig {
+            probe_interval: Duration::from_millis(50),
+            ..DispatcherConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::start(config).unwrap();
+    let started = Instant::now();
+    // detached: neither scripted worker can produce a real report, so the
+    // run itself cannot complete — the assertion is purely about when the
+    // revived node is dispatched to again
+    std::thread::spawn(move || {
+        let _ = fleet.run_grid(&s);
+        fleet.shutdown();
+    });
+    while submits.load(Ordering::Relaxed) < 2 {
+        assert!(
+            started.elapsed() < Duration::from_secs(15),
+            "no post-revival dispatch after {:?} — the stale 60s backoff was not cleared \
+             on the dead node's healthy probe",
+            started.elapsed()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

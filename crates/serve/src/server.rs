@@ -858,9 +858,9 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, Option<u64>) {
 }
 
 /// The fleet probe target: liveness plus the load signals a coordinator
-/// needs for least-loaded dispatch — queue depth/capacity, worker count,
-/// and workers busy right now — plus uptime, build version, and a per-tier
-/// cache hit/miss summary for operators eyeballing a node.
+/// needs for capacity-weighted dispatch — queue depth/capacity, worker
+/// count, and workers busy right now — plus uptime, build version, and a
+/// per-tier cache hit/miss summary for operators eyeballing a node.
 fn healthz_body(shared: &Shared) -> String {
     let workers = shared.worker_metrics.snapshot();
     let mut m = Map::new();
