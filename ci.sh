@@ -335,4 +335,77 @@ trap - EXIT
 rm -f "$log_a" "$log_b" /tmp/proof_ci_hetero.json /tmp/proof_ci_hetero_m.json \
     /tmp/proof_ci_hetero_ref.json
 
+echo "==> proof fleet streaming smoke (async submit, live status, byte-identical result)"
+# two single-worker daemons, every shard stalled 400 ms at the metrics
+# stage: the 6-shard sweep takes over a second, long enough to observe the
+# run mid-flight — result answering 202 while status already shows partial
+# completions — before comparing the finished artifact against --in-process
+log_a="$(mktemp)"; log_b="$(mktemp)"; log_f="$(mktemp)"
+PROOF_FAULT="metrics:stall:400" \
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_a" 2>&1 &
+pid_a=$!
+PROOF_FAULT="metrics:stall:400" \
+    ./target/release/proof serve --addr 127.0.0.1:0 --workers 1 >"$log_b" 2>&1 &
+pid_b=$!
+trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true' EXIT
+for log in "$log_a" "$log_b"; do
+    for _ in $(seq 50); do
+        grep -q "listening on" "$log" && break
+        sleep 0.1
+    done
+done
+addr_a="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_a" | head -n1)"
+addr_b="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_b" | head -n1)"
+
+./target/release/proof fleet serve --addr 127.0.0.1:0 --nodes "${addr_a},${addr_b}" >"$log_f" 2>&1 &
+pid_f=$!
+trap 'kill "$pid_a" "$pid_b" "$pid_f" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "coordinating" "$log_f" && break
+    sleep 0.1
+done
+coord_addr="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log_f" | head -n1)"
+
+stream_spec='{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,3,4,6,8],"seed":97}'
+run_id="$(curl -sf -X POST "http://${coord_addr}/grid/submit" -d "$stream_spec" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["run_id"])')"
+
+# the run streams: at some poll the result endpoint must still answer 202
+# while the status endpoint already reports completed > 0
+saw_partial=0
+code=000
+for _ in $(seq 200); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "http://${coord_addr}/grid/${run_id}/result")"
+    [ "$code" = 200 ] && break
+    completed="$(curl -sf "http://${coord_addr}/grid/${run_id}/status" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["completed"])')"
+    if [ "$code" = 202 ] && [ "$completed" -gt 0 ]; then
+        saw_partial=1
+        # the whole read surface answers mid-run, alive included
+        curl -sf "http://${coord_addr}/healthz" | python3 -c \
+            'import json,sys; h=json.load(sys.stdin); assert "alive" in h and h["running"] is True, h'
+        curl -sf "http://${coord_addr}/nodes" >/dev/null
+        break
+    fi
+    sleep 0.1
+done
+[ "$saw_partial" = 1 ] || { echo "never observed a partial streaming run (last result status ${code})"; exit 1; }
+
+# drain the run and compare bytes against the in-process reference
+for _ in $(seq 600); do
+    code="$(curl -s -o /tmp/proof_ci_stream.json -w '%{http_code}' "http://${coord_addr}/grid/${run_id}/result")"
+    [ "$code" = 200 ] && break
+    sleep 0.1
+done
+[ "$code" = 200 ] || { echo "streaming run never finished (last result status ${code})"; exit 1; }
+./target/release/proof fleet sweep --in-process \
+    --models mobilenetv2-0.5 --platforms a100 --batches 1,2,3,4,6,8 --seed 97 \
+    --out /tmp/proof_ci_stream_ref.json 2>/dev/null
+cmp /tmp/proof_ci_stream.json /tmp/proof_ci_stream_ref.json
+curl -sf "http://${coord_addr}/healthz" | python3 -c \
+    'import json,sys; h=json.load(sys.stdin); assert h["runs_total"] >= 1 and h["running"] is False, h; print("  streaming OK: %d run(s), alive %d" % (h["runs_total"], h["alive"]))'
+kill "$pid_a" "$pid_b" "$pid_f" 2>/dev/null || true
+trap - EXIT
+rm -f "$log_a" "$log_b" "$log_f" /tmp/proof_ci_stream.json /tmp/proof_ci_stream_ref.json
+
 echo "CI OK"

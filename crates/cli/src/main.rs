@@ -19,7 +19,7 @@
 //!                   [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode M]
 //!                   [--seed N] [--sched least-loaded|weighted] [--out FILE]
 //!                   [--metrics-out FILE] [--trace-out FILE]
-//!                   [--in-process] [--peer-cache on|off]
+//!                   [--in-process] [--watch] [--peer-cache on|off]
 //! proof fleet serve [--addr 127.0.0.1:7979] (--nodes IP:PORT,... | --local N)
 //! ```
 
@@ -36,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N] [--peer-cache IP:PORT,...] [--peer-timeout-ms MS]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--sched least-loaded|weighted] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--trace-out FILE] [--in-process] [--peer-cache on|off]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N] [--sched least-loaded|weighted] [--peer-cache on|off]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
+        "usage:\n  proof list\n  proof inspect --model <slug> [--batch N] [--dot FILE] [--json FILE]\n  proof profile (--model <slug> | --model-file FILE) --platform <id>\n                [--backend trt|ort|ov] [--batch N] [--precision fp32|fp16|int8]\n                [--mode predicted|measured] [--seed N] [--top N] [--trace] [--timeout-ms N]\n                [--svg FILE] [--csv FILE] [--json FILE] [--html FILE] [--trace-out FILE]\n  proof peak --platform <id> [--precision fp16]\n  proof memory --model <slug> [--batch N] [--precision P] [--budget-gb G]\n  proof headroom --model <slug> --platform <id> [--batch N] [--top N]\n  proof serve [--addr HOST:PORT] [--workers N] [--cache-budget-mb MB] [--cache-dir DIR] [--queue-cap N] [--stage-cache-cap N]\n              [--job-timeout MS] [--job-retries N] [--peer-cache IP:PORT,...] [--peer-timeout-ms MS]\n  proof fleet sweep (--nodes IP:PORT,... | --local N) --models m1,m2 --platforms p1,p2\n                    [--backends b,...] [--precisions d,...] [--batches 1,2,4] [--mode predicted|measured]\n                    [--seed N] [--sched least-loaded|weighted] [--shard-timeout-ms MS] [--out FILE] [--metrics-out FILE] [--trace-out FILE] [--in-process] [--watch] [--peer-cache on|off]\n  proof fleet serve [--addr HOST:PORT] (--nodes IP:PORT,... | --local N) [--workers N] [--sched least-loaded|weighted] [--peer-cache on|off]\n\nenv: PROOF_LOG=error|warn|info|debug gates structured stderr log events\n     PROOF_FAULT=\"site:panic|stall:<ms>|fail:<n>[@seed];...\" injects deterministic pipeline faults\nmodels: {}\nplatforms: {}",
         ModelId::ALL.map(|m| m.slug()).join(", "),
         PlatformId::ALL.map(|p| format!("{p:?}").to_lowercase()).join(", ")
     );
@@ -44,7 +44,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BOOLEAN_FLAGS: &[&str] = &["trace", "in-process"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "in-process", "watch"];
 
 /// Parse `--key value` pairs (and valueless boolean flags) after the
 /// subcommand.
@@ -539,6 +539,47 @@ fn fleet_config(flags: &HashMap<String, String>) -> proof_fleet::FleetConfig {
     config
 }
 
+/// `--watch`: submit the grid as a streaming run and render per-shard
+/// progress to stderr as the dispatcher publishes it, then return the
+/// finished result (same bytes as the blocking path).
+fn watch_fleet_run(
+    fleet: &proof_fleet::Fleet,
+    spec: &proof_core::GridSpec,
+) -> Result<proof_fleet::FleetRun, proof_fleet::FleetError> {
+    let handle = fleet.submit_grid(spec)?;
+    let (counts, _) = handle.progress().since(0);
+    eprintln!(
+        "fleet run {} submitted: {} shards",
+        handle.id(),
+        counts.total
+    );
+    let mut cursor = 0u64;
+    loop {
+        let finished = handle.is_finished();
+        let (counts, events) = handle.progress().since(cursor);
+        cursor = counts.seq;
+        for e in events {
+            match e.kind {
+                proof_fleet::ProgressKind::Completed => eprintln!(
+                    "  shard {} done on node {} ({}/{} complete)",
+                    e.shard, e.node, counts.completed, counts.total
+                ),
+                proof_fleet::ProgressKind::Rescheduled => eprintln!(
+                    "  shard {} rescheduled off node {} (attempt {})",
+                    e.shard, e.node, e.attempts
+                ),
+                proof_fleet::ProgressKind::Dispatched => {}
+            }
+        }
+        // read finished *before* draining the sink: events published
+        // between the drain and the check are picked up next pass
+        if finished {
+            return handle.wait();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
 fn cmd_fleet_sweep(flags: HashMap<String, String>) -> ExitCode {
     let spec = fleet_grid_spec(&flags);
     // --in-process: the single-node library reference (no HTTP, no
@@ -558,14 +599,19 @@ fn cmd_fleet_sweep(flags: HashMap<String, String>) -> ExitCode {
             }
         }
     } else {
-        let mut fleet = match proof_fleet::Fleet::start(fleet_config(&flags)) {
+        let fleet = match proof_fleet::Fleet::start(fleet_config(&flags)) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("cannot start fleet: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let run = match fleet.run_grid(&spec) {
+        let run = if flags.contains_key("watch") {
+            watch_fleet_run(&fleet, &spec)
+        } else {
+            fleet.run_grid(&spec)
+        };
+        let run = match run {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("fleet run failed: {e}");
@@ -625,7 +671,7 @@ fn cmd_fleet_serve(flags: HashMap<String, String>) -> ExitCode {
         }
     };
     println!(
-        "proof-fleet coordinating {} node(s) on http://{}\nnodes: {}\nendpoints: POST /grid, GET /grid/trace, GET /nodes, GET /metrics[?format=prometheus], GET /debug/events, GET /healthz",
+        "proof-fleet coordinating {} node(s) on http://{}\nnodes: {}\nendpoints: POST /grid[?mode=async], POST /grid/submit, GET /grid/<id>/status[?since=SEQ], GET /grid/<id>/result, GET /grid/trace, GET /nodes, GET /metrics[?format=prometheus], GET /debug/events, GET /healthz",
         nodes.len(),
         server.addr(),
         nodes

@@ -96,7 +96,7 @@ fn run_policy(
     let s = spec(seed);
     let mut config = FleetConfig::remote(nodes);
     config.dispatcher.policy = policy;
-    let mut fleet = Fleet::start(config).expect("fleet start");
+    let fleet = Fleet::start(config).expect("fleet start");
     let run = fleet.run_grid(&s).expect("fleet run");
     let snaps = fleet.nodes();
     fleet.shutdown();

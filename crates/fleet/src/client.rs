@@ -338,6 +338,91 @@ impl WorkerClient {
     }
 }
 
+/// A typed client for the *coordinator's* streaming grid surface — the
+/// job-style mirror of [`WorkerClient`], one level up the hierarchy.
+/// Wraps `POST /grid/submit`, `GET /grid/<id>/status?since=`, and
+/// `GET /grid/<id>/result` so programmatic callers (and tests) don't
+/// hand-roll the three-endpoint poll loop.
+#[derive(Debug, Clone)]
+pub struct CoordinatorClient {
+    pub addr: SocketAddr,
+    /// Per-request transport bound (connect + each read/write).
+    pub timeout: Duration,
+}
+
+/// What `GET /grid/<id>/result` answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunResult {
+    /// 202 — the run thread is still dispatching; poll again.
+    Running,
+    /// 200 — the merged artifact, byte-identical to the sync path.
+    Done(String),
+    /// The coordinator reported the run's terminal `FleetError`.
+    Failed(String),
+}
+
+impl CoordinatorClient {
+    pub fn new(addr: SocketAddr, timeout: Duration) -> CoordinatorClient {
+        CoordinatorClient { addr, timeout }
+    }
+
+    fn io_err(e: std::io::Error) -> WorkerError {
+        WorkerError::Unreachable(e.to_string())
+    }
+
+    /// `POST /grid/submit` — validate the spec and mint a run; returns the
+    /// run id the status/result endpoints key on.
+    pub fn submit_grid(&self, spec_json: &str) -> Result<u64, WorkerError> {
+        let r = request_full_timeout(
+            self.addr,
+            "POST",
+            "/grid/submit",
+            Some(spec_json),
+            Some(self.timeout),
+        )
+        .map_err(Self::io_err)?;
+        if r.status != 202 {
+            return Err(WorkerError::Protocol(format!(
+                "grid submit returned {}: {}",
+                r.status, r.body
+            )));
+        }
+        WorkerClient::parse(&r.body)?
+            .get("run_id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| WorkerError::Protocol("submit reply without run_id".into()))
+    }
+
+    /// `GET /grid/<id>/status?since=<seq>` — live counts plus every
+    /// progress event past the cursor; the returned document's `seq` is
+    /// the exact cursor for the next poll.
+    pub fn run_status(&self, run_id: u64, since: u64) -> Result<Value, WorkerError> {
+        let path = format!("/grid/{run_id}/status?since={since}");
+        let r = request_full_timeout(self.addr, "GET", &path, None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        if r.status != 200 {
+            return Err(WorkerError::Protocol(format!(
+                "run status returned {}: {}",
+                r.status, r.body
+            )));
+        }
+        WorkerClient::parse(&r.body)
+    }
+
+    /// `GET /grid/<id>/result` — the run's terminal artifact, if any.
+    pub fn run_result(&self, run_id: u64) -> Result<RunResult, WorkerError> {
+        let path = format!("/grid/{run_id}/result");
+        let r = request_full_timeout(self.addr, "GET", &path, None, Some(self.timeout))
+            .map_err(Self::io_err)?;
+        match r.status {
+            200 => Ok(RunResult::Done(r.body)),
+            202 => Ok(RunResult::Running),
+            400 | 500 => Ok(RunResult::Failed(r.body)),
+            s => Err(WorkerError::Protocol(format!("run result returned {s}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +498,38 @@ mod tests {
         assert_eq!(h.queue_capacity, 1, "zero queue_capacity floors at 1");
         assert_eq!(h.queue_depth, 3, "depth passes through untouched");
         assert_eq!(h.in_flight, 1);
+    }
+
+    #[test]
+    fn coordinator_client_drives_a_streaming_run() {
+        let fleet = crate::Fleet::start(crate::FleetConfig::local(1)).unwrap();
+        let server = crate::FleetServer::start(fleet, crate::FleetServerConfig::default()).unwrap();
+        let c = CoordinatorClient::new(server.addr(), Duration::from_secs(5));
+
+        // a spec that fails validation is rejected at submit, not minted
+        assert!(matches!(
+            c.submit_grid(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[]}"#),
+            Err(WorkerError::Protocol(_))
+        ));
+
+        let spec = r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":7}"#;
+        let id = c.submit_grid(spec).unwrap();
+        let mut cursor = 0;
+        let merged = loop {
+            let s = c.run_status(id, cursor).unwrap();
+            let seq = s["seq"].as_u64().unwrap();
+            assert!(seq >= cursor, "status cursor regressed");
+            cursor = seq;
+            match c.run_result(id).unwrap() {
+                RunResult::Done(m) => break m,
+                RunResult::Running => std::thread::sleep(Duration::from_millis(10)),
+                RunResult::Failed(e) => panic!("run failed: {e}"),
+            }
+        };
+        let spec_v =
+            proof_core::GridSpec::from_value(&serde_json::from_str(spec).unwrap()).unwrap();
+        assert_eq!(merged, crate::run_grid_local(&spec_v).unwrap());
+        server.shutdown();
     }
 
     #[test]

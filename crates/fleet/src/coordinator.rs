@@ -3,16 +3,25 @@
 //! A [`Fleet`] owns the worker registry (remote daemons by address and/or
 //! embedded in-process `proof-serve` daemons for self-contained operation),
 //! the `proof-obs` tracer/metrics the whole run reports through, and the
-//! dispatcher. [`Fleet::run_grid`] takes a [`GridSpec`] to a merged
-//! artifact; [`run_grid_local`] is the in-process single-node reference
-//! producing the byte-identical document without any HTTP — the
-//! determinism contract the integration tests and CI smoke pin down.
+//! dispatcher. Runs are job-style: [`Fleet::submit_grid`] validates the
+//! spec, mints a [`RunHandle`] on the run ledger, and hands the dispatch
+//! to a dedicated run thread that publishes progress through the handle's
+//! [`ProgressSink`](crate::progress::ProgressSink); [`Fleet::run_grid`] is
+//! the synchronous wrapper (submit + wait). The registry snapshot, last
+//! merged trace, and health view stay readable from the shared
+//! [`FleetView`] while the run thread owns the registry — the coordinator
+//! HTTP surface never blocks on a running grid.
+//!
+//! [`run_grid_local`] is the in-process single-node reference producing
+//! the byte-identical document without any HTTP — the determinism contract
+//! the integration tests and CI smoke pin down.
 
 use crate::client::WorkerClient;
-use crate::dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters};
+use crate::dispatcher::{DispatchCtx, DispatchOutcome, Dispatcher, FleetCounters};
 use crate::merger::merge_run;
-use crate::planner::plan_shards;
+use crate::planner::{plan_shards, ShardPlan};
 use crate::registry::{NodeRegistry, NodeSnapshot};
+use crate::runs::{FleetView, RunHandle, RunLedger};
 use crate::trace::merge_fleet_trace;
 use proof_core::{GridSpec, ProofError};
 use proof_obs::export::{federate_prometheus, prometheus_text};
@@ -22,7 +31,7 @@ use proof_obs::{
 use proof_serve::AnalysisJob;
 use serde_json::{Map, Value};
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Why a fleet run could not produce its artifact.
@@ -96,7 +105,7 @@ pub struct FleetConfig {
     /// shards are served from warm peers. Artifact bytes are identical
     /// either way — this only changes where they come from.
     pub advertise_peer_cache: bool,
-    pub dispatcher: DispatcherConfig,
+    pub dispatcher: crate::dispatcher::DispatcherConfig,
 }
 
 impl Default for FleetConfig {
@@ -109,7 +118,7 @@ impl Default for FleetConfig {
             node_fail_threshold: 2,
             client_seed: 0x5EED,
             advertise_peer_cache: true,
-            dispatcher: DispatcherConfig::default(),
+            dispatcher: crate::dispatcher::DispatcherConfig::default(),
         }
     }
 }
@@ -149,16 +158,33 @@ pub struct FleetRun {
     pub trace_json: String,
 }
 
-/// Coordinator handle: registry + embedded daemons + observability.
-pub struct Fleet {
+/// The shared coordinator core: everything a run thread, the HTTP surface,
+/// and the owning [`Fleet`] handle all read through. The registry mutex is
+/// held by at most one run thread at a time (concurrent submissions
+/// serialize on it); every other field answers without it.
+struct FleetInner {
     config: FleetConfig,
-    registry: NodeRegistry,
-    embedded: Vec<proof_serve::Server>,
+    registry: Mutex<NodeRegistry>,
+    /// Node addresses, fixed at start (registry order).
+    addrs: Vec<SocketAddr>,
     tracer: Arc<Tracer>,
     ring: Arc<RingCollector>,
     metrics: Arc<MetricsRegistry>,
     flight: Arc<FlightRecorder>,
-    last_trace: Option<String>,
+    view: Arc<FleetView>,
+    runs: Arc<RunLedger>,
+}
+
+impl FleetInner {
+    fn lock_registry(&self) -> MutexGuard<'_, NodeRegistry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Coordinator handle: registry + embedded daemons + observability.
+pub struct Fleet {
+    inner: Arc<FleetInner>,
+    embedded: Vec<proof_serve::Server>,
 }
 
 impl Fleet {
@@ -187,210 +213,107 @@ impl Fleet {
         let (tracer, ring) = proof_obs::shared_ring_tracer();
         let metrics = Arc::new(MetricsRegistry::new());
         // pre-register so the exposition carries the zero value even
-        // before (or without) any peer-cache traffic or weighted dispatch
+        // before (or without) any peer-cache traffic, weighted dispatch,
+        // or submitted runs
         metrics.counter("fleet_cache_remote_hits");
         metrics.counter("fleet_weighted_picks");
+        metrics.counter("fleet_runs_total");
+        metrics.gauge("fleet_runs_active").set(0.0);
+        let view = Arc::new(FleetView::new());
+        view.set_nodes(registry.snapshot());
         Ok(Fleet {
-            config,
-            registry,
+            inner: Arc::new(FleetInner {
+                config,
+                registry: Mutex::new(registry),
+                addrs,
+                tracer,
+                ring,
+                metrics,
+                flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
+                view,
+                runs: Arc::new(RunLedger::new()),
+            }),
             embedded,
-            tracer,
-            ring,
-            metrics,
-            flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
-            last_trace: None,
         })
     }
 
     /// Addresses of every registered node (embedded daemons included).
     pub fn node_addrs(&self) -> Vec<SocketAddr> {
-        self.registry
-            .snapshot()
-            .iter()
-            .map(|s| s.addr.parse().expect("registry stores socket addrs"))
-            .collect()
+        self.inner.addrs.clone()
     }
 
-    /// Run one grid to the merged artifact. The run is traced as a
-    /// `fleet_run` span tree on the shared ring tracer; counters land on
-    /// [`Fleet::metrics`].
-    pub fn run_grid(&mut self, spec: &GridSpec) -> Result<FleetRun, FleetError> {
+    /// Accept a grid run: validate and plan the spec, mint a run id on the
+    /// ledger, and hand the dispatch to a dedicated run thread. Returns
+    /// immediately with the [`RunHandle`] — poll its progress, or
+    /// [`RunHandle::wait`] for the result. Concurrent submissions are
+    /// accepted eagerly and serialize on the registry inside their run
+    /// threads, in submission order of lock acquisition.
+    pub fn submit_grid(&self, spec: &GridSpec) -> Result<Arc<RunHandle>, FleetError> {
         let plan = plan_shards(spec)?;
-        let trace = proof_obs::new_trace_id();
-        let mut root = self.tracer.span_in(trace, "fleet_run");
-        let root_id = root.id();
-        root.field("cells", plan.cells as u64);
-        root.field("nodes", self.registry.len() as u64);
-        root.field("seed", spec.seed);
-        self.flight.record(
+        let handle = self.inner.runs.create(plan.shards.len());
+        self.inner.metrics.counter("fleet_runs_total").inc();
+        self.inner
+            .metrics
+            .gauge("fleet_runs_active")
+            .set(self.inner.runs.active() as f64);
+        self.inner.flight.record(
             "run",
-            format!("grid run started: {} shards", plan.shards.len()),
+            format!(
+                "run {} submitted: {} shards",
+                handle.id(),
+                plan.shards.len()
+            ),
             vec![
-                ("trace", FieldValue::U64(trace)),
+                ("run", FieldValue::U64(handle.id())),
                 ("shards", FieldValue::U64(plan.shards.len() as u64)),
                 ("seed", FieldValue::U64(spec.seed)),
             ],
         );
-        // wire every node's remote cache tier to its peers before any
-        // shard lands, and remember each node's remote-hit count so the
-        // post-run scrape can attribute this run's deltas
-        let remote_hits_before = if self.config.advertise_peer_cache {
-            self.advertise_peer_caches();
-            self.scrape_remote_hits()
-        } else {
-            Vec::new()
-        };
-        let mut dispatcher_config = self.config.dispatcher.clone();
-        dispatcher_config.advertise_peer_cache &= self.config.advertise_peer_cache;
-        let dispatcher = Dispatcher::new(
-            dispatcher_config,
-            FleetCounters::register(&self.metrics),
-            Arc::clone(&self.tracer),
-            trace,
-            root_id,
-            Arc::clone(&self.metrics),
-            Arc::clone(&self.flight),
-        );
-        let outcome = dispatcher.run(&plan, &mut self.registry);
-        root.finish();
-        if self.config.advertise_peer_cache {
-            let after = self.scrape_remote_hits();
-            let mut delta = 0u64;
-            for (before, after) in remote_hits_before.iter().zip(&after) {
-                if let (Some(b), Some(a)) = (before, after) {
-                    delta += a.saturating_sub(*b);
-                }
+        let inner = Arc::clone(&self.inner);
+        let spec = spec.clone();
+        let run_handle = Arc::clone(&handle);
+        let thread = std::thread::spawn(move || {
+            let result = execute_run(&inner, &spec, &plan, &run_handle);
+            if let Err(e) = &result {
+                inner.flight.record(
+                    "run",
+                    format!("run {} failed: {e}", run_handle.id()),
+                    vec![("run", FieldValue::U64(run_handle.id()))],
+                );
             }
-            self.metrics.counter("fleet_cache_remote_hits").add(delta);
-        }
-        let outcome = outcome?;
-        let merged = merge_run(spec, &outcome.results)?;
-        // cross-node trace assembly: pull each node's raw span listing for
-        // this run's trace (best-effort — a node that restarted or evicted
-        // the trace just contributes no track) and merge it with the
-        // dispatch record into one deterministic document
-        let node_docs: Vec<(usize, String, Value)> = (0..self.registry.len())
-            .filter_map(|i| {
-                let client = self.registry.client(i);
-                match client.fetch_trace_spans(trace) {
-                    Ok(Some(doc)) => Some((i, client.addr.to_string(), doc)),
-                    Ok(None) => None,
-                    Err(e) => {
-                        self.tracer.event(
-                            proof_obs::Level::Warn,
-                            "proof_fleet",
-                            format!("trace fetch from {} failed: {e}", client.addr),
-                            Vec::new(),
-                        );
-                        None
-                    }
-                }
-            })
-            .collect();
-        let trace_json = merge_fleet_trace(&outcome.shards, self.registry.len(), &node_docs);
-        self.last_trace = Some(trace_json.clone());
-        self.flight.record(
-            "run",
-            format!(
-                "grid run finished: {} shards, {} rescheduled",
-                outcome.shards.len(),
-                outcome.rescheduled
-            ),
-            vec![
-                ("trace", FieldValue::U64(trace)),
-                ("completed", FieldValue::U64(outcome.results.len() as u64)),
-            ],
-        );
-        let nodes = self.registry.snapshot();
-        // mirror per-node lifetime counters into the registry as gauges so
-        // the Prometheus exposition carries them alongside fleet_* counters
-        for (i, n) in nodes.iter().enumerate() {
-            self.metrics
-                .gauge(&format!("node{i}_dispatched"))
-                .set(n.dispatched as f64);
-            self.metrics
-                .gauge(&format!("node{i}_completed"))
-                .set(n.completed as f64);
-            self.metrics
-                .gauge(&format!("node{i}_failures"))
-                .set(n.failures as f64);
-        }
-        Ok(FleetRun {
-            merged,
-            outcome,
-            nodes,
-            trace_json,
-        })
+            // publish the post-run gauge value *before* flipping the
+            // handle, so a waiter that wakes on finish() already sees it;
+            // re-set after as self-correction under concurrent finishes
+            inner
+                .metrics
+                .gauge("fleet_runs_active")
+                .set(inner.runs.active().saturating_sub(1) as f64);
+            run_handle.finish(result);
+            inner
+                .metrics
+                .gauge("fleet_runs_active")
+                .set(inner.runs.active() as f64);
+        });
+        self.inner.runs.note_thread(thread);
+        Ok(handle)
     }
 
-    /// Tell every node about every *other* node's cache endpoint
-    /// (best-effort — an unreachable node just misses the refresh and gets
-    /// re-advertised when a probe revives it).
-    fn advertise_peer_caches(&self) {
-        let n = self.registry.len();
-        if n < 2 {
-            return;
-        }
-        let addrs: Vec<SocketAddr> = (0..n).map(|i| self.registry.client(i).addr).collect();
-        for i in 0..n {
-            let peers: Vec<SocketAddr> = addrs
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, a)| a)
-                .collect();
-            match self.registry.client(i).advertise_peers(&peers) {
-                Ok(_) => self.metrics.counter("fleet_peer_advertisements").inc(),
-                Err(e) => self.tracer.event(
-                    proof_obs::Level::Warn,
-                    "proof_fleet",
-                    format!("peer-cache advertisement to {} failed: {e}", addrs[i]),
-                    Vec::new(),
-                ),
-            }
-        }
+    /// Run one grid to the merged artifact, synchronously: submit + wait.
+    /// The run is traced as a `fleet_run` span tree on the shared ring
+    /// tracer; counters land on [`Fleet::metrics`].
+    pub fn run_grid(&self, spec: &GridSpec) -> Result<FleetRun, FleetError> {
+        self.submit_grid(spec)?.wait()
     }
 
-    /// Each node's lifetime remote-tier hit counter (`None` for nodes that
-    /// cannot answer), index-aligned with the registry.
-    fn scrape_remote_hits(&self) -> Vec<Option<u64>> {
-        (0..self.registry.len())
-            .map(|i| self.registry.client(i).cache_remote_hits().ok())
-            .collect()
-    }
-
-    /// Fleet metrics as JSON: the registry snapshot plus per-node state.
+    /// Fleet metrics as JSON: counters, gauges, and the per-node view.
     pub fn metrics_json(&self) -> String {
-        let snap = self.metrics.snapshot();
-        let mut m = Map::new();
-        let mut counters = Map::new();
-        for (name, v) in &snap.counters {
-            counters.insert(name.clone(), Value::from(*v));
-        }
-        m.insert("counters".to_string(), Value::Object(counters));
-        let mut gauges = Map::new();
-        for (name, v) in &snap.gauges {
-            gauges.insert(name.clone(), Value::from(*v));
-        }
-        m.insert("gauges".to_string(), Value::Object(gauges));
-        m.insert(
-            "nodes".to_string(),
-            Value::Array(
-                self.registry
-                    .snapshot()
-                    .iter()
-                    .map(NodeSnapshot::to_value)
-                    .collect(),
-            ),
-        );
-        Value::Object(m).to_string()
+        metrics_json_from(&self.inner.metrics, &self.inner.view.nodes())
     }
 
     /// Fleet metrics in Prometheus exposition format (`proof_fleet_`
     /// prefix).
     pub fn metrics_prometheus(&self) -> String {
-        prometheus_text(&self.metrics.snapshot(), "proof_fleet_")
+        prometheus_text(&self.inner.metrics.snapshot(), "proof_fleet_")
     }
 
     /// The coordinator's own exposition plus every reachable node's
@@ -399,9 +322,10 @@ impl Fleet {
     /// (the coordinator's own `proof_fleet_` series still report them).
     pub fn metrics_prometheus_federated(&self) -> String {
         let mut out = self.metrics_prometheus();
-        let scraped: Vec<(String, String)> = (0..self.registry.len())
+        let registry = self.inner.lock_registry();
+        let scraped: Vec<(String, String)> = (0..registry.len())
             .filter_map(|i| {
-                let client = self.registry.client(i);
+                let client = registry.client(i);
                 client
                     .scrape_prometheus()
                     .ok()
@@ -415,38 +339,242 @@ impl Fleet {
     }
 
     /// The merged cross-node trace document of the most recent grid run.
-    pub fn last_trace(&self) -> Option<&str> {
-        self.last_trace.as_deref()
+    pub fn last_trace(&self) -> Option<String> {
+        self.inner.view.last_trace()
     }
 
     /// The coordinator's flight recorder: a bounded ring of structured
-    /// scheduling events (dispatches, reschedules, health transitions).
+    /// scheduling events (dispatches, reschedules, health transitions,
+    /// run lifecycle).
     pub fn flight(&self) -> &Arc<FlightRecorder> {
-        &self.flight
+        &self.inner.flight
     }
 
-    /// Current per-node registry view.
+    /// Current per-node registry view (the dispatcher republishes it as
+    /// shards resolve, so it is live during a run).
     pub fn nodes(&self) -> Vec<NodeSnapshot> {
-        self.registry.snapshot()
+        self.inner.view.nodes()
     }
 
     /// The shared metrics registry (counters survive across runs).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
-        &self.metrics
+        &self.inner.metrics
     }
 
     /// The ring collector behind the fleet tracer (span inspection).
     pub fn ring(&self) -> &Arc<RingCollector> {
-        &self.ring
+        &self.inner.ring
     }
 
-    /// Shut down embedded daemons (drains their queues first). Remote
-    /// nodes are untouched.
+    /// The always-readable registry/trace view shared with run threads.
+    pub fn view(&self) -> &Arc<FleetView> {
+        &self.inner.view
+    }
+
+    /// The run ledger: every accepted run's handle, by id.
+    pub fn runs(&self) -> &Arc<RunLedger> {
+        &self.inner.runs
+    }
+
+    /// Drain every run thread, then shut down embedded daemons (their
+    /// queues drain first). Remote nodes are untouched.
     pub fn shutdown(self) {
+        self.inner.runs.join_all();
         for server in self.embedded {
             server.shutdown();
         }
     }
+}
+
+/// The run thread body: owns the registry for the duration of the
+/// dispatch, publishes progress through the handle's sink and the shared
+/// view, and produces the merged artifact + cross-node trace.
+fn execute_run(
+    inner: &FleetInner,
+    spec: &GridSpec,
+    plan: &ShardPlan,
+    handle: &RunHandle,
+) -> Result<FleetRun, FleetError> {
+    let mut registry = inner.lock_registry();
+    let trace = proof_obs::new_trace_id();
+    let mut root = inner.tracer.span_in(trace, "fleet_run");
+    let root_id = root.id();
+    root.field("cells", plan.cells as u64);
+    root.field("nodes", registry.len() as u64);
+    root.field("seed", spec.seed);
+    inner.flight.record(
+        "run",
+        format!("run {} started: {} shards", handle.id(), plan.shards.len()),
+        vec![
+            ("run", FieldValue::U64(handle.id())),
+            ("trace", FieldValue::U64(trace)),
+            ("shards", FieldValue::U64(plan.shards.len() as u64)),
+            ("seed", FieldValue::U64(spec.seed)),
+        ],
+    );
+    // wire every node's remote cache tier to its peers before any shard
+    // lands, and remember each node's remote-hit count so the post-run
+    // scrape can attribute this run's deltas
+    let remote_hits_before = if inner.config.advertise_peer_cache {
+        advertise_peer_caches(inner, &registry);
+        scrape_remote_hits(&registry)
+    } else {
+        Vec::new()
+    };
+    let mut dispatcher_config = inner.config.dispatcher.clone();
+    dispatcher_config.advertise_peer_cache &= inner.config.advertise_peer_cache;
+    let dispatcher = Dispatcher::new(
+        dispatcher_config,
+        DispatchCtx {
+            counters: FleetCounters::register(&inner.metrics),
+            tracer: Arc::clone(&inner.tracer),
+            trace,
+            parent_span: root_id,
+            metrics: Arc::clone(&inner.metrics),
+            flight: Arc::clone(&inner.flight),
+            progress: Arc::clone(handle.progress()),
+            view: Arc::clone(&inner.view),
+        },
+    );
+    let outcome = dispatcher.run(plan, &mut registry);
+    root.finish();
+    if inner.config.advertise_peer_cache {
+        let after = scrape_remote_hits(&registry);
+        let mut delta = 0u64;
+        for (before, after) in remote_hits_before.iter().zip(&after) {
+            if let (Some(b), Some(a)) = (before, after) {
+                delta += a.saturating_sub(*b);
+            }
+        }
+        inner.metrics.counter("fleet_cache_remote_hits").add(delta);
+    }
+    let outcome = outcome?;
+    let merged = merge_run(spec, &outcome.results)?;
+    // cross-node trace assembly: pull each node's raw span listing for
+    // this run's trace (best-effort — a node that restarted or evicted
+    // the trace just contributes no track) and merge it with the
+    // dispatch record into one deterministic document
+    let node_docs: Vec<(usize, String, Value)> = (0..registry.len())
+        .filter_map(|i| {
+            let client = registry.client(i);
+            match client.fetch_trace_spans(trace) {
+                Ok(Some(doc)) => Some((i, client.addr.to_string(), doc)),
+                Ok(None) => None,
+                Err(e) => {
+                    inner.tracer.event(
+                        proof_obs::Level::Warn,
+                        "proof_fleet",
+                        format!("trace fetch from {} failed: {e}", client.addr),
+                        Vec::new(),
+                    );
+                    None
+                }
+            }
+        })
+        .collect();
+    let trace_json = merge_fleet_trace(&outcome.shards, registry.len(), &node_docs);
+    // publish the trace before the handle flips to finished, so a client
+    // that sees `state: done` can always fetch `/grid/trace`
+    inner.view.set_last_trace(trace_json.clone());
+    inner.flight.record(
+        "run",
+        format!(
+            "run {} finished: {} shards, {} rescheduled",
+            handle.id(),
+            outcome.shards.len(),
+            outcome.rescheduled
+        ),
+        vec![
+            ("run", FieldValue::U64(handle.id())),
+            ("trace", FieldValue::U64(trace)),
+            ("completed", FieldValue::U64(outcome.results.len() as u64)),
+        ],
+    );
+    let nodes = registry.snapshot();
+    // mirror per-node lifetime counters into the registry as gauges so
+    // the Prometheus exposition carries them alongside fleet_* counters
+    for (i, n) in nodes.iter().enumerate() {
+        inner
+            .metrics
+            .gauge(&format!("node{i}_dispatched"))
+            .set(n.dispatched as f64);
+        inner
+            .metrics
+            .gauge(&format!("node{i}_completed"))
+            .set(n.completed as f64);
+        inner
+            .metrics
+            .gauge(&format!("node{i}_failures"))
+            .set(n.failures as f64);
+    }
+    inner.view.set_nodes(nodes.clone());
+    Ok(FleetRun {
+        merged,
+        outcome,
+        nodes,
+        trace_json,
+    })
+}
+
+/// Tell every node about every *other* node's cache endpoint
+/// (best-effort — an unreachable node just misses the refresh and gets
+/// re-advertised when a probe revives it).
+fn advertise_peer_caches(inner: &FleetInner, registry: &NodeRegistry) {
+    let n = registry.len();
+    if n < 2 {
+        return;
+    }
+    let addrs: Vec<SocketAddr> = (0..n).map(|i| registry.client(i).addr).collect();
+    for i in 0..n {
+        let peers: Vec<SocketAddr> = addrs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, a)| a)
+            .collect();
+        match registry.client(i).advertise_peers(&peers) {
+            Ok(_) => inner.metrics.counter("fleet_peer_advertisements").inc(),
+            Err(e) => inner.tracer.event(
+                proof_obs::Level::Warn,
+                "proof_fleet",
+                format!("peer-cache advertisement to {} failed: {e}", addrs[i]),
+                Vec::new(),
+            ),
+        }
+    }
+}
+
+/// Each node's lifetime remote-tier hit counter (`None` for nodes that
+/// cannot answer), index-aligned with the registry.
+fn scrape_remote_hits(registry: &NodeRegistry) -> Vec<Option<u64>> {
+    (0..registry.len())
+        .map(|i| registry.client(i).cache_remote_hits().ok())
+        .collect()
+}
+
+/// Render a metrics registry plus a node snapshot as the coordinator's
+/// JSON metrics document. Shared by [`Fleet::metrics_json`] and the HTTP
+/// surface (which reads nodes from the [`FleetView`], so the document is
+/// complete even mid-run).
+pub(crate) fn metrics_json_from(metrics: &MetricsRegistry, nodes: &[NodeSnapshot]) -> String {
+    let snap = metrics.snapshot();
+    let mut m = Map::new();
+    let mut counters = Map::new();
+    for (name, v) in &snap.counters {
+        counters.insert(name.clone(), Value::from(*v));
+    }
+    m.insert("counters".to_string(), Value::Object(counters));
+    let mut gauges = Map::new();
+    for (name, v) in &snap.gauges {
+        gauges.insert(name.clone(), Value::from(*v));
+    }
+    m.insert("gauges".to_string(), Value::Object(gauges));
+    m.insert(
+        "nodes".to_string(),
+        Value::Array(nodes.iter().map(NodeSnapshot::to_value).collect()),
+    );
+    Value::Object(m).to_string()
 }
 
 /// The single-node, in-process reference: execute every cell in canonical
@@ -491,5 +619,45 @@ mod tests {
         );
         // determinism: a second run is byte-identical
         assert_eq!(merged, run_grid_local(&s).unwrap());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_submit_without_minting_a_run() {
+        let fleet = Fleet::start(FleetConfig::local(1)).unwrap();
+        let bad = GridSpec::from_value(
+            &serde_json::from_str(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1]}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        // a good spec plans; force invalidity through an empty batch list
+        let mut empty = bad.clone();
+        empty.batches.clear();
+        assert!(fleet.submit_grid(&empty).is_err());
+        assert_eq!(fleet.runs().total(), 0, "no run id burned on a bad spec");
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn submit_streams_progress_and_matches_sync_bytes() {
+        let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":3}"#);
+        let fleet = Fleet::start(FleetConfig::local(1)).unwrap();
+        let handle = fleet.submit_grid(&s).unwrap();
+        assert_eq!(handle.id(), 1);
+        let run = handle.wait().unwrap();
+        assert!(handle.is_finished());
+        let (counts, events) = handle.progress().since(0);
+        assert_eq!(counts.completed, 2);
+        assert_eq!(counts.pending, 0);
+        assert!(events.len() >= 4, "2 dispatches + 2 completions at least");
+        assert_eq!(run.merged, run_grid_local(&s).unwrap());
+        // the sync wrapper produces the same bytes and a second run id
+        let sync = fleet.run_grid(&s).unwrap();
+        assert_eq!(sync.merged, run.merged);
+        assert_eq!(fleet.runs().total(), 2);
+        assert_eq!(fleet.runs().active(), 0);
+        let m: Value = serde_json::from_str(&fleet.metrics_json()).unwrap();
+        assert_eq!(m["counters"]["fleet_runs_total"].as_u64(), Some(2));
+        assert_eq!(m["gauges"]["fleet_runs_active"].as_f64(), Some(0.0));
+        fleet.shutdown();
     }
 }

@@ -21,7 +21,9 @@
 use crate::client::{JobPoll, WorkerError};
 use crate::coordinator::FleetError;
 use crate::planner::{Shard, ShardPlan};
+use crate::progress::ProgressSink;
 use crate::registry::{NodeRegistry, NodeState, SchedPolicy};
+use crate::runs::FleetView;
 use proof_obs::{Counter, FieldValue, FlightRecorder, Level, MetricsRegistry, Tracer};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -145,42 +147,40 @@ struct PendingShard {
     last_error: Option<String>,
 }
 
-/// The dispatch loop itself. Owns tuning, counters, and the trace context;
-/// borrow the [`NodeRegistry`] per run.
-pub struct Dispatcher {
-    pub config: DispatcherConfig,
-    counters: FleetCounters,
-    tracer: Arc<Tracer>,
-    trace: u64,
+/// Everything one run's dispatch reports through: counters, tracing,
+/// flight recorder, the run's [`ProgressSink`], and the shared
+/// [`FleetView`] the HTTP surface reads mid-run.
+pub struct DispatchCtx {
+    pub counters: FleetCounters,
+    pub tracer: Arc<Tracer>,
+    /// The run's trace id.
+    pub trace: u64,
     /// The `fleet_run` root span id, propagated to workers as the
     /// `X-Proof-Trace` parent so their job spans join the fleet trace.
-    parent_span: u64,
+    pub parent_span: u64,
     /// Registry for the per-node `node<i>_shard_us` latency histograms.
-    metrics: Arc<MetricsRegistry>,
+    pub metrics: Arc<MetricsRegistry>,
     /// Flight recorder shared with the coordinator: dispatches,
     /// reschedules, and node health transitions land here.
-    flight: Arc<FlightRecorder>,
+    pub flight: Arc<FlightRecorder>,
+    /// The run's seq-numbered progress ledger — every dispatch,
+    /// completion, and reschedule is published here as it resolves.
+    pub progress: Arc<ProgressSink>,
+    /// Shared registry view for lock-free `/nodes` and `/healthz` reads
+    /// while this dispatch owns the registry.
+    pub view: Arc<FleetView>,
+}
+
+/// The dispatch loop itself. Owns tuning and the run context; borrow the
+/// [`NodeRegistry`] per run.
+pub struct Dispatcher {
+    pub config: DispatcherConfig,
+    ctx: DispatchCtx,
 }
 
 impl Dispatcher {
-    pub fn new(
-        config: DispatcherConfig,
-        counters: FleetCounters,
-        tracer: Arc<Tracer>,
-        trace: u64,
-        parent_span: u64,
-        metrics: Arc<MetricsRegistry>,
-        flight: Arc<FlightRecorder>,
-    ) -> Dispatcher {
-        Dispatcher {
-            config,
-            counters,
-            tracer,
-            trace,
-            parent_span,
-            metrics,
-            flight,
-        }
+    pub fn new(config: DispatcherConfig, ctx: DispatchCtx) -> Dispatcher {
+        Dispatcher { config, ctx }
     }
 
     /// Record a flight event when `before` differs from node `i`'s current
@@ -188,7 +188,7 @@ impl Dispatcher {
     fn note_health_transition(&self, registry: &NodeRegistry, i: usize, before: NodeState) {
         let now = registry.node(i).state;
         if now != before {
-            self.flight.record(
+            self.ctx.flight.record(
                 "health",
                 format!("node {i} {} -> {}", before.as_str(), now.as_str()),
                 vec![
@@ -228,8 +228,8 @@ impl Dispatcher {
         // gauge so the federated exposition carries the series even
         // before (or without) completions on that node
         for i in 0..registry.len() {
-            self.metrics.histogram(&format!("node{i}_shard_us"));
-            self.metrics.gauge(&format!("node{i}_ewma_us"));
+            self.ctx.metrics.histogram(&format!("node{i}_shard_us"));
+            self.ctx.metrics.gauge(&format!("node{i}_ewma_us"));
         }
 
         // opening probe: seed health and the per-run load picture
@@ -237,6 +237,7 @@ impl Dispatcher {
             self.probe(registry, i, &mut outcome);
             last_probe.push(Instant::now());
         }
+        self.ctx.view.set_nodes(registry.snapshot());
 
         while !pending.is_empty() || !inflight.is_empty() {
             let now = Instant::now();
@@ -260,10 +261,14 @@ impl Dispatcher {
 
             let resolved =
                 self.poll_inflight(registry, &mut pending, &mut inflight, &mut outcome)?;
+            // republish the registry view every pass so `/nodes` and
+            // `/healthz` track health transitions and in-flight counts live
+            self.ctx.view.set_nodes(registry.snapshot());
             if !resolved {
                 std::thread::sleep(self.config.poll_interval);
             }
         }
+        self.ctx.view.set_nodes(registry.snapshot());
         Ok(outcome)
     }
 
@@ -278,12 +283,12 @@ impl Dispatcher {
         }
         registry.note_probe(i, healthy);
         self.note_health_transition(registry, i, state_before);
-        self.counters.probes.inc();
+        self.ctx.counters.probes.inc();
         outcome.probes += 1;
         if !healthy {
-            self.counters.probe_failures.inc();
+            self.ctx.counters.probe_failures.inc();
             outcome.probe_failures += 1;
-            self.tracer.event(
+            self.ctx.tracer.event(
                 Level::Warn,
                 "proof_fleet",
                 format!("probe of {} failed", client.addr),
@@ -297,7 +302,7 @@ impl Dispatcher {
                 .map(|j| registry.client(j).addr)
                 .collect();
             if let Err(e) = client.advertise_peers(&peers) {
-                self.tracer.event(
+                self.ctx.tracer.event(
                     Level::Warn,
                     "proof_fleet",
                     format!(
@@ -330,12 +335,12 @@ impl Dispatcher {
                 return Ok(());
             };
             if self.config.policy == SchedPolicy::Weighted {
-                self.counters.weighted_picks.inc();
+                self.ctx.counters.weighted_picks.inc();
             }
             let est_us = registry.est_shard_us(node);
             let mut entry = pending.pop_front().expect("non-empty");
             if entry.attempts >= self.config.max_shard_attempts {
-                self.counters.shard_failures.inc();
+                self.ctx.counters.shard_failures.inc();
                 return Err(FleetError::ShardFailed {
                     shard: entry.shard.id,
                     attempts: entry.attempts,
@@ -345,14 +350,14 @@ impl Dispatcher {
             let client = registry.client(node).clone();
             match client.submit_traced(
                 &entry.shard.cell.to_job_value(),
-                Some((self.trace, self.parent_span)),
+                Some((self.ctx.trace, self.ctx.parent_span)),
             ) {
                 Ok(job_id) => {
                     registry.note_dispatch(node);
-                    self.counters.dispatched.inc();
+                    self.ctx.counters.dispatched.inc();
                     outcome.dispatched += 1;
                     entry.attempts += 1;
-                    self.tracer.event(
+                    self.ctx.tracer.event(
                         Level::Debug,
                         "proof_fleet",
                         format!("shard {} -> {} (job {job_id})", entry.shard.id, client.addr),
@@ -361,7 +366,7 @@ impl Dispatcher {
                             ("attempt", FieldValue::U64(u64::from(entry.attempts))),
                         ],
                     );
-                    self.flight.record(
+                    self.ctx.flight.record(
                         "dispatch",
                         format!("shard {} -> node {node} (job {job_id})", entry.shard.id),
                         vec![
@@ -376,6 +381,9 @@ impl Dispatcher {
                             ("est_us", FieldValue::U64(est_us)),
                         ],
                     );
+                    self.ctx
+                        .progress
+                        .note_dispatched(entry.shard.id, node, job_id, entry.attempts);
                     inflight.push(InFlight {
                         shard: entry.shard,
                         attempts: entry.attempts,
@@ -394,13 +402,13 @@ impl Dispatcher {
                     let state_before = registry.node(node).state;
                     registry.note_failure(node, false);
                     self.note_health_transition(registry, node, state_before);
-                    self.tracer.event(
+                    self.ctx.tracer.event(
                         Level::Warn,
                         "proof_fleet",
                         format!("submit to {} failed: {e}", client.addr),
                         vec![("shard", FieldValue::U64(entry.shard.id as u64))],
                     );
-                    self.flight.record(
+                    self.ctx.flight.record(
                         "reschedule",
                         format!("shard {} submit to node {node} failed: {e}", entry.shard.id),
                         vec![
@@ -409,9 +417,17 @@ impl Dispatcher {
                         ],
                     );
                     entry.last_error = Some(e.to_string());
-                    // the shard is being re-queued onto the survivors
-                    self.counters.rescheduled.inc();
+                    // the shard is being re-queued onto the survivors; it
+                    // never reached the node, so nothing leaves flight
+                    self.ctx.counters.rescheduled.inc();
                     outcome.rescheduled += 1;
+                    self.ctx.progress.note_rescheduled(
+                        entry.shard.id,
+                        node,
+                        0,
+                        entry.attempts,
+                        false,
+                    );
                     pending.push_front(entry);
                     if registry.alive() == 0 && inflight.is_empty() {
                         return Err(FleetError::AllNodesDead {
@@ -489,31 +505,35 @@ impl Dispatcher {
                 Resolution::Done(report) => {
                     let entry = inflight.swap_remove(i);
                     registry.note_success(entry.node);
-                    self.counters.completed.inc();
+                    self.ctx.counters.completed.inc();
                     let shard_us = entry
                         .started
                         .elapsed()
                         .as_micros()
                         .min(u128::from(u64::MAX)) as u64;
-                    self.metrics
+                    self.ctx
+                        .metrics
                         .histogram(&format!("node{}_shard_us", entry.node))
                         .record_us(shard_us);
                     let ewma = registry.note_latency(entry.node, shard_us);
-                    self.metrics
+                    self.ctx
+                        .metrics
                         .gauge(&format!("node{}_ewma_us", entry.node))
                         .set(ewma);
-                    let mut span = self.tracer.span_in(self.trace, "fleet_shard");
+                    let mut span = self.ctx.tracer.span_in(self.ctx.trace, "fleet_shard");
                     span.field("shard", entry.shard.id as u64);
                     span.field("node", entry.node as u64);
                     span.field("attempts", u64::from(entry.attempts));
                     span.field("status", "done");
                     span.finish();
-                    outcome.shards.push(ShardReport {
+                    let record = ShardReport {
                         shard: entry.shard.id,
                         node: entry.node,
                         job_id: entry.job_id,
                         attempts: entry.attempts,
-                    });
+                    };
+                    self.ctx.progress.note_completed(&record);
+                    outcome.shards.push(record);
                     outcome.results.push((entry.shard.id, report));
                     resolved_any = true;
                 }
@@ -534,11 +554,12 @@ impl Dispatcher {
                             .min(u128::from(u64::MAX))
                             as u64;
                         let ewma = registry.note_latency(entry.node, elapsed_us);
-                        self.metrics
+                        self.ctx
+                            .metrics
                             .gauge(&format!("node{}_ewma_us", entry.node))
                             .set(ewma);
                     }
-                    self.flight.record(
+                    self.ctx.flight.record(
                         "reschedule",
                         format!(
                             "shard {} on node {} rescheduling: {why}",
@@ -549,7 +570,7 @@ impl Dispatcher {
                             ("node", FieldValue::U64(entry.node as u64)),
                         ],
                     );
-                    self.tracer.event(
+                    self.ctx.tracer.event(
                         Level::Warn,
                         "proof_fleet",
                         format!(
@@ -562,15 +583,22 @@ impl Dispatcher {
                         ],
                     );
                     if entry.attempts >= self.config.max_shard_attempts {
-                        self.counters.shard_failures.inc();
+                        self.ctx.counters.shard_failures.inc();
                         return Err(FleetError::ShardFailed {
                             shard: entry.shard.id,
                             attempts: entry.attempts,
                             last_error: why,
                         });
                     }
-                    self.counters.rescheduled.inc();
+                    self.ctx.counters.rescheduled.inc();
                     outcome.rescheduled += 1;
+                    self.ctx.progress.note_rescheduled(
+                        entry.shard.id,
+                        entry.node,
+                        entry.job_id,
+                        entry.attempts,
+                        true,
+                    );
                     pending.push_back(PendingShard {
                         shard: entry.shard,
                         attempts: entry.attempts,

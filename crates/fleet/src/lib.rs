@@ -21,6 +21,15 @@
 //! tree, so `GET /metrics` on the coordinator ([`server`]) shows dispatch,
 //! reschedule, and probe activity per node.
 //!
+//! Grid runs are job-style: [`Fleet::submit_grid`] returns a
+//! [`RunHandle`] immediately while a dedicated run thread owns the
+//! dispatch, publishing per-shard progress through a seq-numbered
+//! [`ProgressSink`] ([`progress`], [`runs`]); [`Fleet::run_grid`] is the
+//! synchronous submit-and-wait wrapper. The coordinator HTTP surface
+//! ([`server`]) exposes both forms (`POST /grid`, `POST /grid/submit`,
+//! `GET /grid/<id>/status?since=<seq>`, `GET /grid/<id>/result`) and stays
+//! fully readable mid-run via the shared [`FleetView`].
+//!
 //! ```no_run
 //! use proof_fleet::{Fleet, FleetConfig};
 //! use proof_core::GridSpec;
@@ -31,8 +40,10 @@
 //! )
 //! .unwrap();
 //! // coordinator + two embedded local daemons
-//! let mut fleet = Fleet::start(FleetConfig::local(2)).unwrap();
-//! let run = fleet.run_grid(&spec).unwrap();
+//! let fleet = Fleet::start(FleetConfig::local(2)).unwrap();
+//! // streaming: watch shard completions while the run thread dispatches
+//! let handle = fleet.submit_grid(&spec).unwrap();
+//! let run = handle.wait().unwrap();
 //! assert!(run.merged.contains("\"cells\""));
 //! fleet.shutdown();
 //! ```
@@ -42,15 +53,21 @@ pub mod coordinator;
 pub mod dispatcher;
 pub mod merger;
 pub mod planner;
+pub mod progress;
 pub mod registry;
+pub mod runs;
 pub mod server;
 pub mod trace;
 
-pub use client::{JobPoll, WorkerClient, WorkerError, WorkerHealth};
+pub use client::{CoordinatorClient, JobPoll, RunResult, WorkerClient, WorkerError, WorkerHealth};
 pub use coordinator::{run_grid_local, Fleet, FleetConfig, FleetError, FleetRun};
-pub use dispatcher::{DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters, ShardReport};
+pub use dispatcher::{
+    DispatchCtx, DispatchOutcome, Dispatcher, DispatcherConfig, FleetCounters, ShardReport,
+};
 pub use merger::{merge_run, MergeSummary};
 pub use planner::{plan_shards, Shard, ShardPlan};
+pub use progress::{ProgressCounts, ProgressEvent, ProgressKind, ProgressSink};
 pub use registry::{NodeRegistry, NodeSnapshot, NodeState, SchedPolicy};
+pub use runs::{FleetView, RunHandle, RunLedger};
 pub use server::{FleetServer, FleetServerConfig};
 pub use trace::merge_fleet_trace;

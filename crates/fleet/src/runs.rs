@@ -1,0 +1,317 @@
+//! The run ledger and shared fleet view behind streaming grid runs.
+//!
+//! A coordinator used to execute `POST /grid` while holding the one
+//! `Fleet` mutex, which made every other read on the HTTP surface either
+//! block or degrade (503s on `/nodes` and `/grid/trace`, a vanishing
+//! `alive` field in `/healthz`). This module splits the two roles apart:
+//!
+//! - [`FleetView`] is the always-readable side — the latest registry
+//!   snapshot and the most recent merged trace, published by whoever is
+//!   driving a run (the dispatcher refreshes it as nodes probe and shards
+//!   resolve) and read lock-briefly by every HTTP handler.
+//! - [`RunHandle`] is one grid run's lifecycle: its id, its
+//!   [`ProgressSink`] stream, and a condvar-signalled terminal state that
+//!   sync callers block on and async callers poll.
+//! - [`RunLedger`] owns every handle (and the run threads), hands out run
+//!   ids, and answers "is anything running?" for `/healthz`.
+
+use crate::coordinator::{FleetError, FleetRun};
+use crate::progress::{ProgressEvent, ProgressSink};
+use crate::registry::{NodeSnapshot, NodeState};
+use serde_json::{Map, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The coordinator state that must stay readable while a run thread owns
+/// the dispatch: the per-node registry snapshot and the last merged trace.
+#[derive(Default)]
+pub struct FleetView {
+    nodes: Mutex<Vec<NodeSnapshot>>,
+    last_trace: Mutex<Option<String>>,
+}
+
+impl FleetView {
+    pub fn new() -> FleetView {
+        FleetView::default()
+    }
+
+    /// Publish a fresh registry snapshot (dispatcher: after probes and
+    /// resolutions; coordinator: at start and run end).
+    pub fn set_nodes(&self, nodes: Vec<NodeSnapshot>) {
+        *lock_or_recover(&self.nodes) = nodes;
+    }
+
+    /// The most recently published registry snapshot.
+    pub fn nodes(&self) -> Vec<NodeSnapshot> {
+        lock_or_recover(&self.nodes).clone()
+    }
+
+    /// How many nodes are not `Dead` in the latest snapshot.
+    pub fn alive(&self) -> usize {
+        lock_or_recover(&self.nodes)
+            .iter()
+            .filter(|n| n.state != NodeState::Dead)
+            .count()
+    }
+
+    pub fn set_last_trace(&self, trace: String) {
+        *lock_or_recover(&self.last_trace) = Some(trace);
+    }
+
+    /// The merged cross-node trace of the most recent finished run.
+    pub fn last_trace(&self) -> Option<String> {
+        lock_or_recover(&self.last_trace).clone()
+    }
+}
+
+enum RunState {
+    Running,
+    Finished(Result<FleetRun, FleetError>),
+}
+
+/// One grid run: id, live progress stream, and terminal state.
+pub struct RunHandle {
+    id: u64,
+    progress: Arc<ProgressSink>,
+    state: Mutex<RunState>,
+    done: Condvar,
+}
+
+impl RunHandle {
+    fn new(id: u64, total_shards: usize) -> RunHandle {
+        RunHandle {
+            id,
+            progress: Arc::new(ProgressSink::new(total_shards)),
+            state: Mutex::new(RunState::Running),
+            done: Condvar::new(),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The run's seq-numbered progress ledger (shared with the dispatcher).
+    pub fn progress(&self) -> &Arc<ProgressSink> {
+        &self.progress
+    }
+
+    /// Record the terminal state and wake every [`RunHandle::wait`]er.
+    /// Called exactly once, by the run thread.
+    pub fn finish(&self, result: Result<FleetRun, FleetError>) {
+        let mut state = lock_or_recover(&self.state);
+        *state = RunState::Finished(result);
+        self.done.notify_all();
+    }
+
+    pub fn is_finished(&self) -> bool {
+        !matches!(*lock_or_recover(&self.state), RunState::Running)
+    }
+
+    /// The terminal result, if the run has finished (clones — the ledger
+    /// keeps the original so late `/grid/<id>/result` reads still answer).
+    pub fn result(&self) -> Option<Result<FleetRun, FleetError>> {
+        match &*lock_or_recover(&self.state) {
+            RunState::Running => None,
+            RunState::Finished(r) => Some(r.clone()),
+        }
+    }
+
+    /// Block until the run finishes and return its result. This is the
+    /// synchronous `POST /grid` wrapper: submit + wait.
+    pub fn wait(&self) -> Result<FleetRun, FleetError> {
+        let mut state = lock_or_recover(&self.state);
+        loop {
+            if let RunState::Finished(r) = &*state {
+                return r.clone();
+            }
+            state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The `GET /grid/<id>/status` document: run state, live counts, and
+    /// every progress event past the `since` cursor (all of them for
+    /// `since = 0`). Counts and events come from one [`ProgressSink`] read,
+    /// so `seq` is the exact cursor for the next poll.
+    pub fn status_body(&self, since: u64) -> String {
+        let (counts, events) = self.progress.since(since);
+        let mut m = Map::new();
+        m.insert("run_id".to_string(), Value::from(self.id));
+        let state = match &*lock_or_recover(&self.state) {
+            RunState::Running => "running",
+            RunState::Finished(Ok(_)) => "done",
+            RunState::Finished(Err(e)) => {
+                m.insert("error".to_string(), Value::from(e.to_string()));
+                "failed"
+            }
+        };
+        m.insert("state".to_string(), Value::from(state));
+        m.insert("total".to_string(), Value::from(counts.total as u64));
+        m.insert(
+            "completed".to_string(),
+            Value::from(counts.completed as u64),
+        );
+        m.insert("pending".to_string(), Value::from(counts.pending as u64));
+        m.insert(
+            "in_flight".to_string(),
+            Value::from(counts.in_flight as u64),
+        );
+        m.insert("dispatched".to_string(), Value::from(counts.dispatched));
+        m.insert("rescheduled".to_string(), Value::from(counts.rescheduled));
+        m.insert("seq".to_string(), Value::from(counts.seq));
+        m.insert(
+            "events".to_string(),
+            Value::Array(events.iter().map(ProgressEvent::to_value).collect()),
+        );
+        Value::Object(m).to_string()
+    }
+}
+
+/// Every run the coordinator has accepted, plus the threads driving the
+/// unfinished ones. Run ids are dense from 1.
+#[derive(Default)]
+pub struct RunLedger {
+    runs: Mutex<Vec<Arc<RunHandle>>>,
+    next_id: AtomicU64,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RunLedger {
+    pub fn new() -> RunLedger {
+        RunLedger {
+            runs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Mint a handle for a newly accepted run.
+    pub fn create(&self, total_shards: usize) -> Arc<RunHandle> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let handle = Arc::new(RunHandle::new(id, total_shards));
+        lock_or_recover(&self.runs).push(Arc::clone(&handle));
+        handle
+    }
+
+    pub fn get(&self, id: u64) -> Option<Arc<RunHandle>> {
+        lock_or_recover(&self.runs)
+            .iter()
+            .find(|h| h.id == id)
+            .cloned()
+    }
+
+    /// Runs not yet finished — the `running` signal in `/healthz` and the
+    /// `fleet_runs_active` gauge.
+    pub fn active(&self) -> usize {
+        lock_or_recover(&self.runs)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    /// Lifetime accepted-run count.
+    pub fn total(&self) -> u64 {
+        self.next_id.load(Ordering::SeqCst).saturating_sub(1)
+    }
+
+    /// Track a run thread so shutdown can drain it.
+    pub fn note_thread(&self, handle: JoinHandle<()>) {
+        lock_or_recover(&self.threads).push(handle);
+    }
+
+    /// Join every run thread (shutdown path: no run may outlive the
+    /// embedded daemons it dispatches to).
+    pub fn join_all(&self) {
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_or_recover(&self.threads));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(state: NodeState) -> NodeSnapshot {
+        NodeSnapshot {
+            addr: "127.0.0.1:1".to_string(),
+            state,
+            in_flight: 0,
+            workers: 1,
+            ewma_us: None,
+            dispatched: 0,
+            completed: 0,
+            failures: 0,
+        }
+    }
+
+    #[test]
+    fn view_tracks_alive_and_trace() {
+        let view = FleetView::new();
+        assert_eq!(view.alive(), 0);
+        assert!(view.last_trace().is_none());
+        view.set_nodes(vec![
+            snapshot(NodeState::Healthy),
+            snapshot(NodeState::Dead),
+        ]);
+        assert_eq!(view.alive(), 1);
+        assert_eq!(view.nodes().len(), 2);
+        view.set_last_trace("{}".to_string());
+        assert_eq!(view.last_trace().as_deref(), Some("{}"));
+    }
+
+    #[test]
+    fn ledger_ids_are_dense_and_lookup_works() {
+        let ledger = RunLedger::new();
+        let a = ledger.create(4);
+        let b = ledger.create(2);
+        assert_eq!(a.id(), 1);
+        assert_eq!(b.id(), 2);
+        assert_eq!(ledger.total(), 2);
+        assert_eq!(ledger.active(), 2);
+        assert!(ledger.get(1).is_some());
+        assert!(ledger.get(99).is_none());
+        a.finish(Err(FleetError::NoNodes));
+        assert_eq!(ledger.active(), 1);
+        assert!(a.is_finished());
+        assert!(matches!(a.result(), Some(Err(FleetError::NoNodes))));
+    }
+
+    #[test]
+    fn wait_unblocks_on_finish_from_another_thread() {
+        let ledger = RunLedger::new();
+        let h = ledger.create(1);
+        let waiter = Arc::clone(&h);
+        let t = std::thread::spawn(move || waiter.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        h.finish(Err(FleetError::NoNodes));
+        let result = t.join().unwrap();
+        assert!(matches!(result, Err(FleetError::NoNodes)));
+    }
+
+    #[test]
+    fn status_value_carries_state_counts_and_events() {
+        let ledger = RunLedger::new();
+        let h = ledger.create(2);
+        h.progress().note_dispatched(0, 0, 1, 1);
+        let v: Value = serde_json::from_str(&h.status_body(0)).unwrap();
+        assert_eq!(v["state"], "running");
+        assert_eq!(v["total"].as_u64(), Some(2));
+        assert_eq!(v["in_flight"].as_u64(), Some(1));
+        assert_eq!(v["pending"].as_u64(), Some(1));
+        assert_eq!(v["events"].as_array().unwrap().len(), 1);
+        assert!(v.get("error").is_none());
+
+        h.finish(Err(FleetError::NoNodes));
+        let v: Value = serde_json::from_str(&h.status_body(1)).unwrap();
+        assert_eq!(v["state"], "failed");
+        assert_eq!(v["error"], "no worker nodes configured");
+        assert!(v["events"].as_array().unwrap().is_empty());
+    }
+}

@@ -3,33 +3,48 @@
 //! Endpoints:
 //!
 //! - `POST /grid` — run a grid spec to completion and return the merged
-//!   artifact (synchronous; grid runs serialize on the coordinator).
+//!   artifact (synchronous: submit + wait; response bytes identical to
+//!   the streaming path's finished result).
+//! - `POST /grid/submit` (or `POST /grid?mode=async`) — validate the spec,
+//!   mint a run id, and return `202 {run_id, shards}` immediately while a
+//!   dedicated run thread executes the dispatch.
+//! - `GET /grid/<id>/status[?since=<seq>]` — live per-shard progress:
+//!   completed/pending/in-flight/rescheduled counts plus the run's
+//!   seq-numbered progress events past the `since` cursor (all of them
+//!   when omitted). `seq` in the reply is the cursor for the next poll.
+//! - `GET /grid/<id>/result` — `202` while the run executes, `200` with
+//!   the merged artifact when done (byte-identical to the synchronous
+//!   path and `run_grid_local`), or the run's error (`400` for spec/merge
+//!   rejections, `500` otherwise).
 //! - `GET /grid/trace` — the merged cross-node Chrome-trace document of
-//!   the most recent run (Perfetto-loadable).
-//! - `GET /healthz` — coordinator liveness, version, uptime, node counts,
+//!   the most recent finished run (Perfetto-loadable).
+//! - `GET /healthz` — coordinator liveness, version, uptime, node counts
+//!   (`alive` always present, `running` true while any run is active),
 //!   and the fleet-wide cache-tier summary aggregated from the nodes.
 //! - `GET /nodes` — per-node registry snapshot: health state, in-flight,
 //!   advertised worker count, shard-latency EWMA (`ewma_us`, once
-//!   observed), and lifetime dispatch counters.
+//!   observed), and lifetime dispatch counters. Served from the shared
+//!   [`FleetView`] the dispatcher republishes, so it answers mid-run.
 //! - `GET /metrics[?format=prometheus]` — fleet counters; the Prometheus
 //!   form federates every reachable node's own exposition under a
-//!   `node="<addr>"` label, so one scrape covers the whole fleet. The
-//!   metrics registry and node addresses are shared outside the run lock,
-//!   so both forms stay readable *during* a grid run (a CI smoke can watch
+//!   `node="<addr>"` label, so one scrape covers the whole fleet. Both
+//!   forms stay readable *during* a grid run (a CI smoke can watch
 //!   `fleet_rescheduled` move while shards are still in flight).
 //! - `GET /debug/events` — the coordinator's flight recorder: the bounded
-//!   ring of scheduling events (dispatches, reschedules, node health
-//!   transitions) for post-mortems.
+//!   ring of scheduling and run-lifecycle events for post-mortems.
 //!
 //! Reuses `proof_serve::http` wholesale — same parser, same caps, same
-//! single-request connections.
+//! single-request connections, same query-param handling.
 
-use crate::coordinator::{Fleet, FleetError};
+use crate::coordinator::{metrics_json_from, Fleet, FleetError};
+use crate::runs::{FleetView, RunLedger};
 use proof_core::GridSpec;
 use proof_obs::export::{federate_prometheus, prometheus_text};
-use proof_obs::{FieldValue, FlightRecorder, MetricsRegistry};
+use proof_obs::{FlightRecorder, MetricsRegistry};
 use proof_serve::client::request_full_timeout;
-use proof_serve::http::{read_request, write_response, write_response_typed, Request};
+use proof_serve::http::{
+    query_has, query_param, read_request, write_response, write_response_typed, Request,
+};
 use serde_json::{Map, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,12 +74,21 @@ impl Default for FleetServerConfig {
 }
 
 struct SharedFleet {
-    fleet: Mutex<Fleet>,
-    /// Cloned out of the fleet so metrics never block on a running grid.
+    /// The fleet, in a takeable slot: handlers borrow it briefly (submits
+    /// are quick — the dispatch runs on a fleet-owned thread), and
+    /// [`FleetServer::shutdown`] takes it out so the drain always runs, no
+    /// matter how many handler threads still hold `Arc` clones of this
+    /// struct. (An earlier build gated the drain on `Arc::try_unwrap` and
+    /// silently leaked every embedded daemon whenever a connection was
+    /// still open.)
+    fleet: Mutex<Option<Fleet>>,
+    /// Cloned out of the fleet so reads never touch the fleet slot: the
+    /// metrics registry, flight recorder, run ledger, and the registry/
+    /// trace view the dispatcher republishes mid-run.
     metrics: Arc<MetricsRegistry>,
-    /// Same story for the flight recorder and node addresses: readable
-    /// while a grid run holds the fleet lock.
     flight: Arc<FlightRecorder>,
+    view: Arc<FleetView>,
+    runs: Arc<RunLedger>,
     node_addrs: Vec<SocketAddr>,
     node_count: usize,
     started: Instant,
@@ -86,10 +110,12 @@ impl FleetServer {
         let shared = Arc::new(SharedFleet {
             metrics: Arc::clone(fleet.metrics()),
             flight: Arc::clone(fleet.flight()),
+            view: Arc::clone(fleet.view()),
+            runs: Arc::clone(fleet.runs()),
             node_addrs: fleet.node_addrs(),
-            node_count: fleet.nodes().len(),
+            node_count: fleet.node_addrs().len(),
             started: Instant::now(),
-            fleet: Mutex::new(fleet),
+            fleet: Mutex::new(Some(fleet)),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
@@ -102,8 +128,8 @@ impl FleetServer {
                     }
                     let Ok(stream) = stream else { continue };
                     let shared = Arc::clone(&shared);
-                    // thread-per-connection: grid runs hold the fleet lock,
-                    // everything else answers concurrently
+                    // thread-per-connection: run threads own the dispatch,
+                    // so every endpoint answers concurrently
                     std::thread::spawn(move || handle(&shared, stream));
                 }
             })
@@ -120,19 +146,23 @@ impl FleetServer {
         self.addr
     }
 
-    /// Stop accepting, join the acceptor, and shut down the fleet's
-    /// embedded daemons. In-flight grid runs finish first (they hold the
-    /// fleet lock).
+    /// Stop accepting, join the acceptor, then take the fleet out of its
+    /// slot and shut it down — draining run threads and embedded daemons
+    /// unconditionally, even while handler threads still hold shared
+    /// clones (e.g. a slow request mid-read).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr); // wake the acceptor
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        if let Ok(fleet) = Arc::try_unwrap(self.shared)
-            .map_err(|_| ())
-            .map(|s| s.fleet.into_inner().unwrap_or_else(|e| e.into_inner()))
-        {
+        let fleet = self
+            .shared
+            .fleet
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(fleet) = fleet {
             fleet.shutdown();
         }
     }
@@ -162,28 +192,32 @@ fn route(shared: &SharedFleet, req: &Request) -> (u16, String, &'static str) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (200, healthz_body(shared), JSON),
-        ("GET", ["metrics"]) if req.query == "format=prometheus" => (
+        ("GET", ["metrics"]) if query_has(&req.query, "format", "prometheus") => (
             200,
             federated_prometheus_body(shared),
             "text/plain; version=0.0.4",
         ),
-        ("GET", ["metrics"]) => (200, metrics_body(shared), JSON),
-        ("GET", ["grid", "trace"]) => match shared.fleet.try_lock() {
-            Ok(fleet) => match fleet.last_trace() {
-                Some(trace) => (200, trace.to_string(), JSON),
-                None => (404, error_body("no grid run yet"), JSON),
-            },
-            Err(_) => (503, error_body("grid run in progress"), JSON),
+        ("GET", ["metrics"]) => (
+            200,
+            metrics_json_from(&shared.metrics, &shared.view.nodes()),
+            JSON,
+        ),
+        ("GET", ["grid", "trace"]) => match shared.view.last_trace() {
+            Some(trace) => (200, trace, JSON),
+            None => (404, error_body("no grid run yet"), JSON),
         },
+        ("GET", ["grid", id, "status"]) => grid_status(shared, id, &req.query),
+        ("GET", ["grid", id, "result"]) => grid_result(shared, id),
         ("GET", ["debug", "events"]) => (200, shared.flight.to_json(), JSON),
-        ("GET", ["nodes"]) => match shared.fleet.try_lock() {
-            Ok(fleet) => (
-                200,
-                Value::Array(fleet.nodes().iter().map(|n| n.to_value()).collect()).to_string(),
-                JSON,
-            ),
-            Err(_) => (503, error_body("grid run in progress"), JSON),
-        },
+        ("GET", ["nodes"]) => (
+            200,
+            Value::Array(shared.view.nodes().iter().map(|n| n.to_value()).collect()).to_string(),
+            JSON,
+        ),
+        ("POST", ["grid"]) if query_has(&req.query, "mode", "async") => {
+            post_grid_submit(shared, &req.body)
+        }
+        ("POST", ["grid", "submit"]) => post_grid_submit(shared, &req.body),
         ("POST", ["grid"]) => post_grid(shared, &req.body),
         ("GET" | "POST", _) => (404, error_body("no such endpoint"), JSON),
         _ => (405, error_body("method not allowed"), JSON),
@@ -255,6 +289,9 @@ fn aggregate_node_cache(shared: &SharedFleet) -> Value {
     Value::Object(c)
 }
 
+/// Always the full document: `alive` comes from the shared registry view
+/// (the dispatcher republishes it mid-run) and `running` from the run
+/// ledger — neither key ever disappears while a grid executes.
 fn healthz_body(shared: &SharedFleet) -> String {
     let mut m = Map::new();
     m.insert("status".to_string(), Value::from("ok"));
@@ -268,66 +305,101 @@ fn healthz_body(shared: &SharedFleet) -> String {
     );
     m.insert("nodes".to_string(), Value::from(shared.node_count as u64));
     m.insert("cache".to_string(), aggregate_node_cache(shared));
-    match shared.fleet.try_lock() {
-        Ok(fleet) => {
-            m.insert(
-                "alive".to_string(),
-                Value::from(
-                    fleet
-                        .nodes()
-                        .iter()
-                        .filter(|n| n.state != crate::registry::NodeState::Dead)
-                        .count() as u64,
-                ),
-            );
-            m.insert("running".to_string(), Value::from(false));
-        }
-        Err(_) => {
-            m.insert("running".to_string(), Value::from(true));
-        }
-    }
+    m.insert("alive".to_string(), Value::from(shared.view.alive() as u64));
+    m.insert("running".to_string(), Value::from(shared.runs.active() > 0));
+    m.insert("runs_total".to_string(), Value::from(shared.runs.total()));
+    m.insert(
+        "runs_active".to_string(),
+        Value::from(shared.runs.active() as u64),
+    );
     Value::Object(m).to_string()
 }
 
-fn metrics_body(shared: &SharedFleet) -> String {
-    // full view (with per-node snapshot) when idle; counters-only while a
-    // grid run holds the fleet lock
-    if let Ok(fleet) = shared.fleet.try_lock() {
-        return fleet.metrics_json();
+/// Parse and submit a grid spec, returning the accepted run's handle.
+fn submit(shared: &SharedFleet, body: &str) -> Result<Arc<crate::runs::RunHandle>, (u16, String)> {
+    let value: Value =
+        serde_json::from_str(body).map_err(|e| (400, format!("invalid JSON: {e}")))?;
+    let spec = GridSpec::from_value(&value).map_err(|e| (400, e.to_string()))?;
+    let fleet = shared.fleet.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(fleet) = fleet.as_ref() else {
+        return Err((503, "coordinator shutting down".to_string()));
+    };
+    match fleet.submit_grid(&spec) {
+        Ok(handle) => Ok(handle),
+        Err(e @ FleetError::Grid(_)) => Err((400, e.to_string())),
+        Err(e) => Err((500, e.to_string())),
     }
-    let snap = shared.metrics.snapshot();
-    let mut counters = Map::new();
-    for (name, v) in &snap.counters {
-        counters.insert(name.clone(), Value::from(*v));
-    }
-    let mut m = Map::new();
-    m.insert("counters".to_string(), Value::Object(counters));
-    m.insert("running".to_string(), Value::from(true));
-    Value::Object(m).to_string()
 }
 
+/// `POST /grid` — synchronous: submit, then wait on the run handle. The
+/// response bytes are exactly the streaming path's finished result.
 fn post_grid(shared: &SharedFleet, body: &str) -> (u16, String, &'static str) {
     const JSON: &str = "application/json";
-    let value: Value = match serde_json::from_str(body) {
-        Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("invalid JSON: {e}")), JSON),
+    let handle = match submit(shared, body) {
+        Ok(h) => h,
+        Err((status, msg)) => return (status, error_body(&msg), JSON),
     };
-    let spec = match GridSpec::from_value(&value) {
-        Ok(s) => s,
-        Err(e) => return (400, error_body(&e.to_string()), JSON),
-    };
-    let mut fleet = shared.fleet.lock().unwrap_or_else(|e| e.into_inner());
-    match fleet.run_grid(&spec) {
+    match handle.wait() {
         Ok(run) => (200, run.merged, JSON),
         Err(e @ FleetError::Grid(_)) => (400, error_body(&e.to_string()), JSON),
-        Err(e) => {
-            shared.flight.record(
-                "grid",
-                format!("grid run failed: {e}"),
-                vec![("http_status", FieldValue::U64(500))],
-            );
-            (500, error_body(&e.to_string()), JSON)
+        Err(e) => (500, error_body(&e.to_string()), JSON),
+    }
+}
+
+/// `POST /grid/submit` (or `?mode=async`) — accept and return immediately.
+fn post_grid_submit(shared: &SharedFleet, body: &str) -> (u16, String, &'static str) {
+    const JSON: &str = "application/json";
+    let handle = match submit(shared, body) {
+        Ok(h) => h,
+        Err((status, msg)) => return (status, error_body(&msg), JSON),
+    };
+    let mut m = Map::new();
+    m.insert("run_id".to_string(), Value::from(handle.id()));
+    m.insert(
+        "shards".to_string(),
+        Value::from(handle.progress().counts().total as u64),
+    );
+    (202, Value::Object(m).to_string(), JSON)
+}
+
+/// Look up a run by its path segment. `None` for unparseable or unknown
+/// ids — both are 404s (the path names a resource that does not exist).
+fn lookup_run(shared: &SharedFleet, id: &str) -> Option<Arc<crate::runs::RunHandle>> {
+    id.parse::<u64>().ok().and_then(|id| shared.runs.get(id))
+}
+
+/// `GET /grid/<id>/status?since=<seq>`.
+fn grid_status(shared: &SharedFleet, id: &str, query: &str) -> (u16, String, &'static str) {
+    const JSON: &str = "application/json";
+    let since = match query_param(query, "since") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => return (400, error_body("malformed since cursor"), JSON),
+        },
+        None => 0,
+    };
+    match lookup_run(shared, id) {
+        Some(handle) => (200, handle.status_body(since), JSON),
+        None => (404, error_body("no such run"), JSON),
+    }
+}
+
+/// `GET /grid/<id>/result`.
+fn grid_result(shared: &SharedFleet, id: &str) -> (u16, String, &'static str) {
+    const JSON: &str = "application/json";
+    let Some(handle) = lookup_run(shared, id) else {
+        return (404, error_body("no such run"), JSON);
+    };
+    match handle.result() {
+        None => {
+            let mut m = Map::new();
+            m.insert("run_id".to_string(), Value::from(handle.id()));
+            m.insert("state".to_string(), Value::from("running"));
+            (202, Value::Object(m).to_string(), JSON)
         }
+        Some(Ok(run)) => (200, run.merged, JSON),
+        Some(Err(e @ FleetError::Grid(_))) => (400, error_body(&e.to_string()), JSON),
+        Some(Err(e)) => (500, error_body(&e.to_string()), JSON),
     }
 }
 
@@ -348,6 +420,8 @@ mod tests {
         let v: Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["status"], "ok");
         assert_eq!(v["nodes"].as_u64(), Some(1));
+        assert_eq!(v["alive"].as_u64(), Some(1), "alive always present");
+        assert_eq!(v["running"], Value::from(false));
         assert_eq!(v["version"], env!("CARGO_PKG_VERSION"));
         assert!(v["uptime_s"].as_u64().is_some());
         assert_eq!(v["cache"]["nodes_reporting"].as_u64(), Some(1));
@@ -376,6 +450,7 @@ mod tests {
         assert_eq!(status, 200);
         let m: Value = serde_json::from_str(&metrics).unwrap();
         assert_eq!(m["counters"]["fleet_completed"].as_u64(), Some(2));
+        assert_eq!(m["counters"]["fleet_runs_total"].as_u64(), Some(1));
 
         let (status, prom) = get(addr, "/metrics?format=prometheus").unwrap();
         assert_eq!(status, 200);
@@ -386,6 +461,11 @@ mod tests {
             prom.contains("proof_serve_jobs_done_total{node=\""),
             "{prom}"
         );
+        // the format selector matches in any position, like proof-serve
+        // (an earlier build compared the whole query string)
+        let (status, prom2) = get(addr, "/metrics?x=1&format=prometheus").unwrap();
+        assert_eq!(status, 200);
+        assert!(prom2.contains("proof_fleet_fleet_completed"), "{prom2}");
 
         // the merged cross-node trace is now served, with the synthesized
         // coordinator track and the node's own process track
@@ -418,5 +498,84 @@ mod tests {
         assert_eq!(status, 404);
 
         server.shutdown();
+    }
+
+    #[test]
+    fn async_submit_status_result_round_trip() {
+        let fleet = Fleet::start(FleetConfig::local(1)).unwrap();
+        let server = FleetServer::start(fleet, FleetServerConfig::default()).unwrap();
+        let addr = server.addr();
+
+        let spec_json = r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":9}"#;
+        let (status, body) = post(addr, "/grid/submit", spec_json).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let v: Value = serde_json::from_str(&body).unwrap();
+        let run_id = v["run_id"].as_u64().unwrap();
+        assert_eq!(v["shards"].as_u64(), Some(2));
+
+        // poll status until done; the cursor must be monotone
+        let mut since = 0u64;
+        let final_status = loop {
+            let (status, body) =
+                get(addr, &format!("/grid/{run_id}/status?since={since}")).unwrap();
+            assert_eq!(status, 200, "{body}");
+            let s: Value = serde_json::from_str(&body).unwrap();
+            let seq = s["seq"].as_u64().unwrap();
+            assert!(seq >= since, "cursor never regresses");
+            since = seq;
+            if s["state"] != "running" {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(final_status["state"], "done");
+        assert_eq!(final_status["completed"].as_u64(), Some(2));
+        assert_eq!(final_status["pending"].as_u64(), Some(0));
+
+        let (status, merged) = get(addr, &format!("/grid/{run_id}/result")).unwrap();
+        assert_eq!(status, 200, "{merged}");
+        let spec = GridSpec::from_value(&serde_json::from_str(spec_json).unwrap()).unwrap();
+        assert_eq!(merged, run_grid_local(&spec).unwrap());
+
+        // ?mode=async works the same as /grid/submit
+        let (status, body) = post(addr, "/grid?mode=async", spec_json).unwrap();
+        assert_eq!(status, 202, "{body}");
+
+        // unknown and malformed run ids are 404; malformed cursor is 400
+        let (status, _) = get(addr, "/grid/999/status").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/grid/abc/result").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, &format!("/grid/{run_id}/status?since=x")).unwrap();
+        assert_eq!(status, 400);
+        // async validation errors surface at submit time
+        let (status, _) = post(addr, "/grid/submit", "{").unwrap();
+        assert_eq!(status, 400);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_even_with_a_request_in_flight() {
+        use std::io::Write as _;
+        let fleet = Fleet::start(FleetConfig::local(1)).unwrap();
+        let node_addr = fleet.node_addrs()[0];
+        let server = FleetServer::start(fleet, FleetServerConfig::default()).unwrap();
+        let addr = server.addr();
+
+        // a slow client: the handler thread blocks mid-read, holding a
+        // clone of the shared state across the shutdown
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        server.shutdown();
+
+        // the embedded daemon was drained: its listener is gone
+        assert!(
+            TcpStream::connect(node_addr).is_err(),
+            "embedded daemon must not leak past shutdown"
+        );
+        drop(slow);
     }
 }

@@ -102,11 +102,7 @@ fn busy_poller_worker() -> SocketAddr {
 /// Run `fleet.run_grid` on a worker thread behind a watchdog: pre-fix both
 /// regression scenarios wedge the dispatch loop forever, and a wedged test
 /// should fail loudly rather than hang the suite.
-fn run_with_watchdog(
-    mut fleet: Fleet,
-    s: GridSpec,
-    budget: Duration,
-) -> Result<FleetRun, FleetError> {
+fn run_with_watchdog(fleet: Fleet, s: GridSpec, budget: Duration) -> Result<FleetRun, FleetError> {
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let result = fleet.run_grid(&s);
@@ -248,7 +244,7 @@ fn revived_node_with_a_stale_backoff_dispatches_immediately() {
         },
         ..FleetConfig::default()
     };
-    let mut fleet = Fleet::start(config).unwrap();
+    let fleet = Fleet::start(config).unwrap();
     let started = Instant::now();
     // detached: neither scripted worker can produce a real report, so the
     // run itself cannot complete — the assertion is purely about when the

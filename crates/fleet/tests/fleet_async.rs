@@ -1,0 +1,134 @@
+//! Streaming end-to-end: an async grid submitted over the coordinator's
+//! HTTP surface streams per-shard progress while shards are stalled by
+//! fault injection, the whole read surface (`/healthz` with `alive`,
+//! `/nodes`, `/grid/trace`) answers 200 mid-run, and the finished artifact
+//! is byte-identical to the synchronous path and the in-process reference.
+//!
+//! The stall is installed programmatically (the fault plan is
+//! process-global, so both embedded daemons stall equally — enough to
+//! spread completions out over ~1s of wall clock). This file holds only
+//! this test: fault plans installed here must not leak into parallel tests
+//! of another binary.
+
+use proof_core::GridSpec;
+use proof_fleet::{run_grid_local, Fleet, FleetConfig, FleetServer, FleetServerConfig};
+use proof_obs::fault::{self, FaultPlan};
+use proof_serve::client::{get, post};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+#[test]
+fn async_grid_streams_progress_and_matches_sync_bytes() {
+    let config = FleetConfig {
+        local_workers: 1,
+        ..FleetConfig::local(2)
+    };
+    let fleet = Fleet::start(config).unwrap();
+    let server = FleetServer::start(fleet, FleetServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // warm-up sync run (no fault): seeds `/grid/trace` so the mid-run
+    // assertions below can demand 200 from the whole read surface
+    let warm = r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1],"seed":5}"#;
+    let (status, _) = post(addr, "/grid", warm).unwrap();
+    assert_eq!(status, 200);
+
+    // every shard now stalls 300 ms at the metrics stage: 6 shards over
+    // two single-worker daemons spread completions across ~1s
+    fault::install(FaultPlan::parse("metrics:stall:300").unwrap());
+
+    let spec_json =
+        r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,3,4,6,8],"seed":21}"#;
+    let (status, body) = post(addr, "/grid?mode=async", spec_json).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let run_id = v["run_id"].as_u64().unwrap();
+    assert_eq!(v["shards"].as_u64(), Some(6));
+
+    // immediately after submit the run cannot have finished: result is 202
+    let (status, body) = get(addr, &format!("/grid/{run_id}/result")).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["state"], "running");
+
+    // poll status with a monotone since cursor until done, recording the
+    // partial completion counts observed mid-run
+    let mut cursor = 0u64;
+    let mut mid_run_completed: Vec<u64> = Vec::new();
+    let mut saw_running_healthz = false;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let final_status = loop {
+        assert!(Instant::now() < deadline, "streaming run never finished");
+        let (status, body) = get(addr, &format!("/grid/{run_id}/status?since={cursor}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let s: Value = serde_json::from_str(&body).unwrap();
+        let seq = s["seq"].as_u64().unwrap();
+        assert!(seq >= cursor, "seq cursor regressed: {seq} < {cursor}");
+        for e in s["events"].as_array().unwrap() {
+            let eseq = e["seq"].as_u64().unwrap();
+            assert!(eseq > cursor, "event {eseq} at or before cursor {cursor}");
+        }
+        cursor = seq;
+        let completed = s["completed"].as_u64().unwrap();
+        if s["state"] == "running" {
+            mid_run_completed.push(completed);
+
+            // the whole read surface answers 200 mid-run
+            let (status, h) = get(addr, "/healthz").unwrap();
+            assert_eq!(status, 200);
+            let h: Value = serde_json::from_str(&h).unwrap();
+            assert!(
+                h.get("alive").is_some(),
+                "alive must not vanish mid-run: {h}"
+            );
+            if h["running"].as_bool() == Some(true) {
+                saw_running_healthz = true;
+            }
+            let (status, nodes) = get(addr, "/nodes").unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(
+                serde_json::from_str::<Value>(&nodes)
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .len(),
+                2
+            );
+            let (status, _) = get(addr, "/grid/trace").unwrap();
+            assert_eq!(status, 200, "trace of the warm-up run serves mid-run");
+        } else {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(final_status["state"], "done", "{final_status}");
+    assert_eq!(final_status["completed"].as_u64(), Some(6));
+    assert_eq!(final_status["pending"].as_u64(), Some(0));
+    assert_eq!(final_status["in_flight"].as_u64(), Some(0));
+
+    // progress streamed: completion counts observed mid-run are monotone
+    // and include a strict partial (0 < c < 6) before the run finished
+    assert!(
+        mid_run_completed.windows(2).all(|w| w[0] <= w[1]),
+        "completed regressed: {mid_run_completed:?}"
+    );
+    assert!(
+        mid_run_completed.iter().any(|&c| c > 0 && c < 6),
+        "never observed a partial sweep: {mid_run_completed:?}"
+    );
+    assert!(saw_running_healthz, "healthz never reported running:true");
+
+    // the finished artifact is byte-identical to the in-process reference
+    let (status, merged) = get(addr, &format!("/grid/{run_id}/result")).unwrap();
+    assert_eq!(status, 200);
+    let spec = GridSpec::from_value(&serde_json::from_str(spec_json).unwrap()).unwrap();
+    assert_eq!(merged, run_grid_local(&spec).unwrap());
+
+    // ... and to the synchronous path (fault cleared: bytes must not care)
+    fault::clear();
+    let (status, sync_merged) = post(addr, "/grid", spec_json).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(merged, sync_merged, "async and sync artifacts diverge");
+
+    server.shutdown();
+}

@@ -81,7 +81,7 @@ fn merged_report_is_byte_identical_across_topologies() {
     let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2,4],"seed":13}"#);
     let reference = run_grid_local(&s).unwrap();
 
-    let mut one = Fleet::start(FleetConfig::local(1)).unwrap();
+    let one = Fleet::start(FleetConfig::local(1)).unwrap();
     let run1 = one.run_grid(&s).unwrap();
     one.shutdown();
     assert_eq!(
@@ -89,7 +89,7 @@ fn merged_report_is_byte_identical_across_topologies() {
         "1-node fleet differs from local reference"
     );
 
-    let mut two = Fleet::start(FleetConfig::local(2)).unwrap();
+    let two = Fleet::start(FleetConfig::local(2)).unwrap();
     let run2 = two.run_grid(&s).unwrap();
     two.shutdown();
     assert_eq!(
@@ -116,7 +116,7 @@ fn dead_node_shards_reschedule_onto_survivors() {
         request_timeout: Duration::from_millis(500),
         ..FleetConfig::default()
     };
-    let mut fleet = Fleet::start(config).unwrap();
+    let fleet = Fleet::start(config).unwrap();
     let run = fleet.run_grid(&s).unwrap();
 
     assert_eq!(
@@ -164,7 +164,7 @@ fn wedged_node_times_out_and_shards_complete_elsewhere() {
         },
         ..FleetConfig::default()
     };
-    let mut fleet = Fleet::start(config).unwrap();
+    let fleet = Fleet::start(config).unwrap();
     let run = fleet.run_grid(&s).unwrap();
     fleet.shutdown();
 
@@ -197,7 +197,7 @@ fn fresh_node_pulls_shards_from_warm_peer_cache() {
     let a = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
     let b = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
     let b_addr = b.addr();
-    let mut warmup = Fleet::start(FleetConfig::remote(vec![a.addr(), b_addr])).unwrap();
+    let warmup = Fleet::start(FleetConfig::remote(vec![a.addr(), b_addr])).unwrap();
     let warm_run = warmup.run_grid(&s).unwrap();
     warmup.shutdown();
     assert_eq!(warm_run.merged, reference);
@@ -205,7 +205,7 @@ fn fresh_node_pulls_shards_from_warm_peer_cache() {
 
     // a fresh cold node replaces A; its shard must come from warm B
     let c = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
-    let mut fleet = Fleet::start(FleetConfig::remote(vec![c.addr(), b_addr])).unwrap();
+    let fleet = Fleet::start(FleetConfig::remote(vec![c.addr(), b_addr])).unwrap();
     let run = fleet.run_grid(&s).unwrap();
 
     assert_eq!(
@@ -238,7 +238,7 @@ fn node_killed_mid_run_still_produces_the_complete_report() {
 
     let a = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
     let b = proof_serve::Server::start(proof_serve::ServeConfig::default()).unwrap();
-    let mut fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
+    let fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
 
     // kill node B as soon as the fleet has finished its first shard, so the
     // tail of the run sees a node that died mid-grid

@@ -29,7 +29,7 @@ fn daemon() -> Server {
 #[test]
 fn coordinator_scrape_federates_both_live_daemons() {
     let (a, b) = (daemon(), daemon());
-    let mut fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
+    let fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
     let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":21}"#);
     let run = fleet.run_grid(&s).unwrap();
     assert_eq!(run.outcome.results.len(), 2);
@@ -70,7 +70,7 @@ fn coordinator_scrape_federates_both_live_daemons() {
 #[test]
 fn merged_trace_has_one_track_per_node_and_clean_parenting() {
     let (a, b) = (daemon(), daemon());
-    let mut fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
+    let fleet = Fleet::start(FleetConfig::remote(vec![a.addr(), b.addr()])).unwrap();
     let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1,2],"seed":22}"#);
     let run = fleet.run_grid(&s).unwrap();
 
@@ -117,7 +117,7 @@ fn merged_trace_has_one_track_per_node_and_clean_parenting() {
     assert!(events.iter().any(|e| e["name"] == "compile"));
 
     // the same document is what the coordinator serves afterwards
-    assert_eq!(fleet.last_trace(), Some(run.trace_json.as_str()));
+    assert_eq!(fleet.last_trace().as_deref(), Some(run.trace_json.as_str()));
 
     fleet.shutdown();
     a.shutdown();
@@ -130,7 +130,7 @@ fn merged_trace_has_one_track_per_node_and_clean_parenting() {
 #[test]
 fn workers_adopt_the_fleet_trace_end_to_end() {
     let a = daemon();
-    let mut fleet = Fleet::start(FleetConfig::remote(vec![a.addr()])).unwrap();
+    let fleet = Fleet::start(FleetConfig::remote(vec![a.addr()])).unwrap();
     let s = spec(r#"{"model":"mobilenetv2-0.5","platform":"a100","batches":[1],"seed":23}"#);
     let run = fleet.run_grid(&s).unwrap();
     assert_eq!(run.outcome.shards.len(), 1);

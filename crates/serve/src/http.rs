@@ -146,6 +146,28 @@ pub(crate) fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
+/// The value of the first `key=...` param in a raw query string (the
+/// [`Request::query`] field: no leading '?', params separated by '&').
+/// `None` when the key is absent; a valueless `key` (no '=') is `None` too.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// True when the query string carries `key=value` as one of its
+/// `&`-separated params, in any position. Both daemons route format
+/// selectors (`format=prometheus`, `format=spans`) and mode selectors
+/// (`mode=async`) through this, so `?format=prometheus&x=1` works the same
+/// everywhere — an earlier coordinator build compared the whole raw query
+/// against `format=prometheus` and silently fell back to JSON when any
+/// other param rode along.
+pub fn query_has(query: &str, key: &str, value: &str) -> bool {
+    query_param(query, key) == Some(value)
+}
+
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -234,6 +256,21 @@ mod tests {
         let mut r = Cursor::new(Vec::new());
         let mut buf = Vec::new();
         assert_eq!(read_line_capped(&mut r, &mut buf, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn query_params_match_in_any_position() {
+        assert!(query_has("format=prometheus", "format", "prometheus"));
+        assert!(query_has("format=prometheus&x=1", "format", "prometheus"));
+        assert!(query_has("x=1&format=prometheus", "format", "prometheus"));
+        assert!(!query_has("format=spans", "format", "prometheus"));
+        assert!(!query_has("", "format", "prometheus"));
+        // valueless or prefix-colliding keys never match
+        assert!(!query_has("format", "format", "prometheus"));
+        assert!(!query_has("xformat=prometheus", "format", "prometheus"));
+        assert_eq!(query_param("since=12&format=spans", "since"), Some("12"));
+        assert_eq!(query_param("since=12", "format"), None);
+        assert_eq!(query_param("since", "since"), None);
     }
 
     #[test]

@@ -983,7 +983,7 @@ fn get_trace(shared: &Shared, tid: &str, query: &str) -> (u16, String) {
     let Some(tid) = parse_id(tid) else {
         return (400, error_body("trace id must be an integer"));
     };
-    if query.split('&').any(|kv| kv == "format=spans") {
+    if crate::http::query_has(query, "format", "spans") {
         return trace_spans_body(shared, tid);
     }
     let reg = shared.reg();
@@ -1236,7 +1236,7 @@ fn get_sweep(shared: &Shared, gid: &str) -> (u16, String) {
 }
 
 fn metrics_body(shared: &Shared, query: &str) -> String {
-    if query.split('&').any(|kv| kv == "format=prometheus") {
+    if crate::http::query_has(query, "format", "prometheus") {
         return prometheus_body(shared);
     }
     let mut queue = Map::new();
